@@ -1,0 +1,81 @@
+// Ablation A (§3, §4.3.1): the memory/quality dial. The same dataset is
+// mined under a sweep of Phase-I memory budgets. Shrinking the budget
+// forces threshold-raising rebuilds: fewer, coarser clusters and higher
+// centroid drift — but the scan count stays at one and the run completes.
+//
+// Usage: ablation_memory [n] [seed]
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/miner.h"
+#include "datagen/planted.h"
+
+int main(int argc, char** argv) {
+  using namespace dar;
+  using bench::Table;
+
+  size_t n = bench::ArgOr(argc, argv, 1, 100000);
+  uint64_t seed = bench::ArgOr(argc, argv, 2, 7);
+  if (bench::QuickMode()) n = std::min<size_t>(n, 30000);
+
+  auto spec_or = WbcdPartialPatternSpec(30, 35, 90, 6, 0.2, seed);
+  if (!spec_or.ok()) {
+    std::cerr << spec_or.status() << "\n";
+    return 1;
+  }
+  const PlantedDataSpec& spec = *spec_or;
+  auto data = GeneratePlanted(spec, n, seed + 1);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  const double slot = 1000.0 / 35;
+
+  std::cout << "=== Ablation: Phase-I memory budget vs. cluster quality ===\n"
+            << n << " tuples, 30 attrs, ~1050 planted clusters\n\n";
+  Table table({"budget.KB", "raw.ACFs", "frequent", "rebuilds", "drift%",
+               "max.thresh", "seconds"});
+  table.PrintHeader();
+
+  for (size_t kb : {16384, 5120, 1024, 512, 256, 128}) {
+    DarConfig config;
+    config.memory_budget_bytes = kb << 10;
+    config.frequency_fraction = 0.01;
+    DarMiner miner(config);
+    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    if (!phase1.ok()) {
+      std::cout << "  budget " << kb << "KB: " << phase1.status() << "\n";
+      continue;
+    }
+    size_t raw = 0;
+    int rebuilds = 0;
+    double max_threshold = 0;
+    for (size_t p = 0; p < phase1->raw_cluster_counts.size(); ++p) {
+      raw += phase1->raw_cluster_counts[p];
+      rebuilds += phase1->tree_stats[p].rebuild_count;
+      max_threshold =
+          std::max(max_threshold, phase1->tree_stats[p].threshold);
+    }
+    double drift = 0;
+    for (const auto& c : phase1->clusters.clusters()) {
+      double centroid = c.acf.Centroid()[0];
+      double best = 1e18;
+      for (const auto& planted : spec.parts[c.part].clusters) {
+        best = std::min(best, std::fabs(planted.center[0] - centroid));
+      }
+      drift += best;
+    }
+    drift = phase1->clusters.size() > 0
+                ? 100.0 * drift / phase1->clusters.size() / slot
+                : 0.0;
+    table.PrintRow(kb, raw, phase1->clusters.size(), rebuilds, drift,
+                   max_threshold, phase1->seconds);
+  }
+  std::cout << "\nThe adaptive algorithm trades granularity for footprint: "
+               "smaller budgets mean\nmore rebuilds, higher diameter "
+               "thresholds and coarser clusters, while the data\nis still "
+               "scanned exactly once.\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Ablation C (§6.2): "Empirically, we have found that using a more lenient
+// (higher) threshold in Phase II produces a better set of rules." Sweeps
+// the Phase-II leniency multiplier on the density thresholds and measures
+// rule quality against the planted ground truth:
+//   recall    — fraction of planted 1:1 cluster links recovered as rules;
+//   precision — fraction of emitted 1:1 rules whose two clusters belong to
+//               the same planted pattern.
+//
+// Usage: ablation_phase2_threshold [n] [seed]
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "core/miner.h"
+#include "datagen/planted.h"
+
+namespace dar {
+namespace {
+
+// Maps a frequent cluster to the planted pattern owning its nearest
+// dedicated center, or -1 (background / ambiguous).
+int PatternOf(const PlantedDataSpec& spec, const FoundCluster& c,
+              double slot) {
+  double centroid = c.acf.Centroid()[0];
+  size_t best_k = 0;
+  double best = 1e18;
+  for (size_t k = 0; k < spec.parts[c.part].clusters.size(); ++k) {
+    double d = std::fabs(spec.parts[c.part].clusters[k].center[0] - centroid);
+    if (d < best) {
+      best = d;
+      best_k = k;
+    }
+  }
+  if (best > 0.4 * slot) return -1;
+  // Background clusters are claimed by no pattern and fall through to -1.
+  for (size_t p = 0; p < spec.patterns.size(); ++p) {
+    if (spec.patterns[p].cluster_of_part[c.part] ==
+        static_cast<int64_t>(best_k)) {
+      return static_cast<int>(p);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+}  // namespace dar
+
+int main(int argc, char** argv) {
+  using namespace dar;
+  using bench::Table;
+
+  size_t n = bench::ArgOr(argc, argv, 1, 100000);
+  uint64_t seed = bench::ArgOr(argc, argv, 2, 29);
+  if (bench::QuickMode()) n = std::min<size_t>(n, 30000);
+
+  const size_t kPatterns = 90, kAttrsPerPattern = 6, kAttrs = 30;
+  const size_t claims_per_attr [[maybe_unused]] =
+      (kPatterns * kAttrsPerPattern + kAttrs - 1) / kAttrs;
+  auto spec_or =
+      WbcdPartialPatternSpec(kAttrs, 35, kPatterns, kAttrsPerPattern, 0.2,
+                             seed);
+  if (!spec_or.ok()) {
+    std::cerr << spec_or.status() << "\n";
+    return 1;
+  }
+  const PlantedDataSpec& spec = *spec_or;
+  auto data = GeneratePlanted(spec, n, seed + 1);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  const double slot = 1000.0 / 35;
+
+  DarConfig base;
+  // Memory budget: the paper used 5 MB on a 1997 Sparc 10 with ~750-byte
+  // ACFs (CF + 29 ls/ss pairs). Our ACFs also carry per-dimension min/max
+  // and square sums (~6.3x larger), so the equivalent memory pressure is
+  // ~32 MB; see EXPERIMENTS.md.
+  base.memory_budget_bytes = 32u << 20;
+  base.frequency_fraction = 0.005;
+  // Base d0 of 175 on the image scale (see sec72_phase2_stability); the
+  // leniency sweep below shows the Sec-6.2 effect around it.
+  base.density_thresholds.assign(kAttrs, 125.0);
+  base.degree_threshold = 250.0;
+  base.max_cliques = 2000;
+  base.max_rules = 200000;
+  DarMiner phase1_miner(base);
+  auto phase1 = phase1_miner.RunPhase1(data->relation, data->partition);
+  if (!phase1.ok()) {
+    std::cerr << phase1.status() << "\n";
+    return 1;
+  }
+
+  // 1:1 rules need only the degree test (Dfn 5.1), so they are insensitive
+  // to the graph thresholds; what leniency gates is co-occurrence — the
+  // cliques — and with them every multi-cluster rule. Metrics:
+  //   clique.recall — fraction of the 90 planted patterns with >= 4 of
+  //                   their 6 clusters together in some maximal clique;
+  //   2:1 precision — fraction of 2-antecedent rules whose three clusters
+  //                   belong to one planted pattern.
+  std::cout << "=== Ablation: Phase-II threshold leniency (Sec 6.2) ===\n"
+            << phase1->clusters.size() << " frequent clusters, " << kPatterns
+            << " planted patterns\n\n";
+  Table table({"leniency", "edges", "cliques>1", "cliq.recall", "2:1.rules",
+               "2:1.prec"});
+  table.PrintHeader();
+
+  // Leniency > ~3 floods the graph with background-pair edges (their D2
+  // distribution starts at ~280; see EXPERIMENTS.md) and the clique count
+  // explodes; the cap below keeps those sweep points bounded and loudly
+  // truncated.
+  for (double leniency : {0.25, 0.5, 1.0, 1.5, 2.0, 2.5}) {
+    DarConfig config = base;
+    config.phase2_leniency = leniency;
+    DarMiner miner(config);
+    auto phase2 = miner.RunPhase2(*phase1);
+    if (!phase2.ok()) {
+      std::cerr << phase2.status() << "\n";
+      return 1;
+    }
+    // Clique recall: per pattern, the max number of its clusters found
+    // together in one maximal clique.
+    std::map<int, size_t> best_together;
+    for (const auto& clique : phase2->cliques) {
+      std::map<int, size_t> counts;
+      for (size_t id : clique) {
+        int p = PatternOf(spec, phase1->clusters.cluster(id), slot);
+        if (p >= 0) ++counts[p];
+      }
+      for (const auto& [p, c] : counts) {
+        best_together[p] = std::max(best_together[p], c);
+      }
+    }
+    size_t patterns_recovered = 0;
+    for (const auto& [p, c] : best_together) {
+      if (c >= 4) ++patterns_recovered;
+    }
+    // 2:1 rule precision.
+    size_t total21 = 0, correct21 = 0;
+    for (const auto& rule : phase2->rules) {
+      if (rule.antecedent.size() != 2 || rule.consequent.size() != 1) {
+        continue;
+      }
+      ++total21;
+      int p0 = PatternOf(spec, phase1->clusters.cluster(rule.antecedent[0]),
+                         slot);
+      int p1 = PatternOf(spec, phase1->clusters.cluster(rule.antecedent[1]),
+                         slot);
+      int pc = PatternOf(spec, phase1->clusters.cluster(rule.consequent[0]),
+                         slot);
+      if (p0 >= 0 && p0 == p1 && p1 == pc) ++correct21;
+    }
+    table.PrintRow(leniency, phase2->graph_edges,
+                   phase2->num_nontrivial_cliques,
+                   static_cast<double>(patterns_recovered) / kPatterns,
+                   total21,
+                   total21 > 0 ? static_cast<double>(correct21) / total21
+                               : 0.0);
+    if (phase2->cliques_truncated || phase2->rules_truncated) {
+      std::cout << "    (truncated: cliques="
+                << (phase2->cliques_truncated ? "yes" : "no")
+                << " rules=" << (phase2->rules_truncated ? "yes" : "no")
+                << ")\n";
+    }
+  }
+  std::cout
+      << "\nLow leniency starves the clustering graph of edges (no cliques, "
+         "no multi-\nantecedent rules); moderate leniency recovers every "
+         "planted pattern as a clique\n— the paper's observation that a "
+         "more lenient Phase-II threshold gives better\nrules. Too lenient "
+         "and background-pair edges flood the graph: the clique\n"
+         "enumeration hits its cap and recall collapses. The residual 2:1 "
+         "noise (degree-\ntail background consequents) is what the paper's "
+         "optional post-scan support\ncount (Sec 6.2) is for.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef DAR_BENCH_BENCH_UTIL_H_
+#define DAR_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dar {
+namespace bench {
+
+/// Fixed-width table printer for bench reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void PrintHeader(std::ostream& os = std::cout) const {
+    for (const auto& h : headers_) os << std::setw(width_) << h;
+    os << "\n";
+    os << std::string(headers_.size() * width_, '-') << "\n";
+  }
+
+  template <typename... Ts>
+  void PrintRow(Ts&&... values) const {
+    (PrintCell(std::forward<Ts>(values)), ...);
+    std::cout << "\n";
+  }
+
+ private:
+  template <typename T>
+  void PrintCell(T&& v) const {
+    std::cout << std::setw(width_) << std::fixed << std::setprecision(3) << v;
+  }
+
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+/// Reads a positional size_t argument with a default.
+inline size_t ArgOr(int argc, char** argv, int index, size_t def) {
+  if (argc > index) return std::strtoull(argv[index], nullptr, 10);
+  return def;
+}
+
+/// Honors DAR_BENCH_QUICK=1 for CI-sized runs.
+inline bool QuickMode() {
+  const char* env = std::getenv("DAR_BENCH_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace bench
+}  // namespace dar
+
+#endif  // DAR_BENCH_BENCH_UTIL_H_

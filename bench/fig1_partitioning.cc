@@ -1,0 +1,126 @@
+// Reproduces Figure 1: equi-depth vs distance-based partitioning of the
+// Salary column. The paper's table shows that depth-2 equi-depth
+// partitioning produces the semantically poor interval [31K, 80K] while
+// distance-based clustering yields [18K,18K], [30K,31K], [80K,82K].
+//
+// Beyond the exact 6-value column, a randomized sweep over skewed columns
+// quantifies the difference via the maximum intra-interval gap (distance
+// between consecutive member values) of each method.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "birch/acf_tree.h"
+#include "common/random.h"
+#include "datagen/fixtures.h"
+#include "qar/equidepth.h"
+
+namespace dar {
+namespace {
+
+// Clusters a column with an ACF-tree at the given diameter threshold and
+// returns the sorted cluster bounding intervals.
+std::vector<ValueInterval> DistanceIntervals(const std::vector<double>& col,
+                                             double threshold) {
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kEuclidean, "Salary"}};
+  AcfTreeOptions opts;
+  opts.initial_threshold = threshold;
+  opts.memory_budget_bytes = 64u << 20;
+  AcfTree tree(layout, 0, opts);
+  for (double v : col) {
+    Status s = tree.InsertPoint({{v}});
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      std::exit(1);
+    }
+  }
+  std::vector<ValueInterval> out;
+  for (const auto& c : tree.ExtractClusters()) {
+    auto box = c.BoundingBox(0);
+    out.push_back({box[0].first, box[0].second, c.n()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ValueInterval& a, const ValueInterval& b) {
+              return a.lo < b.lo;
+            });
+  return out;
+}
+
+// Maximum gap between consecutive member values inside any interval of the
+// partition: the "hidden distance" an interval glosses over.
+double MaxIntraIntervalGap(const std::vector<double>& col,
+                           const std::vector<ValueInterval>& intervals) {
+  std::vector<double> sorted = col;
+  std::sort(sorted.begin(), sorted.end());
+  double worst = 0;
+  for (const auto& iv : intervals) {
+    double prev = 0;
+    bool have_prev = false;
+    for (double v : sorted) {
+      if (!iv.Contains(v)) continue;
+      if (have_prev) worst = std::max(worst, v - prev);
+      prev = v;
+      have_prev = true;
+    }
+  }
+  return worst;
+}
+
+void PrintIntervals(const char* label,
+                    const std::vector<ValueInterval>& intervals) {
+  std::cout << "  " << label << ": ";
+  for (const auto& iv : intervals) {
+    std::cout << iv.ToString() << "(n=" << iv.count << ") ";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace dar
+
+int main() {
+  using namespace dar;
+  using bench::Table;
+
+  std::cout << "=== Figure 1: Equi-depth vs. distance-based partitioning "
+               "===\n\nPaper's salary column {18K, 30K, 31K, 80K, 81K, "
+               "82K}:\n";
+  std::vector<double> col = Fig1SalaryColumn();
+  auto equi = *EquiDepthPartition(col, 3);
+  auto dist = DistanceIntervals(col, 2000);
+  PrintIntervals("equi-depth (depth 2) ", equi);
+  PrintIntervals("distance-based (d0=2K)", dist);
+  std::cout << "  max hidden gap: equi-depth=" << MaxIntraIntervalGap(col, equi)
+            << ", distance-based=" << MaxIntraIntervalGap(col, dist) << "\n";
+
+  std::cout << "\nRandomized sweep: 3-modal skewed salary columns, "
+               "1000 values each.\n";
+  Table table({"trial", "equi.maxgap", "dist.maxgap", "equi.k", "dist.k"});
+  table.PrintHeader();
+  Rng rng(2026);
+  double equi_total = 0, dist_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> values;
+    double m1 = rng.Uniform(20000, 40000);
+    double m2 = m1 + rng.Uniform(30000, 60000);
+    double m3 = m2 + rng.Uniform(40000, 80000);
+    for (int i = 0; i < 600; ++i) values.push_back(rng.Gaussian(m1, 1500));
+    for (int i = 0; i < 300; ++i) values.push_back(rng.Gaussian(m2, 1200));
+    for (int i = 0; i < 100; ++i) values.push_back(rng.Gaussian(m3, 2000));
+    auto e = *EquiDepthPartition(values, 4);
+    auto d = DistanceIntervals(values, 6000);
+    double eg = MaxIntraIntervalGap(values, e);
+    double dg = MaxIntraIntervalGap(values, d);
+    equi_total += eg;
+    dist_total += dg;
+    table.PrintRow(trial, eg, dg, e.size(), d.size());
+  }
+  std::cout << "\nMean max hidden gap: equi-depth=" << equi_total / 10
+            << ", distance-based=" << dist_total / 10
+            << "\n(equi-depth partitions routinely bridge gaps that "
+               "distance-based clusters respect)\n";
+  return 0;
+}

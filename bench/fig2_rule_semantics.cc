@@ -1,0 +1,85 @@
+// Reproduces the Figure-2 discussion: the classical rule
+//   Job = DBA AND Age = 30 => Salary = 40,000            (Rule 1)
+// has identical support (50%) and confidence (60%) in relations R1 and R2,
+// yet intuitively fits R2 better (the non-matching salaries there are 41K
+// and 42K, not 90K and 100K). The distance-based degree of association
+// captures the difference: it is far smaller (stronger) in R2.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "birch/acf.h"
+#include "birch/metrics.h"
+#include "datagen/fixtures.h"
+
+namespace dar {
+namespace {
+
+struct Measures {
+  double support;
+  double confidence;
+  double degree_d1;  // centroid Manhattan (Eq. 5)
+  double degree_d2;  // average inter-cluster (Eq. 6)
+};
+
+Measures Measure(const CsvTable& table) {
+  const Relation& rel = table.relation;
+  double dba = *table.dictionaries[0].Lookup("DBA");
+  size_t antecedent = 0, matching = 0;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    bool is_ant = rel.at(r, 0) == dba && rel.at(r, 1) == 30;
+    if (is_ant) ++antecedent;
+    if (is_ant && rel.at(r, 2) == 40000) ++matching;
+  }
+  // Distance view: antecedent cluster C_X = 30-year-old DBAs, consequent
+  // cluster C_Y = tuples with salary 40K; degree = D(C_Y[Salary],
+  // C_X[Salary]).
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kDiscrete, "JobAge"},
+                   {1, MetricKind::kEuclidean, "Salary"}};
+  Acf cx(layout, 0), cy(layout, 1);
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    PartedRow row = {{rel.at(r, 0)}, {rel.at(r, 2)}};
+    if (rel.at(r, 0) == dba && rel.at(r, 1) == 30) cx.AddRow(row);
+    if (rel.at(r, 2) == 40000) cy.AddRow(row);
+  }
+  return {static_cast<double>(matching) / rel.num_rows(),
+          static_cast<double>(matching) / antecedent,
+          ClusterDistance(cy.image(1), cx.image(1),
+                          ClusterMetric::kD1CentroidManhattan),
+          ClusterDistance(cy.image(1), cx.image(1),
+                          ClusterMetric::kD2AvgInter)};
+}
+
+}  // namespace
+}  // namespace dar
+
+int main() {
+  using namespace dar;
+  using bench::Table;
+
+  std::cout << "=== Figure 2: Rule (1) 'Job=DBA AND Age=30 => Salary=40K' "
+               "===\n\n";
+  Measures m1 = Measure(Fig2RelationR1());
+  Measures m2 = Measure(Fig2RelationR2());
+
+  Table table({"relation", "support", "confidence", "degree(D1)",
+               "degree(D2)"});
+  table.PrintHeader();
+  table.PrintRow("R1", m1.support, m1.confidence, m1.degree_d1, m1.degree_d2);
+  table.PrintRow("R2", m2.support, m2.confidence, m2.degree_d1, m2.degree_d2);
+
+  std::cout << "\nClassical support/confidence cannot distinguish R1 from "
+               "R2 (paper: both 50%/60%).\nThe distance-based degree is "
+            << m1.degree_d2 / m2.degree_d2
+            << "x smaller (stronger) in R2, capturing that 30-year-old DBAs"
+               " there\nearn *about* 40K (Goals 2 and 3).\n";
+
+  bool ok = m1.support == 0.5 && m2.support == 0.5 &&
+            m1.confidence == 0.6 && m2.confidence == 0.6 &&
+            m2.degree_d2 < m1.degree_d2;
+  std::cout << (ok ? "\n[OK] matches the paper's reported measures\n"
+                   : "\n[MISMATCH] check the fixtures\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Reproduces the Figure-4 scenario: clusters C_X (|C_X| = 12) and C_Y
+// (|C_Y| = 13) overlap in 10 tuples. Classical confidence ranks
+// C_X => C_Y (10/12) above C_Y => C_X (10/13). But the C_Y-only tuples sit
+// *near* the intersection while the C_X-only tuples are far from C_Y, so
+// under a distance-based measure each C_Y-only tuple should hurt less —
+// the degree of association ranks C_Y => C_X as the stronger rule.
+//
+// The sweep varies how far the C_Y-only tuples sit from the intersection,
+// showing where the distance-based ranking crosses over while confidence
+// stays fixed.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "birch/acf.h"
+#include "birch/metrics.h"
+#include "datagen/fixtures.h"
+
+namespace dar {
+namespace {
+
+struct DegreePair {
+  double conf_x_to_y, conf_y_to_x;
+  double deg_x_to_y, deg_y_to_x;
+};
+
+DegreePair Measure(const Fig4Options& options) {
+  auto data = *MakeFig4Dataset(options);
+  const Relation& rel = data.relation;
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kEuclidean, "X"},
+                   {1, MetricKind::kEuclidean, "Y"}};
+  Acf cx(layout, 0), cy(layout, 1);
+  size_t nx = 0, ny = 0, nxy = 0;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    bool in_x = std::fabs(rel.at(r, 0) - 50) < 2;
+    bool in_y = std::fabs(rel.at(r, 1) - 50) < 2;
+    PartedRow row = {{rel.at(r, 0)}, {rel.at(r, 1)}};
+    if (in_x) {
+      cx.AddRow(row);
+      ++nx;
+    }
+    if (in_y) {
+      cy.AddRow(row);
+      ++ny;
+    }
+    if (in_x && in_y) ++nxy;
+  }
+  return {static_cast<double>(nxy) / nx, static_cast<double>(nxy) / ny,
+          ClusterDistance(cy.image(1), cx.image(1),
+                          ClusterMetric::kD2AvgInter),
+          ClusterDistance(cx.image(0), cy.image(0),
+                          ClusterMetric::kD2AvgInter)};
+}
+
+}  // namespace
+}  // namespace dar
+
+int main() {
+  using namespace dar;
+  using bench::Table;
+
+  std::cout << "=== Figure 4: confidence vs. distance-based degree ===\n\n"
+               "|C_X|=12, |C_Y|=13, |intersection|=10. C_X-only tuples far "
+               "from C_Y (offset 30);\nC_Y-only tuples at varying distance "
+               "from C_X.\n\n";
+  Table table({"y.offset", "conf(X=>Y)", "conf(Y=>X)", "deg(X=>Y)",
+               "deg(Y=>X)", "dist.winner"});
+  table.PrintHeader();
+  for (double near : {1.0, 3.0, 6.0, 12.0, 30.0, 60.0}) {
+    Fig4Options opts;
+    opts.near_offset = near;
+    DegreePair m = Measure(opts);
+    table.PrintRow(near, m.conf_x_to_y, m.conf_y_to_x, m.deg_x_to_y,
+                   m.deg_y_to_x,
+                   m.deg_y_to_x < m.deg_x_to_y ? "Y=>X" : "X=>Y");
+  }
+  std::cout
+      << "\nConfidence always prefers X=>Y (10/12 > 10/13) regardless of "
+         "geometry.\nThe distance-based degree prefers Y=>X exactly while "
+         "the C_Y-only tuples stay\ncomparatively close to the "
+         "intersection (the paper's Figure-4 argument), and\nflips once "
+         "they move far away.\n";
+  return 0;
+}

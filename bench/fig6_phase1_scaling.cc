@@ -1,0 +1,112 @@
+// Reproduces Figure 6: Phase-I running time as the relation grows from
+// 100K to 500K tuples, with the data complexity (number and shape of
+// clusters) held constant — points per cluster and outliers scale
+// proportionally, exactly the §7.2 methodology. The memory limit is the
+// paper's 5 MB and the frequency threshold 3% of N.
+//
+// The paper's claim is *linear scaling*; absolute seconds differ from the
+// 1997 Sparc 10. The table reports per-tuple time, which should stay
+// roughly flat, and a least-squares linearity fit.
+//
+// Usage: fig6_phase1_scaling [max_n] [seed]   (DAR_BENCH_QUICK=1 shrinks)
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/miner.h"
+#include "datagen/planted.h"
+
+int main(int argc, char** argv) {
+  using namespace dar;
+  using bench::Table;
+
+  size_t max_n = bench::ArgOr(argc, argv, 1, 500000);
+  uint64_t seed = bench::ArgOr(argc, argv, 2, 1997);
+  if (bench::QuickMode()) max_n = std::min<size_t>(max_n, 100000);
+
+  // §7.2 substitute workload: 30 attributes, 35 clusters each (~1050 ACFs),
+  // 90 partial patterns of 6 attributes, 20% outliers.
+  auto spec_or = WbcdPartialPatternSpec(/*num_attrs=*/30,
+                                        /*clusters_per_attr=*/35,
+                                        /*num_patterns=*/90,
+                                        /*attrs_per_pattern=*/6,
+                                        /*outlier_fraction=*/0.2, seed);
+  if (!spec_or.ok()) {
+    std::cerr << spec_or.status() << "\n";
+    return 1;
+  }
+  const PlantedDataSpec& spec = *spec_or;
+
+  std::cout << "=== Figure 6: Phase I running time vs. relation size ===\n"
+            << "30 attributes, ~1050 planted clusters, 32MB limit (=1997 5MB), "
+               "s0 = 3% of N (seed "
+            << seed << ")\n\n";
+  Table table({"tuples", "seconds", "us/tuple", "raw.ACFs", "rebuilds"});
+  table.PrintHeader();
+
+  std::vector<double> xs, ys;
+  for (size_t n = max_n / 5; n <= max_n; n += max_n / 5) {
+    auto data = GeneratePlanted(spec, n, seed + n);
+    if (!data.ok()) {
+      std::cerr << data.status() << "\n";
+      return 1;
+    }
+    DarConfig config;
+  // Memory budget: the paper used 5 MB on a 1997 Sparc 10 with ~750-byte
+  // ACFs (CF + 29 ls/ss pairs). Our ACFs also carry per-dimension min/max
+  // and square sums (~6.3x larger), so the equivalent memory pressure is
+  // ~32 MB; see EXPERIMENTS.md.
+    config.memory_budget_bytes = 32u << 20;
+    config.frequency_fraction = 0.03;       // the paper's 3%
+    // Repair insertion-order fragmentation so the reported ACF count
+    // reflects cluster structure, not tree artifacts (see ablation_refine).
+    config.refine_clusters = true;
+    DarMiner miner(config);
+    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    if (!phase1.ok()) {
+      std::cerr << phase1.status() << "\n";
+      return 1;
+    }
+    size_t raw = 0;
+    int rebuilds = 0;
+    for (size_t p = 0; p < phase1->raw_cluster_counts.size(); ++p) {
+      raw += phase1->raw_cluster_counts[p];
+      rebuilds += phase1->tree_stats[p].rebuild_count;
+    }
+    table.PrintRow(n, phase1->seconds, 1e6 * phase1->seconds / n, raw,
+                   rebuilds);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(phase1->seconds);
+  }
+
+  // Least-squares fit y = a*x + b; report R^2 as the linearity check.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  size_t k = xs.size();
+  for (size_t i = 0; i < k; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double denom = k * sxx - sx * sx;
+  double a = (k * sxy - sx * sy) / denom;
+  double r_num = k * sxy - sx * sy;
+  double r_den = std::sqrt((k * sxx - sx * sx) * (k * syy - sy * sy));
+  double r2 = r_den > 0 ? (r_num / r_den) * (r_num / r_den) : 1.0;
+  // Per-tuple flatness is the robust linearity signal on a shared machine
+  // (a single loaded run wrecks R^2 without changing the trend).
+  double per_lo = 1e18, per_hi = 0;
+  for (size_t i = 0; i < k; ++i) {
+    per_lo = std::min(per_lo, ys[i] / xs[i]);
+    per_hi = std::max(per_hi, ys[i] / xs[i]);
+  }
+  bool linear = r2 > 0.95 || per_hi / per_lo < 1.5;
+  std::cout << "\nLinear fit: " << a * 1e6 << " us/tuple, R^2 = " << r2
+            << ", per-tuple spread = " << per_hi / per_lo << "x"
+            << (linear ? "  [OK: linear, matching Figure 6]"
+                       : "  [WARN: not cleanly linear]")
+            << "\n";
+  return 0;
+}

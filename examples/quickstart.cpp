@@ -1,0 +1,72 @@
+// Quickstart: mine distance-based association rules from a small in-memory
+// relation of (age, salary) tuples.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "common/random.h"
+#include "core/miner.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+int main() {
+  using namespace dar;
+
+  // 1. Build a relation: two populations of employees.
+  Schema schema = *Schema::Make({{"age", AttributeKind::kInterval},
+                                 {"salary", AttributeKind::kInterval}});
+  Relation rel(schema);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    if (i % 2 == 0) {
+      // Thirty-ish year olds earning about 40K.
+      (void)rel.AppendRow({30 + rng.Gaussian(0, 1.5),
+                           40000 + rng.Gaussian(0, 800)});
+    } else {
+      // Mid-fifties earning about 90K.
+      (void)rel.AppendRow({55 + rng.Gaussian(0, 1.5),
+                           90000 + rng.Gaussian(0, 800)});
+    }
+  }
+
+  // 2. Partition the attributes: every attribute is its own set with a
+  //    Euclidean metric (the library's default).
+  AttributePartition partition = AttributePartition::SingletonPartition(schema);
+
+  // 3. Configure and run the miner.
+  DarConfig config;
+  config.frequency_fraction = 0.10;     // clusters need >= 10% of tuples
+  config.initial_diameters = {5.0, 3000.0};  // d0 per attribute
+  // Degrees live on the consequent attribute's scale, so give each part its
+  // own D0: ~5 years for age consequents, ~4000 dollars for salary ones.
+  config.degree_thresholds = {5.0, 4000.0};
+  config.count_rule_support = true;     // optional post-scan
+  DarMiner miner(config);
+
+  auto result = miner.Mine(rel, partition);
+  if (!result.ok()) {
+    std::cerr << "mining failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  // 4. Inspect the output.
+  const auto& phase1 = result->phase1;
+  std::cout << "Phase I: " << phase1.clusters.size()
+            << " frequent clusters (threshold s0 = "
+            << phase1.frequency_threshold << " tuples)\n";
+  for (const auto& c : phase1.clusters.clusters()) {
+    std::cout << "  cluster " << c.id << ": "
+              << phase1.clusters.Describe(c.id, schema, partition) << "\n";
+  }
+  std::cout << "Phase II: " << result->phase2.cliques.size()
+            << " maximal cliques, " << result->phase2.rules.size()
+            << " distance-based rules\n";
+  for (const auto& rule : result->phase2.rules) {
+    std::cout << "  " << rule.ToString(phase1.clusters, schema, partition)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces the paper's Figure-1 contrast on the exact salary column from
+// the paper, then on a larger skewed column: equi-depth partitioning (the
+// Srikant-Agrawal quantitative-rule baseline) groups distant values such as
+// [31K, 80K] together, while distance-based clustering respects gaps.
+//
+// Run: ./build/examples/salary_partitioning
+
+#include <iostream>
+
+#include "birch/acf_tree.h"
+#include "common/random.h"
+#include "datagen/fixtures.h"
+#include "qar/equidepth.h"
+
+namespace {
+
+using namespace dar;
+
+// Clusters a single column with an ACF-tree at the given diameter
+// threshold and prints each cluster's bounding interval.
+void PrintDistanceClusters(const std::vector<double>& column,
+                           double threshold) {
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kEuclidean, "Salary"}};
+  AcfTreeOptions opts;
+  opts.initial_threshold = threshold;
+  opts.memory_budget_bytes = 32u << 20;
+  AcfTree tree(layout, 0, opts);
+  for (double v : column) {
+    Status s = tree.InsertPoint({{v}});
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return;
+    }
+  }
+  for (const auto& c : tree.ExtractClusters()) {
+    auto box = c.BoundingBox(0);
+    std::cout << "    [" << box[0].first << ", " << box[0].second
+              << "]  (n=" << c.n() << ", diameter=" << c.Diameter() << ")\n";
+  }
+}
+
+void PrintEquiDepth(const std::vector<double>& column, size_t k) {
+  auto intervals = EquiDepthPartition(column, k);
+  if (!intervals.ok()) {
+    std::cerr << intervals.status() << "\n";
+    return;
+  }
+  for (const auto& iv : *intervals) {
+    std::cout << "    " << iv.ToString() << "  (n=" << iv.count
+              << ", span=" << iv.hi - iv.lo << ")\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dar;
+
+  std::cout << "=== Figure 1: the paper's salary column ===\n";
+  std::vector<double> salaries = Fig1SalaryColumn();
+  std::cout << "  Equi-depth (depth 2):\n";
+  PrintEquiDepth(salaries, 3);
+  std::cout << "  Distance-based (diameter threshold 2K):\n";
+  PrintDistanceClusters(salaries, 2000);
+
+  std::cout << "\n=== A larger skewed salary population ===\n";
+  Rng rng(11);
+  std::vector<double> skewed;
+  for (int i = 0; i < 600; ++i) skewed.push_back(rng.Gaussian(30000, 1500));
+  for (int i = 0; i < 300; ++i) skewed.push_back(rng.Gaussian(82000, 1200));
+  for (int i = 0; i < 100; ++i) skewed.push_back(rng.Gaussian(150000, 3000));
+  std::cout << "  Equi-depth (4 intervals) splits the dense 30K mass and\n"
+               "  merges across the 82K-150K gap:\n";
+  PrintEquiDepth(skewed, 4);
+  std::cout << "  Distance-based clusters follow the population structure:\n";
+  PrintDistanceClusters(skewed, 6000);
+  return 0;
+}

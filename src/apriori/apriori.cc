@@ -1,0 +1,210 @@
+#include "apriori/apriori.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dar {
+
+namespace {
+
+using CountMap = std::unordered_map<Itemset, int64_t, ItemsetHash>;
+
+// Joins frequent (k-1)-itemsets that share their first k-2 items, then
+// prunes candidates with an infrequent (k-1)-subset (downward closure).
+std::vector<Itemset> GenerateCandidates(
+    const std::vector<Itemset>& prev_frequent) {
+  std::vector<Itemset> candidates;
+  std::unordered_set<Itemset, ItemsetHash> prev_set(prev_frequent.begin(),
+                                                    prev_frequent.end());
+  for (size_t i = 0; i < prev_frequent.size(); ++i) {
+    for (size_t j = i + 1; j < prev_frequent.size(); ++j) {
+      const Itemset& a = prev_frequent[i];
+      const Itemset& b = prev_frequent[j];
+      // prev_frequent is lexicographically sorted, so joinable pairs share
+      // the first k-2 items and differ in the last.
+      bool joinable = true;
+      for (size_t t = 0; t + 1 < a.size(); ++t) {
+        if (a[t] != b[t]) {
+          joinable = false;
+          break;
+        }
+      }
+      if (!joinable) break;  // later j only diverge earlier
+      Itemset cand = a;
+      cand.push_back(b.back());
+      if (cand[cand.size() - 2] > cand.back()) {
+        std::swap(cand[cand.size() - 2], cand[cand.size() - 1]);
+      }
+      // Downward closure: every (k-1)-subset must be frequent.
+      bool ok = true;
+      Itemset sub(cand.size() - 1);
+      for (size_t drop = 0; ok && drop < cand.size(); ++drop) {
+        sub.clear();
+        for (size_t t = 0; t < cand.size(); ++t) {
+          if (t != drop) sub.push_back(cand[t]);
+        }
+        if (prev_set.find(sub) == prev_set.end()) ok = false;
+      }
+      if (ok) candidates.push_back(std::move(cand));
+    }
+  }
+  return candidates;
+}
+
+// Counts occurrences of each candidate in the transactions by enumerating
+// the k-subsets of each transaction and probing the candidate set.
+void CountCandidates(const std::vector<Itemset>& transactions, size_t k,
+                     CountMap& counts) {
+  Itemset subset(k);
+  std::vector<size_t> idx(k);
+  for (const Itemset& t : transactions) {
+    if (t.size() < k) continue;
+    // Enumerate k-combinations of t.
+    for (size_t i = 0; i < k; ++i) idx[i] = i;
+    while (true) {
+      for (size_t i = 0; i < k; ++i) subset[i] = t[idx[i]];
+      auto it = counts.find(subset);
+      if (it != counts.end()) ++it->second;
+      // Advance the combination.
+      size_t pos = k;
+      while (pos > 0) {
+        --pos;
+        if (idx[pos] != pos + t.size() - k) break;
+        if (pos == 0) {
+          pos = k;  // done
+          break;
+        }
+      }
+      if (pos == k) break;
+      ++idx[pos];
+      for (size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::string AssociationRule::ToString() const {
+  std::ostringstream os;
+  os << ItemsetToString(antecedent) << " => " << ItemsetToString(consequent)
+     << " (support=" << support << ", confidence=" << confidence << ")";
+  return os.str();
+}
+
+Result<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const std::vector<Itemset>& transactions, const AprioriOptions& options) {
+  if (options.min_support_count < 1) {
+    return Status::InvalidArgument("min_support_count must be >= 1");
+  }
+  for (const Itemset& t : transactions) {
+    if (!std::is_sorted(t.begin(), t.end()) ||
+        std::adjacent_find(t.begin(), t.end()) != t.end()) {
+      return Status::InvalidArgument(
+          "transactions must be canonical itemsets (sorted, unique)");
+    }
+  }
+
+  std::vector<FrequentItemset> result;
+
+  // Scan 1: count 1-itemsets.
+  std::unordered_map<Item, int64_t> singles;
+  for (const Itemset& t : transactions) {
+    for (Item it : t) ++singles[it];
+  }
+  std::vector<Itemset> frequent;
+  for (const auto& [item, count] : singles) {
+    if (count < options.min_support_count) continue;
+    if (options.candidate_filter && !options.candidate_filter({item})) {
+      continue;
+    }
+    frequent.push_back({item});
+  }
+  std::sort(frequent.begin(), frequent.end());
+  for (const Itemset& f : frequent) {
+    result.push_back({f, singles[f[0]]});
+  }
+
+  size_t k = 2;
+  while (!frequent.empty() &&
+         (options.max_itemset_size == 0 || k <= options.max_itemset_size)) {
+    std::vector<Itemset> candidates = GenerateCandidates(frequent);
+    if (options.candidate_filter) {
+      std::erase_if(candidates, [&](const Itemset& c) {
+        return !options.candidate_filter(c);
+      });
+    }
+    if (candidates.empty()) break;
+    CountMap counts;
+    counts.reserve(candidates.size() * 2);
+    for (auto& c : candidates) counts.emplace(std::move(c), 0);
+    CountCandidates(transactions, k, counts);
+
+    frequent.clear();
+    for (const auto& [items, count] : counts) {
+      if (count >= options.min_support_count) frequent.push_back(items);
+    }
+    std::sort(frequent.begin(), frequent.end());
+    for (const Itemset& f : frequent) {
+      result.push_back({f, counts[f]});
+    }
+    ++k;
+  }
+  return result;
+}
+
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& frequent_itemsets,
+    size_t num_transactions, const AprioriOptions& options) {
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  CountMap counts;
+  counts.reserve(frequent_itemsets.size() * 2);
+  for (const auto& f : frequent_itemsets) counts[f.items] = f.count;
+
+  std::vector<AssociationRule> rules;
+  for (const auto& f : frequent_itemsets) {
+    size_t n = f.items.size();
+    if (n < 2) continue;
+    // Enumerate non-empty proper subsets as antecedents via bitmask.
+    uint64_t limit = 1ull << n;
+    for (uint64_t mask = 1; mask + 1 < limit; ++mask) {
+      Itemset antecedent, consequent;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1ull << i)) {
+          antecedent.push_back(f.items[i]);
+        } else {
+          consequent.push_back(f.items[i]);
+        }
+      }
+      auto it = counts.find(antecedent);
+      if (it == counts.end()) {
+        return Status::InvalidArgument(
+            "frequent itemsets are not downward closed: missing " +
+            ItemsetToString(antecedent));
+      }
+      double confidence = static_cast<double>(f.count) / it->second;
+      if (confidence >= options.min_confidence) {
+        AssociationRule rule;
+        rule.antecedent = std::move(antecedent);
+        rule.consequent = std::move(consequent);
+        rule.support_count = f.count;
+        rule.support = static_cast<double>(f.count) / num_transactions;
+        rule.confidence = confidence;
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  return rules;
+}
+
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<Itemset>& transactions, const AprioriOptions& options) {
+  DAR_ASSIGN_OR_RETURN(std::vector<FrequentItemset> frequent,
+                       MineFrequentItemsets(transactions, options));
+  return GenerateRules(frequent, transactions.size(), options);
+}
+
+}  // namespace dar

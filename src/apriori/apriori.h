@@ -1,0 +1,70 @@
+#ifndef DAR_APRIORI_APRIORI_H_
+#define DAR_APRIORI_APRIORI_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apriori/itemset.h"
+#include "common/result.h"
+
+namespace dar {
+
+/// Parameters for classical association-rule mining [AS94].
+struct AprioriOptions {
+  /// Minimum number of transactions an itemset must appear in (the paper's
+  /// s0 as an absolute count).
+  int64_t min_support_count = 1;
+  /// Minimum confidence |A u B| / |A| for emitted rules.
+  double min_confidence = 0.5;
+  /// Upper bound on frequent-itemset size; 0 means unbounded.
+  size_t max_itemset_size = 0;
+  /// Optional predicate applied to every candidate itemset before counting;
+  /// candidates failing it are discarded. The predicate must be
+  /// anti-monotone (if it rejects a set it must reject every superset),
+  /// otherwise the level-wise search is incomplete. Used e.g. by the
+  /// quantitative-rule miner to reject itemsets with two intervals over the
+  /// same attribute.
+  std::function<bool(const Itemset&)> candidate_filter;
+};
+
+/// A frequent itemset with its transaction count.
+struct FrequentItemset {
+  Itemset items;
+  int64_t count = 0;
+};
+
+/// A classical association rule `antecedent => consequent` with its
+/// support/confidence measures.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  int64_t support_count = 0;  // |antecedent u consequent|
+  double support = 0;         // support_count / |r|
+  double confidence = 0;      // support_count / |antecedent|
+
+  std::string ToString() const;
+};
+
+/// Mines all frequent itemsets from `transactions` (each a canonical
+/// Itemset) using the level-wise Apriori algorithm: Scan i / Prune i of §3.
+/// Results are grouped by increasing size, lexicographic within a size.
+Result<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const std::vector<Itemset>& transactions, const AprioriOptions& options);
+
+/// Generates all rules with confidence >= options.min_confidence from the
+/// frequent itemsets (which must be self-consistent, i.e. every subset of a
+/// frequent itemset present — as produced by MineFrequentItemsets).
+/// `num_transactions` scales the support fraction.
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& frequent_itemsets,
+    size_t num_transactions, const AprioriOptions& options);
+
+/// Convenience: MineFrequentItemsets + GenerateRules.
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<Itemset>& transactions, const AprioriOptions& options);
+
+}  // namespace dar
+
+#endif  // DAR_APRIORI_APRIORI_H_

@@ -1,0 +1,42 @@
+#include "apriori/itemset.h"
+
+#include <algorithm>
+
+namespace dar {
+
+void Canonicalize(Itemset& items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+}
+
+bool IsSubsetOf(const Itemset& sub, const Itemset& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+Itemset Union(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Itemset Difference(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::string ItemsetToString(const Itemset& items) {
+  std::string out = "{";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dar

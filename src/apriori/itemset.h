@@ -1,0 +1,46 @@
+#ifndef DAR_APRIORI_ITEMSET_H_
+#define DAR_APRIORI_ITEMSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dar {
+
+/// An item: an opaque dense identifier. Callers map attribute values (or
+/// intervals, or clusters) to items before mining.
+using Item = uint32_t;
+
+/// A sorted, duplicate-free set of items.
+using Itemset = std::vector<Item>;
+
+/// Sorts and deduplicates `items` in place, making it a valid Itemset.
+void Canonicalize(Itemset& items);
+
+/// True iff `sub` is a subset of `super` (both canonical).
+bool IsSubsetOf(const Itemset& sub, const Itemset& super);
+
+/// Set-union of two canonical itemsets.
+Itemset Union(const Itemset& a, const Itemset& b);
+
+/// Set-difference a \ b of two canonical itemsets.
+Itemset Difference(const Itemset& a, const Itemset& b);
+
+/// "{1, 5, 9}".
+std::string ItemsetToString(const Itemset& items);
+
+/// FNV-1a hash of the item sequence, for unordered containers.
+struct ItemsetHash {
+  size_t operator()(const Itemset& items) const {
+    uint64_t h = 1469598103934665603ull;
+    for (Item it : items) {
+      h ^= it;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace dar
+
+#endif  // DAR_APRIORI_ITEMSET_H_

@@ -1,0 +1,75 @@
+#include "birch/acf.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dar {
+
+size_t AcfLayout::ApproxAcfBytes() const {
+  size_t bytes = sizeof(Acf);
+  for (const auto& p : parts) {
+    bytes += sizeof(CfVector) + 4 * p.dim * sizeof(double);
+    if (p.metric == MetricKind::kDiscrete) {
+      // Histograms grow with distinct values; assume a modest nominal
+      // domain. The tree recomputes exact sizes during rebuilds.
+      bytes += p.dim * 16 * (sizeof(double) + sizeof(int64_t) + 48);
+    }
+  }
+  return bytes;
+}
+
+Acf::Acf(std::shared_ptr<const AcfLayout> layout, size_t own_part)
+    : layout_(std::move(layout)), own_part_(own_part) {
+  DAR_CHECK(layout_ != nullptr);
+  DAR_CHECK_LT(own_part_, layout_->num_parts());
+  images_.reserve(layout_->num_parts());
+  for (const auto& p : layout_->parts) {
+    images_.emplace_back(p.dim, p.metric);
+  }
+}
+
+void Acf::AddRow(const PartedRow& row) {
+  DAR_CHECK_EQ(row.size(), images_.size());
+  for (size_t i = 0; i < images_.size(); ++i) {
+    images_[i].AddPoint(row[i]);
+  }
+}
+
+void Acf::Merge(const Acf& other) {
+  DAR_CHECK_EQ(own_part_, other.own_part_);
+  DAR_CHECK_EQ(images_.size(), other.images_.size());
+  for (size_t i = 0; i < images_.size(); ++i) {
+    images_[i].Merge(other.images_[i]);
+  }
+}
+
+std::vector<std::pair<double, double>> Acf::BoundingBox(size_t p) const {
+  const CfVector& img = image(p);
+  std::vector<std::pair<double, double>> box(img.dim());
+  for (size_t d = 0; d < img.dim(); ++d) {
+    box[d] = {img.min()[d], img.max()[d]};
+  }
+  return box;
+}
+
+size_t Acf::ApproxBytes() const {
+  size_t bytes = sizeof(Acf);
+  for (const auto& img : images_) bytes += img.ApproxBytes();
+  return bytes;
+}
+
+std::string Acf::ToString() const {
+  std::ostringstream os;
+  os << "ACF{part=" << layout_->parts[own_part_].label << ", n=" << n()
+     << ", box=[";
+  auto box = BoundingBox(own_part_);
+  for (size_t d = 0; d < box.size(); ++d) {
+    if (d > 0) os << " x ";
+    os << "[" << box[d].first << ", " << box[d].second << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dar

@@ -1,0 +1,92 @@
+#ifndef DAR_BIRCH_ACF_H_
+#define DAR_BIRCH_ACF_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "birch/cf.h"
+#include "relation/metric.h"
+
+namespace dar {
+
+/// Shape of one attribute set in an ACF layout.
+struct PartSpec {
+  size_t dim = 1;
+  MetricKind metric = MetricKind::kEuclidean;
+  std::string label;
+};
+
+/// The shapes of all attribute sets X_1..X_m of the user partitioning, shared
+/// by every ACF of a mining run. Rows handed to ACFs are given as one value
+/// vector per part ("parted rows").
+struct AcfLayout {
+  std::vector<PartSpec> parts;
+
+  size_t num_parts() const { return parts.size(); }
+
+  /// Rough heap footprint of one ACF under this layout, used by the
+  /// ACF-tree's memory budgeting (histogram sizes are estimated).
+  size_t ApproxAcfBytes() const;
+};
+
+/// A tuple projected per attribute set: values[i] are the tuple's
+/// coordinates on part i.
+using PartedRow = std::vector<std::vector<double>>;
+
+/// Association Clustering Feature (§6.1): the summary of a cluster *defined
+/// on* one attribute set (`own_part`), extended with CF summaries of the
+/// cluster's *image* on every other attribute set (Eq. 7). ACFs are additive
+/// like CFs, and by the ACF Representativity Theorem (Thm 6.1) every
+/// inter-cluster distance needed in Phase II — `D(C_Y[Y], C_X[Y])` for any
+/// parts X, Y — is computable from ACFs alone, without rescanning data.
+class Acf {
+ public:
+  Acf() = default;
+  Acf(std::shared_ptr<const AcfLayout> layout, size_t own_part);
+
+  const AcfLayout& layout() const { return *layout_; }
+  std::shared_ptr<const AcfLayout> layout_ptr() const { return layout_; }
+  size_t own_part() const { return own_part_; }
+
+  /// Number of tuples summarized.
+  int64_t n() const { return images_.empty() ? 0 : cf().n(); }
+
+  /// The clustering feature on the cluster's own attribute set (Eq. 3).
+  const CfVector& cf() const { return images_[own_part_]; }
+
+  /// The CF of the cluster's image on part `p` (Eq. 7); `p == own_part()`
+  /// returns cf().
+  const CfVector& image(size_t p) const { return images_.at(p); }
+
+  /// Adds a tuple. `row[i]` must match part i's dimension.
+  void AddRow(const PartedRow& row);
+
+  /// Additivity: absorbs another ACF with the same layout and own part.
+  void Merge(const Acf& other);
+
+  /// Centroid on the own part.
+  std::vector<double> Centroid() const { return cf().Centroid(); }
+
+  /// Diameter on the own part (the cluster-quality measure of Dfn 4.2).
+  double Diameter() const { return cf().Diameter(); }
+
+  /// Smallest bounding box of the image on part `p`: (lo, hi) per
+  /// dimension. §7.2 uses this as the user-facing cluster description.
+  std::vector<std::pair<double, double>> BoundingBox(size_t p) const;
+
+  /// Rough heap footprint in bytes.
+  size_t ApproxBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const AcfLayout> layout_;
+  size_t own_part_ = 0;
+  std::vector<CfVector> images_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_BIRCH_ACF_H_

@@ -1,0 +1,567 @@
+#include "birch/acf_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dar {
+
+namespace {
+
+constexpr double kMinThreshold = 1e-12;
+
+}  // namespace
+
+AcfTree::AcfTree(std::shared_ptr<const AcfLayout> layout, size_t own_part,
+                 AcfTreeOptions options)
+    : layout_(std::move(layout)),
+      own_part_(own_part),
+      options_(options),
+      threshold_(options.initial_threshold),
+      root_(std::make_unique<Node>()) {
+  DAR_CHECK(layout_ != nullptr);
+  DAR_CHECK_LT(own_part_, layout_->num_parts());
+  DAR_CHECK_GE(options_.branching_factor, 2);
+  DAR_CHECK_GE(options_.leaf_capacity, 1);
+  acf_bytes_estimate_ = layout_->ApproxAcfBytes();
+}
+
+Status AcfTree::InsertPoint(const PartedRow& row) {
+  if (row.size() != layout_->num_parts()) {
+    return Status::InvalidArgument(
+        "parted row has " + std::to_string(row.size()) + " parts, expected " +
+        std::to_string(layout_->num_parts()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].size() != layout_->parts[i].dim) {
+      return Status::InvalidArgument("part " + std::to_string(i) +
+                                     " has wrong dimension");
+    }
+    for (double v : row[i]) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "non-finite value in part " + std::to_string(i) +
+            "; CF summaries require finite coordinates");
+      }
+    }
+  }
+  InsertOutcome out = InsertPointRec(root_.get(), row);
+  if (out.split) GrowRoot(std::move(out.sibling));
+  ++points_inserted_;
+
+  if (in_rebuild_) return Status::OK();
+  int rebuilds = 0;
+  while (ApproxBytesNow() > options_.memory_budget_bytes) {
+    if (++rebuilds > options_.max_rebuilds_per_insert) {
+      return Status::ResourceExhausted(
+          "ACF-tree cannot fit in " +
+          std::to_string(options_.memory_budget_bytes) +
+          " bytes after " + std::to_string(rebuilds - 1) + " rebuilds");
+    }
+    DAR_RETURN_IF_ERROR(Rebuild());
+  }
+  return Status::OK();
+}
+
+Status AcfTree::InsertSummary(Acf acf) {
+  if (acf.layout_ptr().get() != layout_.get() ||
+      acf.own_part() != own_part_) {
+    return Status::InvalidArgument(
+        "summary layout/part does not match this tree");
+  }
+  if (acf.n() <= 0) {
+    return Status::InvalidArgument("cannot insert an empty summary");
+  }
+  int64_t mass = acf.n();
+  InsertOutcome out = InsertSummaryRec(root_.get(), std::move(acf));
+  if (out.split) GrowRoot(std::move(out.sibling));
+  points_inserted_ += in_rebuild_ ? 0 : mass;
+
+  if (in_rebuild_) return Status::OK();
+  int rebuilds = 0;
+  while (ApproxBytesNow() > options_.memory_budget_bytes) {
+    if (++rebuilds > options_.max_rebuilds_per_insert) {
+      return Status::ResourceExhausted("ACF-tree over memory budget");
+    }
+    DAR_RETURN_IF_ERROR(Rebuild());
+  }
+  return Status::OK();
+}
+
+AcfTree::InsertOutcome AcfTree::InsertPointRec(Node* node,
+                                               const PartedRow& row) {
+  const std::vector<double>& own = row[own_part_];
+  if (node->is_leaf) {
+    // Find the closest existing cluster.
+    size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      double d = PointClusterDistance(own, node->entries[i].cf());
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    // Absorb only if the merged diameter stays within the threshold AND
+    // the point itself is within the threshold of the centroid. The second
+    // condition guards against mass dilution: for a heavy cluster the
+    // average pairwise diameter moves by only O(D^2/N) when one point at
+    // distance D is added, so the diameter test alone would let large
+    // clusters swallow arbitrarily distant points.
+    if (!node->entries.empty() &&
+        node->entries[best].cf().DiameterWithPoint(own) <= threshold_ &&
+        best_d <= threshold_) {
+      node->entries[best].AddRow(row);
+      return {};
+    }
+    // Start a new cluster.
+    Acf fresh(layout_, own_part_);
+    fresh.AddRow(row);
+    node->entries.push_back(std::move(fresh));
+    ++num_leaf_entries_;
+    if (node->entries.size() <=
+        static_cast<size_t>(options_.leaf_capacity)) {
+      return {};
+    }
+    return {true, SplitNode(node)};
+  }
+
+  // Internal node: descend into the closest child.
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    double d = PointClusterDistance(own, node->children[i].cf);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  InsertOutcome below = InsertPointRec(node->children[best].child.get(), row);
+  if (!below.split) {
+    node->children[best].cf.AddPoint(own);
+  } else {
+    node->children[best].cf = ComputeNodeCf(*node->children[best].child);
+    ChildRef fresh{ComputeNodeCf(*below.sibling), std::move(below.sibling)};
+    node->children.push_back(std::move(fresh));
+    if (node->children.size() >
+        static_cast<size_t>(options_.branching_factor)) {
+      return {true, SplitNode(node)};
+    }
+  }
+  return {};
+}
+
+AcfTree::InsertOutcome AcfTree::InsertSummaryRec(Node* node, Acf&& acf) {
+  if (node->is_leaf) {
+    size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      double d = ClusterDistance(acf.cf(), node->entries[i].cf(),
+                                 ClusterMetric::kD0Centroid);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    // Same dual test as for points (diameter + centroid distance), so
+    // reinsertion during rebuilds cannot dilute heavy clusters either.
+    if (!node->entries.empty() &&
+        node->entries[best].cf().DiameterWithMerge(acf.cf()) <= threshold_ &&
+        best_d <= threshold_) {
+      node->entries[best].Merge(acf);
+      return {};
+    }
+    node->entries.push_back(std::move(acf));
+    ++num_leaf_entries_;
+    if (node->entries.size() <=
+        static_cast<size_t>(options_.leaf_capacity)) {
+      return {};
+    }
+    return {true, SplitNode(node)};
+  }
+
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    double d = ClusterDistance(acf.cf(), node->children[i].cf,
+                               ClusterMetric::kD0Centroid);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  const CfVector acf_cf = acf.cf();  // keep a copy; acf may be moved below
+  InsertOutcome below =
+      InsertSummaryRec(node->children[best].child.get(), std::move(acf));
+  if (!below.split) {
+    node->children[best].cf.Merge(acf_cf);
+  } else {
+    node->children[best].cf = ComputeNodeCf(*node->children[best].child);
+    ChildRef fresh{ComputeNodeCf(*below.sibling), std::move(below.sibling)};
+    node->children.push_back(std::move(fresh));
+    if (node->children.size() >
+        static_cast<size_t>(options_.branching_factor)) {
+      return {true, SplitNode(node)};
+    }
+  }
+  return {};
+}
+
+std::unique_ptr<AcfTree::Node> AcfTree::SplitNode(Node* node) {
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  ++num_nodes_;
+
+  if (node->is_leaf) {
+    // Seed with the farthest pair of entry centroids, then assign each
+    // entry to the closer seed.
+    size_t n = node->entries.size();
+    DAR_CHECK_GE(n, 2u);
+    size_t sa = 0, sb = 1;
+    double best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double d = ClusterDistance(node->entries[i].cf(),
+                                   node->entries[j].cf(),
+                                   ClusterMetric::kD0Centroid);
+        if (d > best) {
+          best = d;
+          sa = i;
+          sb = j;
+        }
+      }
+    }
+    const CfVector seed_a = node->entries[sa].cf();
+    const CfVector seed_b = node->entries[sb].cf();
+    std::vector<Acf> keep, move_out;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == sa) {
+        keep.push_back(std::move(node->entries[i]));
+        continue;
+      }
+      if (i == sb) {
+        move_out.push_back(std::move(node->entries[i]));
+        continue;
+      }
+      double da = ClusterDistance(node->entries[i].cf(), seed_a,
+                                  ClusterMetric::kD0Centroid);
+      double db = ClusterDistance(node->entries[i].cf(), seed_b,
+                                  ClusterMetric::kD0Centroid);
+      if (da <= db) {
+        keep.push_back(std::move(node->entries[i]));
+      } else {
+        move_out.push_back(std::move(node->entries[i]));
+      }
+    }
+    node->entries = std::move(keep);
+    sibling->entries = std::move(move_out);
+  } else {
+    size_t n = node->children.size();
+    DAR_CHECK_GE(n, 2u);
+    size_t sa = 0, sb = 1;
+    double best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double d = ClusterDistance(node->children[i].cf, node->children[j].cf,
+                                   ClusterMetric::kD0Centroid);
+        if (d > best) {
+          best = d;
+          sa = i;
+          sb = j;
+        }
+      }
+    }
+    const CfVector seed_a = node->children[sa].cf;
+    const CfVector seed_b = node->children[sb].cf;
+    std::vector<ChildRef> keep, move_out;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == sa) {
+        keep.push_back(std::move(node->children[i]));
+        continue;
+      }
+      if (i == sb) {
+        move_out.push_back(std::move(node->children[i]));
+        continue;
+      }
+      double da = ClusterDistance(node->children[i].cf, seed_a,
+                                  ClusterMetric::kD0Centroid);
+      double db = ClusterDistance(node->children[i].cf, seed_b,
+                                  ClusterMetric::kD0Centroid);
+      if (da <= db) {
+        keep.push_back(std::move(node->children[i]));
+      } else {
+        move_out.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+    sibling->children = std::move(move_out);
+  }
+  return sibling;
+}
+
+CfVector AcfTree::ComputeNodeCf(const Node& node) const {
+  const PartSpec& spec = layout_->parts[own_part_];
+  CfVector cf(spec.dim, spec.metric);
+  if (node.is_leaf) {
+    for (const auto& e : node.entries) cf.Merge(e.cf());
+  } else {
+    for (const auto& c : node.children) cf.Merge(c.cf);
+  }
+  return cf;
+}
+
+void AcfTree::GrowRoot(std::unique_ptr<Node> sibling) {
+  auto new_root = std::make_unique<Node>();
+  new_root->is_leaf = false;
+  ChildRef left{ComputeNodeCf(*root_), std::move(root_)};
+  ChildRef right{ComputeNodeCf(*sibling), std::move(sibling)};
+  new_root->children.push_back(std::move(left));
+  new_root->children.push_back(std::move(right));
+  root_ = std::move(new_root);
+  ++num_nodes_;
+}
+
+double AcfTree::NextThreshold() const {
+  // Within each leaf, the cheapest merge is between the closest pair of
+  // entries; take the median of those over all leaves so a substantial
+  // fraction of clusters merge after the rebuild (BIRCH §4.2 heuristic).
+  std::vector<double> candidates;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf) {
+      if (node->entries.size() < 2) continue;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        for (size_t j = i + 1; j < node->entries.size(); ++j) {
+          best = std::min(best, node->entries[i].cf().DiameterWithMerge(
+                                    node->entries[j].cf()));
+        }
+      }
+      candidates.push_back(best);
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.child.get());
+    }
+  }
+  double data_driven = 0;
+  if (!candidates.empty()) {
+    size_t mid = candidates.size() / 2;
+    std::nth_element(candidates.begin(), candidates.begin() + mid,
+                     candidates.end());
+    data_driven = candidates[mid];
+  } else {
+    // Degenerate tree shapes (e.g. leaf capacity 1) never co-locate two
+    // entries in a leaf; sample a handful of entries globally so the
+    // threshold still jumps to the data scale instead of crawling up by
+    // the growth factor alone.
+    std::vector<Acf> sample;
+    CollectLeafEntriesConst(root_.get(), sample);
+    size_t limit = std::min<size_t>(sample.size(), 48);
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < limit; ++i) {
+      for (size_t j = i + 1; j < limit; ++j) {
+        best = std::min(best,
+                        sample[i].cf().DiameterWithMerge(sample[j].cf()));
+      }
+    }
+    if (limit >= 2) data_driven = best;
+  }
+  return std::max({threshold_ * options_.threshold_growth, data_driven,
+                   kMinThreshold});
+}
+
+Status AcfTree::Rebuild() {
+  double next = NextThreshold();
+  std::vector<Acf> entries;
+  CollectLeafEntries(root_.get(), entries);
+
+  threshold_ = next;
+  root_ = std::make_unique<Node>();
+  num_nodes_ = 1;
+  num_leaf_entries_ = 0;
+  ++rebuild_count_;
+
+  in_rebuild_ = true;
+  Status status = Status::OK();
+  for (auto& e : entries) {
+    if (options_.outlier_entry_min_n > 0 &&
+        e.n() < options_.outlier_entry_min_n) {
+      outlier_buffer_.push_back(std::move(e));
+      continue;
+    }
+    status = InsertSummary(std::move(e));
+    if (!status.ok()) break;
+  }
+  in_rebuild_ = false;
+  return status;
+}
+
+void AcfTree::CollectLeafEntries(Node* node, std::vector<Acf>& out) {
+  if (node->is_leaf) {
+    for (auto& e : node->entries) out.push_back(std::move(e));
+    node->entries.clear();
+    return;
+  }
+  for (auto& c : node->children) CollectLeafEntries(c.child.get(), out);
+}
+
+void AcfTree::CollectLeafEntriesConst(const Node* node,
+                                      std::vector<Acf>& out) const {
+  if (node->is_leaf) {
+    for (const auto& e : node->entries) out.push_back(e);
+    return;
+  }
+  for (const auto& c : node->children) {
+    CollectLeafEntriesConst(c.child.get(), out);
+  }
+}
+
+Status AcfTree::FinishScan() {
+  std::vector<Acf> pending = std::move(outlier_buffer_);
+  outlier_buffer_.clear();
+  for (auto& acf : pending) {
+    // Walk down to the most promising leaf; absorb only if the merge keeps
+    // the diameter within the threshold, else the cluster is a confirmed
+    // outlier.
+    Node* node = root_.get();
+    std::vector<CfVector*> path;
+    while (!node->is_leaf) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        double d = ClusterDistance(acf.cf(), node->children[i].cf,
+                                   ClusterMetric::kD0Centroid);
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      path.push_back(&node->children[best].cf);
+      node = node->children[best].child.get();
+    }
+    size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      double d = ClusterDistance(acf.cf(), node->entries[i].cf(),
+                                 ClusterMetric::kD0Centroid);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    if (!node->entries.empty() &&
+        node->entries[best].cf().DiameterWithMerge(acf.cf()) <= threshold_ &&
+        best_d <= threshold_) {
+      const CfVector acf_cf = acf.cf();
+      node->entries[best].Merge(acf);
+      for (CfVector* cf : path) cf->Merge(acf_cf);
+    } else {
+      outliers_.push_back(std::move(acf));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Acf> AcfTree::ExtractClusters() const {
+  std::vector<Acf> out;
+  CollectLeafEntriesConst(root_.get(), out);
+  return out;
+}
+
+Result<size_t> AcfTree::NearestClusterIndex(
+    std::span<const double> own_values) const {
+  if (num_leaf_entries_ == 0) {
+    return Status::NotFound("tree has no clusters");
+  }
+  // Descend to the leaf the insertion path would reach.
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      double d = PointClusterDistance(own_values, node->children[i].cf);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    node = node->children[best].child.get();
+  }
+  const Acf* target = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& e : node->entries) {
+    double d = PointClusterDistance(own_values, e.cf());
+    if (d < best_d) {
+      best_d = d;
+      target = &e;
+    }
+  }
+  DAR_CHECK(target != nullptr);
+  // Map the entry pointer to its DFS (ExtractClusters) index.
+  size_t index = 0;
+  bool found = false;
+  // Recursive DFS matching CollectLeafEntriesConst order.
+  auto dfs = [&](auto&& self, const Node* n) -> void {
+    if (found) return;
+    if (n->is_leaf) {
+      for (const auto& e : n->entries) {
+        if (&e == target) {
+          found = true;
+          return;
+        }
+        ++index;
+      }
+      return;
+    }
+    for (const auto& c : n->children) {
+      self(self, c.child.get());
+      if (found) return;
+    }
+  };
+  dfs(dfs, root_.get());
+  DAR_CHECK(found);
+  return index;
+}
+
+size_t AcfTree::CountNodes(const Node* node) const {
+  if (node->is_leaf) return 1;
+  size_t n = 1;
+  for (const auto& c : node->children) n += CountNodes(c.child.get());
+  return n;
+}
+
+size_t AcfTree::ApproxBytesNow() const {
+  const PartSpec& spec = layout_->parts[own_part_];
+  size_t internal_entry =
+      sizeof(ChildRef) + sizeof(CfVector) + 4 * spec.dim * sizeof(double);
+  size_t node_bytes =
+      sizeof(Node) + options_.branching_factor * internal_entry;
+  // The outlier buffer is conceptually paged out to disk (§4.3.1) and does
+  // not count against the in-memory budget.
+  return num_nodes_ * node_bytes + num_leaf_entries_ * acf_bytes_estimate_;
+}
+
+int64_t AcfTree::TotalMass() const {
+  int64_t mass = 0;
+  for (const auto& e : ExtractClusters()) mass += e.n();
+  for (const auto& e : outlier_buffer_) mass += e.n();
+  for (const auto& e : outliers_) mass += e.n();
+  return mass;
+}
+
+AcfTreeStats AcfTree::Stats() const {
+  AcfTreeStats s;
+  s.num_nodes = num_nodes_;
+  s.num_leaf_entries = num_leaf_entries_;
+  s.num_outliers = outlier_buffer_.size() + outliers_.size();
+  s.rebuild_count = rebuild_count_;
+  s.threshold = threshold_;
+  s.approx_bytes = ApproxBytesNow();
+  s.points_inserted = points_inserted_;
+  return s;
+}
+
+}  // namespace dar

@@ -1,0 +1,172 @@
+#ifndef DAR_BIRCH_ACF_TREE_H_
+#define DAR_BIRCH_ACF_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "birch/acf.h"
+#include "birch/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dar {
+
+/// Tuning knobs for one ACF-tree.
+struct AcfTreeOptions {
+  /// Max entries per internal node (BIRCH's branching factor B).
+  int branching_factor = 16;
+  /// Max ACF entries per leaf node (BIRCH's L).
+  int leaf_capacity = 8;
+  /// Initial diameter threshold T for absorbing points into clusters.
+  /// BIRCH starts at 0 (every distinct point its own cluster) and lets the
+  /// rebuild loop raise it under memory pressure.
+  double initial_threshold = 0.0;
+  /// Memory budget for this tree in (approximate) bytes. Exceeding it
+  /// triggers a threshold increase and rebuild (§3, §4.3.1).
+  size_t memory_budget_bytes = 1 << 20;
+  /// Minimum multiplicative growth of the threshold per rebuild.
+  double threshold_growth = 1.5;
+  /// During rebuilds, leaf clusters with fewer than this many tuples are
+  /// paged out to the outlier buffer instead of being reinserted
+  /// ("clusters significantly smaller than the frequency threshold",
+  /// §4.3.1). 0 disables outlier paging.
+  int64_t outlier_entry_min_n = 0;
+  /// Safety cap on rebuilds per insert; exceeded => ResourceExhausted.
+  int max_rebuilds_per_insert = 64;
+};
+
+/// Summary statistics for benchmarking and tests.
+struct AcfTreeStats {
+  size_t num_nodes = 0;
+  size_t num_leaf_entries = 0;
+  size_t num_outliers = 0;
+  int rebuild_count = 0;
+  double threshold = 0;
+  size_t approx_bytes = 0;
+  int64_t points_inserted = 0;
+};
+
+/// The height-balanced clustering tree of §4.3.1/§6.1: a CF-tree whose leaf
+/// entries are ACFs. Internal nodes hold (CF, child) pairs on the tree's own
+/// attribute set and guide insertion to the closest leaf cluster; leaf
+/// entries absorb points while their diameter stays within the current
+/// threshold, else spawn new clusters. When the memory budget is exceeded
+/// the threshold is raised and the tree rebuilt by reinserting leaf ACFs —
+/// the data is never rescanned. Small clusters can be paged out as outliers
+/// during rebuilds and are re-absorbed by FinishScan().
+///
+/// One AcfTree is built per attribute set X_i of the user partitioning; the
+/// tree clusters on X_i while its leaf ACFs accumulate image summaries over
+/// every part.
+class AcfTree {
+ public:
+  /// `own_part` selects which part of `layout` this tree clusters on.
+  AcfTree(std::shared_ptr<const AcfLayout> layout, size_t own_part,
+          AcfTreeOptions options);
+
+  AcfTree(const AcfTree&) = delete;
+  AcfTree& operator=(const AcfTree&) = delete;
+
+  /// Inserts one tuple (projected per part). May trigger rebuilds.
+  Status InsertPoint(const PartedRow& row);
+
+  /// Inserts a pre-aggregated cluster summary (used by rebuilds and by
+  /// FinishScan; also the primitive for merging trees).
+  Status InsertSummary(Acf acf);
+
+  /// Re-inserts paged-out outliers: each is absorbed into an existing
+  /// cluster if the merged diameter fits the threshold, otherwise confirmed
+  /// as an outlier. Call once after the data scan (§4.3.1).
+  Status FinishScan();
+
+  /// All leaf clusters, in leaf order. Confirmed outliers are not included;
+  /// see outliers().
+  std::vector<Acf> ExtractClusters() const;
+
+  /// Clusters confirmed as outliers by FinishScan (plus any still paged out
+  /// if FinishScan has not been called).
+  const std::vector<Acf>& outliers() const { return outliers_; }
+
+  /// Index (into ExtractClusters() order) of the leaf cluster whose
+  /// centroid is closest to `own_values`, following the tree as a search
+  /// structure (§4.3.2). Returns NotFound on an empty tree.
+  Result<size_t> NearestClusterIndex(std::span<const double> own_values) const;
+
+  double threshold() const { return threshold_; }
+  int rebuild_count() const { return rebuild_count_; }
+
+  /// Adjusts the outlier paging threshold mid-scan. Streaming callers keep
+  /// it proportional to the running tuple count, since the absolute
+  /// frequency threshold s0 is only known when the scan ends.
+  void set_outlier_entry_min_n(int64_t n) { options_.outlier_entry_min_n = n; }
+  AcfTreeStats Stats() const;
+
+  /// Total tuple mass in the tree plus the outlier buffer. Invariant:
+  /// equals the number of inserted points (plus summary masses).
+  int64_t TotalMass() const;
+
+ private:
+  struct Node;
+  struct ChildRef {
+    CfVector cf;  // summary of the subtree, on the own part
+    std::unique_ptr<Node> child;
+  };
+  struct Node {
+    bool is_leaf = true;
+    std::vector<ChildRef> children;  // internal nodes
+    std::vector<Acf> entries;        // leaf nodes
+  };
+
+  // Outcome of a recursive insert: whether the node split, and if so the
+  // new sibling to add to the parent.
+  struct InsertOutcome {
+    bool split = false;
+    std::unique_ptr<Node> sibling;
+  };
+
+  InsertOutcome InsertPointRec(Node* node, const PartedRow& row);
+  InsertOutcome InsertSummaryRec(Node* node, Acf&& acf);
+
+  // Splits an over-full node; returns the new sibling holding roughly half
+  // the entries. `node` keeps the other half.
+  std::unique_ptr<Node> SplitNode(Node* node);
+
+  // Recomputes the subtree CF of `node` on the own part.
+  CfVector ComputeNodeCf(const Node& node) const;
+
+  // Handles a root split by growing the tree one level.
+  void GrowRoot(std::unique_ptr<Node> sibling);
+
+  // Raises the threshold and reinserts all leaf entries; pages out small
+  // clusters as outliers. Returns an error if the budget cannot be met.
+  Status Rebuild();
+
+  // Picks the next threshold: max(growth * current, the median over leaves
+  // of the smallest merged-pair diameter within the leaf), so that at least
+  // a substantial fraction of adjacent clusters merge after the rebuild.
+  double NextThreshold() const;
+
+  void CollectLeafEntries(Node* node, std::vector<Acf>& out);
+  void CollectLeafEntriesConst(const Node* node, std::vector<Acf>& out) const;
+
+  size_t CountNodes(const Node* node) const;
+  size_t ApproxBytesNow() const;
+
+  std::shared_ptr<const AcfLayout> layout_;
+  size_t own_part_;
+  AcfTreeOptions options_;
+  double threshold_;
+  std::unique_ptr<Node> root_;
+  std::vector<Acf> outlier_buffer_;  // paged out, not yet confirmed
+  std::vector<Acf> outliers_;        // confirmed by FinishScan
+  int rebuild_count_ = 0;
+  int64_t points_inserted_ = 0;
+  size_t num_nodes_ = 1;
+  size_t num_leaf_entries_ = 0;
+  size_t acf_bytes_estimate_;
+  bool in_rebuild_ = false;
+};
+
+}  // namespace dar
+
+#endif  // DAR_BIRCH_ACF_TREE_H_

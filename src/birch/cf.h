@@ -1,0 +1,109 @@
+#ifndef DAR_BIRCH_CF_H_
+#define DAR_BIRCH_CF_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relation/metric.h"
+
+namespace dar {
+
+/// A Clustering Feature (BIRCH; Eq. 3 of the paper): the summary
+/// `(N, sum t_i, sum t_i^2)` of a set of points projected on one attribute
+/// set, extended with
+///
+///  - per-dimension minima/maxima, so clusters can be *described* by their
+///    smallest bounding box (§7.2 chooses the bounding box over the centroid
+///    as the user-facing description), and
+///  - for attribute sets under the discrete 0/1 metric, a per-dimension
+///    value histogram, which makes the §5.1 nominal-data distances (average
+///    pairwise mismatch) exactly computable from the summary.
+///
+/// CfVectors are additive (BIRCH's Additivity Theorem): `Merge` of the
+/// summaries of two point sets equals the summary of their union. All
+/// cluster statistics used by the mining algorithms (centroid, radius,
+/// diameter, inter-cluster distances) derive from this summary alone.
+///
+/// Note on the diameter: Dfn 4.1 defines the diameter as the *average
+/// pairwise distance*. For the Euclidean metric the CF-computable form is
+/// the root-mean-square pairwise distance
+/// `sqrt(sum_ij ||t_i - t_j||^2 / (N(N-1)))` — this is what BIRCH (and
+/// therefore the paper's implementation) uses, and what `Diameter()`
+/// returns for kEuclidean/kManhattan parts. For kDiscrete parts the exact
+/// average pairwise mismatch count is computable from the histograms and is
+/// returned instead.
+class CfVector {
+ public:
+  CfVector() = default;
+  CfVector(size_t dim, MetricKind metric);
+
+  size_t dim() const { return ls_.size(); }
+  MetricKind metric() const { return metric_; }
+  int64_t n() const { return n_; }
+
+  /// Linear sum per dimension.
+  std::span<const double> ls() const { return ls_; }
+  /// Sum of squares per dimension.
+  std::span<const double> ss() const { return ss_; }
+  /// Per-dimension minima/maxima (meaningless when n() == 0).
+  std::span<const double> min() const { return min_; }
+  std::span<const double> max() const { return max_; }
+
+  bool has_histogram() const { return metric_ == MetricKind::kDiscrete; }
+  /// Value -> count histogram for dimension `d` (discrete parts only).
+  const std::map<double, int64_t>& histogram(size_t d) const {
+    return hist_.at(d);
+  }
+
+  /// Adds one point (length must equal dim()).
+  void AddPoint(std::span<const double> x);
+
+  /// Additivity: absorbs `other` (summaries of disjoint point sets).
+  void Merge(const CfVector& other);
+
+  /// Centroid `LS / N` (Eq. 4). Requires n() > 0.
+  std::vector<double> Centroid() const;
+
+  /// RMS distance of points to the centroid; 0 when n() < 2.
+  double Radius() const;
+
+  /// Average pairwise distance (Dfn 4.1); see class comment for the exact
+  /// form per metric. 0 when n() < 2.
+  double Diameter() const;
+
+  /// Diameter of this summary after hypothetically adding point `x`,
+  /// without mutating the summary. Used by the CF-tree absorption test.
+  double DiameterWithPoint(std::span<const double> x) const;
+
+  /// Diameter of the hypothetical merge of this summary and `other`.
+  double DiameterWithMerge(const CfVector& other) const;
+
+  /// Sum over dimensions of ss (||t||^2 summed over points).
+  double SsSum() const;
+  /// Squared Euclidean norm of the LS vector.
+  double LsSquaredNorm() const;
+
+  /// Rough heap footprint in bytes (memory-budget accounting).
+  size_t ApproxBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  double DiameterFromMoments(int64_t n, double ss_sum,
+                             double ls_sq_norm) const;
+
+  MetricKind metric_ = MetricKind::kEuclidean;
+  int64_t n_ = 0;
+  std::vector<double> ls_;
+  std::vector<double> ss_;
+  std::vector<double> min_;
+  std::vector<double> max_;
+  std::vector<std::map<double, int64_t>> hist_;  // only for kDiscrete
+};
+
+}  // namespace dar
+
+#endif  // DAR_BIRCH_CF_H_

@@ -1,0 +1,51 @@
+#ifndef DAR_BIRCH_METRICS_H_
+#define DAR_BIRCH_METRICS_H_
+
+#include <span>
+
+#include "birch/cf.h"
+
+namespace dar {
+
+/// Inter-cluster distance metrics computable from CF summaries (§5, Eqs. 5-6;
+/// the D0-D4 family is from BIRCH [ZRL96]).
+///
+/// For summaries of attribute sets under the discrete 0/1 metric, D0/D1/D2
+/// all evaluate the exact average pairwise mismatch between the two point
+/// sets — the only statistically meaningful inter-cluster distance for
+/// nominal data, and the one Theorem 5.2 relies on. Centroids of dictionary
+/// codes are meaningless, so the centroid-based forms intentionally
+/// degenerate to the average form there.
+enum class ClusterMetric : int {
+  /// Euclidean distance between centroids (BIRCH D0).
+  kD0Centroid = 0,
+  /// Manhattan distance between centroids (Eq. 5; BIRCH D1).
+  kD1CentroidManhattan = 1,
+  /// Average inter-cluster distance (Eq. 6; BIRCH D2). RMS form
+  /// `sqrt(sum_ij ||a_i - b_j||^2 / (N1 N2))` for interval parts; exact
+  /// average mismatch count for discrete parts.
+  kD2AvgInter = 2,
+  /// Average intra-cluster distance of the merged cluster (BIRCH D3), i.e.
+  /// the diameter of the union.
+  kD3AvgIntra = 3,
+  /// Variance increase of the merge (BIRCH D4).
+  kD4VarIncrease = 4,
+};
+
+/// Stable name ("D0".."D4").
+const char* ClusterMetricToString(ClusterMetric m);
+
+/// Distance between two cluster summaries over the *same* attribute set.
+/// Both summaries must have equal dimension and metric kind and be
+/// non-empty.
+double ClusterDistance(const CfVector& a, const CfVector& b, ClusterMetric m);
+
+/// Distance from a single point to a cluster summary: the distance from the
+/// point to the centroid under the part's metric for interval parts; the
+/// expected per-dimension mismatch probability for discrete parts. Used to
+/// steer CF-tree descent and nearest-cluster assignment.
+double PointClusterDistance(std::span<const double> x, const CfVector& c);
+
+}  // namespace dar
+
+#endif  // DAR_BIRCH_METRICS_H_

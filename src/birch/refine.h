@@ -1,0 +1,39 @@
+#ifndef DAR_BIRCH_REFINE_H_
+#define DAR_BIRCH_REFINE_H_
+
+#include <vector>
+
+#include "birch/acf.h"
+#include "birch/metrics.h"
+
+namespace dar {
+
+/// Options for the global refinement pass.
+struct RefineOptions {
+  /// Two clusters merge while the merged diameter stays within this bound
+  /// and their centroid distance is within `centroid_factor` times it.
+  double diameter_threshold = 0;
+  double centroid_factor = 1.0;
+  /// Safety cap on merge operations (0 = unbounded).
+  size_t max_merges = 0;
+};
+
+/// Agglomeratively merges a flat set of cluster summaries: repeatedly joins
+/// the closest pair (by centroid distance on the own part) while the merged
+/// diameter stays within the threshold.
+///
+/// This is BIRCH's global-clustering phase adapted to ACFs. The insertion
+/// order sensitivity of the CF-tree routinely *fragments* a natural cluster
+/// into several leaf entries (the paper attributes its ~4% centroid drift
+/// to "the use of a non-optimal clustering strategy"); a refinement pass
+/// over the extracted summaries repairs most fragmentation at
+/// O(C^2 log C) cost in the number of clusters — cheap relative to the
+/// scan, since C is memory-bounded.
+///
+/// All input summaries must share the same layout and own part.
+std::vector<Acf> RefineClusters(std::vector<Acf> clusters,
+                                const RefineOptions& options);
+
+}  // namespace dar
+
+#endif  // DAR_BIRCH_REFINE_H_

@@ -1,0 +1,47 @@
+#ifndef DAR_COMMON_LOGGING_H_
+#define DAR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dar {
+namespace internal_logging {
+
+/// Accumulates a fatal message and aborts the process when destroyed.
+/// Used only via the DAR_CHECK* macros below; invariant violations are
+/// programming errors, not recoverable conditions.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dar
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard internal invariants whose violation would corrupt results.
+#define DAR_CHECK(cond)                                        \
+  if (!(cond))                                                 \
+  ::dar::internal_logging::FatalLogMessage(__FILE__, __LINE__) \
+          .stream()                                            \
+      << #cond << " "
+
+#define DAR_CHECK_EQ(a, b) DAR_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DAR_CHECK_NE(a, b) DAR_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DAR_CHECK_LT(a, b) DAR_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DAR_CHECK_LE(a, b) DAR_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DAR_CHECK_GT(a, b) DAR_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DAR_CHECK_GE(a, b) DAR_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // DAR_COMMON_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef DAR_COMMON_RANDOM_H_
+#define DAR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dar {
+
+/// Seeded pseudo-random generator used by all synthetic data generators and
+/// property tests. A thin wrapper over std::mt19937_64 so every consumer of
+/// randomness in the library takes an explicit seed (reproducible benches).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Index drawn from the discrete distribution given by `weights`.
+  size_t Categorical(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_COMMON_RANDOM_H_

@@ -1,0 +1,91 @@
+#ifndef DAR_COMMON_RESULT_H_
+#define DAR_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dar {
+
+/// Either a value of type `T` or an error `Status` — the library's analogue
+/// of `arrow::Result` / `absl::StatusOr`.
+///
+///     Result<Relation> r = ReadCsv(path);
+///     if (!r.ok()) return r.status();
+///     Relation rel = std::move(r).ValueOrDie();
+///
+/// Prefer the `DAR_ASSIGN_OR_RETURN` macro inside Status-returning code.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, so functions
+  /// can `return value;`).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(v_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The error (OK if this holds a value).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  /// The held value. Aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(v_);
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) std::abort();
+  }
+
+  std::variant<T, Status> v_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error, else assigning the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+/// `DAR_ASSIGN_OR_RETURN(auto rel, ReadCsv(path));`
+#define DAR_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define DAR_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define DAR_ASSIGN_OR_RETURN_CONCAT(x, y) DAR_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define DAR_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DAR_ASSIGN_OR_RETURN_IMPL(             \
+      DAR_ASSIGN_OR_RETURN_CONCAT(_dar_result_, __LINE__), lhs, rexpr)
+
+}  // namespace dar
+
+#endif  // DAR_COMMON_RESULT_H_

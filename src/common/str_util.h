@@ -1,0 +1,32 @@
+#ifndef DAR_COMMON_STR_UTIL_H_
+#define DAR_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dar {
+
+/// Splits `s` on `sep`, preserving empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double, rejecting trailing garbage and empty input.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a non-negative integer, rejecting trailing garbage and empty input.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Formats `v` trimming trailing zeros ("3.5", "42", "0.125").
+std::string FormatDouble(double v);
+
+}  // namespace dar
+
+#endif  // DAR_COMMON_STR_UTIL_H_

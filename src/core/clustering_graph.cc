@@ -1,0 +1,183 @@
+#include "core/clustering_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dar {
+
+namespace {
+
+// Radius of the image of cluster `c` on part `p`: a lower bound on any D2
+// distance involving that image (D2(A,B)^2 = R_A^2 + R_B^2 + ||cA - cB||^2).
+double ImageRadius(const FoundCluster& c, size_t p) {
+  return c.acf.image(p).Radius();
+}
+
+}  // namespace
+
+ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
+                                 const ClusteringGraphOptions& options) {
+  size_t n = clusters.size();
+  adjacency_.resize(n);
+  DAR_CHECK_EQ(options.d0.size(), clusters.num_parts());
+
+  bool can_prune = options.prune_low_density_images &&
+                   options.metric == ClusterMetric::kD2AvgInter;
+
+  // Precompute the pruning predicate per (cluster, part): true when the
+  // cluster's image on that part is too diffuse to satisfy the threshold.
+  std::vector<std::vector<bool>> image_too_diffuse;
+  if (can_prune) {
+    image_too_diffuse.assign(n, std::vector<bool>(clusters.num_parts()));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t p = 0; p < clusters.num_parts(); ++p) {
+        image_too_diffuse[i][p] =
+            ImageRadius(clusters.cluster(i), p) > options.d0[p];
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const FoundCluster& a = clusters.cluster(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      const FoundCluster& b = clusters.cluster(j);
+      if (a.part == b.part) continue;  // clusters on one part are exclusive
+      if (can_prune) {
+        // Edge needs D(a[a.part], b[a.part]) <= d0[a.part]; under D2 the
+        // distance is at least the radius of either image.
+        if (image_too_diffuse[j][a.part] || image_too_diffuse[i][b.part]) {
+          ++comparisons_skipped_;
+          continue;
+        }
+      }
+      ++comparisons_made_;
+      double d_on_a = ClusterDistance(a.acf.image(a.part),
+                                      b.acf.image(a.part), options.metric);
+      if (d_on_a > options.d0[a.part]) continue;
+      double d_on_b = ClusterDistance(a.acf.image(b.part),
+                                      b.acf.image(b.part), options.metric);
+      if (d_on_b > options.d0[b.part]) continue;
+      adjacency_[i].push_back(j);
+      adjacency_[j].push_back(i);
+      ++num_edges_;
+    }
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+bool ClusteringGraph::HasEdge(size_t a, size_t b) const {
+  const auto& nbrs = adjacency_.at(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+namespace {
+
+// Bron-Kerbosch with pivoting over sorted neighbor lists.
+class CliqueFinder {
+ public:
+  CliqueFinder(const std::vector<std::vector<size_t>>& adj,
+               size_t max_cliques)
+      : adj_(adj), max_cliques_(max_cliques) {}
+
+  std::vector<std::vector<size_t>> Run() {
+    std::vector<size_t> r, p, x;
+    p.reserve(adj_.size());
+    for (size_t v = 0; v < adj_.size(); ++v) p.push_back(v);
+    Expand(r, std::move(p), std::move(x));
+    return std::move(cliques_);
+  }
+
+  bool truncated() const { return truncated_; }
+
+ private:
+  // All vectors sorted ascending; intersections via std::set_intersection.
+  void Expand(std::vector<size_t>& r, std::vector<size_t> p,
+              std::vector<size_t> x) {
+    if (truncated_) return;
+    // Dense graphs can grind for a long time between emitted cliques; the
+    // step bound makes truncation responsive, not just the clique cap.
+    if (max_cliques_ != 0 && ++steps_ > 64 * max_cliques_) {
+      truncated_ = true;
+      return;
+    }
+    if (p.empty() && x.empty()) {
+      if (max_cliques_ != 0 && cliques_.size() >= max_cliques_) {
+        truncated_ = true;
+        return;
+      }
+      cliques_.push_back(r);
+      return;
+    }
+    // Pivot: vertex of P u X with the most neighbors inside P.
+    size_t pivot = 0;
+    size_t best = 0;
+    bool have_pivot = false;
+    for (const auto* set : {&p, &x}) {
+      for (size_t v : *set) {
+        size_t deg = IntersectionSize(adj_[v], p);
+        if (!have_pivot || deg > best) {
+          best = deg;
+          pivot = v;
+          have_pivot = true;
+        }
+      }
+    }
+    // Candidates: P minus N(pivot).
+    std::vector<size_t> candidates;
+    std::set_difference(p.begin(), p.end(), adj_[pivot].begin(),
+                        adj_[pivot].end(), std::back_inserter(candidates));
+    for (size_t v : candidates) {
+      if (truncated_) return;
+      std::vector<size_t> p2, x2;
+      std::set_intersection(p.begin(), p.end(), adj_[v].begin(),
+                            adj_[v].end(), std::back_inserter(p2));
+      std::set_intersection(x.begin(), x.end(), adj_[v].begin(),
+                            adj_[v].end(), std::back_inserter(x2));
+      r.push_back(v);
+      Expand(r, std::move(p2), std::move(x2));
+      r.pop_back();
+      // Move v from P to X.
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      auto pos = std::lower_bound(x.begin(), x.end(), v);
+      x.insert(pos, v);
+    }
+  }
+
+  static size_t IntersectionSize(const std::vector<size_t>& a,
+                                 const std::vector<size_t>& b) {
+    size_t count = 0, i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (b[j] < a[i]) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+    return count;
+  }
+
+  const std::vector<std::vector<size_t>>& adj_;
+  size_t max_cliques_;
+  size_t steps_ = 0;
+  std::vector<std::vector<size_t>> cliques_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<std::vector<size_t>> ClusteringGraph::MaximalCliques(
+    size_t max_cliques, bool* truncated) const {
+  CliqueFinder finder(adjacency_, max_cliques);
+  std::vector<std::vector<size_t>> cliques = finder.Run();
+  if (truncated != nullptr) *truncated = finder.truncated();
+  for (auto& c : cliques) std::sort(c.begin(), c.end());
+  std::sort(cliques.begin(), cliques.end());
+  return cliques;
+}
+
+}  // namespace dar

@@ -1,0 +1,69 @@
+#ifndef DAR_CORE_CLUSTERING_GRAPH_H_
+#define DAR_CORE_CLUSTERING_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "birch/metrics.h"
+#include "core/model.h"
+
+namespace dar {
+
+/// Construction parameters for the clustering graph (Dfn 6.1).
+struct ClusteringGraphOptions {
+  /// Inter-cluster metric D.
+  ClusterMetric metric = ClusterMetric::kD2AvgInter;
+  /// Per-part density thresholds d0^X (already multiplied by the Phase-II
+  /// leniency factor by the caller).
+  std::vector<double> d0;
+  /// §6.2 pruning heuristic (see DarConfig::prune_low_density_images).
+  bool prune_low_density_images = true;
+};
+
+/// The clustering graph of Dfn 6.1: one node per frequent cluster, and an
+/// undirected edge between clusters C_X (on part X) and C_Y (on part Y != X)
+/// iff both `D(C_X[X], C_Y[X]) <= d0^X` and `D(C_X[Y], C_Y[Y]) <= d0^Y` —
+/// i.e. the two clusters' tuple sets co-occur in both projections. Cliques
+/// of this graph are the "large itemsets" of distance-based rules.
+class ClusteringGraph {
+ public:
+  /// Builds the graph from the Phase-I cluster set. By the ACF
+  /// Representativity Theorem (Thm 6.1) this touches only ACFs.
+  ClusteringGraph(const ClusterSet& clusters,
+                  const ClusteringGraphOptions& options);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  bool HasEdge(size_t a, size_t b) const;
+  const std::vector<size_t>& Neighbors(size_t node) const {
+    return adjacency_.at(node);
+  }
+
+  /// Number of candidate pairs whose distances were actually evaluated,
+  /// and number skipped by the density-image pruning heuristic. For the
+  /// ablation bench.
+  int64_t comparisons_made() const { return comparisons_made_; }
+  int64_t comparisons_skipped() const { return comparisons_skipped_; }
+
+  /// All maximal cliques (each a sorted list of node ids), enumerated with
+  /// Bron-Kerbosch with pivoting. Isolated nodes yield trivial 1-cliques,
+  /// matching the paper's convention.
+  ///
+  /// `max_cliques` bounds the enumeration (0 = unbounded): graphs whose
+  /// thresholds were set too leniently can have exponentially many maximal
+  /// cliques, and a capped, loudly-truncated result beats an OOM. When the
+  /// cap fires, `*truncated` (if non-null) is set.
+  std::vector<std::vector<size_t>> MaximalCliques(
+      size_t max_cliques = 0, bool* truncated = nullptr) const;
+
+ private:
+  std::vector<std::vector<size_t>> adjacency_;  // sorted neighbor lists
+  size_t num_edges_ = 0;
+  int64_t comparisons_made_ = 0;
+  int64_t comparisons_skipped_ = 0;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_CLUSTERING_GRAPH_H_

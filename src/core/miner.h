@@ -1,0 +1,88 @@
+#ifndef DAR_CORE_MINER_H_
+#define DAR_CORE_MINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "core/rule_gen.h"
+#include "core/rules.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace dar {
+
+/// Everything Phase II reports.
+struct Phase2Result {
+  /// Maximal cliques of the clustering graph (cluster-id lists).
+  std::vector<std::vector<size_t>> cliques;
+  size_t num_nontrivial_cliques = 0;  // cliques of size >= 2
+  bool cliques_truncated = false;
+  size_t graph_edges = 0;
+  int64_t graph_comparisons_made = 0;
+  int64_t graph_comparisons_skipped = 0;
+  std::vector<DistanceRule> rules;
+  bool rules_truncated = false;
+  int64_t degree_evaluations = 0;
+  /// Wall-clock seconds spent in Phase II (graph + cliques + rules).
+  double seconds = 0;
+};
+
+/// Combined mining output.
+struct DarMiningResult {
+  Phase1Result phase1;
+  Phase2Result phase2;
+};
+
+/// The paper's two-phase distance-based association rule miner (§6):
+///
+///   Phase I  — one memory-bounded ACF-tree per attribute set clusters the
+///              data in a single scan; frequent clusters (>= s0 tuples)
+///              survive.
+///   Phase II — the clustering graph over surviving clusters is built from
+///              ACFs alone, its maximal cliques enumerated, and DARs
+///              emitted per §6.2; the data is not rescanned (unless
+///              count_rule_support requests the optional post-scan).
+///
+/// Typical use:
+///
+///     DarMiner miner(config);
+///     DAR_ASSIGN_OR_RETURN(DarMiningResult res, miner.Mine(rel, partition));
+///     for (const auto& rule : res.phase2.rules)
+///       std::cout << rule.ToString(res.phase1.clusters, rel.schema(),
+///                                  partition) << "\n";
+class DarMiner {
+ public:
+  explicit DarMiner(DarConfig config) : config_(std::move(config)) {}
+
+  /// Runs both phases on `rel` under the user's attribute partitioning.
+  Result<DarMiningResult> Mine(const Relation& rel,
+                               const AttributePartition& partition) const;
+
+  /// Runs Phase I only (used by scaling benches and by callers that want
+  /// to inspect clusters before rule formation).
+  Result<Phase1Result> RunPhase1(const Relation& rel,
+                                 const AttributePartition& partition) const;
+
+  /// Runs Phase II on an existing Phase-I result.
+  Result<Phase2Result> RunPhase2(const Phase1Result& phase1) const;
+
+  /// Optional §6.2 post-processing: rescans `rel` once and fills
+  /// `support_count` of every rule with the number of tuples assigned to
+  /// all of the rule's clusters.
+  Status CountRuleSupport(const Relation& rel,
+                          const AttributePartition& partition,
+                          const Phase1Result& phase1,
+                          std::vector<DistanceRule>& rules) const;
+
+  const DarConfig& config() const { return config_; }
+
+ private:
+  DarConfig config_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_MINER_H_

@@ -1,0 +1,82 @@
+#ifndef DAR_CORE_MODEL_H_
+#define DAR_CORE_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "birch/acf.h"
+#include "birch/acf_tree.h"
+#include "common/result.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace dar {
+
+/// A frequent cluster discovered by Phase I: an ACF plus bookkeeping.
+struct FoundCluster {
+  /// Dense id; index into ClusterSet::clusters().
+  size_t id = 0;
+  /// Attribute set (partition part) the cluster is defined on.
+  size_t part = 0;
+  Acf acf;
+};
+
+/// The set of frequent clusters produced by Phase I, with helpers used by
+/// Phase II and by the generalized-QAR miner.
+class ClusterSet {
+ public:
+  ClusterSet() = default;
+  ClusterSet(std::shared_ptr<const AcfLayout> layout,
+             std::vector<FoundCluster> clusters);
+
+  const std::vector<FoundCluster>& clusters() const { return clusters_; }
+  const FoundCluster& cluster(size_t id) const { return clusters_.at(id); }
+  size_t size() const { return clusters_.size(); }
+  const AcfLayout& layout() const { return *layout_; }
+
+  /// Ids of the clusters defined on part `p`.
+  const std::vector<size_t>& ClustersOnPart(size_t p) const {
+    return by_part_.at(p);
+  }
+  size_t num_parts() const { return by_part_.size(); }
+
+  /// Id of the cluster on part `p` whose centroid is nearest to `values`
+  /// (the §4.3.2 point-to-cluster assignment), or NotFound when the part
+  /// has no frequent clusters.
+  Result<size_t> AssignToCluster(size_t p,
+                                 std::span<const double> values) const;
+
+  /// Human-readable description of cluster `id` by its smallest bounding
+  /// box (the §7.2 presentation choice), e.g. "Salary in [80K, 82K]".
+  std::string Describe(size_t id, const Schema& schema,
+                       const AttributePartition& partition) const;
+
+ private:
+  std::shared_ptr<const AcfLayout> layout_;
+  std::vector<FoundCluster> clusters_;
+  std::vector<std::vector<size_t>> by_part_;
+};
+
+/// Everything Phase I reports.
+struct Phase1Result {
+  std::shared_ptr<const AcfLayout> layout;
+  ClusterSet clusters;
+  /// Per-part statistics of the final trees.
+  std::vector<AcfTreeStats> tree_stats;
+  /// Confirmed outliers across all parts.
+  std::vector<Acf> outliers;
+  /// Number of leaf clusters before frequency filtering, per part.
+  std::vector<size_t> raw_cluster_counts;
+  /// Effective density thresholds d0^X per part (see DarConfig).
+  std::vector<double> effective_d0;
+  /// The absolute frequency threshold s0 used.
+  int64_t frequency_threshold = 0;
+  /// Wall-clock seconds spent in Phase I.
+  double seconds = 0;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_MODEL_H_

@@ -1,0 +1,158 @@
+#include "core/phase1_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "birch/refine.h"
+
+namespace dar {
+
+Result<Phase1Builder> Phase1Builder::Make(
+    const DarConfig& config, const Schema& schema,
+    const AttributePartition& partition) {
+  if (partition.num_parts() == 0) {
+    return Status::InvalidArgument("attribute partition is empty");
+  }
+  if (config.frequency_fraction <= 0 || config.frequency_fraction > 1) {
+    return Status::InvalidArgument("frequency_fraction must be in (0, 1]");
+  }
+  for (const auto& part : partition.parts()) {
+    for (size_t col : part.columns) {
+      if (col >= schema.num_attributes()) {
+        return Status::InvalidArgument(
+            "partition references column " + std::to_string(col) +
+            " outside the schema");
+      }
+    }
+  }
+
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts.reserve(partition.num_parts());
+  for (const auto& part : partition.parts()) {
+    layout->parts.push_back({part.dimension(), part.metric, part.label});
+  }
+
+  std::vector<std::unique_ptr<AcfTree>> trees;
+  trees.reserve(partition.num_parts());
+  for (size_t p = 0; p < partition.num_parts(); ++p) {
+    AcfTreeOptions opts = config.tree;
+    opts.memory_budget_bytes = std::max<size_t>(
+        1, config.memory_budget_bytes / partition.num_parts());
+    opts.initial_threshold = p < config.initial_diameters.size()
+                                 ? config.initial_diameters[p]
+                                 : 0.0;
+    opts.outlier_entry_min_n = 0;  // adjusted as rows arrive
+    trees.push_back(
+        std::make_unique<AcfTree>(layout, p, opts));
+  }
+  return Phase1Builder(config, partition, std::move(layout),
+                       std::move(trees), schema.num_attributes());
+}
+
+Phase1Builder::Phase1Builder(DarConfig config, AttributePartition partition,
+                             std::shared_ptr<const AcfLayout> layout,
+                             std::vector<std::unique_ptr<AcfTree>> trees,
+                             size_t schema_width)
+    : config_(std::move(config)),
+      partition_(std::move(partition)),
+      layout_(std::move(layout)),
+      trees_(std::move(trees)),
+      schema_width_(schema_width) {
+  scratch_.resize(partition_.num_parts());
+  for (size_t p = 0; p < partition_.num_parts(); ++p) {
+    scratch_[p].resize(partition_.part(p).dimension());
+  }
+}
+
+void Phase1Builder::UpdateOutlierThresholds() {
+  if (config_.outlier_fraction <= 0) return;
+  int64_t min_n = static_cast<int64_t>(config_.outlier_fraction *
+                                       config_.frequency_fraction *
+                                       static_cast<double>(rows_added_));
+  for (auto& tree : trees_) tree->set_outlier_entry_min_n(min_n);
+}
+
+Status Phase1Builder::AddRow(std::span<const double> row) {
+  if (row.size() != schema_width_) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) + " != schema width " +
+        std::to_string(schema_width_));
+  }
+  for (size_t p = 0; p < partition_.num_parts(); ++p) {
+    const auto& cols = partition_.part(p).columns;
+    for (size_t d = 0; d < cols.size(); ++d) {
+      scratch_[p][d] = row[cols[d]];
+    }
+  }
+  for (auto& tree : trees_) {
+    DAR_RETURN_IF_ERROR(tree->InsertPoint(scratch_));
+  }
+  ++rows_added_;
+  // Keep outlier paging roughly in step with the running count; the exact
+  // value only matters at rebuild time, so a coarse cadence is fine.
+  if ((rows_added_ & 0xFFF) == 0) UpdateOutlierThresholds();
+  return Status::OK();
+}
+
+Result<Phase1Result> Phase1Builder::Finish() && {
+  if (rows_added_ == 0) {
+    return Status::InvalidArgument("no rows were added");
+  }
+  for (auto& tree : trees_) {
+    DAR_RETURN_IF_ERROR(tree->FinishScan());
+  }
+
+  Phase1Result out;
+  out.layout = layout_;
+  out.frequency_threshold = std::max<int64_t>(
+      1,
+      static_cast<int64_t>(std::ceil(config_.frequency_fraction *
+                                     static_cast<double>(rows_added_))));
+
+  std::vector<FoundCluster> found;
+  out.raw_cluster_counts.resize(partition_.num_parts());
+  out.effective_d0.resize(partition_.num_parts());
+  for (size_t p = 0; p < partition_.num_parts(); ++p) {
+    std::vector<Acf> leaf_clusters = trees_[p]->ExtractClusters();
+    if (config_.refine_clusters) {
+      RefineOptions refine;
+      refine.diameter_threshold = trees_[p]->threshold();
+      leaf_clusters = RefineClusters(std::move(leaf_clusters), refine);
+    }
+    out.raw_cluster_counts[p] = leaf_clusters.size();
+    std::vector<double> diameters;
+    for (auto& acf : leaf_clusters) {
+      if (acf.n() < out.frequency_threshold) continue;
+      diameters.push_back(acf.Diameter());
+      FoundCluster c;
+      c.id = found.size();
+      c.part = p;
+      c.acf = std::move(acf);
+      found.push_back(std::move(c));
+    }
+    double d0 = 0;
+    if (p < config_.density_thresholds.size()) {
+      d0 = config_.density_thresholds[p];
+    }
+    if (d0 <= 0) {
+      double median = 0;
+      if (!diameters.empty()) {
+        size_t mid = diameters.size() / 2;
+        std::nth_element(diameters.begin(), diameters.begin() + mid,
+                         diameters.end());
+        median = diameters[mid];
+      }
+      d0 = std::max(trees_[p]->threshold(), median);
+    }
+    out.effective_d0[p] = d0;
+    out.tree_stats.push_back(trees_[p]->Stats());
+    for (const auto& acf : trees_[p]->outliers()) {
+      out.outliers.push_back(acf);
+    }
+  }
+  out.clusters = ClusterSet(out.layout, std::move(found));
+  out.seconds = watch_.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dar

@@ -1,0 +1,74 @@
+#ifndef DAR_CORE_PHASE1_BUILDER_H_
+#define DAR_CORE_PHASE1_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "birch/acf_tree.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace dar {
+
+/// Incremental (streaming) Phase I: feed tuples one at a time, then
+/// Finish(). This is the §3 operating mode — the trees adapt to the memory
+/// budget *while* the single pass is in progress, so the data never needs
+/// to fit in memory and can come from a cursor, a file, or a socket.
+///
+///     Phase1Builder builder(config, schema, partition);
+///     while (auto row = source.Next()) {
+///       DAR_RETURN_IF_ERROR(builder.AddRow(*row));
+///     }
+///     DAR_ASSIGN_OR_RETURN(Phase1Result phase1, std::move(builder).Finish());
+///
+/// DarMiner::RunPhase1 is a thin wrapper that feeds a Relation through this
+/// builder.
+class Phase1Builder {
+ public:
+  /// Validates the configuration and builds one ACF-tree per part.
+  static Result<Phase1Builder> Make(const DarConfig& config,
+                                    const Schema& schema,
+                                    const AttributePartition& partition);
+
+  Phase1Builder(Phase1Builder&&) = default;
+  Phase1Builder& operator=(Phase1Builder&&) = default;
+
+  /// Adds one tuple; `row` must have one value per schema attribute.
+  Status AddRow(std::span<const double> row);
+
+  /// Number of tuples added so far.
+  int64_t rows_added() const { return rows_added_; }
+
+  /// Re-absorbs outliers, optionally refines clusters, applies the
+  /// frequency threshold and assembles the Phase1Result. The builder is
+  /// consumed.
+  Result<Phase1Result> Finish() &&;
+
+ private:
+  Phase1Builder(DarConfig config, AttributePartition partition,
+                std::shared_ptr<const AcfLayout> layout,
+                std::vector<std::unique_ptr<AcfTree>> trees,
+                size_t schema_width);
+
+  // Keeps each tree's outlier paging threshold in step with the running
+  // tuple count (s0 is only known at Finish in streaming mode).
+  void UpdateOutlierThresholds();
+
+  DarConfig config_;
+  AttributePartition partition_;
+  std::shared_ptr<const AcfLayout> layout_;
+  std::vector<std::unique_ptr<AcfTree>> trees_;
+  size_t schema_width_;
+  int64_t rows_added_ = 0;
+  Stopwatch watch_;
+  PartedRow scratch_;
+  std::vector<double> buf_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_PHASE1_BUILDER_H_

@@ -1,0 +1,160 @@
+#include "core/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dar {
+
+namespace {
+
+// Minimal JSON emission helpers. Values in this module are numbers and
+// ASCII identifiers from schemas; strings are escaped conservatively.
+void AppendEscaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string Num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void AppendIdList(const std::vector<size_t>& ids, std::string& out) {
+  out += '[';
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string MiningResultToJson(const DarMiningResult& result,
+                               const Schema& schema,
+                               const AttributePartition& partition) {
+  const Phase1Result& p1 = result.phase1;
+  const Phase2Result& p2 = result.phase2;
+  std::string out = "{\n";
+
+  out += "  \"parts\": [";
+  for (size_t p = 0; p < partition.num_parts(); ++p) {
+    if (p > 0) out += ", ";
+    AppendEscaped(partition.part(p).label, out);
+  }
+  out += "],\n";
+
+  out += "  \"frequency_threshold\": " +
+         std::to_string(p1.frequency_threshold) + ",\n";
+  out += "  \"effective_d0\": [";
+  for (size_t p = 0; p < p1.effective_d0.size(); ++p) {
+    if (p > 0) out += ", ";
+    out += Num(p1.effective_d0[p]);
+  }
+  out += "],\n";
+
+  out += "  \"clusters\": [\n";
+  for (size_t i = 0; i < p1.clusters.size(); ++i) {
+    const FoundCluster& c = p1.clusters.cluster(i);
+    out += "    {\"id\": " + std::to_string(c.id) +
+           ", \"part\": " + std::to_string(c.part) +
+           ", \"n\": " + std::to_string(c.acf.n()) + ", \"centroid\": [";
+    auto centroid = c.acf.Centroid();
+    for (size_t d = 0; d < centroid.size(); ++d) {
+      if (d > 0) out += ", ";
+      out += Num(centroid[d]);
+    }
+    out += "], \"box\": [";
+    auto box = c.acf.BoundingBox(c.part);
+    for (size_t d = 0; d < box.size(); ++d) {
+      if (d > 0) out += ", ";
+      out += "[" + Num(box[d].first) + ", " + Num(box[d].second) + "]";
+    }
+    out += "], \"diameter\": " + Num(c.acf.Diameter()) + ", \"label\": ";
+    AppendEscaped(p1.clusters.Describe(c.id, schema, partition), out);
+    out += "}";
+    out += (i + 1 < p1.clusters.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"rules\": [\n";
+  for (size_t i = 0; i < p2.rules.size(); ++i) {
+    const DistanceRule& rule = p2.rules[i];
+    out += "    {\"antecedent\": ";
+    AppendIdList(rule.antecedent, out);
+    out += ", \"consequent\": ";
+    AppendIdList(rule.consequent, out);
+    out += ", \"degree\": " + Num(rule.degree);
+    if (rule.support_count >= 0) {
+      out += ", \"support_count\": " + std::to_string(rule.support_count);
+    }
+    out += "}";
+    out += (i + 1 < p2.rules.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"stats\": {\"cliques\": " + std::to_string(p2.cliques.size()) +
+         ", \"nontrivial_cliques\": " +
+         std::to_string(p2.num_nontrivial_cliques) +
+         ", \"graph_edges\": " + std::to_string(p2.graph_edges) +
+         ", \"rules_truncated\": " +
+         (p2.rules_truncated ? std::string("true") : std::string("false")) +
+         ", \"cliques_truncated\": " +
+         (p2.cliques_truncated ? std::string("true") : std::string("false")) +
+         ", \"phase1_seconds\": " + Num(p1.seconds) +
+         ", \"phase2_seconds\": " + Num(p2.seconds) + "}\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteMiningReport(const DarMiningResult& result, const Schema& schema,
+                         const AttributePartition& partition,
+                         std::ostream& out) {
+  out << MiningResultToJson(result, schema, partition);
+  if (!out) return Status::IOError("report write failed");
+  return Status::OK();
+}
+
+std::string MiningResultSummary(const DarMiningResult& result,
+                                const Schema& schema,
+                                const AttributePartition& partition,
+                                size_t max_rules) {
+  const Phase1Result& p1 = result.phase1;
+  const Phase2Result& p2 = result.phase2;
+  std::ostringstream os;
+  os << "Phase I: " << p1.clusters.size() << " frequent clusters (s0 = "
+     << p1.frequency_threshold << " tuples, " << p1.seconds << "s)\n";
+  os << "Phase II: " << p2.graph_edges << " edges, "
+     << p2.num_nontrivial_cliques << " non-trivial cliques, "
+     << p2.rules.size() << " rules (" << p2.seconds << "s)";
+  if (p2.rules_truncated) os << " [rules truncated]";
+  if (p2.cliques_truncated) os << " [cliques truncated]";
+  os << "\n";
+  size_t shown = 0;
+  for (const auto& rule : p2.rules) {
+    if (shown++ >= max_rules) {
+      os << "  ... " << (p2.rules.size() - max_rules) << " more\n";
+      break;
+    }
+    os << "  " << rule.ToString(p1.clusters, schema, partition) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dar

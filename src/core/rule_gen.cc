@@ -1,0 +1,159 @@
+#include "core/rule_gen.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace dar {
+
+namespace {
+
+// Enumerates all subsets of `universe` with size in [1, max_size], invoking
+// `fn(subset)`; returns false early if fn returns false (budget exhausted).
+bool ForEachSubset(const std::vector<size_t>& universe, size_t max_size,
+                   const std::function<bool(const std::vector<size_t>&)>& fn) {
+  std::vector<size_t> current;
+  // Recursive combination enumeration.
+  std::function<bool(size_t)> rec = [&](size_t start) -> bool {
+    if (!current.empty()) {
+      if (!fn(current)) return false;
+    }
+    if (current.size() == max_size) return true;
+    for (size_t i = start; i < universe.size(); ++i) {
+      current.push_back(universe[i]);
+      if (!rec(i + 1)) return false;
+      current.pop_back();
+    }
+    return true;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+double DegreeOfAssociation(const ClusterSet& clusters,
+                           const std::vector<size_t>& antecedent,
+                           const std::vector<size_t>& consequent,
+                           ClusterMetric m) {
+  DAR_CHECK(!antecedent.empty());
+  DAR_CHECK(!consequent.empty());
+  double degree = 0;
+  for (size_t cy : consequent) {
+    const FoundCluster& y = clusters.cluster(cy);
+    for (size_t cx : antecedent) {
+      const FoundCluster& x = clusters.cluster(cx);
+      double d = ClusterDistance(y.acf.image(y.part), x.acf.image(y.part), m);
+      degree = std::max(degree, d);
+    }
+  }
+  return degree;
+}
+
+RuleGenResult GenerateDistanceRules(
+    const ClusterSet& clusters,
+    const std::vector<std::vector<size_t>>& cliques,
+    const RuleGenOptions& options) {
+  RuleGenResult result;
+  std::set<std::pair<std::vector<size_t>, std::vector<size_t>>> seen;
+
+  // Cache of degree evaluations D(C_Y[Yp], C_X[Yp]) keyed by (y, x).
+  std::map<std::pair<size_t, size_t>, double> degree_cache;
+  auto degree_of = [&](size_t cy, size_t cx) {
+    auto key = std::make_pair(cy, cx);
+    auto it = degree_cache.find(key);
+    if (it != degree_cache.end()) return it->second;
+    const FoundCluster& y = clusters.cluster(cy);
+    const FoundCluster& x = clusters.cluster(cx);
+    double d = ClusterDistance(y.acf.image(y.part), x.acf.image(y.part),
+                               options.metric);
+    ++result.degree_evaluations;
+    degree_cache.emplace(key, d);
+    return d;
+  };
+
+  // D0 for a consequent cluster: per-part override when provided, else the
+  // scalar threshold (degrees live on the consequent part's scale).
+  auto degree_limit = [&](size_t cy) {
+    size_t part = clusters.cluster(cy).part;
+    if (part < options.degree_thresholds.size()) {
+      return options.degree_thresholds[part];
+    }
+    return options.degree_threshold;
+  };
+
+  for (const auto& q2 : cliques) {
+    for (const auto& q1 : cliques) {
+      // assoc(C_Yj) restricted to this Q1 (§6.2).
+      std::map<size_t, std::vector<size_t>> assoc;
+      for (size_t cy : q2) {
+        std::vector<size_t>& a = assoc[cy];
+        for (size_t cx : q1) {
+          if (cx == cy) continue;
+          if (clusters.cluster(cx).part == clusters.cluster(cy).part) {
+            continue;
+          }
+          if (degree_of(cy, cx) <= degree_limit(cy)) {
+            a.push_back(cx);
+          }
+        }
+        std::sort(a.begin(), a.end());
+      }
+
+      bool keep_going = ForEachSubset(
+          q2, options.max_consequent,
+          [&](const std::vector<size_t>& consequent) -> bool {
+            // Intersect assoc sets over the consequent.
+            std::vector<size_t> candidates = assoc[consequent[0]];
+            for (size_t i = 1; i < consequent.size() && !candidates.empty();
+                 ++i) {
+              std::vector<size_t> next;
+              const auto& other = assoc[consequent[i]];
+              std::set_intersection(candidates.begin(), candidates.end(),
+                                    other.begin(), other.end(),
+                                    std::back_inserter(next));
+              candidates = std::move(next);
+            }
+            if (candidates.empty()) return true;
+            // Antecedents must live on parts disjoint from the consequent's.
+            std::set<size_t> consequent_parts;
+            for (size_t cy : consequent) {
+              consequent_parts.insert(clusters.cluster(cy).part);
+            }
+            std::erase_if(candidates, [&](size_t cx) {
+              return consequent_parts.count(clusters.cluster(cx).part) > 0;
+            });
+            if (candidates.empty()) return true;
+
+            return ForEachSubset(
+                candidates, options.max_antecedent,
+                [&](const std::vector<size_t>& antecedent) -> bool {
+                  auto key = std::make_pair(antecedent, consequent);
+                  if (!seen.insert(key).second) return true;
+                  if (result.rules.size() >= options.max_rules) {
+                    result.truncated = true;
+                    return false;
+                  }
+                  DistanceRule rule;
+                  rule.antecedent = antecedent;
+                  rule.consequent = consequent;
+                  double degree = 0;
+                  for (size_t cy : consequent) {
+                    for (size_t cx : antecedent) {
+                      degree = std::max(degree, degree_of(cy, cx));
+                    }
+                  }
+                  rule.degree = degree;
+                  result.rules.push_back(std::move(rule));
+                  return true;
+                });
+          });
+      if (!keep_going) return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace dar

@@ -1,0 +1,40 @@
+#ifndef DAR_CORE_RULES_H_
+#define DAR_CORE_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "relation/partition.h"
+
+namespace dar {
+
+/// A distance-based association rule (Dfn 5.3):
+/// `C_X1 ... C_Xx => C_Y1 ... C_Yy` between clusters on pairwise disjoint
+/// attribute sets. `degree` is the rule's degree of association — the
+/// maximum over all antecedent/consequent pairs of `D(C_Yj[Yj], C_Xi[Yj])`
+/// (smaller = stronger implication); the rule "holds with degree D0" for
+/// any D0 >= degree.
+struct DistanceRule {
+  std::vector<size_t> antecedent;  // cluster ids, sorted
+  std::vector<size_t> consequent;  // cluster ids, sorted
+  double degree = 0;
+  /// Maximum pairwise antecedent/antecedent and consequent/consequent
+  /// co-occurrence distance relative to its part threshold, recorded for
+  /// diagnostics (always <= 1 by construction since subsets come from
+  /// cliques).
+  double cooccurrence_slack = 0;
+  /// Tuples assigned to every cluster of the rule; -1 until the optional
+  /// post-scan fills it (DarConfig::count_rule_support).
+  int64_t support_count = -1;
+
+  /// Pretty form, e.g. "[Age in [41, 47]] => [Claims in [10000, 14000]]
+  /// (degree=0.42)".
+  std::string ToString(const ClusterSet& clusters, const Schema& schema,
+                       const AttributePartition& partition) const;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_RULES_H_

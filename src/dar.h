@@ -1,0 +1,40 @@
+#ifndef DAR_DAR_H_
+#define DAR_DAR_H_
+
+/// Umbrella header: the full public API of the distance-based
+/// association-rule library. Include this (and link the `dar` CMake
+/// target) to get everything; individual headers remain available for
+/// finer-grained dependencies.
+
+#include "apriori/apriori.h"     // IWYU pragma: export
+#include "apriori/itemset.h"     // IWYU pragma: export
+#include "birch/acf.h"           // IWYU pragma: export
+#include "birch/acf_tree.h"      // IWYU pragma: export
+#include "birch/cf.h"            // IWYU pragma: export
+#include "birch/metrics.h"       // IWYU pragma: export
+#include "birch/refine.h"        // IWYU pragma: export
+#include "common/random.h"       // IWYU pragma: export
+#include "common/result.h"       // IWYU pragma: export
+#include "common/status.h"       // IWYU pragma: export
+#include "common/stopwatch.h"    // IWYU pragma: export
+#include "core/advisor.h"        // IWYU pragma: export
+#include "core/clustering_graph.h"  // IWYU pragma: export
+#include "core/config.h"         // IWYU pragma: export
+#include "core/generalized_qar.h"   // IWYU pragma: export
+#include "core/miner.h"          // IWYU pragma: export
+#include "core/model.h"          // IWYU pragma: export
+#include "core/phase1_builder.h"    // IWYU pragma: export
+#include "core/report.h"         // IWYU pragma: export
+#include "core/rule_gen.h"       // IWYU pragma: export
+#include "core/rules.h"          // IWYU pragma: export
+#include "datagen/fixtures.h"    // IWYU pragma: export
+#include "datagen/planted.h"     // IWYU pragma: export
+#include "qar/equidepth.h"       // IWYU pragma: export
+#include "qar/qar_miner.h"       // IWYU pragma: export
+#include "relation/csv.h"        // IWYU pragma: export
+#include "relation/metric.h"     // IWYU pragma: export
+#include "relation/partition.h"  // IWYU pragma: export
+#include "relation/relation.h"   // IWYU pragma: export
+#include "relation/schema.h"     // IWYU pragma: export
+
+#endif  // DAR_DAR_H_

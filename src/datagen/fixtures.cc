@@ -1,0 +1,100 @@
+#include "datagen/fixtures.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace dar {
+
+namespace {
+
+CsvTable MakeFig2(const std::vector<double>& last_two_salaries) {
+  Schema schema = *Schema::Make({{"Job", AttributeKind::kNominal},
+                                 {"Age", AttributeKind::kInterval},
+                                 {"Salary", AttributeKind::kInterval}});
+  CsvTable table{Relation(schema), std::vector<Dictionary>(3)};
+  Dictionary& jobs = table.dictionaries[0];
+  double mgr = jobs.Encode("Mgr");
+  double dba = jobs.Encode("DBA");
+  DAR_CHECK(table.relation.AppendRow({mgr, 30, 40000}).ok());
+  DAR_CHECK(table.relation.AppendRow({dba, 30, 40000}).ok());
+  DAR_CHECK(table.relation.AppendRow({dba, 30, 40000}).ok());
+  DAR_CHECK(table.relation.AppendRow({dba, 30, 40000}).ok());
+  DAR_CHECK(table.relation.AppendRow({dba, 30, last_two_salaries[0]}).ok());
+  DAR_CHECK(table.relation.AppendRow({dba, 30, last_two_salaries[1]}).ok());
+  return table;
+}
+
+}  // namespace
+
+std::vector<double> Fig1SalaryColumn() {
+  return {18000, 30000, 31000, 80000, 81000, 82000};
+}
+
+CsvTable Fig2RelationR1() { return MakeFig2({100000, 90000}); }
+
+CsvTable Fig2RelationR2() { return MakeFig2({41000, 42000}); }
+
+Result<AttributePartition> Fig2Partition(const Schema& schema) {
+  return AttributePartition::Make(
+      schema, {{{"Job"}, MetricKind::kDiscrete},
+               {{"Age"}, MetricKind::kEuclidean},
+               {{"Salary"}, MetricKind::kEuclidean}});
+}
+
+Result<Fig4Dataset> MakeFig4Dataset(const Fig4Options& options) {
+  if (options.intersection == 0 || options.scale == 0) {
+    return Status::InvalidArgument("intersection and scale must be positive");
+  }
+  Schema schema = *Schema::Make(
+      {{"X", AttributeKind::kInterval}, {"Y", AttributeKind::kInterval}});
+  DAR_ASSIGN_OR_RETURN(
+      AttributePartition partition,
+      AttributePartition::Make(schema, {{{"X"}, MetricKind::kEuclidean},
+                                        {{"Y"}, MetricKind::kEuclidean}}));
+  Relation rel(schema);
+  Rng rng(options.seed);
+
+  const double x0 = 50.0;
+  const double y0 = 50.0;
+  auto jitter = [&]() { return rng.Gaussian(0.0, options.jitter); };
+
+  for (size_t s = 0; s < options.scale; ++s) {
+    for (size_t i = 0; i < options.intersection; ++i) {
+      DAR_RETURN_IF_ERROR(rel.AppendRow({x0 + jitter(), y0 + jitter()}));
+    }
+    for (size_t i = 0; i < options.only_x; ++i) {
+      // In C_X, far from C_Y on the Y axis.
+      DAR_RETURN_IF_ERROR(
+          rel.AppendRow({x0 + jitter(), y0 + options.far_offset + jitter()}));
+    }
+    for (size_t i = 0; i < options.only_y; ++i) {
+      // In C_Y, near C_X on the X axis.
+      DAR_RETURN_IF_ERROR(
+          rel.AppendRow({x0 + options.near_offset + jitter(), y0 + jitter()}));
+    }
+  }
+  return Fig4Dataset{std::move(rel), std::move(partition)};
+}
+
+PlantedDataSpec InsuranceSpec() {
+  PlantedDataSpec spec;
+  spec.outlier_fraction = 0.08;
+
+  PlantedPart age{"Age", 1, MetricKind::kEuclidean,
+                  {{{44}, 1.6}, {{28}, 2.0}, {{62}, 2.2}},
+                  18, 80};
+  PlantedPart dependents{"Dependents", 1, MetricKind::kEuclidean,
+                         {{{3.5}, 0.5}, {{0.4}, 0.3}, {{1.8}, 0.4}},
+                         0, 8};
+  PlantedPart claims{"Claims", 1, MetricKind::kEuclidean,
+                     {{{12000}, 800}, {{2500}, 400}, {{6500}, 600}},
+                     0, 20000};
+  spec.parts = {age, dependents, claims};
+
+  // Pattern 0 is the §5.2 headline: middle-aged, several dependents, high
+  // claims. Patterns 1-2 are competing populations.
+  spec.patterns = {{{0, 0, 0}, 0.4}, {{1, 1, 1}, 0.35}, {{2, 2, 2}, 0.25}};
+  return spec;
+}
+
+}  // namespace dar

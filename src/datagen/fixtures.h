@@ -1,0 +1,69 @@
+#ifndef DAR_DATAGEN_FIXTURES_H_
+#define DAR_DATAGEN_FIXTURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/planted.h"
+#include "relation/csv.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace dar {
+
+/// The Figure-1 Salary column: {18K, 30K, 31K, 80K, 81K, 82K}. Equi-depth
+/// partitioning at depth 2 produces [18K,30K], [31K,80K], [81K,82K];
+/// distance-based clustering produces [18K,18K], [30K,31K], [80K,82K].
+std::vector<double> Fig1SalaryColumn();
+
+/// The Figure-2 relations over (Job nominal, Age, Salary). In both, the
+/// classical rule `Job=DBA AND Age=30 => Salary=40000` has support 50% and
+/// confidence 60%; R2's non-matching salaries (41K, 42K) are near 40K while
+/// R1's (100K, 90K) are far.
+CsvTable Fig2RelationR1();
+CsvTable Fig2RelationR2();
+
+/// The attribute partitioning used with the Figure-2 relations: Job
+/// (discrete metric), Age, Salary as three singleton parts.
+Result<AttributePartition> Fig2Partition(const Schema& schema);
+
+/// Parameters of the Figure-4 two-cluster scenario.
+struct Fig4Options {
+  /// Tuples in the intersection of C_X and C_Y (10 in the figure).
+  size_t intersection = 10;
+  /// Tuples in C_X - C_Y (2 in the figure): X values inside C_X, Y values
+  /// displaced from C_Y by `far_offset`.
+  size_t only_x = 2;
+  /// Tuples in C_Y - C_X (3 in the figure): Y values inside C_Y, X values
+  /// displaced from C_X by `near_offset`.
+  size_t only_y = 3;
+  /// Displacements relative to the cluster scale; the figure's point is
+  /// near_offset << far_offset.
+  double near_offset = 3.0;
+  double far_offset = 30.0;
+  /// Replication factor for every group (so frequency thresholds can be
+  /// met at scale 1:1 with the figure when == 1).
+  size_t scale = 1;
+  /// Gaussian jitter inside clusters.
+  double jitter = 0.25;
+  uint64_t seed = 42;
+};
+
+/// Two-attribute dataset realizing Figure 4: classical confidence favours
+/// C_X => C_Y (10/12 > 10/13), while the distance-based degree favours
+/// C_Y => C_X because the C_Y-only tuples sit close to the intersection.
+struct Fig4Dataset {
+  Relation relation;
+  AttributePartition partition;
+};
+Result<Fig4Dataset> MakeFig4Dataset(const Fig4Options& options);
+
+/// The §5.2 insurance scenario: Age, Dependents, Claims with planted
+/// patterns, the headline one being Age in [41,47] & Dependents in [2,5]
+/// => Claims around $10K-$14K.
+PlantedDataSpec InsuranceSpec();
+
+}  // namespace dar
+
+#endif  // DAR_DATAGEN_FIXTURES_H_

@@ -1,0 +1,263 @@
+#include "datagen/planted.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace dar {
+
+namespace {
+
+Status ValidateSpec(const PlantedDataSpec& spec) {
+  if (spec.parts.empty()) {
+    return Status::InvalidArgument("spec has no parts");
+  }
+  if (spec.patterns.empty()) {
+    return Status::InvalidArgument("spec has no patterns");
+  }
+  if (spec.outlier_fraction < 0 || spec.outlier_fraction >= 1) {
+    return Status::InvalidArgument("outlier_fraction must be in [0, 1)");
+  }
+  for (const auto& part : spec.parts) {
+    if (part.dim == 0) return Status::InvalidArgument("part with dim 0");
+    if (part.clusters.empty()) {
+      return Status::InvalidArgument("part '" + part.label +
+                                     "' has no clusters");
+    }
+    for (const auto& c : part.clusters) {
+      if (c.center.size() != part.dim) {
+        return Status::InvalidArgument("cluster center dimension mismatch in '" +
+                                       part.label + "'");
+      }
+    }
+    if (part.domain_lo >= part.domain_hi) {
+      return Status::InvalidArgument("invalid domain for '" + part.label +
+                                     "'");
+    }
+  }
+  for (const auto& pat : spec.patterns) {
+    if (pat.cluster_of_part.size() != spec.parts.size()) {
+      return Status::InvalidArgument("pattern arity != number of parts");
+    }
+    for (size_t p = 0; p < spec.parts.size(); ++p) {
+      int64_t idx = pat.cluster_of_part[p];
+      if (idx < -1 ||
+          idx >= static_cast<int64_t>(spec.parts[p].clusters.size())) {
+        return Status::InvalidArgument("pattern references unknown cluster");
+      }
+    }
+    if (pat.weight <= 0) {
+      return Status::InvalidArgument("pattern weight must be positive");
+    }
+  }
+  if (!spec.background_choices.empty()) {
+    if (spec.background_choices.size() != spec.parts.size()) {
+      return Status::InvalidArgument(
+          "background_choices size != number of parts");
+    }
+    for (size_t p = 0; p < spec.parts.size(); ++p) {
+      for (size_t idx : spec.background_choices[p]) {
+        if (idx >= spec.parts[p].clusters.size()) {
+          return Status::InvalidArgument(
+              "background choice references unknown cluster");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PlantedDataset> GeneratePlanted(const PlantedDataSpec& spec, size_t n,
+                                       uint64_t seed) {
+  DAR_RETURN_IF_ERROR(ValidateSpec(spec));
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+
+  // Schema: one interval column per dimension of each part.
+  std::vector<Attribute> attrs;
+  std::vector<std::pair<std::vector<std::string>, MetricKind>> part_specs;
+  for (const auto& part : spec.parts) {
+    std::vector<std::string> names;
+    for (size_t d = 0; d < part.dim; ++d) {
+      std::string name =
+          part.dim == 1 ? part.label : part.label + "_" + std::to_string(d);
+      attrs.push_back({name, part.metric == MetricKind::kDiscrete
+                                 ? AttributeKind::kNominal
+                                 : AttributeKind::kInterval});
+      names.push_back(std::move(name));
+    }
+    part_specs.emplace_back(std::move(names), part.metric);
+  }
+  DAR_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  DAR_ASSIGN_OR_RETURN(AttributePartition partition,
+                       AttributePartition::Make(schema, part_specs));
+
+  Rng rng(seed);
+  std::vector<double> weights;
+  weights.reserve(spec.patterns.size());
+  for (const auto& pat : spec.patterns) weights.push_back(pat.weight);
+
+  Relation rel(schema);
+  rel.Reserve(n);
+  std::vector<int32_t> pattern_of_row;
+  pattern_of_row.reserve(n);
+
+  std::vector<double> row(schema.num_attributes());
+  for (size_t i = 0; i < n; ++i) {
+    bool outlier = rng.Bernoulli(spec.outlier_fraction);
+    int32_t pattern = -1;
+    if (!outlier) pattern = static_cast<int32_t>(rng.Categorical(weights));
+    size_t col = 0;
+    for (size_t p = 0; p < spec.parts.size(); ++p) {
+      const PlantedPart& part = spec.parts[p];
+      if (outlier) {
+        for (size_t d = 0; d < part.dim; ++d) {
+          row[col++] = rng.Uniform(part.domain_lo, part.domain_hi);
+        }
+      } else {
+        int64_t idx = spec.patterns[pattern].cluster_of_part[p];
+        if (idx < 0) {
+          // Unconstrained part: draw a background cluster.
+          if (p < spec.background_choices.size() &&
+              !spec.background_choices[p].empty()) {
+            const auto& choices = spec.background_choices[p];
+            idx = static_cast<int64_t>(choices[static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(choices.size()) - 1))]);
+          } else {
+            idx = rng.UniformInt(
+                0, static_cast<int64_t>(part.clusters.size()) - 1);
+          }
+        }
+        const PlantedCluster& c = part.clusters[static_cast<size_t>(idx)];
+        for (size_t d = 0; d < part.dim; ++d) {
+          double v = rng.Gaussian(c.center[d], c.stddev);
+          if (part.metric == MetricKind::kDiscrete) v = c.center[d];
+          row[col++] = v;
+        }
+      }
+    }
+    DAR_RETURN_IF_ERROR(rel.AppendRow(row));
+    pattern_of_row.push_back(pattern);
+  }
+  return PlantedDataset{std::move(rel), std::move(partition),
+                        std::move(pattern_of_row)};
+}
+
+PlantedDataSpec WbcdLikeSpec(size_t num_attrs, size_t clusters_per_attr,
+                             double outlier_fraction, uint64_t seed) {
+  PlantedDataSpec spec;
+  spec.outlier_fraction = outlier_fraction;
+  Rng rng(seed);
+
+  // Well-separated cluster centers per attribute: slots on a jittered grid
+  // so the planted structure is recoverable at small diameter thresholds.
+  const double kDomainLo = 0.0;
+  const double kDomainHi = 1000.0;
+  double slot = (kDomainHi - kDomainLo) / static_cast<double>(
+                                              clusters_per_attr);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    PlantedPart part;
+    part.label = "attr" + std::to_string(a);
+    part.dim = 1;
+    part.metric = MetricKind::kEuclidean;
+    part.domain_lo = kDomainLo;
+    part.domain_hi = kDomainHi;
+    for (size_t k = 0; k < clusters_per_attr; ++k) {
+      PlantedCluster c;
+      double base = kDomainLo + (static_cast<double>(k) + 0.5) * slot;
+      c.center = {base + rng.Uniform(-0.15 * slot, 0.15 * slot)};
+      c.stddev = 0.04 * slot;
+      part.clusters.push_back(std::move(c));
+    }
+    spec.parts.push_back(std::move(part));
+  }
+  // Pattern k aligns cluster k of every attribute, so every attribute pair
+  // carries a planted distance-based rule.
+  for (size_t k = 0; k < clusters_per_attr; ++k) {
+    PlantedPattern pat;
+    pat.cluster_of_part.assign(num_attrs, static_cast<int64_t>(k));
+    pat.weight = 1.0;
+    spec.patterns.push_back(std::move(pat));
+  }
+  return spec;
+}
+
+Result<PlantedDataSpec> WbcdPartialPatternSpec(size_t num_attrs,
+                                               size_t clusters_per_attr,
+                                               size_t num_patterns,
+                                               size_t attrs_per_pattern,
+                                               double outlier_fraction,
+                                               uint64_t seed) {
+  if (attrs_per_pattern == 0 || attrs_per_pattern > num_attrs) {
+    return Status::InvalidArgument(
+        "attrs_per_pattern must be in [1, num_attrs]");
+  }
+  size_t total_claims = num_patterns * attrs_per_pattern;
+  size_t claims_per_attr = (total_claims + num_attrs - 1) / num_attrs;
+  if (claims_per_attr + 1 > clusters_per_attr) {
+    return Status::InvalidArgument(
+        "clusters_per_attr too small: need > " +
+        std::to_string(claims_per_attr) +
+        " to leave room for background clusters");
+  }
+  // Start from the fully-aligned spec (same parts/centers), then rewrite
+  // the pattern structure.
+  PlantedDataSpec spec =
+      WbcdLikeSpec(num_attrs, clusters_per_attr, outlier_fraction, seed);
+  spec.patterns.clear();
+
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  // Dedicated (pattern-claimed) cluster indices are a random sample of each
+  // attribute's clusters, interleaved with the background clusters across
+  // the whole domain. Confining claims to a prefix would concentrate
+  // background clusters in one half of the domain and shrink the
+  // inter-cluster distances between unrelated background images.
+  std::vector<std::vector<size_t>> perm(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    perm[a].resize(clusters_per_attr);
+    for (size_t k = 0; k < clusters_per_attr; ++k) perm[a][k] = k;
+    rng.Shuffle(perm[a]);
+  }
+  // Assign each pattern `attrs_per_pattern` attributes, spreading claims
+  // evenly.
+  std::vector<size_t> next_free(num_attrs, 0);  // index into perm[a]
+  for (size_t p = 0; p < num_patterns; ++p) {
+    PlantedPattern pat;
+    pat.cluster_of_part.assign(num_attrs, -1);
+    pat.weight = 1.0;
+    // Prefer attributes with the fewest claims so far (keeps claims even),
+    // breaking ties randomly.
+    std::vector<size_t> eligible;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (next_free[a] < claims_per_attr) eligible.push_back(a);
+    }
+    if (eligible.size() < attrs_per_pattern) {
+      return Status::InvalidArgument(
+          "cannot place pattern " + std::to_string(p) +
+          ": not enough attributes with free dedicated clusters");
+    }
+    rng.Shuffle(eligible);
+    std::stable_sort(eligible.begin(), eligible.end(),
+                     [&](size_t a, size_t b) {
+                       return next_free[a] < next_free[b];
+                     });
+    for (size_t i = 0; i < attrs_per_pattern; ++i) {
+      size_t attr = eligible[i];
+      pat.cluster_of_part[attr] =
+          static_cast<int64_t>(perm[attr][next_free[attr]++]);
+    }
+    spec.patterns.push_back(std::move(pat));
+  }
+  // Background clusters: the unclaimed remainder of each permutation.
+  spec.background_choices.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    for (size_t k = claims_per_attr; k < clusters_per_attr; ++k) {
+      spec.background_choices[a].push_back(perm[a][k]);
+    }
+  }
+  return spec;
+}
+
+}  // namespace dar

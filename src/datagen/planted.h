@@ -1,0 +1,99 @@
+#ifndef DAR_DATAGEN_PLANTED_H_
+#define DAR_DATAGEN_PLANTED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace dar {
+
+/// One planted (ground-truth) cluster of a synthetic attribute set: points
+/// are drawn Gaussian around `center` with `stddev` per dimension.
+struct PlantedCluster {
+  std::vector<double> center;
+  double stddev = 1.0;
+};
+
+/// One synthetic attribute set.
+struct PlantedPart {
+  std::string label;
+  size_t dim = 1;
+  MetricKind metric = MetricKind::kEuclidean;
+  std::vector<PlantedCluster> clusters;
+  /// Domain used for uniform outlier tuples.
+  double domain_lo = 0;
+  double domain_hi = 100;
+};
+
+/// A cross-attribute co-occurrence pattern: tuples drawn from this pattern
+/// take cluster `cluster_of_part[p]` on part p. Patterns are the planted
+/// ground truth behind distance-based rules — every pair of clusters chosen
+/// by a common pattern genuinely co-occurs. An entry of -1 leaves that part
+/// unconstrained: the tuple draws a background cluster for it (see
+/// PlantedDataSpec::background_choices), so the pattern correlates only the
+/// parts it names.
+struct PlantedPattern {
+  std::vector<int64_t> cluster_of_part;
+  double weight = 1.0;
+};
+
+/// Full synthetic-data specification.
+struct PlantedDataSpec {
+  std::vector<PlantedPart> parts;
+  std::vector<PlantedPattern> patterns;
+  /// Fraction of tuples drawn uniformly over the domains (the "irrelevant
+  /// (or outliers) points" of §7.2).
+  double outlier_fraction = 0.0;
+  /// Per part: the cluster indices an unconstrained (-1) pattern entry may
+  /// draw from. Empty (or missing part entry) means all of the part's
+  /// clusters.
+  std::vector<std::vector<size_t>> background_choices;
+};
+
+/// A generated dataset: the relation, its partitioning, and per-tuple
+/// ground truth (pattern index, or -1 for outlier tuples).
+struct PlantedDataset {
+  Relation relation;
+  AttributePartition partition;
+  std::vector<int32_t> pattern_of_row;
+};
+
+/// Validates `spec` and generates `n` tuples with the given seed. Column
+/// names are "<label>_<d>" (or just "<label>" for 1-d parts); identical
+/// seeds give identical data.
+Result<PlantedDataset> GeneratePlanted(const PlantedDataSpec& spec, size_t n,
+                                       uint64_t seed);
+
+/// Builds a WBCD-like specification (§7.2 substitute): `num_attrs`
+/// independent 1-d interval attributes, `clusters_per_attr` well-separated
+/// planted clusters each, and `clusters_per_attr` cross-attribute patterns
+/// aligning cluster k of every attribute. Scaling `n` in GeneratePlanted
+/// increases points per cluster (and outliers proportionally) while the
+/// cluster structure stays constant — exactly the §7.2 scaling experiment.
+PlantedDataSpec WbcdLikeSpec(size_t num_attrs, size_t clusters_per_attr,
+                             double outlier_fraction, uint64_t seed);
+
+/// Builds the §7.2 evaluation workload: like WbcdLikeSpec, but each of
+/// `num_patterns` patterns correlates only `attrs_per_pattern` randomly
+/// chosen attributes, claiming a *dedicated* cluster on each (so pattern
+/// clusters contain only their pattern's tuples); the remaining clusters of
+/// every attribute are background clusters drawn uniformly by unconstrained
+/// tuples. This produces the paper's §7.2 shape — on the order of
+/// `num_attrs * clusters_per_attr` ACFs and `num_patterns` non-trivial
+/// cliques — and scales in N with the cluster structure held constant.
+/// Requires clusters_per_attr to exceed the per-attribute claim count
+/// (ceil(num_patterns * attrs_per_pattern / num_attrs)).
+Result<PlantedDataSpec> WbcdPartialPatternSpec(size_t num_attrs,
+                                               size_t clusters_per_attr,
+                                               size_t num_patterns,
+                                               size_t attrs_per_pattern,
+                                               double outlier_fraction,
+                                               uint64_t seed);
+
+}  // namespace dar
+
+#endif  // DAR_DATAGEN_PLANTED_H_

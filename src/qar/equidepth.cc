@@ -1,0 +1,65 @@
+#include "qar/equidepth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dar {
+
+std::string ValueInterval::ToString() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "]";
+  return os.str();
+}
+
+Result<std::vector<ValueInterval>> EquiDepthPartition(
+    std::span<const double> values, size_t num_intervals) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot partition an empty column");
+  }
+  if (num_intervals == 0) {
+    return Status::InvalidArgument("num_intervals must be positive");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<ValueInterval> out;
+  size_t n = sorted.size();
+  size_t start = 0;
+  for (size_t k = 0; k < num_intervals && start < n; ++k) {
+    // Ideal right boundary of the k-th interval by rank.
+    size_t end = (k + 1) * n / num_intervals;
+    if (end <= start) end = start + 1;
+    // Never split a run of equal values: extend to the end of the run.
+    while (end < n && sorted[end] == sorted[end - 1]) ++end;
+    if (k + 1 == num_intervals) end = n;  // last interval takes the rest
+    ValueInterval iv;
+    iv.lo = sorted[start];
+    iv.hi = sorted[end - 1];
+    iv.count = static_cast<int64_t>(end - start);
+    out.push_back(iv);
+    start = end;
+  }
+  // If ties exhausted the data early, the loop above already stopped.
+  return out;
+}
+
+Result<size_t> NumIntervalsForPartialCompleteness(double min_support,
+                                                  size_t num_quant_attrs,
+                                                  double k) {
+  if (min_support <= 0 || min_support > 1) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (k <= 1) {
+    return Status::InvalidArgument(
+        "partial completeness level K must exceed 1");
+  }
+  if (num_quant_attrs == 0) {
+    return Status::InvalidArgument("need at least one quantitative attribute");
+  }
+  double v = 2.0 * static_cast<double>(num_quant_attrs) /
+             (min_support * (k - 1.0));
+  return static_cast<size_t>(std::ceil(v));
+}
+
+}  // namespace dar

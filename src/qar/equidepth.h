@@ -1,0 +1,48 @@
+#ifndef DAR_QAR_EQUIDEPTH_H_
+#define DAR_QAR_EQUIDEPTH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dar {
+
+/// A closed value interval [lo, hi] with the number of column values it
+/// covers. The building block of the Srikant-Agrawal quantitative
+/// association rules [SA96] that the paper's Figure 1 contrasts with
+/// distance-based clusters.
+struct ValueInterval {
+  double lo = 0;
+  double hi = 0;
+  int64_t count = 0;
+
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+  std::string ToString() const;
+};
+
+/// Equi-depth partitioning of a column into (at most) `num_intervals`
+/// intervals of roughly equal support (§2: "for a depth d, the first d
+/// values (in order) are placed in one interval, the next d in a second
+/// interval, etc."). Equal values are never split across intervals, so
+/// fewer intervals may be returned for heavily-tied columns.
+///
+/// This is the *ordinal* partitioning whose blindness to value distances
+/// motivates the paper (Goal 1): given the Figure-1 salary column it happily
+/// produces [31K, 80K].
+Result<std::vector<ValueInterval>> EquiDepthPartition(
+    std::span<const double> values, size_t num_intervals);
+
+/// Number of base intervals per attribute prescribed by a
+/// K-partial-completeness level [SA96, Lemma 1]:
+/// `2 * n / (m * (K - 1))` where n is the number of quantitative
+/// attributes, m the minimum support (fraction) and K > 1 the level.
+Result<size_t> NumIntervalsForPartialCompleteness(double min_support,
+                                                  size_t num_quant_attrs,
+                                                  double k);
+
+}  // namespace dar
+
+#endif  // DAR_QAR_EQUIDEPTH_H_

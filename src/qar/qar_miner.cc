@@ -1,0 +1,178 @@
+#include "qar/qar_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <cmath>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace dar {
+
+namespace {
+
+// One mineable unit: a predicate plus the item id assigned to it.
+struct ItemInfo {
+  QarPredicate predicate;
+};
+
+}  // namespace
+
+std::string QarRule::ToString(const Schema& schema) const {
+  auto render = [&](const std::vector<QarPredicate>& preds) {
+    std::string out;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (i > 0) out += " AND ";
+      const std::string& name = schema.attribute(preds[i].column).name;
+      if (preds[i].is_nominal) {
+        out += name + " = " + FormatDouble(preds[i].lo);
+      } else {
+        out += FormatDouble(preds[i].lo) + " <= " + name +
+               " <= " + FormatDouble(preds[i].hi);
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << render(antecedent) << " => " << render(consequent)
+     << " (support=" << support << ", confidence=" << confidence << ")";
+  return os.str();
+}
+
+Result<QarResult> QarMiner::Mine(const Relation& rel) const {
+  if (rel.num_rows() == 0) {
+    return Status::InvalidArgument("relation is empty");
+  }
+  if (options_.min_support <= 0 || options_.min_support > 1) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  const Schema& schema = rel.schema();
+  size_t n = rel.num_rows();
+
+  size_t num_quant = 0;
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (schema.attribute(c).kind == AttributeKind::kInterval) ++num_quant;
+  }
+
+  QarResult result;
+  result.base_intervals.resize(schema.num_attributes());
+
+  // Build items: base intervals + merged ranges for interval attributes,
+  // one item per distinct value for nominal attributes.
+  std::vector<ItemInfo> items;
+  std::vector<size_t> item_column;  // column of each item, for the filter
+  auto add_item = [&](const QarPredicate& p) {
+    items.push_back({p});
+    item_column.push_back(p.column);
+  };
+
+  int64_t max_merged_count = static_cast<int64_t>(
+      std::floor(options_.max_merged_support * static_cast<double>(n)));
+
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (schema.attribute(c).kind == AttributeKind::kNominal) {
+      std::vector<double> distinct(rel.column(c).begin(),
+                                   rel.column(c).end());
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      for (double v : distinct) {
+        add_item({c, /*is_nominal=*/true, v, v});
+      }
+      continue;
+    }
+    size_t base = options_.max_base_intervals;
+    if (num_quant > 0) {
+      DAR_ASSIGN_OR_RETURN(
+          size_t prescribed,
+          NumIntervalsForPartialCompleteness(options_.min_support, num_quant,
+                                             options_.partial_completeness));
+      base = std::min(base, prescribed);
+    }
+    DAR_ASSIGN_OR_RETURN(std::vector<ValueInterval> intervals,
+                         EquiDepthPartition(rel.column(c), base));
+    result.base_intervals[c] = intervals;
+    // Base intervals.
+    for (const auto& iv : intervals) {
+      add_item({c, /*is_nominal=*/false, iv.lo, iv.hi});
+    }
+    // Merged ranges of consecutive base intervals, capped by max-support.
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      int64_t covered = intervals[i].count;
+      for (size_t j = i + 1; j < intervals.size(); ++j) {
+        covered += intervals[j].count;
+        if (covered > max_merged_count) break;
+        add_item({c, /*is_nominal=*/false, intervals[i].lo, intervals[j].hi});
+      }
+    }
+  }
+  result.num_items = items.size();
+
+  // Encode tuples as transactions.
+  std::vector<Itemset> transactions(n);
+  for (size_t r = 0; r < n; ++r) {
+    Itemset& t = transactions[r];
+    for (size_t id = 0; id < items.size(); ++id) {
+      const QarPredicate& p = items[id].predicate;
+      if (p.Matches(rel.at(r, p.column))) {
+        t.push_back(static_cast<Item>(id));
+      }
+    }
+    // Items are generated column-by-column in increasing id order, so t is
+    // already sorted and unique.
+  }
+
+  AprioriOptions ap;
+  ap.min_support_count = static_cast<int64_t>(
+      std::ceil(options_.min_support * static_cast<double>(n)));
+  if (ap.min_support_count < 1) ap.min_support_count = 1;
+  ap.min_confidence = options_.min_confidence;
+  ap.max_itemset_size = options_.max_itemset_size;
+  ap.candidate_filter = [&item_column](const Itemset& candidate) {
+    for (size_t i = 0; i + 1 < candidate.size(); ++i) {
+      // Items of the same column have consecutive ids; equal columns in a
+      // sorted candidate are adjacent.
+      if (item_column[candidate[i]] == item_column[candidate[i + 1]]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  DAR_ASSIGN_OR_RETURN(std::vector<FrequentItemset> frequent,
+                       MineFrequentItemsets(transactions, ap));
+  DAR_ASSIGN_OR_RETURN(std::vector<AssociationRule> raw,
+                       GenerateRules(frequent, transactions.size(), ap));
+
+  // Itemset counts for the independence-based interest measure [SA96].
+  std::unordered_map<Itemset, int64_t, ItemsetHash> counts;
+  if (options_.min_interest > 0) {
+    counts.reserve(frequent.size() * 2);
+    for (const auto& f : frequent) counts[f.items] = f.count;
+  }
+
+  result.rules.reserve(raw.size());
+  for (const auto& rule : raw) {
+    QarRule out;
+    if (options_.min_interest > 0) {
+      double count_a = static_cast<double>(counts.at(rule.antecedent));
+      double count_b = static_cast<double>(counts.at(rule.consequent));
+      double expected = count_a * count_b / static_cast<double>(n);
+      out.interest = expected > 0 ? rule.support_count / expected : 0;
+      if (out.interest < options_.min_interest) continue;
+    }
+    for (Item it : rule.antecedent) {
+      out.antecedent.push_back(items[it].predicate);
+    }
+    for (Item it : rule.consequent) {
+      out.consequent.push_back(items[it].predicate);
+    }
+    out.support_count = rule.support_count;
+    out.support = rule.support;
+    out.confidence = rule.confidence;
+    result.rules.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace dar

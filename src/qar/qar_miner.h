@@ -1,0 +1,96 @@
+#ifndef DAR_QAR_QAR_MINER_H_
+#define DAR_QAR_QAR_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "apriori/apriori.h"
+#include "common/result.h"
+#include "qar/equidepth.h"
+#include "relation/relation.h"
+
+namespace dar {
+
+/// Parameters for the quantitative-association-rule baseline [SA96].
+struct QarOptions {
+  /// Minimum support as a fraction of the relation size.
+  double min_support = 0.05;
+  /// Minimum confidence for emitted rules.
+  double min_confidence = 0.5;
+  /// Partial-completeness level K (> 1); determines the number of base
+  /// equi-depth intervals per quantitative attribute.
+  double partial_completeness = 2.0;
+  /// Hard cap on base intervals per attribute (guards tiny min_support).
+  size_t max_base_intervals = 64;
+  /// Adjacent base intervals are merged into ranges while the merged range
+  /// covers at most this fraction of the tuples (SA96's max-support cap,
+  /// which prevents ranges from swallowing the whole domain).
+  double max_merged_support = 0.5;
+  /// Upper bound on itemset size explored by Apriori.
+  size_t max_itemset_size = 3;
+  /// Interest filter [SA96]: keep a rule only if its support exceeds
+  /// `min_interest` times the support expected were antecedent and
+  /// consequent independent (count(A) * count(B) / N). 0 disables the
+  /// filter; values around 1.1-2.0 prune coincidental rules.
+  double min_interest = 0;
+};
+
+/// One predicate of a quantitative association rule: either a range
+/// predicate `lo <= column <= hi` (interval attribute) or an equality
+/// predicate `column = value` (nominal attribute).
+struct QarPredicate {
+  size_t column = 0;
+  bool is_nominal = false;
+  double lo = 0;  // for ranges; for nominal, lo == hi == value
+  double hi = 0;
+
+  bool Matches(double v) const {
+    return is_nominal ? v == lo : (lo <= v && v <= hi);
+  }
+};
+
+/// A quantitative association rule (Dfn 4.3): `I_X => I_Y` over disjoint
+/// attribute sets, with classical support and confidence.
+struct QarRule {
+  std::vector<QarPredicate> antecedent;
+  std::vector<QarPredicate> consequent;
+  int64_t support_count = 0;
+  double support = 0;
+  double confidence = 0;
+  /// Ratio of actual to independence-expected support (see
+  /// QarOptions::min_interest); 0 when the filter is disabled.
+  double interest = 0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Mining output: the rules plus the base equi-depth partitioning per
+/// column (empty for nominal columns), exposed for Figure-1-style
+/// inspection.
+struct QarResult {
+  std::vector<QarRule> rules;
+  std::vector<std::vector<ValueInterval>> base_intervals;
+  size_t num_items = 0;
+};
+
+/// The Srikant-Agrawal quantitative association rule miner used as the
+/// paper's baseline: equi-depth partitioning driven by a
+/// partial-completeness level, merging of adjacent intervals up to a
+/// max-support cap, dictionary items for nominal values, and classical
+/// Apriori over the item-encoded tuples. Itemsets combining two predicates
+/// on the same attribute are excluded (via the Apriori candidate filter).
+class QarMiner {
+ public:
+  explicit QarMiner(QarOptions options) : options_(options) {}
+
+  /// Mines rules from `rel`. Interval vs nominal attributes are taken from
+  /// the relation's schema.
+  Result<QarResult> Mine(const Relation& rel) const;
+
+ private:
+  QarOptions options_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_QAR_QAR_MINER_H_

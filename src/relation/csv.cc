@@ -1,0 +1,117 @@
+#include "relation/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace dar {
+
+namespace {
+
+// Reads all non-empty lines from `in`, stripping a trailing '\r' (CRLF).
+std::vector<std::string> ReadLines(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+Result<CsvTable> ReadCsv(std::istream& in, const CsvOptions& options) {
+  std::vector<std::string> lines = ReadLines(in);
+  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> names;
+  size_t first_data_line = 0;
+  if (options.has_header) {
+    for (const auto& f : Split(lines[0], options.delimiter)) {
+      names.emplace_back(StripWhitespace(f));
+    }
+    first_data_line = 1;
+  } else {
+    size_t width = Split(lines[0], options.delimiter).size();
+    for (size_t i = 0; i < width; ++i) names.push_back("c" + std::to_string(i));
+  }
+
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& name : names) {
+    AttributeKind kind =
+        std::find(options.nominal_columns.begin(),
+                  options.nominal_columns.end(),
+                  name) != options.nominal_columns.end()
+            ? AttributeKind::kNominal
+            : AttributeKind::kInterval;
+    attrs.push_back({name, kind});
+  }
+  DAR_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+
+  CsvTable table{Relation(schema), std::vector<Dictionary>(names.size())};
+  std::vector<double> row(names.size());
+  for (size_t li = first_data_line; li < lines.size(); ++li) {
+    std::vector<std::string> fields = Split(lines[li], options.delimiter);
+    if (fields.size() != names.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(li + 1) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(names.size()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      std::string_view field = StripWhitespace(fields[c]);
+      if (schema.attribute(c).kind == AttributeKind::kNominal) {
+        row[c] = table.dictionaries[c].Encode(std::string(field));
+      } else {
+        auto parsed = ParseDouble(field);
+        if (!parsed.ok()) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(li + 1) + ", column '" + names[c] +
+              "': " + parsed.status().message());
+        }
+        row[c] = *parsed;
+      }
+    }
+    DAR_RETURN_IF_ERROR(table.relation.AppendRow(row));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const CsvTable& table, std::ostream& out, char delimiter) {
+  const Relation& rel = table.relation;
+  const Schema& schema = rel.schema();
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (c > 0) out << delimiter;
+    out << schema.attribute(c).name;
+  }
+  out << "\n";
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) out << delimiter;
+      double v = rel.at(r, c);
+      if (schema.attribute(c).kind == AttributeKind::kNominal) {
+        DAR_ASSIGN_OR_RETURN(std::string label,
+                             table.dictionaries[c].Decode(v));
+        out << label;
+      } else {
+        out << FormatDouble(v);
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+}  // namespace dar

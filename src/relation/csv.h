@@ -1,0 +1,47 @@
+#ifndef DAR_RELATION_CSV_H_
+#define DAR_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace dar {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Whether the first line names the columns. When false, columns are named
+  /// "c0", "c1", ...
+  bool has_header = true;
+  /// Columns (by name) to treat as nominal; everything else is interval.
+  std::vector<std::string> nominal_columns;
+};
+
+/// Result of reading a CSV: the relation plus the dictionaries that encoded
+/// each nominal column (keyed by column index; interval columns have empty
+/// dictionaries).
+struct CsvTable {
+  Relation relation;
+  std::vector<Dictionary> dictionaries;
+};
+
+/// Parses CSV text from `in`. Nominal columns are dictionary-encoded; any
+/// non-numeric value in an interval column is an error.
+Result<CsvTable> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Reads a CSV file from `path`.
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Writes `table` as CSV (header + rows). Nominal columns are decoded back
+/// to their labels via the supplied dictionaries.
+Status WriteCsv(const CsvTable& table, std::ostream& out,
+                char delimiter = ',');
+
+}  // namespace dar
+
+#endif  // DAR_RELATION_CSV_H_

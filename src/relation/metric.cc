@@ -1,0 +1,55 @@
+#include "relation/metric.h"
+
+#include "common/logging.h"
+
+namespace dar {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kEuclidean:
+      return "euclidean";
+    case MetricKind::kManhattan:
+      return "manhattan";
+    case MetricKind::kDiscrete:
+      return "discrete";
+  }
+  return "unknown";
+}
+
+double PointDistance(MetricKind kind, std::span<const double> a,
+                     std::span<const double> b) {
+  DAR_CHECK_EQ(a.size(), b.size());
+  switch (kind) {
+    case MetricKind::kEuclidean: {
+      double s = 0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+      }
+      return std::sqrt(s);
+    }
+    case MetricKind::kManhattan: {
+      double s = 0;
+      for (size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+      return s;
+    }
+    case MetricKind::kDiscrete: {
+      double s = 0;
+      for (size_t i = 0; i < a.size(); ++i) s += (a[i] != b[i]) ? 1.0 : 0.0;
+      return s;
+    }
+  }
+  return 0;
+}
+
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
+  DAR_CHECK_EQ(a.size(), b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace dar

@@ -1,0 +1,37 @@
+#ifndef DAR_RELATION_METRIC_H_
+#define DAR_RELATION_METRIC_H_
+
+#include <cmath>
+#include <span>
+#include <string>
+
+namespace dar {
+
+/// Distance metric attached to an attribute set (the paper's delta_X, §4.1).
+///
+/// - kEuclidean / kManhattan: the interval-data metrics used throughout the
+///   paper's examples.
+/// - kDiscrete: the 0/1 metric of §5.1 (`delta(x,y) = [x != y]`), which makes
+///   distance-based rules degenerate to classical rules (Theorems 5.1/5.2).
+///   Nominal attributes are dictionary-encoded and given this metric.
+enum class MetricKind : int {
+  kEuclidean = 0,
+  kManhattan = 1,
+  kDiscrete = 2,
+};
+
+/// Stable name ("euclidean", "manhattan", "discrete").
+const char* MetricKindToString(MetricKind kind);
+
+/// Point-to-point distance between two equally-sized value vectors under
+/// `kind`. For kDiscrete the distance is the count of differing coordinates
+/// (which for one dimension is exactly the paper's 0/1 metric).
+double PointDistance(MetricKind kind, std::span<const double> a,
+                     std::span<const double> b);
+
+/// Squared Euclidean norm of `a - b`; helper shared by the CF algebra.
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b);
+
+}  // namespace dar
+
+#endif  // DAR_RELATION_METRIC_H_

@@ -1,0 +1,74 @@
+#include "relation/partition.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dar {
+
+Result<AttributePartition> AttributePartition::Make(
+    const Schema& schema,
+    const std::vector<std::pair<std::vector<std::string>, MetricKind>>&
+        parts) {
+  std::vector<AttributeSet> out;
+  std::set<size_t> used;
+  for (const auto& [names, metric] : parts) {
+    if (names.empty()) {
+      return Status::InvalidArgument("attribute set must not be empty");
+    }
+    AttributeSet set;
+    set.metric = metric;
+    for (const auto& name : names) {
+      DAR_ASSIGN_OR_RETURN(size_t col, schema.IndexOf(name));
+      if (!used.insert(col).second) {
+        return Status::InvalidArgument("attribute '" + name +
+                                       "' appears in more than one part");
+      }
+      if (schema.attribute(col).kind == AttributeKind::kNominal &&
+          metric != MetricKind::kDiscrete) {
+        return Status::InvalidArgument(
+            "nominal attribute '" + name +
+            "' requires the discrete metric (got " +
+            MetricKindToString(metric) + ")");
+      }
+      set.columns.push_back(col);
+      if (!set.label.empty()) set.label += "+";
+      set.label += name;
+    }
+    std::sort(set.columns.begin(), set.columns.end());
+    out.push_back(std::move(set));
+  }
+  return AttributePartition(std::move(out));
+}
+
+AttributePartition AttributePartition::SingletonPartition(
+    const Schema& schema) {
+  std::vector<AttributeSet> parts;
+  parts.reserve(schema.num_attributes());
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    AttributeSet set;
+    set.columns = {c};
+    set.metric = schema.attribute(c).kind == AttributeKind::kNominal
+                     ? MetricKind::kDiscrete
+                     : MetricKind::kEuclidean;
+    set.label = schema.attribute(c).name;
+    parts.push_back(std::move(set));
+  }
+  return AttributePartition(std::move(parts));
+}
+
+Result<size_t> AttributePartition::PartOfColumn(size_t col) const {
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    const auto& cols = parts_[i].columns;
+    if (std::find(cols.begin(), cols.end(), col) != cols.end()) return i;
+  }
+  return Status::NotFound("column " + std::to_string(col) +
+                          " is not covered by the partition");
+}
+
+size_t AttributePartition::TotalColumns() const {
+  size_t n = 0;
+  for (const auto& p : parts_) n += p.columns.size();
+  return n;
+}
+
+}  // namespace dar

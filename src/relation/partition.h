@@ -1,0 +1,66 @@
+#ifndef DAR_RELATION_PARTITION_H_
+#define DAR_RELATION_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/metric.h"
+#include "relation/schema.h"
+
+namespace dar {
+
+/// One element X_i of the user-supplied attribute partitioning (§4.3, §6):
+/// a set of columns over which a single distance metric delta_{X_i} is
+/// meaningful (e.g. {Latitude, Longitude} with Euclidean distance, or a lone
+/// Salary column).
+struct AttributeSet {
+  /// Column indices into the relation's schema, in ascending order.
+  std::vector<size_t> columns;
+  MetricKind metric = MetricKind::kEuclidean;
+  /// Human-readable label, e.g. "Salary" or "Lat+Lon" (derived from the
+  /// schema when built via AttributePartition::Make).
+  std::string label;
+
+  size_t dimension() const { return columns.size(); }
+};
+
+/// A partitioning of (a subset of) a relation's attributes into disjoint
+/// attribute sets. The mining algorithms build one ACF-tree per part and
+/// never compare values across parts except through cluster summaries.
+class AttributePartition {
+ public:
+  AttributePartition() = default;
+
+  /// Validates that parts are non-empty, disjoint, within the schema, and
+  /// that nominal columns use the discrete metric. `parts[i]` is given by
+  /// attribute name lists.
+  static Result<AttributePartition> Make(
+      const Schema& schema,
+      const std::vector<std::pair<std::vector<std::string>, MetricKind>>&
+          parts);
+
+  /// Builds the default partitioning: one single-column part per attribute,
+  /// Euclidean for interval attributes, discrete for nominal ones.
+  static AttributePartition SingletonPartition(const Schema& schema);
+
+  size_t num_parts() const { return parts_.size(); }
+  const AttributeSet& part(size_t i) const { return parts_.at(i); }
+  const std::vector<AttributeSet>& parts() const { return parts_; }
+
+  /// Index of the part containing column `col`, or NotFound.
+  Result<size_t> PartOfColumn(size_t col) const;
+
+  /// Total number of columns covered by all parts.
+  size_t TotalColumns() const;
+
+ private:
+  explicit AttributePartition(std::vector<AttributeSet> parts)
+      : parts_(std::move(parts)) {}
+
+  std::vector<AttributeSet> parts_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_RELATION_PARTITION_H_

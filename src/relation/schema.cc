@@ -1,0 +1,86 @@
+#include "relation/schema.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dar {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i].name, i);
+  }
+}
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  std::map<std::string, size_t> seen;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    auto [it, inserted] = seen.emplace(attributes[i].name, i);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute name '" +
+                                     attributes[i].name + "'");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].kind != other.attributes_[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += attributes_[i].kind == AttributeKind::kNominal ? ":nominal"
+                                                          : ":interval";
+  }
+  out += ")";
+  return out;
+}
+
+double Dictionary::Encode(const std::string& label) {
+  auto [it, inserted] = codes_.emplace(label, labels_.size());
+  if (inserted) labels_.push_back(label);
+  return static_cast<double>(it->second);
+}
+
+Result<std::string> Dictionary::Decode(double code) const {
+  double rounded = std::round(code);
+  if (rounded != code || rounded < 0 ||
+      rounded >= static_cast<double>(labels_.size())) {
+    return Status::NotFound("no label with code " + std::to_string(code));
+  }
+  return labels_[static_cast<size_t>(rounded)];
+}
+
+Result<double> Dictionary::Lookup(const std::string& label) const {
+  auto it = codes_.find(label);
+  if (it == codes_.end()) {
+    return Status::NotFound("label '" + label + "' not in dictionary");
+  }
+  return static_cast<double>(it->second);
+}
+
+}  // namespace dar

@@ -1,0 +1,77 @@
+#ifndef DAR_RELATION_SCHEMA_H_
+#define DAR_RELATION_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dar {
+
+/// Kind of an attribute's domain.
+///
+/// kInterval is the paper's focus: ordered data where the separation between
+/// values has meaning (salary, age, claims...). kNominal attributes are
+/// dictionary-encoded; under the 0/1 discrete metric they reproduce classical
+/// association-rule semantics (§5.1).
+enum class AttributeKind : int {
+  kInterval = 0,
+  kNominal = 1,
+};
+
+/// A named, typed column of a relation.
+struct Attribute {
+  std::string name;
+  AttributeKind kind = AttributeKind::kInterval;
+};
+
+/// Ordered list of attributes; maps names to column indices.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Builds a schema, failing on duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_.at(i); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Column index of `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::map<std::string, size_t> index_;
+};
+
+/// Bidirectional mapping between nominal string labels and their encoded
+/// double values (0, 1, 2, ... in first-seen order). One per nominal column.
+class Dictionary {
+ public:
+  /// Returns the code for `label`, adding it if new.
+  double Encode(const std::string& label);
+
+  /// The label for `code`, or NotFound if the code was never produced.
+  Result<std::string> Decode(double code) const;
+
+  /// Code for `label` if present, without inserting.
+  Result<double> Lookup(const std::string& label) const;
+
+  size_t size() const { return labels_.size(); }
+
+ private:
+  std::vector<std::string> labels_;
+  std::map<std::string, size_t> codes_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_RELATION_SCHEMA_H_

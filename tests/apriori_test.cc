@@ -1,0 +1,258 @@
+#include "apriori/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+
+namespace dar {
+namespace {
+
+// Brute-force frequent itemsets: enumerate all subsets of the item universe
+// up to `max_size` and count them directly.
+std::map<Itemset, int64_t> BruteFrequent(const std::vector<Itemset>& txns,
+                                         int64_t min_count, size_t max_size) {
+  Itemset universe;
+  for (const auto& t : txns) {
+    universe.insert(universe.end(), t.begin(), t.end());
+  }
+  Canonicalize(universe);
+  std::map<Itemset, int64_t> out;
+  size_t m = universe.size();
+  for (uint64_t mask = 1; mask < (1ull << m); ++mask) {
+    Itemset s;
+    for (size_t i = 0; i < m; ++i) {
+      if (mask & (1ull << i)) s.push_back(universe[i]);
+    }
+    if (max_size != 0 && s.size() > max_size) continue;
+    int64_t count = 0;
+    for (const auto& t : txns) {
+      if (IsSubsetOf(s, t)) ++count;
+    }
+    if (count >= min_count) out[s] = count;
+  }
+  return out;
+}
+
+TEST(ItemsetTest, CanonicalizeSortsAndDedups) {
+  Itemset s = {5, 1, 5, 3, 1};
+  Canonicalize(s);
+  EXPECT_EQ(s, (Itemset{1, 3, 5}));
+}
+
+TEST(ItemsetTest, SubsetUnionDifference) {
+  Itemset a = {1, 3, 5}, b = {1, 5};
+  EXPECT_TRUE(IsSubsetOf(b, a));
+  EXPECT_FALSE(IsSubsetOf(a, b));
+  EXPECT_EQ(Union(a, b), (Itemset{1, 3, 5}));
+  EXPECT_EQ(Difference(a, b), (Itemset{3}));
+  EXPECT_EQ(ItemsetToString(b), "{1, 5}");
+}
+
+TEST(ItemsetTest, HashDistinguishes) {
+  ItemsetHash h;
+  EXPECT_NE(h({1, 2}), h({2, 1, 3}));
+  EXPECT_EQ(h({1, 2}), h({1, 2}));
+}
+
+TEST(AprioriTest, EmptyTransactions) {
+  AprioriOptions opts;
+  opts.min_support_count = 1;
+  auto r = MineFrequentItemsets({}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(AprioriTest, RejectsNonCanonicalTransactions) {
+  AprioriOptions opts;
+  auto r = MineFrequentItemsets({{3, 1}}, opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  auto r2 = MineFrequentItemsets({{1, 1}}, opts);
+  EXPECT_TRUE(r2.status().IsInvalidArgument());
+}
+
+TEST(AprioriTest, RejectsZeroSupport) {
+  AprioriOptions opts;
+  opts.min_support_count = 0;
+  EXPECT_TRUE(MineFrequentItemsets({{1}}, opts).status().IsInvalidArgument());
+}
+
+TEST(AprioriTest, TextbookExample) {
+  // Classic market-basket example.
+  std::vector<Itemset> txns = {
+      {1, 3, 4}, {2, 3, 5}, {1, 2, 3, 5}, {2, 5}};
+  AprioriOptions opts;
+  opts.min_support_count = 2;
+  auto r = MineFrequentItemsets(txns, opts);
+  ASSERT_TRUE(r.ok());
+  std::map<Itemset, int64_t> got;
+  for (const auto& f : *r) got[f.items] = f.count;
+  std::map<Itemset, int64_t> expect = {
+      {{1}, 2},    {{2}, 3},    {{3}, 3},    {{5}, 3},
+      {{1, 3}, 2}, {{2, 3}, 2}, {{2, 5}, 3}, {{3, 5}, 2},
+      {{2, 3, 5}, 2}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(AprioriTest, MatchesBruteForceOnRandomBaskets) {
+  Rng rng(101);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Itemset> txns;
+    size_t n = 30;
+    for (size_t i = 0; i < n; ++i) {
+      Itemset t;
+      for (Item it = 0; it < 8; ++it) {
+        if (rng.Bernoulli(0.35)) t.push_back(it);
+      }
+      txns.push_back(t);
+    }
+    int64_t min_count = rng.UniformInt(2, 6);
+    AprioriOptions opts;
+    opts.min_support_count = min_count;
+    auto r = MineFrequentItemsets(txns, opts);
+    ASSERT_TRUE(r.ok());
+    std::map<Itemset, int64_t> got;
+    for (const auto& f : *r) got[f.items] = f.count;
+    EXPECT_EQ(got, BruteFrequent(txns, min_count, 0)) << "trial " << trial;
+  }
+}
+
+TEST(AprioriTest, MaxItemsetSizeCapsLevels) {
+  std::vector<Itemset> txns(10, Itemset{1, 2, 3, 4});
+  AprioriOptions opts;
+  opts.min_support_count = 5;
+  opts.max_itemset_size = 2;
+  auto r = MineFrequentItemsets(txns, opts);
+  ASSERT_TRUE(r.ok());
+  size_t max_size = 0;
+  for (const auto& f : *r) max_size = std::max(max_size, f.items.size());
+  EXPECT_EQ(max_size, 2u);
+}
+
+TEST(AprioriTest, DownwardClosureHolds) {
+  Rng rng(102);
+  std::vector<Itemset> txns;
+  for (int i = 0; i < 50; ++i) {
+    Itemset t;
+    for (Item it = 0; it < 10; ++it) {
+      if (rng.Bernoulli(0.4)) t.push_back(it);
+    }
+    txns.push_back(t);
+  }
+  AprioriOptions opts;
+  opts.min_support_count = 5;
+  auto r = MineFrequentItemsets(txns, opts);
+  ASSERT_TRUE(r.ok());
+  std::map<Itemset, int64_t> got;
+  for (const auto& f : *r) got[f.items] = f.count;
+  for (const auto& [items, count] : got) {
+    if (items.size() < 2) continue;
+    for (size_t drop = 0; drop < items.size(); ++drop) {
+      Itemset sub;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i != drop) sub.push_back(items[i]);
+      }
+      ASSERT_TRUE(got.count(sub)) << ItemsetToString(items);
+      EXPECT_GE(got[sub], count);
+    }
+  }
+}
+
+TEST(AprioriTest, CandidateFilterIsRespected) {
+  std::vector<Itemset> txns(10, Itemset{1, 2, 3});
+  AprioriOptions opts;
+  opts.min_support_count = 1;
+  // Anti-monotone filter: no itemset containing both 1 and 2.
+  opts.candidate_filter = [](const Itemset& s) {
+    return !(std::binary_search(s.begin(), s.end(), 1u) &&
+             std::binary_search(s.begin(), s.end(), 2u));
+  };
+  auto r = MineFrequentItemsets(txns, opts);
+  ASSERT_TRUE(r.ok());
+  for (const auto& f : *r) {
+    EXPECT_FALSE(IsSubsetOf({1, 2}, f.items)) << ItemsetToString(f.items);
+  }
+  // {1,3} and {2,3} still found.
+  std::map<Itemset, int64_t> got;
+  for (const auto& f : *r) got[f.items] = f.count;
+  EXPECT_TRUE(got.count({1, 3}));
+  EXPECT_TRUE(got.count({2, 3}));
+}
+
+TEST(RuleGenTest, ConfidenceExactness) {
+  // 10 transactions: {1,2} x6, {1} x2, {2} x2.
+  std::vector<Itemset> txns;
+  for (int i = 0; i < 6; ++i) txns.push_back({1, 2});
+  for (int i = 0; i < 2; ++i) txns.push_back({1});
+  for (int i = 0; i < 2; ++i) txns.push_back({2});
+  AprioriOptions opts;
+  opts.min_support_count = 2;
+  opts.min_confidence = 0.0;
+  auto rules = MineAssociationRules(txns, opts);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset{1} && rule.consequent == Itemset{2}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 6.0 / 8.0);
+      EXPECT_DOUBLE_EQ(rule.support, 0.6);
+      EXPECT_EQ(rule.support_count, 6);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RuleGenTest, MinConfidenceFilters) {
+  std::vector<Itemset> txns;
+  for (int i = 0; i < 6; ++i) txns.push_back({1, 2});
+  for (int i = 0; i < 4; ++i) txns.push_back({1});
+  AprioriOptions opts;
+  opts.min_support_count = 2;
+  opts.min_confidence = 0.9;
+  auto rules = MineAssociationRules(txns, opts);
+  ASSERT_TRUE(rules.ok());
+  // conf(1 => 2) = 0.6 < 0.9 (dropped); conf(2 => 1) = 1.0 (kept).
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ((*rules)[0].antecedent, (Itemset{2}));
+  EXPECT_DOUBLE_EQ((*rules)[0].confidence, 1.0);
+}
+
+TEST(RuleGenTest, MultiWayRulesFromTriple) {
+  std::vector<Itemset> txns(8, Itemset{1, 2, 3});
+  AprioriOptions opts;
+  opts.min_support_count = 2;
+  opts.min_confidence = 0.5;
+  auto rules = MineAssociationRules(txns, opts);
+  ASSERT_TRUE(rules.ok());
+  // From {1,2,3}: 6 rules; from the three pairs: 6 more.
+  EXPECT_EQ(rules->size(), 12u);
+}
+
+TEST(RuleGenTest, GenerateRulesRejectsInconsistentInput) {
+  std::vector<FrequentItemset> bogus = {{{1, 2}, 5}};  // missing subsets
+  AprioriOptions opts;
+  opts.min_confidence = 0.1;
+  auto rules = GenerateRules(bogus, 10, opts);
+  EXPECT_TRUE(rules.status().IsInvalidArgument());
+}
+
+TEST(RuleGenTest, GenerateRulesRejectsZeroTransactions) {
+  AprioriOptions opts;
+  EXPECT_TRUE(GenerateRules({}, 0, opts).status().IsInvalidArgument());
+}
+
+TEST(RuleGenTest, RuleToStringFormat) {
+  AssociationRule rule;
+  rule.antecedent = {1};
+  rule.consequent = {2};
+  rule.support = 0.5;
+  rule.confidence = 0.75;
+  std::string s = rule.ToString();
+  EXPECT_NE(s.find("{1} => {2}"), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dar

@@ -1,0 +1,255 @@
+#include "datagen/planted.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/fixtures.h"
+
+namespace dar {
+namespace {
+
+TEST(PlantedTest, ValidatesSpec) {
+  PlantedDataSpec empty;
+  EXPECT_TRUE(GeneratePlanted(empty, 10, 1).status().IsInvalidArgument());
+
+  PlantedDataSpec no_patterns;
+  no_patterns.parts.push_back({"x", 1, MetricKind::kEuclidean,
+                               {{{5}, 1.0}}, 0, 10});
+  EXPECT_TRUE(
+      GeneratePlanted(no_patterns, 10, 1).status().IsInvalidArgument());
+
+  PlantedDataSpec bad_pattern = no_patterns;
+  bad_pattern.patterns.push_back({{7}, 1.0});  // unknown cluster index
+  EXPECT_TRUE(
+      GeneratePlanted(bad_pattern, 10, 1).status().IsInvalidArgument());
+
+  PlantedDataSpec bad_dim = no_patterns;
+  bad_dim.parts[0].clusters[0].center = {1, 2};  // 2-d center for 1-d part
+  bad_dim.patterns.push_back({{0}, 1.0});
+  EXPECT_TRUE(GeneratePlanted(bad_dim, 10, 1).status().IsInvalidArgument());
+}
+
+TEST(PlantedTest, SeedDeterminism) {
+  PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.1, 42);
+  auto a = GeneratePlanted(spec, 200, 7);
+  auto b = GeneratePlanted(spec, 200, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(a->relation.Row(r), b->relation.Row(r));
+    EXPECT_EQ(a->pattern_of_row[r], b->pattern_of_row[r]);
+  }
+}
+
+TEST(PlantedTest, DifferentSeedsDiffer) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 42);
+  auto a = GeneratePlanted(spec, 50, 1);
+  auto b = GeneratePlanted(spec, 50, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = false;
+  for (size_t r = 0; r < 50 && !any_diff; ++r) {
+    if (a->relation.Row(r) != b->relation.Row(r)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PlantedTest, PatternRowsNearTheirClusters) {
+  PlantedDataSpec spec = WbcdLikeSpec(3, 4, 0.0, 9);
+  auto data = GeneratePlanted(spec, 500, 10);
+  ASSERT_TRUE(data.ok());
+  for (size_t r = 0; r < 500; ++r) {
+    int32_t k = data->pattern_of_row[r];
+    ASSERT_GE(k, 0);
+    for (size_t p = 0; p < 3; ++p) {
+      double v = data->relation.at(r, p);
+      double center = spec.parts[p]
+                          .clusters[spec.patterns[k].cluster_of_part[p]]
+                          .center[0];
+      EXPECT_LT(std::fabs(v - center), 8 * spec.parts[p].clusters[0].stddev);
+    }
+  }
+}
+
+TEST(PlantedTest, OutlierFractionApproximatelyRespected) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 3, 0.3, 11);
+  auto data = GeneratePlanted(spec, 5000, 12);
+  ASSERT_TRUE(data.ok());
+  size_t outliers = 0;
+  for (int32_t p : data->pattern_of_row) {
+    if (p < 0) ++outliers;
+  }
+  EXPECT_NEAR(static_cast<double>(outliers) / 5000, 0.3, 0.03);
+}
+
+TEST(PlantedTest, PartitionMatchesParts) {
+  PlantedDataSpec spec = WbcdLikeSpec(4, 2, 0.0, 13);
+  auto data = GeneratePlanted(spec, 10, 14);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->partition.num_parts(), 4u);
+  EXPECT_EQ(data->relation.num_columns(), 4u);
+  EXPECT_EQ(data->partition.part(0).label, "attr0");
+}
+
+TEST(PlantedTest, WbcdSpecShape) {
+  PlantedDataSpec spec = WbcdLikeSpec(30, 35, 0.2, 1);
+  EXPECT_EQ(spec.parts.size(), 30u);
+  EXPECT_EQ(spec.patterns.size(), 35u);
+  for (const auto& part : spec.parts) {
+    EXPECT_EQ(part.clusters.size(), 35u);
+  }
+  // Centers are separated by at least half a slot.
+  for (const auto& part : spec.parts) {
+    for (size_t i = 1; i < part.clusters.size(); ++i) {
+      EXPECT_GT(part.clusters[i].center[0] - part.clusters[i - 1].center[0],
+                0.5 * 1000.0 / 35);
+    }
+  }
+}
+
+TEST(PartialPatternTest, ValidatesArguments) {
+  EXPECT_FALSE(WbcdPartialPatternSpec(10, 5, 20, 0, 0.1, 1).ok());
+  EXPECT_FALSE(WbcdPartialPatternSpec(10, 5, 20, 11, 0.1, 1).ok());
+  // 20 patterns x 5 attrs over 10 attributes = 10 claims/attr, needs > 10
+  // clusters to leave background room.
+  EXPECT_FALSE(WbcdPartialPatternSpec(10, 10, 20, 5, 0.1, 1).ok());
+  EXPECT_TRUE(WbcdPartialPatternSpec(10, 12, 20, 5, 0.1, 1).ok());
+}
+
+TEST(PartialPatternTest, ClaimsAreDedicatedAndEven) {
+  auto spec = WbcdPartialPatternSpec(30, 35, 90, 6, 0.2, 3);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->patterns.size(), 90u);
+  size_t claims_per_attr = 90 * 6 / 30;  // 18
+  // Every pattern covers exactly 6 attributes; claimed clusters are unique
+  // per attribute.
+  std::vector<std::set<int64_t>> claimed(30);
+  for (const auto& pat : spec->patterns) {
+    size_t covered = 0;
+    for (size_t a = 0; a < 30; ++a) {
+      if (pat.cluster_of_part[a] < 0) continue;
+      ++covered;
+      EXPECT_TRUE(claimed[a].insert(pat.cluster_of_part[a]).second);
+      EXPECT_LT(pat.cluster_of_part[a], 35);
+    }
+    EXPECT_EQ(covered, 6u);
+  }
+  for (size_t a = 0; a < 30; ++a) {
+    EXPECT_EQ(claimed[a].size(), claims_per_attr);
+  }
+  // Background choices are exactly the complement of the claimed set.
+  ASSERT_EQ(spec->background_choices.size(), 30u);
+  for (size_t a = 0; a < 30; ++a) {
+    const auto& bg = spec->background_choices[a];
+    EXPECT_EQ(bg.size(), 35u - claims_per_attr);
+    for (size_t idx : bg) {
+      EXPECT_EQ(claimed[a].count(static_cast<int64_t>(idx)), 0u);
+    }
+  }
+}
+
+TEST(PartialPatternTest, UnconstrainedPartsUseBackgroundClusters) {
+  auto spec = WbcdPartialPatternSpec(6, 8, 6, 2, 0.0, 5);
+  ASSERT_TRUE(spec.ok());
+  auto data = GeneratePlanted(*spec, 2000, 6);
+  ASSERT_TRUE(data.ok());
+  std::vector<std::set<size_t>> background(6);
+  for (size_t a = 0; a < 6; ++a) {
+    background[a] = {spec->background_choices[a].begin(),
+                     spec->background_choices[a].end()};
+  }
+  // For every tuple and unconstrained part, the value must be near a
+  // background cluster center (index >= claims_per_attr).
+  for (size_t r = 0; r < 200; ++r) {
+    int32_t k = data->pattern_of_row[r];
+    ASSERT_GE(k, 0);
+    for (size_t a = 0; a < 6; ++a) {
+      double v = data->relation.at(r, a);
+      int64_t planted = spec->patterns[k].cluster_of_part[a];
+      double best = 1e18;
+      size_t best_idx = 0;
+      for (size_t c = 0; c < spec->parts[a].clusters.size(); ++c) {
+        double d = std::fabs(spec->parts[a].clusters[c].center[0] - v);
+        if (d < best) {
+          best = d;
+          best_idx = c;
+        }
+      }
+      if (planted >= 0) {
+        EXPECT_EQ(best_idx, static_cast<size_t>(planted));
+      } else {
+        EXPECT_TRUE(background[a].count(best_idx))
+            << "row " << r << " attr " << a;
+      }
+    }
+  }
+}
+
+TEST(PartialPatternTest, GenerationIsDeterministic) {
+  auto a = WbcdPartialPatternSpec(10, 12, 15, 3, 0.1, 9);
+  auto b = WbcdPartialPatternSpec(10, 12, 15, 3, 0.1, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t p = 0; p < a->patterns.size(); ++p) {
+    EXPECT_EQ(a->patterns[p].cluster_of_part, b->patterns[p].cluster_of_part);
+  }
+}
+
+TEST(PlantedTest, ValidatesBackgroundChoices) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 3, 0.0, 1);
+  spec.background_choices = {{0}, {9}};  // 9 out of range
+  EXPECT_TRUE(GeneratePlanted(spec, 10, 1).status().IsInvalidArgument());
+  spec.background_choices = {{0}};  // wrong size
+  EXPECT_TRUE(GeneratePlanted(spec, 10, 1).status().IsInvalidArgument());
+}
+
+TEST(FixturesTest, Fig1Column) {
+  auto col = Fig1SalaryColumn();
+  ASSERT_EQ(col.size(), 6u);
+  EXPECT_DOUBLE_EQ(col.front(), 18000);
+  EXPECT_DOUBLE_EQ(col.back(), 82000);
+}
+
+TEST(FixturesTest, Fig2RelationsShape) {
+  CsvTable r1 = Fig2RelationR1();
+  CsvTable r2 = Fig2RelationR2();
+  EXPECT_EQ(r1.relation.num_rows(), 6u);
+  EXPECT_EQ(r2.relation.num_rows(), 6u);
+  // Same except the last two salaries.
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(r1.relation.Row(r), r2.relation.Row(r));
+  }
+  EXPECT_DOUBLE_EQ(r1.relation.at(4, 2), 100000);
+  EXPECT_DOUBLE_EQ(r2.relation.at(4, 2), 41000);
+  auto part = Fig2Partition(r1.relation.schema());
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->num_parts(), 3u);
+}
+
+TEST(FixturesTest, Fig4DatasetShape) {
+  Fig4Options opts;
+  auto data = MakeFig4Dataset(opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->relation.num_rows(), 15u);  // 10 + 2 + 3
+  Fig4Options scaled = opts;
+  scaled.scale = 4;
+  auto big = MakeFig4Dataset(scaled);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->relation.num_rows(), 60u);
+  Fig4Options bad;
+  bad.intersection = 0;
+  EXPECT_TRUE(MakeFig4Dataset(bad).status().IsInvalidArgument());
+}
+
+TEST(FixturesTest, InsuranceSpecIsValid) {
+  PlantedDataSpec spec = InsuranceSpec();
+  auto data = GeneratePlanted(spec, 1000, 3);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->relation.num_columns(), 3u);
+  EXPECT_EQ(data->relation.schema().attribute(0).name, "Age");
+}
+
+}  // namespace
+}  // namespace dar

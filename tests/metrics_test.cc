@@ -1,0 +1,189 @@
+#include "birch/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dar {
+namespace {
+
+using testutil::BruteCentroid;
+using testutil::BruteD2Discrete;
+using testutil::BruteD2Rms;
+using testutil::BruteDiameterRms;
+using testutil::Points;
+using testutil::RandomDiscretePoints;
+using testutil::RandomPoints;
+
+CfVector Summarize(const Points& pts, MetricKind metric) {
+  CfVector cf(pts[0].size(), metric);
+  for (const auto& p : pts) cf.AddPoint(p);
+  return cf;
+}
+
+TEST(ClusterMetricTest, Names) {
+  EXPECT_STREQ(ClusterMetricToString(ClusterMetric::kD0Centroid), "D0");
+  EXPECT_STREQ(ClusterMetricToString(ClusterMetric::kD2AvgInter), "D2");
+  EXPECT_STREQ(ClusterMetricToString(ClusterMetric::kD4VarIncrease), "D4");
+}
+
+TEST(ClusterMetricTest, D0MatchesCentroidDistance) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Points a = RandomPoints(rng, 9, 2);
+    Points b = RandomPoints(rng, 6, 2);
+    CfVector cfa = Summarize(a, MetricKind::kEuclidean);
+    CfVector cfb = Summarize(b, MetricKind::kEuclidean);
+    double expect = PointDistance(MetricKind::kEuclidean, BruteCentroid(a),
+                                  BruteCentroid(b));
+    EXPECT_NEAR(ClusterDistance(cfa, cfb, ClusterMetric::kD0Centroid), expect,
+                1e-9);
+  }
+}
+
+TEST(ClusterMetricTest, D1MatchesManhattanCentroidDistance) {
+  Rng rng(32);
+  Points a = RandomPoints(rng, 9, 3);
+  Points b = RandomPoints(rng, 6, 3);
+  CfVector cfa = Summarize(a, MetricKind::kEuclidean);
+  CfVector cfb = Summarize(b, MetricKind::kEuclidean);
+  double expect = PointDistance(MetricKind::kManhattan, BruteCentroid(a),
+                                BruteCentroid(b));
+  EXPECT_NEAR(
+      ClusterDistance(cfa, cfb, ClusterMetric::kD1CentroidManhattan), expect,
+      1e-9);
+}
+
+TEST(ClusterMetricTest, D2MatchesBruteForce) {
+  Rng rng(33);
+  for (int trial = 0; trial < 15; ++trial) {
+    Points a = RandomPoints(rng, size_t(rng.UniformInt(1, 20)), 2);
+    Points b = RandomPoints(rng, size_t(rng.UniformInt(1, 20)), 2);
+    CfVector cfa = Summarize(a, MetricKind::kEuclidean);
+    CfVector cfb = Summarize(b, MetricKind::kEuclidean);
+    EXPECT_NEAR(ClusterDistance(cfa, cfb, ClusterMetric::kD2AvgInter),
+                BruteD2Rms(a, b), 1e-8);
+  }
+}
+
+TEST(ClusterMetricTest, D3IsMergedDiameter) {
+  Rng rng(34);
+  Points a = RandomPoints(rng, 8, 2);
+  Points b = RandomPoints(rng, 5, 2);
+  CfVector cfa = Summarize(a, MetricKind::kEuclidean);
+  CfVector cfb = Summarize(b, MetricKind::kEuclidean);
+  Points all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  EXPECT_NEAR(ClusterDistance(cfa, cfb, ClusterMetric::kD3AvgIntra),
+              BruteDiameterRms(all), 1e-8);
+}
+
+TEST(ClusterMetricTest, D4MatchesVarianceIncrease) {
+  Rng rng(35);
+  Points a = RandomPoints(rng, 8, 2);
+  Points b = RandomPoints(rng, 5, 2);
+  CfVector cfa = Summarize(a, MetricKind::kEuclidean);
+  CfVector cfb = Summarize(b, MetricKind::kEuclidean);
+  auto scatter = [](const Points& pts) {
+    auto c = BruteCentroid(pts);
+    double s = 0;
+    for (const auto& p : pts) s += SquaredEuclidean(p, c);
+    return s;
+  };
+  Points all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  double expect = std::sqrt(scatter(all) - scatter(a) - scatter(b));
+  EXPECT_NEAR(ClusterDistance(cfa, cfb, ClusterMetric::kD4VarIncrease),
+              expect, 1e-8);
+}
+
+TEST(ClusterMetricTest, D2LowerBoundedByRadii) {
+  // The §6.2 pruning inequality: D2(A,B)^2 = R_A^2 + R_B^2 + D0^2.
+  Rng rng(36);
+  for (int trial = 0; trial < 10; ++trial) {
+    Points a = RandomPoints(rng, 10, 2);
+    Points b = RandomPoints(rng, 10, 2);
+    CfVector cfa = Summarize(a, MetricKind::kEuclidean);
+    CfVector cfb = Summarize(b, MetricKind::kEuclidean);
+    double d2 = ClusterDistance(cfa, cfb, ClusterMetric::kD2AvgInter);
+    double d0 = ClusterDistance(cfa, cfb, ClusterMetric::kD0Centroid);
+    EXPECT_NEAR(d2 * d2,
+                cfa.Radius() * cfa.Radius() + cfb.Radius() * cfb.Radius() +
+                    d0 * d0,
+                1e-7);
+    EXPECT_GE(d2 + 1e-12, cfa.Radius());
+    EXPECT_GE(d2 + 1e-12, cfb.Radius());
+  }
+}
+
+TEST(ClusterMetricTest, IdenticalSinglePointClustersAreAtZero) {
+  CfVector a(1, MetricKind::kEuclidean), b(1, MetricKind::kEuclidean);
+  a.AddPoint(std::vector<double>{5.0});
+  b.AddPoint(std::vector<double>{5.0});
+  for (auto m : {ClusterMetric::kD0Centroid, ClusterMetric::kD1CentroidManhattan,
+                 ClusterMetric::kD2AvgInter, ClusterMetric::kD3AvgIntra,
+                 ClusterMetric::kD4VarIncrease}) {
+    EXPECT_NEAR(ClusterDistance(a, b, m), 0.0, 1e-12) << ClusterMetricToString(m);
+  }
+}
+
+TEST(ClusterMetricTest, DiscreteD2MatchesBruteForce) {
+  Rng rng(37);
+  for (int trial = 0; trial < 15; ++trial) {
+    Points a = RandomDiscretePoints(rng, size_t(rng.UniformInt(1, 15)), 2);
+    Points b = RandomDiscretePoints(rng, size_t(rng.UniformInt(1, 15)), 2);
+    CfVector cfa = Summarize(a, MetricKind::kDiscrete);
+    CfVector cfb = Summarize(b, MetricKind::kDiscrete);
+    double expect = BruteD2Discrete(a, b);
+    EXPECT_NEAR(ClusterDistance(cfa, cfb, ClusterMetric::kD2AvgInter), expect,
+                1e-9);
+    // Centroid-based metrics degenerate to the same average form.
+    EXPECT_NEAR(ClusterDistance(cfa, cfb, ClusterMetric::kD0Centroid), expect,
+                1e-9);
+    EXPECT_NEAR(
+        ClusterDistance(cfa, cfb, ClusterMetric::kD1CentroidManhattan),
+        expect, 1e-9);
+  }
+}
+
+TEST(ClusterMetricTest, DiscreteDistanceBetweenPureClustersIs01) {
+  // The §5.1 construction: pure single-value clusters behave like nominal
+  // values under the 0/1 metric.
+  CfVector a(1, MetricKind::kDiscrete), b(1, MetricKind::kDiscrete),
+      c(1, MetricKind::kDiscrete);
+  for (int i = 0; i < 4; ++i) a.AddPoint(std::vector<double>{1.0});
+  for (int i = 0; i < 3; ++i) b.AddPoint(std::vector<double>{1.0});
+  for (int i = 0; i < 5; ++i) c.AddPoint(std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(ClusterDistance(a, b, ClusterMetric::kD2AvgInter), 0.0);
+  EXPECT_DOUBLE_EQ(ClusterDistance(a, c, ClusterMetric::kD2AvgInter), 1.0);
+}
+
+TEST(PointClusterDistanceTest, EuclideanToCentroid) {
+  CfVector cf(2, MetricKind::kEuclidean);
+  cf.AddPoint(std::vector<double>{0, 0});
+  cf.AddPoint(std::vector<double>{2, 0});
+  std::vector<double> x = {1, 4};
+  EXPECT_NEAR(PointClusterDistance(x, cf), 4.0, 1e-12);
+}
+
+TEST(PointClusterDistanceTest, ManhattanToCentroid) {
+  CfVector cf(2, MetricKind::kManhattan);
+  cf.AddPoint(std::vector<double>{0, 0});
+  cf.AddPoint(std::vector<double>{2, 2});
+  std::vector<double> x = {3, 5};
+  EXPECT_NEAR(PointClusterDistance(x, cf), 2.0 + 4.0, 1e-12);
+}
+
+TEST(PointClusterDistanceTest, DiscreteMismatchProbability) {
+  CfVector cf(1, MetricKind::kDiscrete);
+  cf.AddPoint(std::vector<double>{1.0});
+  cf.AddPoint(std::vector<double>{1.0});
+  cf.AddPoint(std::vector<double>{2.0});
+  std::vector<double> x = {1.0};
+  EXPECT_NEAR(PointClusterDistance(x, cf), 1.0 - 2.0 / 3.0, 1e-12);
+  std::vector<double> y = {9.0};
+  EXPECT_NEAR(PointClusterDistance(y, cf), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dar

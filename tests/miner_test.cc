@@ -1,0 +1,394 @@
+#include "core/miner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+
+#include "datagen/fixtures.h"
+#include "datagen/planted.h"
+
+namespace dar {
+namespace {
+
+DarConfig SmallConfig() {
+  DarConfig config;
+  config.memory_budget_bytes = 8u << 20;
+  config.frequency_fraction = 0.05;
+  config.degree_threshold = 10.0;
+  config.phase2_leniency = 2.0;
+  return config;
+}
+
+TEST(MinerTest, RejectsEmptyInput) {
+  Schema s = *Schema::Make({{"a", AttributeKind::kInterval}});
+  Relation rel(s);
+  AttributePartition part = AttributePartition::SingletonPartition(s);
+  DarMiner miner(SmallConfig());
+  EXPECT_TRUE(miner.Mine(rel, part).status().IsInvalidArgument());
+}
+
+TEST(MinerTest, RejectsBadFrequencyFraction) {
+  Schema s = *Schema::Make({{"a", AttributeKind::kInterval}});
+  Relation rel(s);
+  ASSERT_TRUE(rel.AppendRow({1.0}).ok());
+  AttributePartition part = AttributePartition::SingletonPartition(s);
+  DarConfig config = SmallConfig();
+  config.frequency_fraction = 0;
+  DarMiner miner(config);
+  EXPECT_TRUE(miner.Mine(rel, part).status().IsInvalidArgument());
+}
+
+TEST(MinerTest, Phase1FindsPlantedClusters) {
+  PlantedDataSpec spec = WbcdLikeSpec(/*num_attrs=*/4, /*clusters_per_attr=*/3,
+                                      /*outlier_fraction=*/0.0, /*seed=*/1);
+  auto data = GeneratePlanted(spec, 3000, /*seed=*/2);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.initial_diameters.assign(4, 80.0);  // slot width is ~333, sigma ~13
+  DarMiner miner(config);
+  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  ASSERT_TRUE(phase1.ok());
+  // Expect exactly 3 frequent clusters per part.
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(phase1->clusters.ClustersOnPart(p).size(), 3u) << "part " << p;
+  }
+  // Cluster centroids near planted centers.
+  for (const auto& c : phase1->clusters.clusters()) {
+    double centroid = c.acf.Centroid()[0];
+    double best = 1e18;
+    for (const auto& planted : spec.parts[c.part].clusters) {
+      best = std::min(best, std::fabs(planted.center[0] - centroid));
+    }
+    EXPECT_LT(best, 10.0);
+  }
+  EXPECT_EQ(phase1->frequency_threshold, 150);
+  EXPECT_EQ(phase1->tree_stats.size(), 4u);
+}
+
+TEST(MinerTest, Phase1MassAccounting) {
+  PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.1, 3);
+  auto data = GeneratePlanted(spec, 2000, 4);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.initial_diameters.assign(3, 80.0);
+  DarMiner miner(config);
+  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  ASSERT_TRUE(phase1.ok());
+  for (const auto& stats : phase1->tree_stats) {
+    EXPECT_EQ(stats.points_inserted, 2000);
+  }
+}
+
+TEST(MinerTest, EndToEndRecoversPlantedRules) {
+  // 3 attributes, 3 aligned patterns: every cluster pair within a pattern
+  // is a planted 1:1 rule.
+  PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.05, 5);
+  auto data = GeneratePlanted(spec, 4000, 6);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.initial_diameters.assign(3, 80.0);
+  config.degree_threshold = 150.0;
+  DarMiner miner(config);
+  auto result = miner.Mine(data->relation, data->partition);
+  ASSERT_TRUE(result.ok());
+
+  const ClusterSet& clusters = result->phase1.clusters;
+  // For every pattern k and attribute pair (p, q), some rule must connect
+  // the cluster near center k of p to the cluster near center k of q.
+  auto cluster_near = [&](size_t part, double center) -> int64_t {
+    for (size_t id : clusters.ClustersOnPart(part)) {
+      if (std::fabs(clusters.cluster(id).acf.Centroid()[0] - center) < 15) {
+        return static_cast<int64_t>(id);
+      }
+    }
+    return -1;
+  };
+  size_t planted_found = 0, planted_total = 0;
+  for (size_t k = 0; k < 3; ++k) {
+    for (size_t p = 0; p < 3; ++p) {
+      for (size_t q = 0; q < 3; ++q) {
+        if (p == q) continue;
+        ++planted_total;
+        int64_t a = cluster_near(p, spec.parts[p].clusters[k].center[0]);
+        int64_t b = cluster_near(q, spec.parts[q].clusters[k].center[0]);
+        if (a < 0 || b < 0) continue;
+        for (const auto& rule : result->phase2.rules) {
+          if (rule.antecedent == std::vector<size_t>{size_t(a)} &&
+              rule.consequent == std::vector<size_t>{size_t(b)}) {
+            ++planted_found;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(planted_found, planted_total);
+
+  // No rule may connect clusters from *different* patterns (they never
+  // co-occur, so no clique contains both).
+  for (const auto& rule : result->phase2.rules) {
+    std::set<int> patterns;
+    for (const auto* side : {&rule.antecedent, &rule.consequent}) {
+      for (size_t id : *side) {
+        const FoundCluster& c = clusters.cluster(id);
+        double centroid = c.acf.Centroid()[0];
+        for (size_t k = 0; k < 3; ++k) {
+          if (std::fabs(spec.parts[c.part].clusters[k].center[0] - centroid) <
+              15) {
+            patterns.insert(static_cast<int>(k));
+          }
+        }
+      }
+    }
+    EXPECT_LE(patterns.size(), 1u);
+  }
+}
+
+TEST(MinerTest, DegreeThresholdMonotone) {
+  PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.05, 7);
+  auto data = GeneratePlanted(spec, 2000, 8);
+  ASSERT_TRUE(data.ok());
+  auto rules_at = [&](double degree) {
+    DarConfig config = SmallConfig();
+    config.initial_diameters.assign(3, 80.0);
+    config.degree_threshold = degree;
+    DarMiner miner(config);
+    auto result = miner.Mine(data->relation, data->partition);
+    EXPECT_TRUE(result.ok());
+    return result->phase2.rules.size();
+  };
+  EXPECT_LE(rules_at(1.0), rules_at(50.0));
+}
+
+TEST(MinerTest, RulesSortedByDegree) {
+  PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.05, 9);
+  auto data = GeneratePlanted(spec, 2000, 10);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.initial_diameters.assign(3, 80.0);
+  config.degree_threshold = 100.0;
+  DarMiner miner(config);
+  auto result = miner.Mine(data->relation, data->partition);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->phase2.rules.size(), 1u);
+  for (size_t i = 1; i < result->phase2.rules.size(); ++i) {
+    EXPECT_LE(result->phase2.rules[i - 1].degree,
+              result->phase2.rules[i].degree);
+  }
+}
+
+TEST(MinerTest, SupportCountingMatchesPlantedPatternSizes) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 11);
+  auto data = GeneratePlanted(spec, 1000, 12);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.initial_diameters.assign(2, 80.0);
+  config.degree_threshold = 60.0;
+  config.count_rule_support = true;
+  DarMiner miner(config);
+  auto result = miner.Mine(data->relation, data->partition);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->phase2.rules.empty());
+  // Pattern sizes: roughly 500 each; every 1:1 rule within a pattern
+  // should have support close to the pattern size.
+  int64_t pattern0 = 0, pattern1 = 0;
+  for (int32_t p : data->pattern_of_row) {
+    if (p == 0) ++pattern0;
+    if (p == 1) ++pattern1;
+  }
+  for (const auto& rule : result->phase2.rules) {
+    ASSERT_GE(rule.support_count, 0);
+    bool near0 = std::llabs(rule.support_count - pattern0) < 50;
+    bool near1 = std::llabs(rule.support_count - pattern1) < 50;
+    EXPECT_TRUE(near0 || near1) << rule.support_count;
+  }
+}
+
+TEST(MinerTest, OutlierFractionProducesOutliers) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 3, 0.25, 13);
+  auto data = GeneratePlanted(spec, 4000, 14);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  // Small budget so rebuilds (and outlier paging) happen.
+  config.memory_budget_bytes = 64u << 10;
+  config.outlier_fraction = 0.5;
+  DarMiner miner(config);
+  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  ASSERT_TRUE(phase1.ok());
+  bool rebuilt = false;
+  for (const auto& stats : phase1->tree_stats) {
+    if (stats.rebuild_count > 0) rebuilt = true;
+  }
+  EXPECT_TRUE(rebuilt);
+}
+
+TEST(MinerTest, EffectiveD0UsesOverrides) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 15);
+  auto data = GeneratePlanted(spec, 500, 16);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.density_thresholds = {7.5, 0.0};  // override part 0 only
+  config.initial_diameters.assign(2, 80.0);
+  DarMiner miner(config);
+  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  ASSERT_TRUE(phase1.ok());
+  EXPECT_DOUBLE_EQ(phase1->effective_d0[0], 7.5);
+  EXPECT_GT(phase1->effective_d0[1], 0.0);  // derived
+}
+
+TEST(MinerTest, PartWithoutFrequentClustersIsOmitted) {
+  // Â§4.3.2: "If for some X_i there are no frequent clusters, we omit X_i
+  // from consideration in Phase II." A uniform attribute at threshold 0
+  // produces only infrequent singleton clusters.
+  Schema s = *Schema::Make({{"structured", AttributeKind::kInterval},
+                            {"uniform", AttributeKind::kInterval}});
+  Relation rel(s);
+  Rng rng(61);
+  for (int i = 0; i < 400; ++i) {
+    double structured = (i % 2 == 0) ? 10.0 : 90.0;
+    ASSERT_TRUE(rel.AppendRow({structured + rng.Uniform(-0.5, 0.5),
+                               rng.Uniform(0, 1e9)})
+                    .ok());
+  }
+  AttributePartition partition = AttributePartition::SingletonPartition(s);
+  DarConfig config = SmallConfig();
+  config.frequency_fraction = 0.25;
+  config.initial_diameters = {2.0, 0.0};
+  DarMiner miner(config);
+  auto result = miner.Mine(rel, partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->phase1.clusters.ClustersOnPart(0).size(), 2u);
+  EXPECT_EQ(result->phase1.clusters.ClustersOnPart(1).size(), 0u);
+  // No rule may mention part 1.
+  for (const auto& rule : result->phase2.rules) {
+    for (const auto* side : {&rule.antecedent, &rule.consequent}) {
+      for (size_t id : *side) {
+        EXPECT_EQ(result->phase1.clusters.cluster(id).part, 0u);
+      }
+    }
+  }
+}
+
+TEST(MinerTest, MultiDimensionalPartEndToEnd) {
+  // Cluster on a 2-d Lat+Lon part, rules against a 1-d attribute.
+  Schema s = *Schema::Make({{"lat", AttributeKind::kInterval},
+                            {"lon", AttributeKind::kInterval},
+                            {"price", AttributeKind::kInterval}});
+  Relation rel(s);
+  Rng rng(62);
+  for (int i = 0; i < 600; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(rel.AppendRow({40 + rng.Gaussian(0, 0.2),
+                                 -74 + rng.Gaussian(0, 0.2),
+                                 3000 + rng.Gaussian(0, 100)})
+                      .ok());
+    } else {
+      ASSERT_TRUE(rel.AppendRow({52 + rng.Gaussian(0, 0.2),
+                                 13 + rng.Gaussian(0, 0.2),
+                                 1200 + rng.Gaussian(0, 100)})
+                      .ok());
+    }
+  }
+  auto partition = AttributePartition::Make(
+      s, {{{"lat", "lon"}, MetricKind::kEuclidean},
+          {{"price"}, MetricKind::kEuclidean}});
+  ASSERT_TRUE(partition.ok());
+  DarConfig config = SmallConfig();
+  config.frequency_fraction = 0.2;
+  config.initial_diameters = {2.0, 400.0};
+  config.degree_threshold = 500.0;
+  DarMiner miner(config);
+  auto result = miner.Mine(rel, *partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->phase1.clusters.ClustersOnPart(0).size(), 2u);
+  // A rule city-cluster => price-cluster must exist.
+  bool found = false;
+  for (const auto& rule : result->phase2.rules) {
+    if (rule.antecedent.size() == 1 && rule.consequent.size() == 1 &&
+        result->phase1.clusters.cluster(rule.antecedent[0]).part == 0 &&
+        result->phase1.clusters.cluster(rule.consequent[0]).part == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerTest, MixedNominalIntervalMining) {
+  // The paper's mixed-variable-data direction (conclusions): a nominal Job
+  // attribute under the discrete metric mined together with an interval
+  // Salary attribute. Job clusters are exact values (Thm 5.1) and rules
+  // link them to salary clusters.
+  Schema s = *Schema::Make({{"job", AttributeKind::kNominal},
+                            {"salary", AttributeKind::kInterval}});
+  Relation rel(s);
+  Rng rng(63);
+  for (int i = 0; i < 300; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(rel.AppendRow({0, 40000 + rng.Gaussian(0, 500)}).ok());
+    } else {
+      ASSERT_TRUE(rel.AppendRow({1, 90000 + rng.Gaussian(0, 500)}).ok());
+    }
+  }
+  AttributePartition partition = AttributePartition::SingletonPartition(s);
+  DarConfig config = SmallConfig();
+  config.frequency_fraction = 0.3;
+  config.initial_diameters = {0.0, 2000.0};
+  config.degree_threshold = 2000.0;
+  config.density_thresholds = {0.4, 1500.0};
+  DarMiner miner(config);
+  auto result = miner.Mine(rel, partition);
+  ASSERT_TRUE(result.ok());
+  const ClusterSet& clusters = result->phase1.clusters;
+  ASSERT_EQ(clusters.ClustersOnPart(0).size(), 2u);  // two job values
+  for (size_t id : clusters.ClustersOnPart(0)) {
+    EXPECT_DOUBLE_EQ(clusters.cluster(id).acf.Diameter(), 0.0);  // Thm 5.1
+  }
+  // Expect a rule job-cluster => salary-cluster with a small degree (jobs
+  // determine salaries exactly here).
+  bool found = false;
+  for (const auto& rule : result->phase2.rules) {
+    if (rule.antecedent.size() == 1 && rule.consequent.size() == 1 &&
+        clusters.cluster(rule.antecedent[0]).part == 0 &&
+        clusters.cluster(rule.consequent[0]).part == 1) {
+      found = true;
+      EXPECT_LT(rule.degree, 1500.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerTest, CliqueTruncationSurfacesInPhase2) {
+  PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.0, 19);
+  auto data = GeneratePlanted(spec, 1000, 20);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.initial_diameters.assign(3, 80.0);
+  config.max_cliques = 2;  // below the 3 planted pattern cliques
+  DarMiner miner(config);
+  auto result = miner.Mine(data->relation, data->partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->phase2.cliques_truncated);
+  EXPECT_LE(result->phase2.cliques.size(), 2u);
+}
+
+TEST(MinerTest, DescribeUsesBoundingBox) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 17);
+  auto data = GeneratePlanted(spec, 500, 18);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = SmallConfig();
+  config.initial_diameters.assign(2, 80.0);
+  DarMiner miner(config);
+  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  ASSERT_TRUE(phase1.ok());
+  ASSERT_GT(phase1->clusters.size(), 0u);
+  std::string desc = phase1->clusters.Describe(0, data->relation.schema(),
+                                               data->partition);
+  EXPECT_NE(desc.find("attr"), std::string::npos);
+  EXPECT_NE(desc.find("in ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dar

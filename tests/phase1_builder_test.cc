@@ -1,0 +1,123 @@
+#include "core/phase1_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/miner.h"
+#include "datagen/planted.h"
+
+namespace dar {
+namespace {
+
+DarConfig TestConfig() {
+  DarConfig config;
+  config.memory_budget_bytes = 8u << 20;
+  config.frequency_fraction = 0.05;
+  config.initial_diameters = {80.0, 80.0};
+  return config;
+}
+
+TEST(Phase1BuilderTest, ValidatesConfig) {
+  Schema s = *Schema::Make({{"a", AttributeKind::kInterval}});
+  AttributePartition part = AttributePartition::SingletonPartition(s);
+  DarConfig bad = TestConfig();
+  bad.frequency_fraction = 0;
+  EXPECT_TRUE(Phase1Builder::Make(bad, s, part).status().IsInvalidArgument());
+}
+
+TEST(Phase1BuilderTest, RejectsWrongRowWidth) {
+  Schema s = *Schema::Make({{"a", AttributeKind::kInterval},
+                            {"b", AttributeKind::kInterval}});
+  AttributePartition part = AttributePartition::SingletonPartition(s);
+  auto builder = Phase1Builder::Make(TestConfig(), s, part);
+  ASSERT_TRUE(builder.ok());
+  std::vector<double> short_row = {1.0};
+  EXPECT_TRUE(builder->AddRow(short_row).IsInvalidArgument());
+}
+
+TEST(Phase1BuilderTest, FinishWithoutRowsFails) {
+  Schema s = *Schema::Make({{"a", AttributeKind::kInterval}});
+  AttributePartition part = AttributePartition::SingletonPartition(s);
+  auto builder = Phase1Builder::Make(TestConfig(), s, part);
+  ASSERT_TRUE(builder.ok());
+  EXPECT_TRUE(
+      std::move(*builder).Finish().status().IsInvalidArgument());
+}
+
+TEST(Phase1BuilderTest, StreamingEqualsBatch) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 3, 0.05, 41);
+  auto data = GeneratePlanted(spec, 2000, 42);
+  ASSERT_TRUE(data.ok());
+  DarConfig config = TestConfig();
+
+  // Batch via the miner.
+  DarMiner miner(config);
+  auto batch = miner.RunPhase1(data->relation, data->partition);
+  ASSERT_TRUE(batch.ok());
+
+  // Streaming via the builder, row by row.
+  auto builder =
+      Phase1Builder::Make(config, data->relation.schema(), data->partition);
+  ASSERT_TRUE(builder.ok());
+  for (size_t r = 0; r < data->relation.num_rows(); ++r) {
+    ASSERT_TRUE(builder->AddRow(data->relation.Row(r)).ok());
+  }
+  EXPECT_EQ(builder->rows_added(), 2000);
+  auto streamed = std::move(*builder).Finish();
+  ASSERT_TRUE(streamed.ok());
+
+  // Identical input order and configuration => identical clusters.
+  ASSERT_EQ(streamed->clusters.size(), batch->clusters.size());
+  for (size_t i = 0; i < streamed->clusters.size(); ++i) {
+    const FoundCluster& a = streamed->clusters.cluster(i);
+    const FoundCluster& b = batch->clusters.cluster(i);
+    EXPECT_EQ(a.part, b.part);
+    EXPECT_EQ(a.acf.n(), b.acf.n());
+    EXPECT_NEAR(a.acf.Centroid()[0], b.acf.Centroid()[0], 1e-9);
+  }
+  EXPECT_EQ(streamed->frequency_threshold, batch->frequency_threshold);
+}
+
+TEST(Phase1BuilderTest, RefinementReducesFragmentation) {
+  // A workload prone to fragmentation: tight threshold relative to spread.
+  PlantedDataSpec spec = WbcdLikeSpec(2, 4, 0.0, 43);
+  auto data = GeneratePlanted(spec, 3000, 44);
+  ASSERT_TRUE(data.ok());
+  auto count_raw = [&](bool refine) {
+    DarConfig config = TestConfig();
+    config.initial_diameters = {25.0, 25.0};  // sigma ~10 => fragments
+    config.refine_clusters = refine;
+    DarMiner miner(config);
+    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    EXPECT_TRUE(phase1.ok());
+    size_t raw = 0;
+    for (size_t c : phase1->raw_cluster_counts) raw += c;
+    return raw;
+  };
+  size_t without = count_raw(false);
+  size_t with = count_raw(true);
+  EXPECT_LE(with, without);
+  EXPECT_LE(with, 2u * 4u + 2u);  // close to the 4 planted clusters per part
+}
+
+TEST(Phase1BuilderTest, StreamingMassAccounting) {
+  Schema s = *Schema::Make({{"x", AttributeKind::kInterval}});
+  AttributePartition part = AttributePartition::SingletonPartition(s);
+  DarConfig config;
+  config.memory_budget_bytes = 1u << 20;
+  config.frequency_fraction = 0.01;
+  auto builder = Phase1Builder::Make(config, s, part);
+  ASSERT_TRUE(builder.ok());
+  Rng rng(45);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<double> row = {rng.Uniform(0, 1000)};
+    ASSERT_TRUE(builder->AddRow(row).ok());
+  }
+  auto phase1 = std::move(*builder).Finish();
+  ASSERT_TRUE(phase1.ok());
+  ASSERT_EQ(phase1->tree_stats.size(), 1u);
+  EXPECT_EQ(phase1->tree_stats[0].points_inserted, 5000);
+}
+
+}  // namespace
+}  // namespace dar

@@ -1,0 +1,271 @@
+#include "qar/qar_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/fixtures.h"
+#include "qar/equidepth.h"
+
+namespace dar {
+namespace {
+
+TEST(EquiDepthTest, RejectsBadInput) {
+  std::vector<double> empty;
+  EXPECT_TRUE(EquiDepthPartition(empty, 3).status().IsInvalidArgument());
+  std::vector<double> one = {1.0};
+  EXPECT_TRUE(EquiDepthPartition(one, 0).status().IsInvalidArgument());
+}
+
+TEST(EquiDepthTest, Figure1SalaryPartition) {
+  // The paper's Figure 1: depth-2 equi-depth partitioning of the salary
+  // column gives [18K,30K], [31K,80K], [81K,82K] — the middle interval
+  // spans a 49K gap, which is the motivating defect.
+  auto intervals = EquiDepthPartition(Fig1SalaryColumn(), 3);
+  ASSERT_TRUE(intervals.ok());
+  ASSERT_EQ(intervals->size(), 3u);
+  EXPECT_DOUBLE_EQ((*intervals)[0].lo, 18000);
+  EXPECT_DOUBLE_EQ((*intervals)[0].hi, 30000);
+  EXPECT_DOUBLE_EQ((*intervals)[1].lo, 31000);
+  EXPECT_DOUBLE_EQ((*intervals)[1].hi, 80000);
+  EXPECT_DOUBLE_EQ((*intervals)[2].lo, 81000);
+  EXPECT_DOUBLE_EQ((*intervals)[2].hi, 82000);
+  for (const auto& iv : *intervals) EXPECT_EQ(iv.count, 2);
+}
+
+TEST(EquiDepthTest, CountsSumToN) {
+  Rng rng(55);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.Uniform(0, 100));
+  for (size_t k : {1u, 2u, 7u, 50u}) {
+    auto intervals = EquiDepthPartition(values, k);
+    ASSERT_TRUE(intervals.ok());
+    int64_t total = 0;
+    for (const auto& iv : *intervals) {
+      total += iv.count;
+      EXPECT_LE(iv.lo, iv.hi);
+    }
+    EXPECT_EQ(total, 1000);
+    EXPECT_LE(intervals->size(), k);
+  }
+}
+
+TEST(EquiDepthTest, IntervalsAreOrderedAndDisjoint) {
+  Rng rng(56);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Uniform(-5, 5));
+  auto intervals = EquiDepthPartition(values, 10);
+  ASSERT_TRUE(intervals.ok());
+  for (size_t i = 1; i < intervals->size(); ++i) {
+    EXPECT_GT((*intervals)[i].lo, (*intervals)[i - 1].hi);
+  }
+}
+
+TEST(EquiDepthTest, DepthsAreBalanced) {
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(double(i));
+  auto intervals = EquiDepthPartition(values, 9);
+  ASSERT_TRUE(intervals.ok());
+  ASSERT_EQ(intervals->size(), 9u);
+  for (const auto& iv : *intervals) EXPECT_EQ(iv.count, 100);
+}
+
+TEST(EquiDepthTest, NeverSplitsTiedValues) {
+  // 90% of the column is the value 7: every interval boundary must respect
+  // the run of ties.
+  std::vector<double> values(90, 7.0);
+  for (int i = 0; i < 10; ++i) values.push_back(100.0 + i);
+  auto intervals = EquiDepthPartition(values, 5);
+  ASSERT_TRUE(intervals.ok());
+  int covering_7 = 0;
+  for (const auto& iv : *intervals) {
+    if (iv.Contains(7.0)) ++covering_7;
+  }
+  EXPECT_EQ(covering_7, 1);
+}
+
+TEST(PartialCompletenessTest, FormulaAndValidation) {
+  // 2 * n / (m * (K - 1)) with n=3 attrs, m=0.1, K=2 -> 60.
+  EXPECT_EQ(*NumIntervalsForPartialCompleteness(0.1, 3, 2.0), 60u);
+  EXPECT_EQ(*NumIntervalsForPartialCompleteness(0.5, 1, 3.0), 2u);
+  EXPECT_FALSE(NumIntervalsForPartialCompleteness(0.0, 3, 2.0).ok());
+  EXPECT_FALSE(NumIntervalsForPartialCompleteness(0.1, 3, 1.0).ok());
+  EXPECT_FALSE(NumIntervalsForPartialCompleteness(0.1, 0, 2.0).ok());
+  EXPECT_FALSE(NumIntervalsForPartialCompleteness(1.5, 3, 2.0).ok());
+}
+
+TEST(QarMinerTest, RejectsEmptyRelation) {
+  Schema s = *Schema::Make({{"a", AttributeKind::kInterval}});
+  Relation rel(s);
+  QarMiner miner(QarOptions{});
+  EXPECT_TRUE(miner.Mine(rel).status().IsInvalidArgument());
+}
+
+TEST(QarMinerTest, FindsPlantedIntervalRule) {
+  // Two correlated columns: x in [0,10) <=> y in [100,110).
+  Schema s = *Schema::Make(
+      {{"x", AttributeKind::kInterval}, {"y", AttributeKind::kInterval}});
+  Relation rel(s);
+  Rng rng(57);
+  for (int i = 0; i < 400; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(
+          rel.AppendRow({rng.Uniform(0, 10), rng.Uniform(100, 110)}).ok());
+    } else {
+      ASSERT_TRUE(
+          rel.AppendRow({rng.Uniform(50, 60), rng.Uniform(200, 210)}).ok());
+    }
+  }
+  QarOptions opts;
+  opts.min_support = 0.2;
+  opts.min_confidence = 0.8;
+  opts.max_itemset_size = 2;
+  QarMiner miner(opts);
+  auto result = miner.Mine(rel);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const auto& rule : result->rules) {
+    if (rule.antecedent.size() == 1 && rule.consequent.size() == 1 &&
+        rule.antecedent[0].column == 0 && rule.consequent[0].column == 1 &&
+        rule.antecedent[0].hi < 50 && rule.consequent[0].lo >= 100 &&
+        rule.consequent[0].hi < 150) {
+      found = true;
+      EXPECT_GE(rule.confidence, 0.8);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QarMinerTest, NominalEqualityPredicates) {
+  Schema s = *Schema::Make(
+      {{"job", AttributeKind::kNominal}, {"salary", AttributeKind::kInterval}});
+  Relation rel(s);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(rel.AppendRow({0, 40000.0 + (i % 3)}).ok());  // job 0
+    ASSERT_TRUE(rel.AppendRow({1, 90000.0 + (i % 3)}).ok());  // job 1
+  }
+  QarOptions opts;
+  opts.min_support = 0.3;
+  opts.min_confidence = 0.9;
+  opts.max_itemset_size = 2;
+  QarMiner miner(opts);
+  auto result = miner.Mine(rel);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const auto& rule : result->rules) {
+    if (rule.antecedent.size() == 1 && rule.antecedent[0].is_nominal &&
+        rule.antecedent[0].lo == 0 && rule.consequent.size() == 1 &&
+        rule.consequent[0].column == 1 && rule.consequent[0].hi < 50000) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QarMinerTest, NoSameAttributePredicatesInOneRule) {
+  Schema s = *Schema::Make(
+      {{"x", AttributeKind::kInterval}, {"y", AttributeKind::kInterval}});
+  Relation rel(s);
+  Rng rng(58);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(rel.AppendRow({rng.Uniform(0, 100), rng.Uniform(0, 100)}).ok());
+  }
+  QarOptions opts;
+  opts.min_support = 0.05;
+  opts.min_confidence = 0.0;
+  opts.max_base_intervals = 10;
+  opts.max_merged_support = 0.3;
+  QarMiner miner(opts);
+  auto result = miner.Mine(rel);
+  ASSERT_TRUE(result.ok());
+  for (const auto& rule : result->rules) {
+    std::vector<size_t> cols;
+    for (const auto& p : rule.antecedent) cols.push_back(p.column);
+    for (const auto& p : rule.consequent) cols.push_back(p.column);
+    std::sort(cols.begin(), cols.end());
+    EXPECT_TRUE(std::adjacent_find(cols.begin(), cols.end()) == cols.end());
+  }
+}
+
+TEST(QarMinerTest, MergedRangesRespectMaxSupport) {
+  Schema s = *Schema::Make({{"x", AttributeKind::kInterval}});
+  Relation rel(s);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rel.AppendRow({double(i)}).ok());
+  }
+  QarOptions opts;
+  opts.min_support = 0.05;
+  opts.max_merged_support = 0.3;
+  QarMiner miner(opts);
+  auto result = miner.Mine(rel);
+  ASSERT_TRUE(result.ok());
+  // Base intervals exist and no emitted predicate covers more than ~30%+1
+  // base interval of the data.
+  ASSERT_FALSE(result->base_intervals[0].empty());
+}
+
+TEST(QarMinerTest, InterestFilterPrunesIndependentRules) {
+  // Column y is correlated with x in one regime and independent noise
+  // elsewhere; with the interest filter on, rules whose support matches
+  // the independence expectation are pruned.
+  Schema s = *Schema::Make(
+      {{"x", AttributeKind::kInterval}, {"y", AttributeKind::kInterval}});
+  Relation rel(s);
+  Rng rng(59);
+  for (int i = 0; i < 600; ++i) {
+    if (i % 3 == 0) {
+      // Correlated block: x ~ [0,10), y ~ [100,110).
+      ASSERT_TRUE(
+          rel.AppendRow({rng.Uniform(0, 10), rng.Uniform(100, 110)}).ok());
+    } else {
+      // Independent block.
+      ASSERT_TRUE(
+          rel.AppendRow({rng.Uniform(20, 100), rng.Uniform(120, 300)}).ok());
+    }
+  }
+  QarOptions opts;
+  opts.min_support = 0.05;
+  opts.min_confidence = 0.3;
+  opts.max_base_intervals = 8;
+  opts.max_merged_support = 0.3;
+  opts.max_itemset_size = 2;
+
+  QarMiner unfiltered(opts);
+  auto base = unfiltered.Mine(rel);
+  ASSERT_TRUE(base.ok());
+
+  opts.min_interest = 1.5;
+  QarMiner filtered(opts);
+  auto pruned = filtered.Mine(rel);
+  ASSERT_TRUE(pruned.ok());
+
+  EXPECT_LT(pruned->rules.size(), base->rules.size());
+  for (const auto& rule : pruned->rules) {
+    EXPECT_GE(rule.interest, 1.5);
+  }
+  // The genuinely correlated rule survives.
+  bool found = false;
+  for (const auto& rule : pruned->rules) {
+    if (rule.antecedent.size() == 1 && rule.consequent.size() == 1 &&
+        rule.antecedent[0].column == 0 && rule.antecedent[0].hi <= 15 &&
+        rule.consequent[0].column == 1 && rule.consequent[0].hi <= 115) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QarMinerTest, RuleToStringReadable) {
+  Schema s = *Schema::Make(
+      {{"age", AttributeKind::kInterval}, {"salary", AttributeKind::kInterval}});
+  QarRule rule;
+  rule.antecedent = {{0, false, 30, 39}};
+  rule.consequent = {{1, false, 40000, 50000}};
+  rule.support = 0.5;
+  rule.confidence = 0.9;
+  std::string str = rule.ToString(s);
+  EXPECT_NE(str.find("30 <= age <= 39"), std::string::npos);
+  EXPECT_NE(str.find("=>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dar

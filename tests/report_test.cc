@@ -1,0 +1,110 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+
+#include "datagen/planted.h"
+
+namespace dar {
+namespace {
+
+DarMiningResult MineSmall(const PlantedDataset& data) {
+  DarConfig config;
+  config.memory_budget_bytes = 8u << 20;
+  config.frequency_fraction = 0.05;
+  config.initial_diameters = {80.0, 80.0};
+  config.degree_threshold = 150.0;
+  config.count_rule_support = true;
+  DarMiner miner(config);
+  auto result = miner.Mine(data.relation, data.partition);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).ValueOrDie();
+}
+
+TEST(ReportTest, JsonContainsClustersAndRules) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 61);
+  auto data = GeneratePlanted(spec, 1000, 62);
+  ASSERT_TRUE(data.ok());
+  DarMiningResult result = MineSmall(*data);
+  ASSERT_GT(result.phase1.clusters.size(), 0u);
+  ASSERT_GT(result.phase2.rules.size(), 0u);
+
+  std::string json =
+      MiningResultToJson(result, data->relation.schema(), data->partition);
+  EXPECT_NE(json.find("\"clusters\""), std::string::npos);
+  EXPECT_NE(json.find("\"rules\""), std::string::npos);
+  EXPECT_NE(json.find("\"degree\""), std::string::npos);
+  EXPECT_NE(json.find("\"support_count\""), std::string::npos);
+  EXPECT_NE(json.find("\"box\""), std::string::npos);
+  EXPECT_NE(json.find("attr0"), std::string::npos);
+
+  // Structural sanity: balanced braces and brackets.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ReportTest, WriteReportToStream) {
+  PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 63);
+  auto data = GeneratePlanted(spec, 800, 64);
+  ASSERT_TRUE(data.ok());
+  DarMiningResult result = MineSmall(*data);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMiningReport(result, data->relation.schema(),
+                                data->partition, out)
+                  .ok());
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(ReportTest, SummaryListsRulesAndCaps) {
+  PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.0, 65);
+  auto data = GeneratePlanted(spec, 2000, 66);
+  ASSERT_TRUE(data.ok());
+  DarMiningResult result = MineSmall(*data);
+  std::string summary = MiningResultSummary(
+      result, data->relation.schema(), data->partition, /*max_rules=*/2);
+  EXPECT_NE(summary.find("Phase I:"), std::string::npos);
+  EXPECT_NE(summary.find("Phase II:"), std::string::npos);
+  if (result.phase2.rules.size() > 2) {
+    EXPECT_NE(summary.find("more"), std::string::npos);
+  }
+}
+
+TEST(ReportTest, EscapesSpecialCharactersInLabels) {
+  // A schema with a quote in an attribute name must not break the JSON.
+  Schema s = *Schema::Make({{"a\"b", AttributeKind::kInterval},
+                            {"c", AttributeKind::kInterval}});
+  Relation rel(s);
+  Rng rng(67);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        rel.AppendRow({rng.Gaussian(10, 1), rng.Gaussian(20, 1)}).ok());
+  }
+  AttributePartition part = AttributePartition::SingletonPartition(s);
+  DarConfig config;
+  config.frequency_fraction = 0.5;
+  config.initial_diameters = {5.0, 5.0};
+  DarMiner miner(config);
+  auto result = miner.Mine(rel, part);
+  ASSERT_TRUE(result.ok());
+  std::string json = MiningResultToJson(*result, s, part);
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dar

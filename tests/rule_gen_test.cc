@@ -1,0 +1,222 @@
+#include "core/rule_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering_graph.h"
+
+namespace dar {
+namespace {
+
+// Layout with four 1-d parts A, B, C, D.
+std::shared_ptr<const AcfLayout> FourPartLayout() {
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kEuclidean, "A"},
+                   {1, MetricKind::kEuclidean, "B"},
+                   {1, MetricKind::kEuclidean, "C"},
+                   {1, MetricKind::kEuclidean, "D"}};
+  return layout;
+}
+
+// Cluster on `part` summarizing `tuples` over (a, b, c, d).
+FoundCluster MakeCluster(std::shared_ptr<const AcfLayout> layout, size_t id,
+                         size_t part,
+                         const std::vector<std::array<double, 4>>& tuples) {
+  FoundCluster c;
+  c.id = id;
+  c.part = part;
+  c.acf = Acf(layout, part);
+  for (const auto& t : tuples) {
+    c.acf.AddRow({{t[0]}, {t[1]}, {t[2]}, {t[3]}});
+  }
+  return c;
+}
+
+// A population of identical tuples (10, 20, 30, 40): clusters on A, B, C
+// summarizing it are mutually associated with degree 0.
+ClusterSet CooccurringSet(std::shared_ptr<const AcfLayout> layout) {
+  std::vector<std::array<double, 4>> tuples(5, {10, 20, 30, 40});
+  std::vector<FoundCluster> clusters;
+  for (size_t p = 0; p < 3; ++p) {
+    clusters.push_back(MakeCluster(layout, p, p, tuples));
+  }
+  return ClusterSet(layout, std::move(clusters));
+}
+
+TEST(DegreeTest, ZeroForPerfectAssociation) {
+  auto layout = FourPartLayout();
+  ClusterSet set = CooccurringSet(layout);
+  EXPECT_DOUBLE_EQ(
+      DegreeOfAssociation(set, {0}, {1}, ClusterMetric::kD2AvgInter), 0.0);
+}
+
+TEST(DegreeTest, GrowsWithImageDisplacement) {
+  auto layout = FourPartLayout();
+  std::vector<FoundCluster> clusters;
+  // Cluster on A whose B-image sits at 25; cluster on B at 20.
+  clusters.push_back(MakeCluster(layout, 0, 0, {{10, 25, 0, 0}}));
+  clusters.push_back(MakeCluster(layout, 1, 1, {{10, 20, 0, 0}}));
+  ClusterSet set(layout, std::move(clusters));
+  double d = DegreeOfAssociation(set, {0}, {1}, ClusterMetric::kD2AvgInter);
+  EXPECT_NEAR(d, 5.0, 1e-9);
+}
+
+TEST(DegreeTest, MaxOverPairs) {
+  auto layout = FourPartLayout();
+  std::vector<FoundCluster> clusters;
+  clusters.push_back(MakeCluster(layout, 0, 0, {{10, 20, 0, 0}}));  // on A
+  clusters.push_back(MakeCluster(layout, 1, 1, {{10, 20, 0, 0}}));  // on B
+  // Second antecedent on C whose B-image is displaced by 7.
+  clusters.push_back(MakeCluster(layout, 2, 2, {{10, 27, 5, 0}}));
+  ClusterSet set(layout, std::move(clusters));
+  double d =
+      DegreeOfAssociation(set, {0, 2}, {1}, ClusterMetric::kD2AvgInter);
+  EXPECT_NEAR(d, 7.0, 1e-9);
+}
+
+RuleGenOptions DefaultOptions() {
+  RuleGenOptions opts;
+  opts.degree_threshold = 1.0;
+  return opts;
+}
+
+TEST(RuleGenTest, EmitsAllArityCombinationsFromOneClique) {
+  auto layout = FourPartLayout();
+  ClusterSet set = CooccurringSet(layout);
+  // One clique {0, 1, 2}.
+  std::vector<std::vector<size_t>> cliques = {{0, 1, 2}};
+  RuleGenResult result = GenerateDistanceRules(set, cliques, DefaultOptions());
+  EXPECT_FALSE(result.truncated);
+  // Count: for 3 mutually associated clusters with max_antecedent 3 and
+  // max_consequent 2: consequent {y}: antecedents from remaining 2 ->
+  // 3 subsets each, 3 choices of y = 9; consequent pairs {y1,y2}: 3 pairs,
+  // antecedent = the remaining single cluster -> 3. Total 12.
+  EXPECT_EQ(result.rules.size(), 12u);
+  for (const auto& rule : result.rules) {
+    EXPECT_NEAR(rule.degree, 0.0, 1e-9);
+    // Parts disjoint.
+    std::set<size_t> parts;
+    for (size_t id : rule.antecedent) {
+      EXPECT_TRUE(parts.insert(set.cluster(id).part).second);
+    }
+    for (size_t id : rule.consequent) {
+      EXPECT_TRUE(parts.insert(set.cluster(id).part).second);
+    }
+  }
+}
+
+TEST(RuleGenTest, DegreeThresholdFiltersWeakRules) {
+  auto layout = FourPartLayout();
+  std::vector<FoundCluster> clusters;
+  clusters.push_back(MakeCluster(layout, 0, 0, {{10, 90, 0, 0}}));  // far B-img
+  clusters.push_back(MakeCluster(layout, 1, 1, {{10, 20, 0, 0}}));
+  ClusterSet set(layout, std::move(clusters));
+  std::vector<std::vector<size_t>> cliques = {{0, 1}};
+  RuleGenOptions opts = DefaultOptions();
+  opts.degree_threshold = 5.0;
+  RuleGenResult result = GenerateDistanceRules(set, cliques, opts);
+  // 0 => 1 has degree |90 - 20| = 70 > 5 (dropped). 1 => 0: the A-images
+  // coincide at 10, degree 0 (kept).
+  ASSERT_EQ(result.rules.size(), 1u);
+  EXPECT_EQ(result.rules[0].antecedent, (std::vector<size_t>{1}));
+  EXPECT_EQ(result.rules[0].consequent, (std::vector<size_t>{0}));
+}
+
+TEST(RuleGenTest, OneWayAssociation) {
+  // The paper's point (§5.2): association is one-way. Build clusters where
+  // C_A's B-image is close to C_B (A => B strong) but C_B's A-image is far
+  // from C_A (B => A weak).
+  auto layout = FourPartLayout();
+  std::vector<FoundCluster> clusters;
+  // C_A summarizes tuples (10, 20): its B-image is exactly C_B's location.
+  clusters.push_back(MakeCluster(layout, 0, 0, {{10, 20, 0, 0}}));
+  // C_B summarizes tuples (10, 20) plus many (500, 20): its A-image
+  // centroid is far from 10.
+  clusters.push_back(MakeCluster(
+      layout, 1, 1, {{10, 20, 0, 0}, {500, 20, 0, 0}, {500, 20, 0, 0}}));
+  ClusterSet set(layout, std::move(clusters));
+  double a_to_b =
+      DegreeOfAssociation(set, {0}, {1}, ClusterMetric::kD2AvgInter);
+  double b_to_a =
+      DegreeOfAssociation(set, {1}, {0}, ClusterMetric::kD2AvgInter);
+  EXPECT_LT(a_to_b, 1e-9);
+  EXPECT_GT(b_to_a, 100.0);
+}
+
+TEST(RuleGenTest, CrossCliqueRules) {
+  auto layout = FourPartLayout();
+  // Clique 1 = {A-cluster, B-cluster} from population P1; clique 2 =
+  // {C-cluster} whose images on A and B are near P1 (one-way assoc).
+  std::vector<std::array<double, 4>> p1(4, {10, 20, 30, 0});
+  std::vector<FoundCluster> clusters;
+  clusters.push_back(MakeCluster(layout, 0, 0, p1));
+  clusters.push_back(MakeCluster(layout, 1, 1, p1));
+  clusters.push_back(MakeCluster(layout, 2, 2, p1));
+  ClusterSet set(layout, std::move(clusters));
+  // Force the clique structure: pretend graph found two cliques.
+  std::vector<std::vector<size_t>> cliques = {{0, 1}, {2}};
+  RuleGenResult result = GenerateDistanceRules(set, cliques, DefaultOptions());
+  // Expect cross-clique rules like {0} => {2} and {0,1} => {2}.
+  bool pair_to_c = false;
+  for (const auto& rule : result.rules) {
+    if (rule.antecedent == std::vector<size_t>{0, 1} &&
+        rule.consequent == std::vector<size_t>{2}) {
+      pair_to_c = true;
+    }
+  }
+  EXPECT_TRUE(pair_to_c);
+}
+
+TEST(RuleGenTest, NoDuplicateRulesAcrossCliquePairs) {
+  auto layout = FourPartLayout();
+  ClusterSet set = CooccurringSet(layout);
+  // Overlapping cliques sharing nodes.
+  std::vector<std::vector<size_t>> cliques = {{0, 1, 2}, {0, 1}, {1, 2}};
+  RuleGenResult result = GenerateDistanceRules(set, cliques, DefaultOptions());
+  std::set<std::pair<std::vector<size_t>, std::vector<size_t>>> unique;
+  for (const auto& rule : result.rules) {
+    EXPECT_TRUE(unique.emplace(rule.antecedent, rule.consequent).second);
+  }
+}
+
+TEST(RuleGenTest, ArityCapsRespected) {
+  auto layout = FourPartLayout();
+  std::vector<std::array<double, 4>> tuples(5, {10, 20, 30, 40});
+  std::vector<FoundCluster> clusters;
+  for (size_t p = 0; p < 4; ++p) {
+    clusters.push_back(MakeCluster(layout, p, p, tuples));
+  }
+  ClusterSet set(layout, std::move(clusters));
+  std::vector<std::vector<size_t>> cliques = {{0, 1, 2, 3}};
+  RuleGenOptions opts = DefaultOptions();
+  opts.max_antecedent = 1;
+  opts.max_consequent = 1;
+  RuleGenResult result = GenerateDistanceRules(set, cliques, opts);
+  for (const auto& rule : result.rules) {
+    EXPECT_EQ(rule.antecedent.size(), 1u);
+    EXPECT_EQ(rule.consequent.size(), 1u);
+  }
+  // 4 * 3 ordered pairs.
+  EXPECT_EQ(result.rules.size(), 12u);
+}
+
+TEST(RuleGenTest, MaxRulesTruncatesLoudly) {
+  auto layout = FourPartLayout();
+  ClusterSet set = CooccurringSet(layout);
+  std::vector<std::vector<size_t>> cliques = {{0, 1, 2}};
+  RuleGenOptions opts = DefaultOptions();
+  opts.max_rules = 3;
+  RuleGenResult result = GenerateDistanceRules(set, cliques, opts);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.rules.size(), 3u);
+}
+
+TEST(RuleGenTest, EmptyCliquesNoRules) {
+  auto layout = FourPartLayout();
+  ClusterSet set = CooccurringSet(layout);
+  RuleGenResult result = GenerateDistanceRules(set, {}, DefaultOptions());
+  EXPECT_TRUE(result.rules.empty());
+  EXPECT_FALSE(result.truncated);
+}
+
+}  // namespace
+}  // namespace dar

@@ -1,0 +1,204 @@
+// Verifies the paper's formal connections between distance-based and
+// classical association rules (§5.1, Theorems 5.1 and 5.2), plus the
+// Figure-2 semantics they support.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "birch/metrics.h"
+#include "common/random.h"
+#include "core/miner.h"
+#include "core/rule_gen.h"
+#include "datagen/fixtures.h"
+
+namespace dar {
+namespace {
+
+// Builds, for nominal column pair (A, B) of a relation, the clusters
+// C_A = {t : t[A] = a} and C_B = {t : t[B] = b} as ACFs over a two-part
+// discrete layout — the Theorem 5.1/5.2 construction.
+struct NominalClusters {
+  std::shared_ptr<const AcfLayout> layout;
+  std::map<double, Acf> on_a;
+  std::map<double, Acf> on_b;
+};
+
+NominalClusters BuildNominalClusters(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  NominalClusters out;
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kDiscrete, "A"},
+                   {1, MetricKind::kDiscrete, "B"}};
+  out.layout = layout;
+  for (size_t i = 0; i < a.size(); ++i) {
+    PartedRow row = {{a[i]}, {b[i]}};
+    auto [ita, _a] = out.on_a.try_emplace(a[i], Acf(layout, 0));
+    ita->second.AddRow(row);
+    auto [itb, _b] = out.on_b.try_emplace(b[i], Acf(layout, 1));
+    itb->second.AddRow(row);
+  }
+  return out;
+}
+
+TEST(Theorem51Test, DiameterZeroIffSingleValued) {
+  // Clusters built per value have diameter 0 on their own attribute...
+  NominalClusters nc = BuildNominalClusters({1, 1, 2, 3}, {5, 6, 5, 5});
+  for (const auto& [value, acf] : nc.on_a) {
+    EXPECT_DOUBLE_EQ(acf.cf().Diameter(), 0.0);
+  }
+  // ...while any mixed-value cluster has positive diameter.
+  Acf mixed(nc.layout, 0);
+  mixed.AddRow({{1}, {5}});
+  mixed.AddRow({{2}, {5}});
+  EXPECT_GT(mixed.cf().Diameter(), 0.0);
+}
+
+TEST(Theorem52Test, PaperExampleExact) {
+  // A = a for rows 0-4; B = b for rows 0-2: confidence(A=a => B=b) = 3/5,
+  // so D2(C_B[B], C_A[B]) must be 1 - 3/5 = 0.4.
+  std::vector<double> a = {7, 7, 7, 7, 7};
+  std::vector<double> b = {1, 1, 1, 2, 3};
+  NominalClusters nc = BuildNominalClusters(a, b);
+  const Acf& ca = nc.on_a.at(7);
+  const Acf& cb = nc.on_b.at(1);
+  double degree = ClusterDistance(cb.image(1), ca.image(1),
+                                  ClusterMetric::kD2AvgInter);
+  EXPECT_NEAR(degree, 1.0 - 3.0 / 5.0, 1e-12);
+}
+
+TEST(Theorem52Test, HoldsOnRandomNominalRelations) {
+  Rng rng(90);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(5, 60));
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<double>(rng.UniformInt(0, 3));
+      b[i] = static_cast<double>(rng.UniformInt(0, 3));
+    }
+    NominalClusters nc = BuildNominalClusters(a, b);
+    for (const auto& [va, ca] : nc.on_a) {
+      for (const auto& [vb, cb] : nc.on_b) {
+        // Classical confidence of A=va => B=vb.
+        size_t count_a = 0, count_ab = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (a[i] == va) {
+            ++count_a;
+            if (b[i] == vb) ++count_ab;
+          }
+        }
+        double confidence = static_cast<double>(count_ab) / count_a;
+        double degree = ClusterDistance(cb.image(1), ca.image(1),
+                                        ClusterMetric::kD2AvgInter);
+        EXPECT_NEAR(degree, 1.0 - confidence, 1e-9)
+            << "trial " << trial << " a=" << va << " b=" << vb;
+      }
+    }
+  }
+}
+
+// --- Figure 2: same support/confidence, different distance semantics ---
+
+struct Fig2Measures {
+  double support = 0;
+  double confidence = 0;
+  double degree = 0;  // D2(C_Salary40K[Salary], C_{DBA,30}[Salary])
+};
+
+Fig2Measures MeasureFig2(const CsvTable& table) {
+  const Relation& rel = table.relation;
+  Fig2Measures m;
+  double dba = *table.dictionaries[0].Lookup("DBA");
+  size_t matching = 0, antecedent = 0;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    bool is_ant = rel.at(r, 0) == dba && rel.at(r, 1) == 30;
+    if (is_ant) ++antecedent;
+    if (is_ant && rel.at(r, 2) == 40000) ++matching;
+  }
+  m.support = static_cast<double>(matching) / rel.num_rows();
+  m.confidence = static_cast<double>(matching) / antecedent;
+
+  // Distance-based view: antecedent cluster = the 30-year-old DBAs,
+  // consequent cluster = the tuples earning exactly 40K, degree = the
+  // Euclidean D2 between salary images.
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kDiscrete, "JobAge"},
+                   {1, MetricKind::kEuclidean, "Salary"}};
+  Acf ant(layout, 0), cons(layout, 1);
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    PartedRow row = {{rel.at(r, 0)}, {rel.at(r, 2)}};
+    if (rel.at(r, 0) == dba && rel.at(r, 1) == 30) ant.AddRow(row);
+    if (rel.at(r, 2) == 40000) cons.AddRow(row);
+  }
+  m.degree = ClusterDistance(cons.image(1), ant.image(1),
+                             ClusterMetric::kD2AvgInter);
+  return m;
+}
+
+TEST(Figure2Test, ClassicalMeasuresIdenticalAcrossR1R2) {
+  Fig2Measures m1 = MeasureFig2(Fig2RelationR1());
+  Fig2Measures m2 = MeasureFig2(Fig2RelationR2());
+  EXPECT_DOUBLE_EQ(m1.support, 0.5);
+  EXPECT_DOUBLE_EQ(m2.support, 0.5);
+  EXPECT_DOUBLE_EQ(m1.confidence, 0.6);
+  EXPECT_DOUBLE_EQ(m2.confidence, 0.6);
+}
+
+TEST(Figure2Test, DistanceDegreeStrongerInR2) {
+  // Goal 2/3: the rule should rate higher (smaller degree) in R2, where
+  // the non-matching salaries are 41K/42K instead of 90K/100K.
+  Fig2Measures m1 = MeasureFig2(Fig2RelationR1());
+  Fig2Measures m2 = MeasureFig2(Fig2RelationR2());
+  EXPECT_LT(m2.degree, m1.degree);
+  EXPECT_LT(m2.degree, 0.2 * m1.degree);  // dramatically stronger, not just
+}
+
+// --- Figure 4: confidence vs distance ranking ---
+
+TEST(Figure4Test, DistanceReversesConfidenceRanking) {
+  Fig4Options opts;
+  auto data = MakeFig4Dataset(opts);
+  ASSERT_TRUE(data.ok());
+  const Relation& rel = data->relation;
+
+  // Identify cluster memberships by construction: C_X = x within 2 of 50,
+  // C_Y = y within 2 of 50.
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kEuclidean, "X"},
+                   {1, MetricKind::kEuclidean, "Y"}};
+  Acf cx(layout, 0), cy(layout, 1);
+  size_t nx = 0, ny = 0, nxy = 0;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    bool in_x = std::fabs(rel.at(r, 0) - 50) < 2;
+    bool in_y = std::fabs(rel.at(r, 1) - 50) < 2;
+    PartedRow row = {{rel.at(r, 0)}, {rel.at(r, 1)}};
+    if (in_x) {
+      cx.AddRow(row);
+      ++nx;
+    }
+    if (in_y) {
+      cy.AddRow(row);
+      ++ny;
+    }
+    if (in_x && in_y) ++nxy;
+  }
+  ASSERT_EQ(nx, 12u);
+  ASSERT_EQ(ny, 13u);
+  ASSERT_EQ(nxy, 10u);
+
+  double conf_x_to_y = static_cast<double>(nxy) / nx;  // 10/12
+  double conf_y_to_x = static_cast<double>(nxy) / ny;  // 10/13
+  EXPECT_GT(conf_x_to_y, conf_y_to_x);
+
+  // Distance degree: CX => CY looks at Y images; the 2 CX-only points are
+  // far on Y. CY => CX looks at X images; the 3 CY-only points are near.
+  double degree_x_to_y = ClusterDistance(cy.image(1), cx.image(1),
+                                         ClusterMetric::kD2AvgInter);
+  double degree_y_to_x = ClusterDistance(cx.image(0), cy.image(0),
+                                         ClusterMetric::kD2AvgInter);
+  EXPECT_LT(degree_y_to_x, degree_x_to_y);
+}
+
+}  // namespace
+}  // namespace dar
