@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase2_threshold.dir/ablation_phase2_threshold.cc.o"
+  "CMakeFiles/ablation_phase2_threshold.dir/ablation_phase2_threshold.cc.o.d"
+  "ablation_phase2_threshold"
+  "ablation_phase2_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase2_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

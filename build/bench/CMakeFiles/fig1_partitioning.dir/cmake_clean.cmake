@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_partitioning.dir/fig1_partitioning.cc.o"
+  "CMakeFiles/fig1_partitioning.dir/fig1_partitioning.cc.o.d"
+  "fig1_partitioning"
+  "fig1_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rule_semantics.dir/fig2_rule_semantics.cc.o"
+  "CMakeFiles/fig2_rule_semantics.dir/fig2_rule_semantics.cc.o.d"
+  "fig2_rule_semantics"
+  "fig2_rule_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rule_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_phase2_stability.dir/sec72_phase2_stability.cc.o"
+  "CMakeFiles/sec72_phase2_stability.dir/sec72_phase2_stability.cc.o.d"
+  "sec72_phase2_stability"
+  "sec72_phase2_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_phase2_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

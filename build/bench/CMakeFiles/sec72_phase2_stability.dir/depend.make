@@ -1,0 +1,2 @@
+# Empty dependencies file for sec72_phase2_stability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm52_equivalence.dir/thm52_equivalence.cc.o"
+  "CMakeFiles/thm52_equivalence.dir/thm52_equivalence.cc.o.d"
+  "thm52_equivalence"
+  "thm52_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm52_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

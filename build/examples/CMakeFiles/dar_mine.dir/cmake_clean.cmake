@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_mine.dir/dar_mine.cpp.o"
+  "CMakeFiles/dar_mine.dir/dar_mine.cpp.o.d"
+  "dar_mine"
+  "dar_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

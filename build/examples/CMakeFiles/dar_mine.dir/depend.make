@@ -1,0 +1,2 @@
+# Empty dependencies file for dar_mine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insurance.dir/insurance.cpp.o"
+  "CMakeFiles/insurance.dir/insurance.cpp.o.d"
+  "insurance"
+  "insurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

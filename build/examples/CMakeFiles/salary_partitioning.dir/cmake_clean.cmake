@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_partitioning.dir/salary_partitioning.cpp.o"
+  "CMakeFiles/salary_partitioning.dir/salary_partitioning.cpp.o.d"
+  "salary_partitioning"
+  "salary_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

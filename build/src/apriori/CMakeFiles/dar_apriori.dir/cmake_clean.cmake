@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_apriori.dir/apriori.cc.o"
+  "CMakeFiles/dar_apriori.dir/apriori.cc.o.d"
+  "CMakeFiles/dar_apriori.dir/itemset.cc.o"
+  "CMakeFiles/dar_apriori.dir/itemset.cc.o.d"
+  "libdar_apriori.a"
+  "libdar_apriori.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_apriori.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

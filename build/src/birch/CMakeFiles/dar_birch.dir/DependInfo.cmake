@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birch/acf.cc" "src/birch/CMakeFiles/dar_birch.dir/acf.cc.o" "gcc" "src/birch/CMakeFiles/dar_birch.dir/acf.cc.o.d"
+  "/root/repo/src/birch/acf_tree.cc" "src/birch/CMakeFiles/dar_birch.dir/acf_tree.cc.o" "gcc" "src/birch/CMakeFiles/dar_birch.dir/acf_tree.cc.o.d"
+  "/root/repo/src/birch/cf.cc" "src/birch/CMakeFiles/dar_birch.dir/cf.cc.o" "gcc" "src/birch/CMakeFiles/dar_birch.dir/cf.cc.o.d"
+  "/root/repo/src/birch/metrics.cc" "src/birch/CMakeFiles/dar_birch.dir/metrics.cc.o" "gcc" "src/birch/CMakeFiles/dar_birch.dir/metrics.cc.o.d"
+  "/root/repo/src/birch/refine.cc" "src/birch/CMakeFiles/dar_birch.dir/refine.cc.o" "gcc" "src/birch/CMakeFiles/dar_birch.dir/refine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dar_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

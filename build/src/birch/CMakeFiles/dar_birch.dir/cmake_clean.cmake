@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_birch.dir/acf.cc.o"
+  "CMakeFiles/dar_birch.dir/acf.cc.o.d"
+  "CMakeFiles/dar_birch.dir/acf_tree.cc.o"
+  "CMakeFiles/dar_birch.dir/acf_tree.cc.o.d"
+  "CMakeFiles/dar_birch.dir/cf.cc.o"
+  "CMakeFiles/dar_birch.dir/cf.cc.o.d"
+  "CMakeFiles/dar_birch.dir/metrics.cc.o"
+  "CMakeFiles/dar_birch.dir/metrics.cc.o.d"
+  "CMakeFiles/dar_birch.dir/refine.cc.o"
+  "CMakeFiles/dar_birch.dir/refine.cc.o.d"
+  "libdar_birch.a"
+  "libdar_birch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_birch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

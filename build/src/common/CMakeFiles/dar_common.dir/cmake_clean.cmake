@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_common.dir/status.cc.o"
+  "CMakeFiles/dar_common.dir/status.cc.o.d"
+  "CMakeFiles/dar_common.dir/str_util.cc.o"
+  "CMakeFiles/dar_common.dir/str_util.cc.o.d"
+  "libdar_common.a"
+  "libdar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/dar_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/clustering_graph.cc" "src/core/CMakeFiles/dar_core.dir/clustering_graph.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/clustering_graph.cc.o.d"
+  "/root/repo/src/core/generalized_qar.cc" "src/core/CMakeFiles/dar_core.dir/generalized_qar.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/generalized_qar.cc.o.d"
+  "/root/repo/src/core/miner.cc" "src/core/CMakeFiles/dar_core.dir/miner.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/miner.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/dar_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/model.cc.o.d"
+  "/root/repo/src/core/phase1_builder.cc" "src/core/CMakeFiles/dar_core.dir/phase1_builder.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/phase1_builder.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/dar_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rule_gen.cc" "src/core/CMakeFiles/dar_core.dir/rule_gen.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/rule_gen.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/core/CMakeFiles/dar_core.dir/rules.cc.o" "gcc" "src/core/CMakeFiles/dar_core.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dar_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/birch/CMakeFiles/dar_birch.dir/DependInfo.cmake"
+  "/root/repo/build/src/apriori/CMakeFiles/dar_apriori.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_core.dir/advisor.cc.o"
+  "CMakeFiles/dar_core.dir/advisor.cc.o.d"
+  "CMakeFiles/dar_core.dir/clustering_graph.cc.o"
+  "CMakeFiles/dar_core.dir/clustering_graph.cc.o.d"
+  "CMakeFiles/dar_core.dir/generalized_qar.cc.o"
+  "CMakeFiles/dar_core.dir/generalized_qar.cc.o.d"
+  "CMakeFiles/dar_core.dir/miner.cc.o"
+  "CMakeFiles/dar_core.dir/miner.cc.o.d"
+  "CMakeFiles/dar_core.dir/model.cc.o"
+  "CMakeFiles/dar_core.dir/model.cc.o.d"
+  "CMakeFiles/dar_core.dir/phase1_builder.cc.o"
+  "CMakeFiles/dar_core.dir/phase1_builder.cc.o.d"
+  "CMakeFiles/dar_core.dir/report.cc.o"
+  "CMakeFiles/dar_core.dir/report.cc.o.d"
+  "CMakeFiles/dar_core.dir/rule_gen.cc.o"
+  "CMakeFiles/dar_core.dir/rule_gen.cc.o.d"
+  "CMakeFiles/dar_core.dir/rules.cc.o"
+  "CMakeFiles/dar_core.dir/rules.cc.o.d"
+  "libdar_core.a"
+  "libdar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

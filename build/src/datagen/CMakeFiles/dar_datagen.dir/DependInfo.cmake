@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/fixtures.cc" "src/datagen/CMakeFiles/dar_datagen.dir/fixtures.cc.o" "gcc" "src/datagen/CMakeFiles/dar_datagen.dir/fixtures.cc.o.d"
+  "/root/repo/src/datagen/planted.cc" "src/datagen/CMakeFiles/dar_datagen.dir/planted.cc.o" "gcc" "src/datagen/CMakeFiles/dar_datagen.dir/planted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dar_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/birch/CMakeFiles/dar_birch.dir/DependInfo.cmake"
+  "/root/repo/build/src/apriori/CMakeFiles/dar_apriori.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_datagen.dir/fixtures.cc.o"
+  "CMakeFiles/dar_datagen.dir/fixtures.cc.o.d"
+  "CMakeFiles/dar_datagen.dir/planted.cc.o"
+  "CMakeFiles/dar_datagen.dir/planted.cc.o.d"
+  "libdar_datagen.a"
+  "libdar_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

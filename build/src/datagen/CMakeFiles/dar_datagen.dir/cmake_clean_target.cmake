@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdar_datagen.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qar/equidepth.cc" "src/qar/CMakeFiles/dar_qar.dir/equidepth.cc.o" "gcc" "src/qar/CMakeFiles/dar_qar.dir/equidepth.cc.o.d"
+  "/root/repo/src/qar/qar_miner.cc" "src/qar/CMakeFiles/dar_qar.dir/qar_miner.cc.o" "gcc" "src/qar/CMakeFiles/dar_qar.dir/qar_miner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dar_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/apriori/CMakeFiles/dar_apriori.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_qar.dir/equidepth.cc.o"
+  "CMakeFiles/dar_qar.dir/equidepth.cc.o.d"
+  "CMakeFiles/dar_qar.dir/qar_miner.cc.o"
+  "CMakeFiles/dar_qar.dir/qar_miner.cc.o.d"
+  "libdar_qar.a"
+  "libdar_qar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_qar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

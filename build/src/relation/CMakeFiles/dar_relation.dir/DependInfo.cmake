@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/dar_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/dar_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/metric.cc" "src/relation/CMakeFiles/dar_relation.dir/metric.cc.o" "gcc" "src/relation/CMakeFiles/dar_relation.dir/metric.cc.o.d"
+  "/root/repo/src/relation/partition.cc" "src/relation/CMakeFiles/dar_relation.dir/partition.cc.o" "gcc" "src/relation/CMakeFiles/dar_relation.dir/partition.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/relation/CMakeFiles/dar_relation.dir/relation.cc.o" "gcc" "src/relation/CMakeFiles/dar_relation.dir/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/dar_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/dar_relation.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dar_relation.dir/csv.cc.o"
+  "CMakeFiles/dar_relation.dir/csv.cc.o.d"
+  "CMakeFiles/dar_relation.dir/metric.cc.o"
+  "CMakeFiles/dar_relation.dir/metric.cc.o.d"
+  "CMakeFiles/dar_relation.dir/partition.cc.o"
+  "CMakeFiles/dar_relation.dir/partition.cc.o.d"
+  "CMakeFiles/dar_relation.dir/relation.cc.o"
+  "CMakeFiles/dar_relation.dir/relation.cc.o.d"
+  "CMakeFiles/dar_relation.dir/schema.cc.o"
+  "CMakeFiles/dar_relation.dir/schema.cc.o.d"
+  "libdar_relation.a"
+  "libdar_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dar_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_test.dir/acf_test.cc.o"
+  "CMakeFiles/acf_test.dir/acf_test.cc.o.d"
+  "acf_test"
+  "acf_test.pdb"
+  "acf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_tree_test.dir/acf_tree_test.cc.o"
+  "CMakeFiles/acf_tree_test.dir/acf_tree_test.cc.o.d"
+  "acf_tree_test"
+  "acf_tree_test.pdb"
+  "acf_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

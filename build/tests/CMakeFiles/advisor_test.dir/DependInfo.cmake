@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cc" "tests/CMakeFiles/advisor_test.dir/advisor_test.cc.o" "gcc" "tests/CMakeFiles/advisor_test.dir/advisor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qar/CMakeFiles/dar_qar.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dar_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/birch/CMakeFiles/dar_birch.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/dar_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/apriori/CMakeFiles/dar_apriori.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_qar_test.dir/generalized_qar_test.cc.o"
+  "CMakeFiles/generalized_qar_test.dir/generalized_qar_test.cc.o.d"
+  "generalized_qar_test"
+  "generalized_qar_test.pdb"
+  "generalized_qar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_qar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

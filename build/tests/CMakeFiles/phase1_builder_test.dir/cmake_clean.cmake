@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase1_builder_test.dir/phase1_builder_test.cc.o"
+  "CMakeFiles/phase1_builder_test.dir/phase1_builder_test.cc.o.d"
+  "phase1_builder_test"
+  "phase1_builder_test.pdb"
+  "phase1_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase1_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

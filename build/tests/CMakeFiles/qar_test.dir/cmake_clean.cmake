@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qar_test.dir/qar_test.cc.o"
+  "CMakeFiles/qar_test.dir/qar_test.cc.o.d"
+  "qar_test"
+  "qar_test.pdb"
+  "qar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_gen_test.dir/rule_gen_test.cc.o"
+  "CMakeFiles/rule_gen_test.dir/rule_gen_test.cc.o.d"
+  "rule_gen_test"
+  "rule_gen_test.pdb"
+  "rule_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

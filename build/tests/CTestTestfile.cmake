@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/cf_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/acf_test[1]_include.cmake")
+include("/root/repo/build/tests/acf_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/apriori_test[1]_include.cmake")
+include("/root/repo/build/tests/qar_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/miner_test[1]_include.cmake")
+include("/root/repo/build/tests/theorems_test[1]_include.cmake")
+include("/root/repo/build/tests/generalized_qar_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_test[1]_include.cmake")
+include("/root/repo/build/tests/phase1_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
