@@ -8,13 +8,19 @@
 // 1997 Sparc 10. The table reports per-tuple time, which should stay
 // roughly flat, and a least-squares linearity fit.
 //
+// A second section fixes N and sweeps the Session thread count: Phase I
+// parallelizes per attribute part (one independent ACF-tree each), so with
+// 30 parts the build should scale with the cores available — and the
+// output is bit-identical at every thread count.
+//
 // Usage: fig6_phase1_scaling [max_n] [seed]   (DAR_BENCH_QUICK=1 shrinks)
 
 #include <cmath>
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/miner.h"
+#include "common/executor.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 int main(int argc, char** argv) {
@@ -62,8 +68,12 @@ int main(int argc, char** argv) {
     // Repair insertion-order fragmentation so the reported ACF count
     // reflects cluster structure, not tree artifacts (see ablation_refine).
     config.refine_clusters = true;
-    DarMiner miner(config);
-    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    auto session = Session::Builder().WithConfig(config).Build();
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
     if (!phase1.ok()) {
       std::cerr << phase1.status() << "\n";
       return 1;
@@ -108,5 +118,42 @@ int main(int argc, char** argv) {
             << (linear ? "  [OK: linear, matching Figure 6]"
                        : "  [WARN: not cleanly linear]")
             << "\n";
+
+  // === Thread scaling: fixed N, sweep the Session executor ===
+  // Per-part parallelism over the 30 independent ACF-trees. Speedup is
+  // bounded by the cores actually present; serial output stays the
+  // reference — every row below produces bit-identical results.
+  size_t n_fixed = max_n / 5;
+  auto data = GeneratePlanted(spec, n_fixed, seed + 1);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n=== Phase I thread scaling (N = " << n_fixed << ", "
+            << HardwareParallelism() << " hardware threads) ===\n\n";
+  Table scaling({"threads", "seconds", "speedup", "us/tuple"});
+  scaling.PrintHeader();
+  double serial_seconds = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    DarConfig config;
+    config.memory_budget_bytes = 32u << 20;
+    config.frequency_fraction = 0.03;
+    config.refine_clusters = true;
+    auto session =
+        Session::Builder().WithConfig(config).WithThreads(threads).Build();
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
+    if (!phase1.ok()) {
+      std::cerr << phase1.status() << "\n";
+      return 1;
+    }
+    if (threads == 1) serial_seconds = phase1->seconds;
+    scaling.PrintRow(threads, phase1->seconds,
+                     serial_seconds / phase1->seconds,
+                     1e6 * phase1->seconds / n_fixed);
+  }
   return 0;
 }

@@ -10,8 +10,10 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 
-#include "core/miner.h"
+#include "core/observer.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 int main(int argc, char** argv) {
@@ -39,26 +41,35 @@ int main(int argc, char** argv) {
     DarConfig config;
     config.memory_budget_bytes = mb << 20;
     config.frequency_fraction = 0.01;
-    DarMiner miner(config);
-    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    // A CountersObserver sees every rebuild as it happens — the same
+    // number Phase1Result reports per tree after the fact.
+    auto counters = std::make_shared<CountersObserver>();
+    auto session = Session::Builder()
+                       .WithConfig(config)
+                       .WithThreads(0)  // parts build concurrently
+                       .AddObserver(counters)
+                       .Build();
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
     if (!phase1.ok()) {
       std::cerr << phase1.status() << "\n";
       return 1;
     }
     size_t raw = 0;
-    int rebuilds = 0;
     double max_threshold = 0;
     for (size_t p = 0; p < phase1->raw_cluster_counts.size(); ++p) {
       raw += phase1->raw_cluster_counts[p];
-      rebuilds += phase1->tree_stats[p].rebuild_count;
       max_threshold =
           std::max(max_threshold, phase1->tree_stats[p].threshold);
     }
     std::cout << std::setw(10) << mb << "MB" << std::setw(12) << raw
               << std::setw(12) << phase1->clusters.size() << std::setw(10)
-              << rebuilds << std::setw(14) << std::fixed
-              << std::setprecision(2) << max_threshold << std::setw(10)
-              << phase1->seconds << "\n";
+              << counters->counters().tree_rebuilds << std::setw(14)
+              << std::fixed << std::setprecision(2) << max_threshold
+              << std::setw(10) << phase1->seconds << "\n";
   }
   std::cout << "\nLess memory => more rebuilds, higher thresholds, coarser "
                "clusters - the\nquality/footprint dial of the adaptive "

@@ -4,18 +4,21 @@
 //      sample (no manual knob-tuning),
 //   2. Phase1Builder streams tuples in one at a time (the data never needs
 //      to be materialized as a Relation for Phase I),
-//   3. DarMiner::RunPhase2 forms the rules,
+//   3. Session::RunPhase2 forms the rules, with a CountersObserver
+//      watching graph/clique events,
 //   4. MiningResultToJson exports everything for downstream tools.
 //
 // Run: ./build/examples/advisor_workflow [num_tuples] [seed]
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "core/advisor.h"
-#include "core/miner.h"
+#include "core/observer.h"
 #include "core/phase1_builder.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "datagen/fixtures.h"
 
 int main(int argc, char** argv) {
@@ -66,13 +69,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 3. Phase II from the summaries.
-  DarMiner miner(config);
-  auto phase2 = miner.RunPhase2(*phase1);
+  // 3. Phase II from the summaries, through a Session. The observer
+  //    receives every graph edge and clique as it is formed.
+  auto counters = std::make_shared<CountersObserver>();
+  auto session = Session::Builder()
+                     .WithConfig(config)
+                     .AddObserver(counters)
+                     .Build();
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  auto phase2 = session->RunPhase2(*phase1);
   if (!phase2.ok()) {
     std::cerr << phase2.status() << "\n";
     return 1;
   }
+  std::cout << "Observer saw " << counters->counters().graph_edges
+            << " graph edges and " << counters->counters().cliques_found
+            << " cliques\n\n";
 
   DarMiningResult result{std::move(*phase1), std::move(*phase2)};
   std::cout << MiningResultSummary(result, schema, data->partition, 8);

@@ -10,6 +10,8 @@
 //     --max-antecedent=3      rule arity caps
 //     --max-consequent=2
 //     --support               post-scan support counting
+//     --threads=4             worker threads (0 = hardware, default 1);
+//                             the output is identical for every value
 //     --json                  emit the JSON report instead of the summary
 //
 // Example:
@@ -22,8 +24,8 @@
 
 #include "common/str_util.h"
 #include "core/advisor.h"
-#include "core/miner.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "relation/csv.h"
 
 namespace {
@@ -35,6 +37,7 @@ struct CliOptions {
   size_t memory_mb = 32;
   size_t max_antecedent = 3;
   size_t max_consequent = 2;
+  int threads = 1;
   bool support = false;
   bool json = false;
 };
@@ -59,6 +62,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts, std::string& error) {
     } else if (arg.rfind("--max-consequent=", 0) == 0) {
       opts.max_consequent =
           std::strtoull(value_of("--max-consequent=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads =
+          static_cast<int>(std::strtol(value_of("--threads=").c_str(),
+                                       nullptr, 10));
     } else if (arg == "--support") {
       opts.support = true;
     } else if (arg == "--json") {
@@ -75,7 +82,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts, std::string& error) {
   }
   if (opts.path.empty()) {
     error = "usage: dar_mine <file.csv> [--nominal=a,b] [--frequency=0.05] "
-            "[--memory-mb=32] [--support] [--json]";
+            "[--memory-mb=32] [--threads=N] [--support] [--json]";
     return false;
   }
   return true;
@@ -123,8 +130,15 @@ int main(int argc, char** argv) {
   config.count_rule_support = cli.support;
   config.refine_clusters = true;
 
-  DarMiner miner(config);
-  auto result = miner.Mine(table->relation, partition);
+  auto session = Session::Builder()
+                     .WithConfig(config)
+                     .WithThreads(cli.threads)
+                     .Build();
+  if (!session.ok()) {
+    std::cerr << "config: " << session.status() << "\n";
+    return 1;
+  }
+  auto result = session->Mine(table->relation, partition);
   if (!result.ok()) {
     std::cerr << "mining: " << result.status() << "\n";
     return 1;

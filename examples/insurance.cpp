@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
   config.initial_diameters = {9.0, 1.2, 2200.0};  // Age, Dependents, Claims
   config.degree_threshold = 2500.0;
   config.count_rule_support = true;
+  // This example deliberately keeps the legacy one-class API. DarMiner is
+  // deprecated: new code should use dar::Session (see quickstart.cpp),
+  // which validates the config and can run the phases multi-threaded.
   DarMiner miner(config);
 
   auto result = miner.Mine(data->relation, data->partition);

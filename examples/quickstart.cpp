@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "common/random.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
 
@@ -36,7 +36,9 @@ int main() {
   //    Euclidean metric (the library's default).
   AttributePartition partition = AttributePartition::SingletonPartition(schema);
 
-  // 3. Configure and run the miner.
+  // 3. Configure and build a mining session. Build() validates the config
+  //    up front; WithThreads(0) spreads both phases over the hardware —
+  //    the output is bit-identical to a single-threaded run.
   DarConfig config;
   config.frequency_fraction = 0.10;     // clusters need >= 10% of tuples
   config.initial_diameters = {5.0, 3000.0};  // d0 per attribute
@@ -44,9 +46,16 @@ int main() {
   // own D0: ~5 years for age consequents, ~4000 dollars for salary ones.
   config.degree_thresholds = {5.0, 4000.0};
   config.count_rule_support = true;     // optional post-scan
-  DarMiner miner(config);
+  auto session = Session::Builder()
+                     .WithConfig(config)
+                     .WithThreads(0)  // 0 = hardware concurrency
+                     .Build();
+  if (!session.ok()) {
+    std::cerr << "bad config: " << session.status() << "\n";
+    return 1;
+  }
 
-  auto result = miner.Mine(rel, partition);
+  auto result = session->Mine(rel, partition);
   if (!result.ok()) {
     std::cerr << "mining failed: " << result.status() << "\n";
     return 1;

@@ -396,6 +396,9 @@ Status AcfTree::Rebuild() {
     if (!status.ok()) break;
   }
   in_rebuild_ = false;
+  if (status.ok() && options_.on_rebuild) {
+    options_.on_rebuild(rebuild_count_, threshold_);
+  }
   return status;
 }
 

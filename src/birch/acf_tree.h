@@ -1,6 +1,7 @@
 #ifndef DAR_BIRCH_ACF_TREE_H_
 #define DAR_BIRCH_ACF_TREE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,10 @@ struct AcfTreeOptions {
   int64_t outlier_entry_min_n = 0;
   /// Safety cap on rebuilds per insert; exceeded => ResourceExhausted.
   int max_rebuilds_per_insert = 64;
+  /// Invoked after every threshold-raise rebuild with the tree's rebuild
+  /// count and its new threshold. Runs on whichever thread is inserting
+  /// into this tree.
+  std::function<void(int rebuild_count, double new_threshold)> on_rebuild;
 };
 
 /// Summary statistics for benchmarking and tests.

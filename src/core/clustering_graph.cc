@@ -14,10 +14,36 @@ double ImageRadius(const FoundCluster& c, size_t p) {
   return c.acf.image(p).Radius();
 }
 
+// Splits the outer-loop rows [0, n) of the strictly-upper-triangular pair
+// sweep into at most `max_shards` contiguous ranges with roughly equal
+// *pair* counts (row i carries n-1-i pairs, so equal row ranges would be
+// badly skewed). Returns the shard boundaries, bounds[s]..bounds[s+1].
+std::vector<size_t> PairShardBounds(size_t n, size_t max_shards) {
+  std::vector<size_t> bounds = {0};
+  if (n == 0) {
+    bounds.push_back(0);
+    return bounds;
+  }
+  size_t shards = std::max<size_t>(1, std::min(max_shards, n));
+  double total = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  double per_shard = total / static_cast<double>(shards);
+  double acc = 0;
+  for (size_t i = 0; i < n && bounds.size() < shards; ++i) {
+    acc += static_cast<double>(n - 1 - i);
+    if (acc >= per_shard * static_cast<double>(bounds.size())) {
+      bounds.push_back(i + 1);
+    }
+  }
+  while (bounds.size() < shards + 1) bounds.push_back(n);
+  bounds.back() = n;
+  return bounds;
+}
+
 }  // namespace
 
 ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
-                                 const ClusteringGraphOptions& options) {
+                                 const ClusteringGraphOptions& options)
+    : observer_(options.observer) {
   size_t n = clusters.size();
   adjacency_.resize(n);
   DAR_CHECK_EQ(options.d0.size(), clusters.num_parts());
@@ -38,29 +64,68 @@ ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
     }
   }
 
-  for (size_t i = 0; i < n; ++i) {
-    const FoundCluster& a = clusters.cluster(i);
-    for (size_t j = i + 1; j < n; ++j) {
-      const FoundCluster& b = clusters.cluster(j);
-      if (a.part == b.part) continue;  // clusters on one part are exclusive
-      if (can_prune) {
-        // Edge needs D(a[a.part], b[a.part]) <= d0[a.part]; under D2 the
-        // distance is at least the radius of either image.
-        if (image_too_diffuse[j][a.part] || image_too_diffuse[i][b.part]) {
-          ++comparisons_skipped_;
-          continue;
+  // Shard the pair sweep over contiguous outer-row ranges. Every pair is
+  // evaluated exactly once by a pure predicate, each shard appends its
+  // edges (in (i, j) order) to its own buffer, and the buffers are merged
+  // in shard order below — so edges, counters, and adjacency are
+  // bit-identical to the serial sweep for any executor and thread count.
+  size_t parallelism =
+      options.executor != nullptr
+          ? static_cast<size_t>(options.executor->parallelism())
+          : 1;
+  std::vector<size_t> bounds = PairShardBounds(n, parallelism);
+  size_t num_shards = bounds.size() - 1;
+  struct Shard {
+    std::vector<std::pair<size_t, size_t>> edges;
+    int64_t made = 0;
+    int64_t skipped = 0;
+  };
+  std::vector<Shard> shards(num_shards);
+
+  auto sweep_shard = [&](size_t s) -> Status {
+    Shard& shard = shards[s];
+    for (size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+      const FoundCluster& a = clusters.cluster(i);
+      for (size_t j = i + 1; j < n; ++j) {
+        const FoundCluster& b = clusters.cluster(j);
+        if (a.part == b.part) continue;  // clusters on one part are exclusive
+        if (can_prune) {
+          // Edge needs D(a[a.part], b[a.part]) <= d0[a.part]; under D2 the
+          // distance is at least the radius of either image.
+          if (image_too_diffuse[j][a.part] || image_too_diffuse[i][b.part]) {
+            ++shard.skipped;
+            continue;
+          }
         }
+        ++shard.made;
+        double d_on_a = ClusterDistance(a.acf.image(a.part),
+                                        b.acf.image(a.part), options.metric);
+        if (d_on_a > options.d0[a.part]) continue;
+        double d_on_b = ClusterDistance(a.acf.image(b.part),
+                                        b.acf.image(b.part), options.metric);
+        if (d_on_b > options.d0[b.part]) continue;
+        shard.edges.emplace_back(i, j);
       }
-      ++comparisons_made_;
-      double d_on_a = ClusterDistance(a.acf.image(a.part),
-                                      b.acf.image(a.part), options.metric);
-      if (d_on_a > options.d0[a.part]) continue;
-      double d_on_b = ClusterDistance(a.acf.image(b.part),
-                                      b.acf.image(b.part), options.metric);
-      if (d_on_b > options.d0[b.part]) continue;
+    }
+    return Status::OK();
+  };
+  if (options.executor != nullptr && num_shards > 1) {
+    // sweep_shard cannot fail; the Status plumbing exists for ParallelFor.
+    (void)options.executor->ParallelFor(num_shards, sweep_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) (void)sweep_shard(s);
+  }
+
+  // Deterministic merge: shard s covers rows before shard s+1, so visiting
+  // buffers in shard order replays the serial (i, j) edge order exactly.
+  for (const Shard& shard : shards) {
+    comparisons_made_ += shard.made;
+    comparisons_skipped_ += shard.skipped;
+    for (const auto& [i, j] : shard.edges) {
       adjacency_[i].push_back(j);
       adjacency_[j].push_back(i);
       ++num_edges_;
+      if (observer_ != nullptr) observer_->OnGraphEdge(i, j);
     }
   }
   for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
@@ -77,8 +142,8 @@ namespace {
 class CliqueFinder {
  public:
   CliqueFinder(const std::vector<std::vector<size_t>>& adj,
-               size_t max_cliques)
-      : adj_(adj), max_cliques_(max_cliques) {}
+               size_t max_cliques, MiningObserver* observer)
+      : adj_(adj), max_cliques_(max_cliques), observer_(observer) {}
 
   std::vector<std::vector<size_t>> Run() {
     std::vector<size_t> r, p, x;
@@ -107,6 +172,11 @@ class CliqueFinder {
         return;
       }
       cliques_.push_back(r);
+      if (observer_ != nullptr) {
+        std::vector<size_t> sorted = r;
+        std::sort(sorted.begin(), sorted.end());
+        observer_->OnCliqueFound(sorted);
+      }
       return;
     }
     // Pivot: vertex of P u X with the most neighbors inside P.
@@ -163,6 +233,7 @@ class CliqueFinder {
 
   const std::vector<std::vector<size_t>>& adj_;
   size_t max_cliques_;
+  MiningObserver* observer_;
   size_t steps_ = 0;
   std::vector<std::vector<size_t>> cliques_;
   bool truncated_ = false;
@@ -172,7 +243,7 @@ class CliqueFinder {
 
 std::vector<std::vector<size_t>> ClusteringGraph::MaximalCliques(
     size_t max_cliques, bool* truncated) const {
-  CliqueFinder finder(adjacency_, max_cliques);
+  CliqueFinder finder(adjacency_, max_cliques, observer_);
   std::vector<std::vector<size_t>> cliques = finder.Run();
   if (truncated != nullptr) *truncated = finder.truncated();
   for (auto& c : cliques) std::sort(c.begin(), c.end());

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "birch/metrics.h"
+#include "common/executor.h"
 #include "core/model.h"
+#include "core/observer.h"
 
 namespace dar {
 
@@ -18,6 +20,15 @@ struct ClusteringGraphOptions {
   std::vector<double> d0;
   /// §6.2 pruning heuristic (see DarConfig::prune_low_density_images).
   bool prune_low_density_images = true;
+  /// Optional executor for the edge-evaluation sweep (not owned, may be
+  /// null = serial). Cluster-pair ranges are sharded statically and the
+  /// per-shard edge buffers merged in cluster-id order, so the graph is
+  /// bit-identical for every executor.
+  Executor* executor = nullptr;
+  /// Optional observer (not owned, may be null). OnGraphEdge and
+  /// OnCliqueFound fire from the coordinating thread, serially and in
+  /// deterministic order.
+  MiningObserver* observer = nullptr;
 };
 
 /// The clustering graph of Dfn 6.1: one node per frequent cluster, and an
@@ -28,7 +39,10 @@ struct ClusteringGraphOptions {
 class ClusteringGraph {
  public:
   /// Builds the graph from the Phase-I cluster set. By the ACF
-  /// Representativity Theorem (Thm 6.1) this touches only ACFs.
+  /// Representativity Theorem (Thm 6.1) this touches only ACFs. The
+  /// O(n^2/2) pair evaluation runs on options.executor when given; each
+  /// pair's edge test is a pure function of the two ACFs, so the edge set
+  /// does not depend on the schedule.
   ClusteringGraph(const ClusterSet& clusters,
                   const ClusteringGraphOptions& options);
 
@@ -62,6 +76,7 @@ class ClusteringGraph {
   size_t num_edges_ = 0;
   int64_t comparisons_made_ = 0;
   int64_t comparisons_skipped_ = 0;
+  MiningObserver* observer_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace dar

@@ -7,6 +7,7 @@
 
 #include "birch/acf_tree.h"
 #include "birch/metrics.h"
+#include "common/status.h"
 
 namespace dar {
 
@@ -98,6 +99,16 @@ struct DarConfig {
   /// every emitted rule, the tuples assigned to all of its clusters
   /// (§6.2's optional post-processing step).
   bool count_rule_support = false;
+
+  /// Checks every knob for sanity: rejects zero memory budget,
+  /// `frequency_fraction` outside (0, 1], negative or NaN thresholds and
+  /// fractions, `phase2_leniency < 1`, zero rule arities, degenerate tree
+  /// knobs, and per-part vectors (`initial_diameters`,
+  /// `degree_thresholds`, `density_thresholds`) whose non-empty sizes
+  /// disagree with each other. Session::Builder::Build refuses to
+  /// construct on any violation; the returned Status names the offending
+  /// knob.
+  Status Validate() const;
 };
 
 }  // namespace dar

@@ -1,121 +1,35 @@
 #include "core/miner.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "birch/acf_tree.h"
-#include "common/stopwatch.h"
-#include "core/clustering_graph.h"
-#include "core/phase1_builder.h"
-
 namespace dar {
+
+Session DarMiner::LegacySession() const {
+  // Bypasses DarConfig::Validate() on purpose: the legacy surface accepted
+  // out-of-range knobs (ablation benches sweep phase2_leniency below 1)
+  // and its spot checks live in Phase1Builder::Make. Session::Builder is
+  // the validated path.
+  return Session(config_, std::make_shared<SerialExecutor>(),
+                 std::make_shared<ObserverList>());
+}
 
 Result<Phase1Result> DarMiner::RunPhase1(
     const Relation& rel, const AttributePartition& partition) const {
-  if (rel.num_rows() == 0) {
-    return Status::InvalidArgument("relation is empty");
-  }
-  DAR_ASSIGN_OR_RETURN(
-      Phase1Builder builder,
-      Phase1Builder::Make(config_, rel.schema(), partition));
-  std::vector<double> row(rel.num_columns());
-  for (size_t r = 0; r < rel.num_rows(); ++r) {
-    for (size_t c = 0; c < rel.num_columns(); ++c) row[c] = rel.at(r, c);
-    DAR_RETURN_IF_ERROR(builder.AddRow(row));
-  }
-  return std::move(builder).Finish();
+  return LegacySession().RunPhase1(rel, partition);
 }
 
 Result<Phase2Result> DarMiner::RunPhase2(const Phase1Result& phase1) const {
-  Stopwatch watch;
-  Phase2Result out;
-
-  ClusteringGraphOptions graph_opts;
-  graph_opts.metric = config_.metric;
-  graph_opts.prune_low_density_images = config_.prune_low_density_images;
-  graph_opts.d0.reserve(phase1.effective_d0.size());
-  for (double d0 : phase1.effective_d0) {
-    graph_opts.d0.push_back(d0 * config_.phase2_leniency);
-  }
-
-  ClusteringGraph graph(phase1.clusters, graph_opts);
-  out.graph_edges = graph.num_edges();
-  out.graph_comparisons_made = graph.comparisons_made();
-  out.graph_comparisons_skipped = graph.comparisons_skipped();
-
-  out.cliques = graph.MaximalCliques(config_.max_cliques,
-                                     &out.cliques_truncated);
-  for (const auto& q : out.cliques) {
-    if (q.size() >= 2) ++out.num_nontrivial_cliques;
-  }
-
-  RuleGenOptions rule_opts;
-  rule_opts.metric = config_.metric;
-  rule_opts.degree_threshold = config_.degree_threshold;
-  rule_opts.degree_thresholds = config_.degree_thresholds;
-  rule_opts.max_antecedent = config_.max_antecedent;
-  rule_opts.max_consequent = config_.max_consequent;
-  rule_opts.max_rules = config_.max_rules;
-  RuleGenResult rules =
-      GenerateDistanceRules(phase1.clusters, out.cliques, rule_opts);
-  out.rules = std::move(rules.rules);
-  out.rules_truncated = rules.truncated;
-  out.degree_evaluations = rules.degree_evaluations;
-
-  // Strongest rules first.
-  std::sort(out.rules.begin(), out.rules.end(),
-            [](const DistanceRule& a, const DistanceRule& b) {
-              return a.degree < b.degree;
-            });
-  out.seconds = watch.ElapsedSeconds();
-  return out;
+  return LegacySession().RunPhase2(phase1);
 }
 
 Status DarMiner::CountRuleSupport(const Relation& rel,
                                   const AttributePartition& partition,
                                   const Phase1Result& phase1,
                                   std::vector<DistanceRule>& rules) const {
-  const ClusterSet& clusters = phase1.clusters;
-  for (auto& rule : rules) rule.support_count = 0;
-
-  std::vector<double> buf;
-  // Per row: assign the row to one cluster per part, then bump every rule
-  // whose clusters all match.
-  std::vector<int64_t> assignment(partition.num_parts(), -1);
-  for (size_t r = 0; r < rel.num_rows(); ++r) {
-    for (size_t p = 0; p < partition.num_parts(); ++p) {
-      rel.ProjectRow(r, partition.part(p).columns, buf);
-      auto assigned = clusters.AssignToCluster(p, buf);
-      assignment[p] = assigned.ok() ? static_cast<int64_t>(*assigned) : -1;
-    }
-    for (auto& rule : rules) {
-      bool all = true;
-      for (const auto* side : {&rule.antecedent, &rule.consequent}) {
-        for (size_t id : *side) {
-          const FoundCluster& c = clusters.cluster(id);
-          if (assignment[c.part] != static_cast<int64_t>(id)) {
-            all = false;
-            break;
-          }
-        }
-        if (!all) break;
-      }
-      if (all) ++rule.support_count;
-    }
-  }
-  return Status::OK();
+  return LegacySession().CountRuleSupport(rel, partition, phase1, rules);
 }
 
 Result<DarMiningResult> DarMiner::Mine(
     const Relation& rel, const AttributePartition& partition) const {
-  DarMiningResult result;
-  DAR_ASSIGN_OR_RETURN(result.phase1, RunPhase1(rel, partition));
-  DAR_ASSIGN_OR_RETURN(result.phase2, RunPhase2(result.phase1));
-  if (config_.count_rule_support) {
-    DAR_RETURN_IF_ERROR(CountRuleSupport(rel, partition, result.phase1,
-                                         result.phase2.rules));
-  }
-  return result;
+  return LegacySession().Mine(rel, partition);
 }
 
 }  // namespace dar

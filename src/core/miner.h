@@ -6,53 +6,31 @@
 
 #include "common/result.h"
 #include "core/config.h"
+#include "core/miner_result.h"
 #include "core/model.h"
 #include "core/rule_gen.h"
 #include "core/rules.h"
+#include "core/session.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
 
 namespace dar {
 
-/// Everything Phase II reports.
-struct Phase2Result {
-  /// Maximal cliques of the clustering graph (cluster-id lists).
-  std::vector<std::vector<size_t>> cliques;
-  size_t num_nontrivial_cliques = 0;  // cliques of size >= 2
-  bool cliques_truncated = false;
-  size_t graph_edges = 0;
-  int64_t graph_comparisons_made = 0;
-  int64_t graph_comparisons_skipped = 0;
-  std::vector<DistanceRule> rules;
-  bool rules_truncated = false;
-  int64_t degree_evaluations = 0;
-  /// Wall-clock seconds spent in Phase II (graph + cliques + rules).
-  double seconds = 0;
-};
-
-/// Combined mining output.
-struct DarMiningResult {
-  Phase1Result phase1;
-  Phase2Result phase2;
-};
-
-/// The paper's two-phase distance-based association rule miner (§6):
+/// DEPRECATED legacy entry point — prefer dar::Session.
 ///
-///   Phase I  — one memory-bounded ACF-tree per attribute set clusters the
-///              data in a single scan; frequent clusters (>= s0 tuples)
-///              survive.
-///   Phase II — the clustering graph over surviving clusters is built from
-///              ACFs alone, its maximal cliques enumerated, and DARs
-///              emitted per §6.2; the data is not rescanned (unless
-///              count_rule_support requests the optional post-scan).
+/// DarMiner predates the Session facade and is kept as a thin,
+/// source-compatible shim: every method constructs a serial Session and
+/// delegates. It performs only the historical spot checks rather than the
+/// full DarConfig::Validate() (benches sweep knobs like
+/// `phase2_leniency < 1` that Validate rejects), runs strictly serially,
+/// and offers no observer hooks. New code should write:
 ///
-/// Typical use:
-///
-///     DarMiner miner(config);
-///     DAR_ASSIGN_OR_RETURN(DarMiningResult res, miner.Mine(rel, partition));
-///     for (const auto& rule : res.phase2.rules)
-///       std::cout << rule.ToString(res.phase1.clusters, rel.schema(),
-///                                  partition) << "\n";
+///     DAR_ASSIGN_OR_RETURN(Session session, Session::Builder()
+///                              .WithConfig(config)
+///                              .WithThreads(8)
+///                              .Build());
+///     DAR_ASSIGN_OR_RETURN(DarMiningResult res,
+///                          session.Mine(rel, partition));
 class DarMiner {
  public:
   explicit DarMiner(DarConfig config) : config_(std::move(config)) {}
@@ -80,6 +58,9 @@ class DarMiner {
   const DarConfig& config() const { return config_; }
 
  private:
+  // Serial, non-validating Session with the shim's config (friend access).
+  Session LegacySession() const;
+
   DarConfig config_;
 };
 

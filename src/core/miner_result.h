@@ -1,0 +1,36 @@
+#ifndef DAR_CORE_MINER_RESULT_H_
+#define DAR_CORE_MINER_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "core/rules.h"
+
+namespace dar {
+
+/// Everything Phase II reports.
+struct Phase2Result {
+  /// Maximal cliques of the clustering graph (cluster-id lists).
+  std::vector<std::vector<size_t>> cliques;
+  size_t num_nontrivial_cliques = 0;  // cliques of size >= 2
+  bool cliques_truncated = false;
+  size_t graph_edges = 0;
+  int64_t graph_comparisons_made = 0;
+  int64_t graph_comparisons_skipped = 0;
+  std::vector<DistanceRule> rules;
+  bool rules_truncated = false;
+  int64_t degree_evaluations = 0;
+  /// Wall-clock seconds spent in Phase II (graph + cliques + rules).
+  double seconds = 0;
+};
+
+/// Combined mining output.
+struct DarMiningResult {
+  Phase1Result phase1;
+  Phase2Result phase2;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_MINER_RESULT_H_

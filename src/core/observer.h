@@ -1,0 +1,133 @@
+#ifndef DAR_CORE_OBSERVER_H_
+#define DAR_CORE_OBSERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "birch/acf_tree.h"
+
+namespace dar {
+
+/// Progress/metrics hooks for a mining run. Attach implementations to a
+/// dar::Session via Session::Builder::AddObserver; every callback has an
+/// empty default so observers override only what they need.
+///
+/// Threading: when the session runs on a ThreadPoolExecutor, the Phase-I
+/// callbacks (OnPhase1PartStart/Done, OnTreeRebuild) fire from whichever
+/// worker owns that attribute part and may arrive *concurrently* —
+/// implementations must be thread-safe for those. The Phase-II callbacks
+/// (OnGraphEdge, OnCliqueFound) are always invoked from the coordinating
+/// thread, serially and in deterministic order (edges by ascending cluster
+/// pair, cliques in Bron-Kerbosch discovery order).
+class MiningObserver {
+ public:
+  virtual ~MiningObserver() = default;
+
+  /// Phase I is about to start feeding tuples into part `part`'s ACF-tree.
+  virtual void OnPhase1PartStart(size_t /*part*/) {}
+
+  /// Part `part`'s tree has absorbed every tuple of the batch.
+  virtual void OnPhase1PartDone(size_t /*part*/,
+                                const AcfTreeStats& /*stats*/) {}
+
+  /// Part `part`'s tree hit its memory budget and rebuilt itself at a
+  /// raised diameter threshold (§4.3.1).
+  virtual void OnTreeRebuild(size_t /*part*/, int /*rebuild_count*/,
+                             double /*new_threshold*/) {}
+
+  /// The clustering graph (Dfn 6.1) gained the edge {a, b}.
+  virtual void OnGraphEdge(size_t /*cluster_a*/, size_t /*cluster_b*/) {}
+
+  /// A maximal clique of the clustering graph was enumerated.
+  virtual void OnCliqueFound(const std::vector<size_t>& /*clique*/) {}
+};
+
+/// Bundled observer that aggregates per-phase event counters with relaxed
+/// atomics, mirroring the counters reported in Phase1Result/Phase2Result
+/// (tree rebuilds ~ tree_stats[*].rebuild_count, graph_edges,
+/// cliques.size()); session_test pins that correspondence. Safe to attach
+/// to any executor.
+class CountersObserver : public MiningObserver {
+ public:
+  struct Counters {
+    int64_t parts_started = 0;
+    int64_t parts_done = 0;
+    int64_t tree_rebuilds = 0;
+    int64_t graph_edges = 0;
+    int64_t cliques_found = 0;
+  };
+
+  void OnPhase1PartStart(size_t) override { ++parts_started_; }
+  void OnPhase1PartDone(size_t, const AcfTreeStats&) override {
+    ++parts_done_;
+  }
+  void OnTreeRebuild(size_t, int, double) override { ++tree_rebuilds_; }
+  void OnGraphEdge(size_t, size_t) override { ++graph_edges_; }
+  void OnCliqueFound(const std::vector<size_t>&) override {
+    ++cliques_found_;
+  }
+
+  Counters counters() const {
+    Counters c;
+    c.parts_started = parts_started_.load();
+    c.parts_done = parts_done_.load();
+    c.tree_rebuilds = tree_rebuilds_.load();
+    c.graph_edges = graph_edges_.load();
+    c.cliques_found = cliques_found_.load();
+    return c;
+  }
+
+  void Reset() {
+    parts_started_ = 0;
+    parts_done_ = 0;
+    tree_rebuilds_ = 0;
+    graph_edges_ = 0;
+    cliques_found_ = 0;
+  }
+
+ private:
+  std::atomic<int64_t> parts_started_{0};
+  std::atomic<int64_t> parts_done_{0};
+  std::atomic<int64_t> tree_rebuilds_{0};
+  std::atomic<int64_t> graph_edges_{0};
+  std::atomic<int64_t> cliques_found_{0};
+};
+
+/// Fan-out: forwards every callback to each registered observer, in
+/// registration order. Used internally by Session; registration is not
+/// thread-safe and must finish before mining starts.
+class ObserverList : public MiningObserver {
+ public:
+  void Add(std::shared_ptr<MiningObserver> observer) {
+    if (observer != nullptr) observers_.push_back(std::move(observer));
+  }
+  bool empty() const { return observers_.empty(); }
+
+  void OnPhase1PartStart(size_t part) override {
+    for (auto& o : observers_) o->OnPhase1PartStart(part);
+  }
+  void OnPhase1PartDone(size_t part, const AcfTreeStats& stats) override {
+    for (auto& o : observers_) o->OnPhase1PartDone(part, stats);
+  }
+  void OnTreeRebuild(size_t part, int rebuild_count,
+                     double new_threshold) override {
+    for (auto& o : observers_) {
+      o->OnTreeRebuild(part, rebuild_count, new_threshold);
+    }
+  }
+  void OnGraphEdge(size_t a, size_t b) override {
+    for (auto& o : observers_) o->OnGraphEdge(a, b);
+  }
+  void OnCliqueFound(const std::vector<size_t>& clique) override {
+    for (auto& o : observers_) o->OnCliqueFound(clique);
+  }
+
+ private:
+  std::vector<std::shared_ptr<MiningObserver>> observers_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_OBSERVER_H_

@@ -9,7 +9,8 @@ namespace dar {
 
 Result<Phase1Builder> Phase1Builder::Make(
     const DarConfig& config, const Schema& schema,
-    const AttributePartition& partition) {
+    const AttributePartition& partition, Executor* executor,
+    MiningObserver* observer) {
   if (partition.num_parts() == 0) {
     return Status::InvalidArgument("attribute partition is empty");
   }
@@ -42,33 +43,49 @@ Result<Phase1Builder> Phase1Builder::Make(
                                  ? config.initial_diameters[p]
                                  : 0.0;
     opts.outlier_entry_min_n = 0;  // adjusted as rows arrive
+    if (observer != nullptr) {
+      // Chain after any hook the caller put in config.tree.
+      auto user_hook = opts.on_rebuild;
+      opts.on_rebuild = [observer, user_hook, p](int count, double thresh) {
+        if (user_hook) user_hook(count, thresh);
+        observer->OnTreeRebuild(p, count, thresh);
+      };
+    }
     trees.push_back(
         std::make_unique<AcfTree>(layout, p, opts));
   }
   return Phase1Builder(config, partition, std::move(layout),
-                       std::move(trees), schema.num_attributes());
+                       std::move(trees), schema.num_attributes(), executor,
+                       observer);
 }
 
 Phase1Builder::Phase1Builder(DarConfig config, AttributePartition partition,
                              std::shared_ptr<const AcfLayout> layout,
                              std::vector<std::unique_ptr<AcfTree>> trees,
-                             size_t schema_width)
+                             size_t schema_width, Executor* executor,
+                             MiningObserver* observer)
     : config_(std::move(config)),
       partition_(std::move(partition)),
       layout_(std::move(layout)),
       trees_(std::move(trees)),
-      schema_width_(schema_width) {
+      schema_width_(schema_width),
+      executor_(executor),
+      observer_(observer) {
   scratch_.resize(partition_.num_parts());
   for (size_t p = 0; p < partition_.num_parts(); ++p) {
     scratch_[p].resize(partition_.part(p).dimension());
   }
 }
 
+int64_t Phase1Builder::OutlierMinN(int64_t rows) const {
+  return static_cast<int64_t>(config_.outlier_fraction *
+                              config_.frequency_fraction *
+                              static_cast<double>(rows));
+}
+
 void Phase1Builder::UpdateOutlierThresholds() {
   if (config_.outlier_fraction <= 0) return;
-  int64_t min_n = static_cast<int64_t>(config_.outlier_fraction *
-                                       config_.frequency_fraction *
-                                       static_cast<double>(rows_added_));
+  int64_t min_n = OutlierMinN(rows_added_);
   for (auto& tree : trees_) tree->set_outlier_entry_min_n(min_n);
 }
 
@@ -94,12 +111,64 @@ Status Phase1Builder::AddRow(std::span<const double> row) {
   return Status::OK();
 }
 
+Status Phase1Builder::ForEachPart(const std::function<Status(size_t)>& fn) {
+  if (executor_ != nullptr) {
+    return executor_->ParallelFor(partition_.num_parts(), fn);
+  }
+  Status first = Status::OK();
+  for (size_t p = 0; p < partition_.num_parts(); ++p) {
+    Status s = fn(p);
+    if (!s.ok() && first.ok()) first = std::move(s);
+  }
+  return first;
+}
+
+Status Phase1Builder::FeedPart(const Relation& rel, size_t p) {
+  if (observer_ != nullptr) observer_->OnPhase1PartStart(p);
+  // Each tree sees the exact insert sequence and outlier-paging cadence it
+  // would under the streaming AddRow loop — trees only observe their own
+  // insertions, so interleaving across trees is immaterial and the result
+  // is bit-identical for any executor.
+  PartedRow scratch(partition_.num_parts());
+  for (size_t q = 0; q < partition_.num_parts(); ++q) {
+    scratch[q].resize(partition_.part(q).dimension());
+  }
+  AcfTree& tree = *trees_[p];
+  const int64_t start = rows_added_;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    // ACFs summarize the cluster's image on *every* part (Eq. 7), so each
+    // tree needs the full parted row, not just its own projection.
+    for (size_t q = 0; q < partition_.num_parts(); ++q) {
+      const auto& cols = partition_.part(q).columns;
+      for (size_t d = 0; d < cols.size(); ++d) {
+        scratch[q][d] = rel.at(r, cols[d]);
+      }
+    }
+    DAR_RETURN_IF_ERROR(tree.InsertPoint(scratch));
+    int64_t count = start + static_cast<int64_t>(r) + 1;
+    if ((count & 0xFFF) == 0 && config_.outlier_fraction > 0) {
+      tree.set_outlier_entry_min_n(OutlierMinN(count));
+    }
+  }
+  if (observer_ != nullptr) observer_->OnPhase1PartDone(p, tree.Stats());
+  return Status::OK();
+}
+
+Status Phase1Builder::AddRelation(const Relation& rel) {
+  if (rel.num_columns() != schema_width_) {
+    return Status::InvalidArgument(
+        "relation width " + std::to_string(rel.num_columns()) +
+        " != schema width " + std::to_string(schema_width_));
+  }
+  DAR_RETURN_IF_ERROR(
+      ForEachPart([&](size_t p) { return FeedPart(rel, p); }));
+  rows_added_ += static_cast<int64_t>(rel.num_rows());
+  return Status::OK();
+}
+
 Result<Phase1Result> Phase1Builder::Finish() && {
   if (rows_added_ == 0) {
     return Status::InvalidArgument("no rows were added");
-  }
-  for (auto& tree : trees_) {
-    DAR_RETURN_IF_ERROR(tree->FinishScan());
   }
 
   Phase1Result out;
@@ -109,26 +178,34 @@ Result<Phase1Result> Phase1Builder::Finish() && {
       static_cast<int64_t>(std::ceil(config_.frequency_fraction *
                                      static_cast<double>(rows_added_))));
 
-  std::vector<FoundCluster> found;
-  out.raw_cluster_counts.resize(partition_.num_parts());
-  out.effective_d0.resize(partition_.num_parts());
-  for (size_t p = 0; p < partition_.num_parts(); ++p) {
+  // Per-part finishing (outlier re-absorption, optional refinement,
+  // frequency filtering, d0 derivation) is independent across parts; run
+  // it on the executor with one output slot per part and merge in part
+  // order so cluster ids never depend on scheduling.
+  struct PartSlot {
+    std::vector<Acf> frequent;
+    double d0 = 0;
+    AcfTreeStats stats;
+    std::vector<Acf> outliers;
+    size_t raw_count = 0;
+  };
+  std::vector<PartSlot> slots(partition_.num_parts());
+  const int64_t s0 = out.frequency_threshold;
+  DAR_RETURN_IF_ERROR(ForEachPart([&](size_t p) -> Status {
+    DAR_RETURN_IF_ERROR(trees_[p]->FinishScan());
+    PartSlot& slot = slots[p];
     std::vector<Acf> leaf_clusters = trees_[p]->ExtractClusters();
     if (config_.refine_clusters) {
       RefineOptions refine;
       refine.diameter_threshold = trees_[p]->threshold();
       leaf_clusters = RefineClusters(std::move(leaf_clusters), refine);
     }
-    out.raw_cluster_counts[p] = leaf_clusters.size();
+    slot.raw_count = leaf_clusters.size();
     std::vector<double> diameters;
     for (auto& acf : leaf_clusters) {
-      if (acf.n() < out.frequency_threshold) continue;
+      if (acf.n() < s0) continue;
       diameters.push_back(acf.Diameter());
-      FoundCluster c;
-      c.id = found.size();
-      c.part = p;
-      c.acf = std::move(acf);
-      found.push_back(std::move(c));
+      slot.frequent.push_back(std::move(acf));
     }
     double d0 = 0;
     if (p < config_.density_thresholds.size()) {
@@ -144,11 +221,28 @@ Result<Phase1Result> Phase1Builder::Finish() && {
       }
       d0 = std::max(trees_[p]->threshold(), median);
     }
-    out.effective_d0[p] = d0;
-    out.tree_stats.push_back(trees_[p]->Stats());
-    for (const auto& acf : trees_[p]->outliers()) {
-      out.outliers.push_back(acf);
+    slot.d0 = d0;
+    slot.stats = trees_[p]->Stats();
+    slot.outliers = trees_[p]->outliers();
+    return Status::OK();
+  }));
+
+  std::vector<FoundCluster> found;
+  out.raw_cluster_counts.resize(partition_.num_parts());
+  out.effective_d0.resize(partition_.num_parts());
+  for (size_t p = 0; p < partition_.num_parts(); ++p) {
+    PartSlot& slot = slots[p];
+    for (auto& acf : slot.frequent) {
+      FoundCluster c;
+      c.id = found.size();
+      c.part = p;
+      c.acf = std::move(acf);
+      found.push_back(std::move(c));
     }
+    out.raw_cluster_counts[p] = slot.raw_count;
+    out.effective_d0[p] = slot.d0;
+    out.tree_stats.push_back(slot.stats);
+    for (auto& acf : slot.outliers) out.outliers.push_back(std::move(acf));
   }
   out.clusters = ClusterSet(out.layout, std::move(found));
   out.seconds = watch_.ElapsedSeconds();

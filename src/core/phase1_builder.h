@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "birch/acf_tree.h"
+#include "common/executor.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "core/config.h"
 #include "core/model.h"
+#include "core/observer.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
 
@@ -25,14 +27,26 @@ namespace dar {
 ///     }
 ///     DAR_ASSIGN_OR_RETURN(Phase1Result phase1, std::move(builder).Finish());
 ///
-/// DarMiner::RunPhase1 is a thin wrapper that feeds a Relation through this
-/// builder.
+/// For materialized relations, AddRelation() feeds every attribute part's
+/// tree independently — each part's ACF-tree only ever sees its own
+/// insertions (Theorem 6.1 keeps cross-attribute sums inside each ACF), so
+/// when an Executor with parallelism > 1 is supplied the parts run
+/// concurrently. Per-tree insertion order and outlier-paging cadence are
+/// identical in both modes and for every executor, so the resulting trees
+/// (and everything downstream) are bit-identical to a serial run.
+///
+/// Session::RunPhase1 feeds a Relation through this builder with the
+/// session's executor and observers.
 class Phase1Builder {
  public:
   /// Validates the configuration and builds one ACF-tree per part.
+  /// `executor` and `observer` are optional non-owning pointers that must
+  /// outlive the builder; null means serial / no callbacks.
   static Result<Phase1Builder> Make(const DarConfig& config,
                                     const Schema& schema,
-                                    const AttributePartition& partition);
+                                    const AttributePartition& partition,
+                                    Executor* executor = nullptr,
+                                    MiningObserver* observer = nullptr);
 
   Phase1Builder(Phase1Builder&&) = default;
   Phase1Builder& operator=(Phase1Builder&&) = default;
@@ -40,29 +54,47 @@ class Phase1Builder {
   /// Adds one tuple; `row` must have one value per schema attribute.
   Status AddRow(std::span<const double> row);
 
+  /// Adds every tuple of `rel`, part-parallel when an executor was given.
+  /// Equivalent to calling AddRow for each row in order.
+  Status AddRelation(const Relation& rel);
+
   /// Number of tuples added so far.
   int64_t rows_added() const { return rows_added_; }
 
   /// Re-absorbs outliers, optionally refines clusters, applies the
-  /// frequency threshold and assembles the Phase1Result. The builder is
-  /// consumed.
+  /// frequency threshold and assembles the Phase1Result (part-parallel
+  /// when an executor was given; output is merged in part order and does
+  /// not depend on the executor). The builder is consumed.
   Result<Phase1Result> Finish() &&;
 
  private:
   Phase1Builder(DarConfig config, AttributePartition partition,
                 std::shared_ptr<const AcfLayout> layout,
                 std::vector<std::unique_ptr<AcfTree>> trees,
-                size_t schema_width);
+                size_t schema_width, Executor* executor,
+                MiningObserver* observer);
 
   // Keeps each tree's outlier paging threshold in step with the running
   // tuple count (s0 is only known at Finish in streaming mode).
   void UpdateOutlierThresholds();
+
+  // Outlier paging threshold for a tree that has seen `rows` tuples.
+  int64_t OutlierMinN(int64_t rows) const;
+
+  // Feeds rows [0, rel.num_rows()) of `rel` into part `p`'s tree,
+  // replaying the exact per-tree insert/paging sequence of AddRow.
+  Status FeedPart(const Relation& rel, size_t p);
+
+  // Runs fn(p) for every part, on the executor when present.
+  Status ForEachPart(const std::function<Status(size_t)>& fn);
 
   DarConfig config_;
   AttributePartition partition_;
   std::shared_ptr<const AcfLayout> layout_;
   std::vector<std::unique_ptr<AcfTree>> trees_;
   size_t schema_width_;
+  Executor* executor_ = nullptr;       // not owned; may be null
+  MiningObserver* observer_ = nullptr; // not owned; may be null
   int64_t rows_added_ = 0;
   Stopwatch watch_;
   PartedRow scratch_;

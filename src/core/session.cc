@@ -1,0 +1,164 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "birch/acf_tree.h"
+#include "common/stopwatch.h"
+#include "core/clustering_graph.h"
+#include "core/phase1_builder.h"
+#include "core/rule_gen.h"
+
+namespace dar {
+
+Session::Builder& Session::Builder::AddObserver(
+    std::shared_ptr<MiningObserver> observer) {
+  if (observer != nullptr) observers_.push_back(std::move(observer));
+  return *this;
+}
+
+Result<Session> Session::Builder::Build() const {
+  DAR_RETURN_IF_ERROR(config_.Validate());
+  std::shared_ptr<Executor> executor =
+      executor_ != nullptr ? executor_
+                           : std::make_shared<SerialExecutor>();
+  auto observers = std::make_shared<ObserverList>();
+  for (const auto& o : observers_) observers->Add(o);
+  return Session(config_, std::move(executor), std::move(observers));
+}
+
+Result<Phase1Result> Session::RunPhase1(
+    const Relation& rel, const AttributePartition& partition) const {
+  if (rel.num_rows() == 0) {
+    return Status::InvalidArgument("relation is empty");
+  }
+  DAR_ASSIGN_OR_RETURN(
+      Phase1Builder builder,
+      Phase1Builder::Make(config_, rel.schema(), partition, executor_.get(),
+                          observer_or_null()));
+  DAR_RETURN_IF_ERROR(builder.AddRelation(rel));
+  return std::move(builder).Finish();
+}
+
+Result<Phase2Result> Session::RunPhase2(const Phase1Result& phase1) const {
+  Stopwatch watch;
+  Phase2Result out;
+
+  ClusteringGraphOptions graph_opts;
+  graph_opts.metric = config_.metric;
+  graph_opts.prune_low_density_images = config_.prune_low_density_images;
+  graph_opts.executor = executor_.get();
+  graph_opts.observer = observer_or_null();
+  graph_opts.d0.reserve(phase1.effective_d0.size());
+  for (double d0 : phase1.effective_d0) {
+    graph_opts.d0.push_back(d0 * config_.phase2_leniency);
+  }
+
+  ClusteringGraph graph(phase1.clusters, graph_opts);
+  out.graph_edges = graph.num_edges();
+  out.graph_comparisons_made = graph.comparisons_made();
+  out.graph_comparisons_skipped = graph.comparisons_skipped();
+
+  out.cliques = graph.MaximalCliques(config_.max_cliques,
+                                     &out.cliques_truncated);
+  for (const auto& q : out.cliques) {
+    if (q.size() >= 2) ++out.num_nontrivial_cliques;
+  }
+
+  RuleGenOptions rule_opts;
+  rule_opts.metric = config_.metric;
+  rule_opts.degree_threshold = config_.degree_threshold;
+  rule_opts.degree_thresholds = config_.degree_thresholds;
+  rule_opts.max_antecedent = config_.max_antecedent;
+  rule_opts.max_consequent = config_.max_consequent;
+  rule_opts.max_rules = config_.max_rules;
+  RuleGenResult rules =
+      GenerateDistanceRules(phase1.clusters, out.cliques, rule_opts);
+  out.rules = std::move(rules.rules);
+  out.rules_truncated = rules.truncated;
+  out.degree_evaluations = rules.degree_evaluations;
+
+  // Strongest rules first.
+  std::sort(out.rules.begin(), out.rules.end(),
+            [](const DistanceRule& a, const DistanceRule& b) {
+              return a.degree < b.degree;
+            });
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+Status Session::CountRuleSupport(const Relation& rel,
+                                 const AttributePartition& partition,
+                                 const Phase1Result& phase1,
+                                 std::vector<DistanceRule>& rules) const {
+  const ClusterSet& clusters = phase1.clusters;
+  for (auto& rule : rules) rule.support_count = 0;
+  if (rules.empty() || rel.num_rows() == 0) return Status::OK();
+
+  // Shard the rescan over contiguous row ranges; each shard accumulates
+  // per-rule counts locally and the integer sums are merged in shard order
+  // — row assignment is a pure function of the row, so the totals are
+  // executor-independent.
+  size_t parallelism = static_cast<size_t>(executor_->parallelism());
+  size_t num_shards =
+      std::max<size_t>(1, std::min(parallelism, rel.num_rows()));
+  size_t rows_per_shard = (rel.num_rows() + num_shards - 1) / num_shards;
+  std::vector<std::vector<int64_t>> shard_counts(
+      num_shards, std::vector<int64_t>(rules.size(), 0));
+
+  DAR_RETURN_IF_ERROR(executor_->ParallelFor(
+      num_shards, [&](size_t s) -> Status {
+        size_t begin = s * rows_per_shard;
+        size_t end = std::min(rel.num_rows(), begin + rows_per_shard);
+        std::vector<int64_t>& counts = shard_counts[s];
+        std::vector<double> buf;
+        // Per row: assign the row to one cluster per part, then bump every
+        // rule whose clusters all match.
+        std::vector<int64_t> assignment(partition.num_parts(), -1);
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t p = 0; p < partition.num_parts(); ++p) {
+            rel.ProjectRow(r, partition.part(p).columns, buf);
+            auto assigned = clusters.AssignToCluster(p, buf);
+            assignment[p] =
+                assigned.ok() ? static_cast<int64_t>(*assigned) : -1;
+          }
+          for (size_t k = 0; k < rules.size(); ++k) {
+            const DistanceRule& rule = rules[k];
+            bool all = true;
+            for (const auto* side : {&rule.antecedent, &rule.consequent}) {
+              for (size_t id : *side) {
+                const FoundCluster& c = clusters.cluster(id);
+                if (assignment[c.part] != static_cast<int64_t>(id)) {
+                  all = false;
+                  break;
+                }
+              }
+              if (!all) break;
+            }
+            if (all) ++counts[k];
+          }
+        }
+        return Status::OK();
+      }));
+
+  for (const auto& counts : shard_counts) {
+    for (size_t k = 0; k < rules.size(); ++k) {
+      rules[k].support_count += counts[k];
+    }
+  }
+  return Status::OK();
+}
+
+Result<DarMiningResult> Session::Mine(
+    const Relation& rel, const AttributePartition& partition) const {
+  DarMiningResult result;
+  DAR_ASSIGN_OR_RETURN(result.phase1, RunPhase1(rel, partition));
+  DAR_ASSIGN_OR_RETURN(result.phase2, RunPhase2(result.phase1));
+  if (config_.count_rule_support) {
+    DAR_RETURN_IF_ERROR(CountRuleSupport(rel, partition, result.phase1,
+                                         result.phase2.rules));
+  }
+  return result;
+}
+
+}  // namespace dar

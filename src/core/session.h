@@ -1,0 +1,127 @@
+#ifndef DAR_CORE_SESSION_H_
+#define DAR_CORE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/result.h"
+#include "core/config.h"
+#include "core/miner_result.h"
+#include "core/model.h"
+#include "core/observer.h"
+#include "core/rules.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace dar {
+
+/// The library's mining facade: a validated DarConfig, an Executor that
+/// decides how the two phases use the hardware, and observers receiving
+/// progress/metrics callbacks. Construct through the fluent Builder:
+///
+///     DAR_ASSIGN_OR_RETURN(
+///         dar::Session session,
+///         dar::Session::Builder()
+///             .WithConfig(config)
+///             .WithThreads(8)                 // or .WithExecutor(...)
+///             .AddObserver(my_observer)       // optional
+///             .Build());                      // validates the config
+///     DAR_ASSIGN_OR_RETURN(DarMiningResult res,
+///                          session.Mine(rel, partition));
+///
+/// Determinism guarantee: for a fixed config and input, every executor —
+/// SerialExecutor, ThreadPoolExecutor(k) for any k — produces bit-identical
+/// results (clusters, graph, cliques, rules, counters). Phase I builds one
+/// independent ACF-tree per attribute part (Thm 6.1 keeps cross-attribute
+/// sums inside each ACF) and Phase II shards pure edge predicates with
+/// per-shard buffers merged in cluster-id order, so parallelism never
+/// reorders a floating-point reduction. tests/session_test.cc pins this.
+class Session {
+ public:
+  class Builder {
+   public:
+    Builder() = default;
+
+    /// Sets the mining configuration (default: DarConfig{}).
+    Builder& WithConfig(DarConfig config) {
+      config_ = std::move(config);
+      return *this;
+    }
+
+    /// Sets the executor both phases run on. Default: SerialExecutor.
+    Builder& WithExecutor(std::shared_ptr<Executor> executor) {
+      executor_ = std::move(executor);
+      return *this;
+    }
+
+    /// Convenience: WithExecutor(MakeExecutor(num_threads)) — <= 1 means
+    /// serial, 0 means hardware concurrency.
+    Builder& WithThreads(int num_threads) {
+      return WithExecutor(MakeExecutor(num_threads));
+    }
+
+    /// Registers an observer; may be called repeatedly. Observers are
+    /// invoked in registration order. See observer.h for which callbacks
+    /// can fire concurrently.
+    Builder& AddObserver(std::shared_ptr<MiningObserver> observer);
+
+    /// Validates the config (DarConfig::Validate) and assembles the
+    /// session; refuses to construct on any invalid knob.
+    Result<Session> Build() const;
+
+   private:
+    DarConfig config_;
+    std::shared_ptr<Executor> executor_;
+    std::vector<std::shared_ptr<MiningObserver>> observers_;
+  };
+
+  /// Runs both phases on `rel` under the user's attribute partitioning.
+  Result<DarMiningResult> Mine(const Relation& rel,
+                               const AttributePartition& partition) const;
+
+  /// Runs Phase I only (used by scaling benches and by callers that want
+  /// to inspect clusters before rule formation). Parallelized per
+  /// attribute part on the session's executor.
+  Result<Phase1Result> RunPhase1(const Relation& rel,
+                                 const AttributePartition& partition) const;
+
+  /// Runs Phase II on an existing Phase-I result. The clustering-graph
+  /// edge sweep is parallelized on the session's executor.
+  Result<Phase2Result> RunPhase2(const Phase1Result& phase1) const;
+
+  /// Optional §6.2 post-processing: rescans `rel` once and fills
+  /// `support_count` of every rule with the number of tuples assigned to
+  /// all of the rule's clusters. Row ranges are sharded on the executor;
+  /// per-shard counts are summed in shard order.
+  Status CountRuleSupport(const Relation& rel,
+                          const AttributePartition& partition,
+                          const Phase1Result& phase1,
+                          std::vector<DistanceRule>& rules) const;
+
+  const DarConfig& config() const { return config_; }
+  Executor& executor() const { return *executor_; }
+
+ private:
+  friend class DarMiner;  // legacy shim bypasses Validate, see miner.h
+
+  Session(DarConfig config, std::shared_ptr<Executor> executor,
+          std::shared_ptr<ObserverList> observers)
+      : config_(std::move(config)),
+        executor_(std::move(executor)),
+        observers_(std::move(observers)) {}
+
+  // The observer to hand to pipeline stages: null when none registered.
+  MiningObserver* observer_or_null() const {
+    return observers_ != nullptr && !observers_->empty() ? observers_.get()
+                                                         : nullptr;
+  }
+
+  DarConfig config_;
+  std::shared_ptr<Executor> executor_;
+  std::shared_ptr<ObserverList> observers_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_SESSION_H_

@@ -13,6 +13,7 @@
 #include "birch/cf.h"            // IWYU pragma: export
 #include "birch/metrics.h"       // IWYU pragma: export
 #include "birch/refine.h"        // IWYU pragma: export
+#include "common/executor.h"     // IWYU pragma: export
 #include "common/random.h"       // IWYU pragma: export
 #include "common/result.h"       // IWYU pragma: export
 #include "common/status.h"       // IWYU pragma: export
@@ -22,8 +23,11 @@
 #include "core/config.h"         // IWYU pragma: export
 #include "core/generalized_qar.h"   // IWYU pragma: export
 #include "core/miner.h"          // IWYU pragma: export
+#include "core/miner_result.h"   // IWYU pragma: export
 #include "core/model.h"          // IWYU pragma: export
+#include "core/observer.h"       // IWYU pragma: export
 #include "core/phase1_builder.h"    // IWYU pragma: export
+#include "core/session.h"        // IWYU pragma: export
 #include "core/report.h"         // IWYU pragma: export
 #include "core/rule_gen.h"       // IWYU pragma: export
 #include "core/rules.h"          // IWYU pragma: export

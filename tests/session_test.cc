@@ -1,0 +1,244 @@
+// dar::Session: the determinism guarantee (bit-identical output for every
+// executor and thread count), observer counter consistency, the DarMiner
+// legacy shim, and streaming-vs-batch Phase I equivalence.
+
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/executor.h"
+#include "core/miner.h"
+#include "core/observer.h"
+#include "core/phase1_builder.h"
+#include "datagen/planted.h"
+
+namespace dar {
+namespace {
+
+// A workload small enough for CI but rich enough to exercise every stage:
+// multiple parts, planted cross-part patterns, outliers, rebuilds-free
+// budget, rule support counting on.
+PlantedDataset TestData() {
+  PlantedDataSpec spec = WbcdLikeSpec(/*num_attrs=*/4, /*clusters_per_attr=*/3,
+                                      /*outlier_fraction=*/0.05, /*seed=*/31);
+  auto data = GeneratePlanted(spec, 3000, 32);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return *std::move(data);
+}
+
+DarConfig TestConfig() {
+  DarConfig config;
+  config.frequency_fraction = 0.05;
+  config.initial_diameters.assign(4, 80.0);
+  config.degree_threshold = 150.0;
+  config.count_rule_support = true;
+  return config;
+}
+
+// Bitwise CF equality: n, linear sums, squares, min/max per dimension.
+void ExpectSameCf(const CfVector& a, const CfVector& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  EXPECT_EQ(a.n(), b.n());
+  for (size_t d = 0; d < a.dim(); ++d) {
+    EXPECT_EQ(a.ls()[d], b.ls()[d]);
+    EXPECT_EQ(a.ss()[d], b.ss()[d]);
+    EXPECT_EQ(a.min()[d], b.min()[d]);
+    EXPECT_EQ(a.max()[d], b.max()[d]);
+  }
+}
+
+void ExpectSameAcf(const Acf& a, const Acf& b) {
+  ASSERT_EQ(a.own_part(), b.own_part());
+  ASSERT_EQ(a.layout().num_parts(), b.layout().num_parts());
+  for (size_t p = 0; p < a.layout().num_parts(); ++p) {
+    ExpectSameCf(a.image(p), b.image(p));
+  }
+}
+
+void ExpectSamePhase1(const Phase1Result& a, const Phase1Result& b) {
+  EXPECT_EQ(a.frequency_threshold, b.frequency_threshold);
+  EXPECT_EQ(a.effective_d0, b.effective_d0);
+  EXPECT_EQ(a.raw_cluster_counts, b.raw_cluster_counts);
+  ASSERT_EQ(a.tree_stats.size(), b.tree_stats.size());
+  for (size_t p = 0; p < a.tree_stats.size(); ++p) {
+    EXPECT_EQ(a.tree_stats[p].num_leaf_entries, b.tree_stats[p].num_leaf_entries);
+    EXPECT_EQ(a.tree_stats[p].rebuild_count, b.tree_stats[p].rebuild_count);
+    EXPECT_EQ(a.tree_stats[p].threshold, b.tree_stats[p].threshold);
+    EXPECT_EQ(a.tree_stats[p].points_inserted, b.tree_stats[p].points_inserted);
+  }
+  ASSERT_EQ(a.outliers.size(), b.outliers.size());
+  for (size_t i = 0; i < a.outliers.size(); ++i) {
+    ExpectSameAcf(a.outliers[i], b.outliers[i]);
+  }
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    const FoundCluster& ca = a.clusters.cluster(i);
+    const FoundCluster& cb = b.clusters.cluster(i);
+    EXPECT_EQ(ca.id, cb.id);
+    EXPECT_EQ(ca.part, cb.part);
+    ExpectSameAcf(ca.acf, cb.acf);
+  }
+}
+
+void ExpectSamePhase2(const Phase2Result& a, const Phase2Result& b) {
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+  EXPECT_EQ(a.graph_comparisons_made, b.graph_comparisons_made);
+  EXPECT_EQ(a.graph_comparisons_skipped, b.graph_comparisons_skipped);
+  EXPECT_EQ(a.cliques, b.cliques);  // exact, including order
+  EXPECT_EQ(a.num_nontrivial_cliques, b.num_nontrivial_cliques);
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].antecedent, b.rules[i].antecedent);
+    EXPECT_EQ(a.rules[i].consequent, b.rules[i].consequent);
+    EXPECT_EQ(a.rules[i].degree, b.rules[i].degree);  // bitwise
+    EXPECT_EQ(a.rules[i].cooccurrence_slack, b.rules[i].cooccurrence_slack);
+    EXPECT_EQ(a.rules[i].support_count, b.rules[i].support_count);
+  }
+}
+
+Result<DarMiningResult> MineWithThreads(const PlantedDataset& data,
+                                        int threads,
+                                        std::shared_ptr<MiningObserver>
+                                            observer = nullptr) {
+  Session::Builder builder;
+  builder.WithConfig(TestConfig()).WithThreads(threads);
+  if (observer != nullptr) builder.AddObserver(std::move(observer));
+  auto session = builder.Build();
+  if (!session.ok()) return session.status();
+  return session->Mine(data.relation, data.partition);
+}
+
+class SessionDeterminismTest : public ::testing::TestWithParam<int> {};
+
+// The headline guarantee: ThreadPoolExecutor(k) output is bit-identical to
+// SerialExecutor output — clusters, stats, outliers, graph counters,
+// cliques (same order), rules (same order, same degrees, same supports).
+TEST_P(SessionDeterminismTest, MatchesSerialBitForBit) {
+  PlantedDataset data = TestData();
+  auto serial = MineWithThreads(data, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_GT(serial->phase2.rules.size(), 0u)
+      << "workload must produce rules for the comparison to mean anything";
+
+  auto parallel = MineWithThreads(data, GetParam());
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ExpectSamePhase1(serial->phase1, parallel->phase1);
+  ExpectSamePhase2(serial->phase2, parallel->phase2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SessionDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(SessionTest, RepeatedRunsOnOnePoolAreIdentical) {
+  PlantedDataset data = TestData();
+  auto session = Session::Builder()
+                     .WithConfig(TestConfig())
+                     .WithThreads(4)
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto a = session->Mine(data.relation, data.partition);
+  auto b = session->Mine(data.relation, data.partition);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSamePhase1(a->phase1, b->phase1);
+  ExpectSamePhase2(a->phase2, b->phase2);
+}
+
+TEST(SessionTest, CountersObserverMatchesResultCounters) {
+  PlantedDataset data = TestData();
+  for (int threads : {1, 8}) {
+    auto counters = std::make_shared<CountersObserver>();
+    auto result = MineWithThreads(data, threads, counters);
+    ASSERT_TRUE(result.ok()) << result.status();
+    CountersObserver::Counters c = counters->counters();
+    const auto num_parts =
+        static_cast<int64_t>(result->phase1.tree_stats.size());
+    EXPECT_EQ(c.parts_started, num_parts) << "threads=" << threads;
+    EXPECT_EQ(c.parts_done, num_parts);
+    int64_t rebuilds = 0;
+    for (const auto& stats : result->phase1.tree_stats) {
+      rebuilds += stats.rebuild_count;
+    }
+    EXPECT_EQ(c.tree_rebuilds, rebuilds);
+    EXPECT_EQ(c.graph_edges,
+              static_cast<int64_t>(result->phase2.graph_edges));
+    EXPECT_EQ(c.cliques_found,
+              static_cast<int64_t>(result->phase2.cliques.size()));
+  }
+}
+
+TEST(SessionTest, ObserversFireInRegistrationOrderForPhase2) {
+  // Phase-II callbacks are serialized; two observers must see identical
+  // event streams.
+  PlantedDataset data = TestData();
+  auto first = std::make_shared<CountersObserver>();
+  auto second = std::make_shared<CountersObserver>();
+  auto session = Session::Builder()
+                     .WithConfig(TestConfig())
+                     .WithThreads(2)
+                     .AddObserver(first)
+                     .AddObserver(second)
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Mine(data.relation, data.partition).ok());
+  CountersObserver::Counters a = first->counters();
+  CountersObserver::Counters b = second->counters();
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+  EXPECT_EQ(a.cliques_found, b.cliques_found);
+  EXPECT_EQ(a.parts_done, b.parts_done);
+}
+
+TEST(SessionTest, LegacyMinerShimMatchesSerialSession) {
+  PlantedDataset data = TestData();
+  DarMiner miner(TestConfig());
+  auto legacy = miner.Mine(data.relation, data.partition);
+  ASSERT_TRUE(legacy.ok());
+  auto session = MineWithThreads(data, 1);
+  ASSERT_TRUE(session.ok());
+  ExpectSamePhase1(legacy->phase1, session->phase1);
+  ExpectSamePhase2(legacy->phase2, session->phase2);
+}
+
+TEST(SessionTest, StreamingAddRowMatchesBatchAddRelation) {
+  // The §3 streaming mode and the part-parallel batch mode must build the
+  // exact same trees (per-tree insert order and outlier-paging cadence are
+  // identical by construction).
+  PlantedDataset data = TestData();
+  DarConfig config = TestConfig();
+  const Schema& schema = data.relation.schema();
+
+  auto streaming = Phase1Builder::Make(config, schema, data.partition);
+  ASSERT_TRUE(streaming.ok());
+  for (size_t r = 0; r < data.relation.num_rows(); ++r) {
+    std::vector<double> row = data.relation.Row(r);
+    ASSERT_TRUE(streaming->AddRow(row).ok());
+  }
+  auto streamed = std::move(*streaming).Finish();
+  ASSERT_TRUE(streamed.ok());
+
+  ThreadPoolExecutor pool(8);
+  auto batch = Phase1Builder::Make(config, schema, data.partition, &pool);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(batch->AddRelation(data.relation).ok());
+  EXPECT_EQ(batch->rows_added(),
+            static_cast<int64_t>(data.relation.num_rows()));
+  auto batched = std::move(*batch).Finish();
+  ASSERT_TRUE(batched.ok());
+
+  ExpectSamePhase1(*streamed, *batched);
+}
+
+TEST(SessionTest, MineRejectsEmptyRelation) {
+  PlantedDataset data = TestData();
+  Relation empty(data.relation.schema());
+  auto session = Session::Builder().WithConfig(TestConfig()).Build();
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(
+      session->Mine(empty, data.partition).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dar
