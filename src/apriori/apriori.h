@@ -44,7 +44,7 @@ struct AssociationRule {
   double support = 0;         // support_count / |r|
   double confidence = 0;      // support_count / |antecedent|
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 };
 
 /// Mines all frequent itemsets from `transactions` (each a canonical

@@ -31,7 +31,7 @@ std::string ItemsetToString(const Itemset& items);
 
 /// FNV-1a hash of the item sequence, for unordered containers.
 struct ItemsetHash {
-  size_t operator()(const Itemset& items) const {
+  [[nodiscard]] size_t operator()(const Itemset& items) const {
     uint64_t h = 1469598103934665603ull;
     for (Item it : items) {
       h ^= it;

@@ -24,11 +24,11 @@ struct PartSpec {
 struct AcfLayout {
   std::vector<PartSpec> parts;
 
-  size_t num_parts() const { return parts.size(); }
+  [[nodiscard]] size_t num_parts() const { return parts.size(); }
 
   /// Rough heap footprint of one ACF under this layout, used by the
   /// ACF-tree's memory budgeting (histogram sizes are estimated).
-  size_t ApproxAcfBytes() const;
+  [[nodiscard]] size_t ApproxAcfBytes() const;
 };
 
 /// A tuple projected per attribute set: values[i] are the tuple's
@@ -46,19 +46,19 @@ class Acf {
   Acf() = default;
   Acf(std::shared_ptr<const AcfLayout> layout, size_t own_part);
 
-  const AcfLayout& layout() const { return *layout_; }
-  std::shared_ptr<const AcfLayout> layout_ptr() const { return layout_; }
-  size_t own_part() const { return own_part_; }
+  [[nodiscard]] const AcfLayout& layout() const { return *layout_; }
+  [[nodiscard]] std::shared_ptr<const AcfLayout> layout_ptr() const { return layout_; }
+  [[nodiscard]] size_t own_part() const { return own_part_; }
 
   /// Number of tuples summarized.
-  int64_t n() const { return images_.empty() ? 0 : cf().n(); }
+  [[nodiscard]] int64_t n() const { return images_.empty() ? 0 : cf().n(); }
 
   /// The clustering feature on the cluster's own attribute set (Eq. 3).
-  const CfVector& cf() const { return images_[own_part_]; }
+  [[nodiscard]] const CfVector& cf() const { return images_[own_part_]; }
 
   /// The CF of the cluster's image on part `p` (Eq. 7); `p == own_part()`
   /// returns cf().
-  const CfVector& image(size_t p) const { return images_.at(p); }
+  [[nodiscard]] const CfVector& image(size_t p) const { return images_.at(p); }
 
   /// Adds a tuple. `row[i]` must match part i's dimension.
   void AddRow(const PartedRow& row);
@@ -67,21 +67,24 @@ class Acf {
   void Merge(const Acf& other);
 
   /// Centroid on the own part.
-  std::vector<double> Centroid() const { return cf().Centroid(); }
+  [[nodiscard]] std::vector<double> Centroid() const { return cf().Centroid(); }
 
   /// Diameter on the own part (the cluster-quality measure of Dfn 4.2).
-  double Diameter() const { return cf().Diameter(); }
+  [[nodiscard]] double Diameter() const { return cf().Diameter(); }
 
   /// Smallest bounding box of the image on part `p`: (lo, hi) per
   /// dimension. §7.2 uses this as the user-facing cluster description.
-  std::vector<std::pair<double, double>> BoundingBox(size_t p) const;
+  [[nodiscard]] std::vector<std::pair<double, double>> BoundingBox(size_t p) const;
 
   /// Rough heap footprint in bytes.
-  size_t ApproxBytes() const;
+  [[nodiscard]] size_t ApproxBytes() const;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
+  // Test-only backdoor so invariant tests can plant corruptions.
+  friend struct InvariantTestPeer;
+
   std::shared_ptr<const AcfLayout> layout_;
   size_t own_part_ = 0;
   std::vector<CfVector> images_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/logging.h"
 
@@ -12,7 +13,31 @@ namespace {
 
 constexpr double kMinThreshold = 1e-12;
 
+// Relative tolerance when comparing floating-point summary sums that were
+// accumulated in different association orders (incremental AddPoint along
+// the insert path vs. a bottom-up re-merge).
+constexpr double kCfCompareTolerance = 1e-6;
+
+bool ApproxEqual(double a, double b) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= kCfCompareTolerance * scale;
+}
+
 }  // namespace
+
+// When built with -DDAR_VALIDATE_INVARIANTS, every mutating operation
+// re-validates the whole tree before returning (skipped mid-rebuild, when
+// the tree is transiently inconsistent by design).
+#ifdef DAR_VALIDATE_INVARIANTS
+#define DAR_VALIDATE_TREE()                                  \
+  do {                                                       \
+    if (!in_rebuild_) DAR_RETURN_IF_ERROR(ValidateInvariants()); \
+  } while (false)
+#else
+#define DAR_VALIDATE_TREE() \
+  do {                      \
+  } while (false)
+#endif
 
 AcfTree::AcfTree(std::shared_ptr<const AcfLayout> layout, size_t own_part,
                  AcfTreeOptions options)
@@ -62,6 +87,7 @@ Status AcfTree::InsertPoint(const PartedRow& row) {
     }
     DAR_RETURN_IF_ERROR(Rebuild());
   }
+  DAR_VALIDATE_TREE();
   return Status::OK();
 }
 
@@ -87,6 +113,7 @@ Status AcfTree::InsertSummary(Acf acf) {
     }
     DAR_RETURN_IF_ERROR(Rebuild());
   }
+  DAR_VALIDATE_TREE();
   return Status::OK();
 }
 
@@ -396,7 +423,9 @@ Status AcfTree::Rebuild() {
     if (!status.ok()) break;
   }
   in_rebuild_ = false;
-  if (status.ok() && options_.on_rebuild) {
+  if (!status.ok()) return status;
+  DAR_VALIDATE_TREE();
+  if (options_.on_rebuild) {
     options_.on_rebuild(rebuild_count_, threshold_);
   }
   return status;
@@ -465,6 +494,7 @@ Status AcfTree::FinishScan() {
       outliers_.push_back(std::move(acf));
     }
   }
+  DAR_VALIDATE_TREE();
   return Status::OK();
 }
 
@@ -553,6 +583,229 @@ int64_t AcfTree::TotalMass() const {
   for (const auto& e : outlier_buffer_) mass += e.n();
   for (const auto& e : outliers_) mass += e.n();
   return mass;
+}
+
+Status AcfTree::ValidateCfSummary(const CfVector& cf, size_t expect_dim,
+                                  MetricKind expect_metric,
+                                  const std::string& path) const {
+  if (cf.dim() != expect_dim) {
+    return Status::Internal(path + ": CF has dim " +
+                            std::to_string(cf.dim()) + ", expected " +
+                            std::to_string(expect_dim));
+  }
+  if (cf.metric() != expect_metric) {
+    return Status::Internal(path + ": CF metric does not match its part");
+  }
+  if (cf.n() < 0) {
+    return Status::Internal(path + ": negative tuple count " +
+                            std::to_string(cf.n()));
+  }
+  for (size_t d = 0; d < cf.dim(); ++d) {
+    if (cf.ss()[d] < 0) {
+      return Status::Internal(path + ": negative squared-sum term ss[" +
+                              std::to_string(d) +
+                              "] = " + std::to_string(cf.ss()[d]));
+    }
+  }
+  if (cf.n() > 0) {
+    for (size_t d = 0; d < cf.dim(); ++d) {
+      if (cf.min()[d] > cf.max()[d]) {
+        return Status::Internal(path + ": min > max on dimension " +
+                                std::to_string(d));
+      }
+      double centroid = cf.ls()[d] / static_cast<double>(cf.n());
+      double span =
+          kCfCompareTolerance *
+          std::max({1.0, std::fabs(cf.min()[d]), std::fabs(cf.max()[d])});
+      if (centroid < cf.min()[d] - span || centroid > cf.max()[d] + span) {
+        return Status::Internal(path + ": centroid " +
+                                std::to_string(centroid) +
+                                " outside bounding box on dimension " +
+                                std::to_string(d));
+      }
+    }
+    // Cauchy-Schwarz on the moments: N * sum(ss) >= |LS|^2. A violation
+    // means the summary cannot describe any real point set, so every
+    // diameter/radius derived from it is garbage.
+    double lhs = static_cast<double>(cf.n()) * cf.SsSum();
+    double rhs = cf.LsSquaredNorm();
+    if (lhs < rhs && !ApproxEqual(lhs, rhs)) {
+      return Status::Internal(path + ": moment inequality violated (N*SS = " +
+                              std::to_string(lhs) + " < |LS|^2 = " +
+                              std::to_string(rhs) + ")");
+    }
+  }
+  if (cf.has_histogram()) {
+    for (size_t d = 0; d < cf.dim(); ++d) {
+      int64_t total = 0;
+      for (const auto& [value, count] : cf.histogram(d)) {
+        if (count < 0) {
+          return Status::Internal(path + ": negative histogram count on " +
+                                  "dimension " + std::to_string(d));
+        }
+        total += count;
+      }
+      if (total != cf.n()) {
+        return Status::Internal(
+            path + ": histogram mass " + std::to_string(total) +
+            " != N = " + std::to_string(cf.n()) + " on dimension " +
+            std::to_string(d));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AcfTree::ValidateAcfEntry(const Acf& acf,
+                                 const std::string& path) const {
+  if (acf.layout_ptr().get() != layout_.get()) {
+    return Status::Internal(path + ": entry layout differs from the tree's");
+  }
+  if (acf.own_part() != own_part_) {
+    return Status::Internal(path + ": entry own_part " +
+                            std::to_string(acf.own_part()) +
+                            " != tree part " + std::to_string(own_part_));
+  }
+  if (acf.n() <= 0) {
+    return Status::Internal(path + ": entry summarizes no tuples");
+  }
+  // Cross-attribute consistency (Eq. 7): every image must summarize exactly
+  // the tuples of the cluster, on the dimensions of its part.
+  for (size_t p = 0; p < layout_->num_parts(); ++p) {
+    const std::string img_path = path + "/img" + std::to_string(p);
+    DAR_RETURN_IF_ERROR(ValidateCfSummary(
+        acf.image(p), layout_->parts[p].dim, layout_->parts[p].metric,
+        img_path));
+    if (acf.image(p).n() != acf.cf().n()) {
+      return Status::Internal(
+          img_path + ": cross-attribute mass " +
+          std::to_string(acf.image(p).n()) + " != own mass " +
+          std::to_string(acf.cf().n()));
+    }
+  }
+  return Status::OK();
+}
+
+Status AcfTree::ValidateNodeRec(const Node& node, const std::string& path,
+                                bool is_root, size_t* nodes,
+                                size_t* leaf_entries) const {
+  ++*nodes;
+  if (node.is_leaf) {
+    if (!node.children.empty()) {
+      return Status::Internal(path + ": leaf node has internal children");
+    }
+    if (node.entries.size() > static_cast<size_t>(options_.leaf_capacity)) {
+      return Status::Internal(path + ": leaf holds " +
+                              std::to_string(node.entries.size()) +
+                              " entries, capacity is " +
+                              std::to_string(options_.leaf_capacity));
+    }
+    if (!is_root && node.entries.empty()) {
+      return Status::Internal(path + ": non-root leaf is empty");
+    }
+    *leaf_entries += node.entries.size();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      DAR_RETURN_IF_ERROR(
+          ValidateAcfEntry(node.entries[i], path + "/e" + std::to_string(i)));
+    }
+    return Status::OK();
+  }
+
+  if (!node.entries.empty()) {
+    return Status::Internal(path + ": internal node holds leaf entries");
+  }
+  if (node.children.empty()) {
+    return Status::Internal(path + ": internal node has no children");
+  }
+  if (node.children.size() >
+      static_cast<size_t>(options_.branching_factor)) {
+    return Status::Internal(path + ": internal node fan-out " +
+                            std::to_string(node.children.size()) +
+                            " exceeds branching factor " +
+                            std::to_string(options_.branching_factor));
+  }
+  const PartSpec& own = layout_->parts[own_part_];
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const std::string child_path = path + "/c" + std::to_string(i);
+    const ChildRef& ref = node.children[i];
+    if (ref.child == nullptr) {
+      return Status::Internal(child_path + ": null child pointer");
+    }
+    DAR_RETURN_IF_ERROR(
+        ValidateCfSummary(ref.cf, own.dim, own.metric, child_path));
+    // CF additivity (BIRCH Additivity Theorem): the entry CF must equal the
+    // bottom-up merge of its subtree. N, min and max are exact under both
+    // accumulation orders; LS/SS are float sums and get a tolerance.
+    CfVector recomputed = ComputeNodeCf(*ref.child);
+    if (ref.cf.n() != recomputed.n()) {
+      return Status::Internal(
+          child_path + ": CF additivity violated: entry N = " +
+          std::to_string(ref.cf.n()) + ", subtree N = " +
+          std::to_string(recomputed.n()));
+    }
+    for (size_t d = 0; d < own.dim; ++d) {
+      if (!ApproxEqual(ref.cf.ls()[d], recomputed.ls()[d])) {
+        return Status::Internal(
+            child_path + ": CF additivity violated: ls[" +
+            std::to_string(d) + "] = " + std::to_string(ref.cf.ls()[d]) +
+            ", subtree sum = " + std::to_string(recomputed.ls()[d]));
+      }
+      if (!ApproxEqual(ref.cf.ss()[d], recomputed.ss()[d])) {
+        return Status::Internal(
+            child_path + ": CF additivity violated: ss[" +
+            std::to_string(d) + "] = " + std::to_string(ref.cf.ss()[d]) +
+            ", subtree sum = " + std::to_string(recomputed.ss()[d]));
+      }
+      if (recomputed.n() > 0 &&
+          (ref.cf.min()[d] != recomputed.min()[d] ||
+           ref.cf.max()[d] != recomputed.max()[d])) {
+        return Status::Internal(child_path +
+                                ": CF additivity violated: bounding box "
+                                "differs from subtree on dimension " +
+                                std::to_string(d));
+      }
+    }
+    DAR_RETURN_IF_ERROR(
+        ValidateNodeRec(*ref.child, child_path, false, nodes, leaf_entries));
+  }
+  return Status::OK();
+}
+
+Status AcfTree::ValidateInvariants() const {
+  if (root_ == nullptr) {
+    return Status::Internal("tree has no root node");
+  }
+  size_t nodes = 0;
+  size_t leaf_entries = 0;
+  DAR_RETURN_IF_ERROR(
+      ValidateNodeRec(*root_, "root", /*is_root=*/true, &nodes,
+                      &leaf_entries));
+  if (nodes != num_nodes_) {
+    return Status::Internal("cached node count " +
+                            std::to_string(num_nodes_) + " != recount " +
+                            std::to_string(nodes));
+  }
+  if (leaf_entries != num_leaf_entries_) {
+    return Status::Internal("cached leaf-entry count " +
+                            std::to_string(num_leaf_entries_) +
+                            " != recount " + std::to_string(leaf_entries));
+  }
+  for (size_t i = 0; i < outlier_buffer_.size(); ++i) {
+    DAR_RETURN_IF_ERROR(ValidateAcfEntry(
+        outlier_buffer_[i], "outlier_buffer/e" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < outliers_.size(); ++i) {
+    DAR_RETURN_IF_ERROR(
+        ValidateAcfEntry(outliers_[i], "outliers/e" + std::to_string(i)));
+  }
+  // Mass conservation: no tuple is lost or double-counted by absorption,
+  // splits, rebuilds, or outlier paging.
+  if (TotalMass() != points_inserted_) {
+    return Status::Internal("total mass " + std::to_string(TotalMass()) +
+                            " != points inserted " +
+                            std::to_string(points_inserted_));
+  }
+  return Status::OK();
 }
 
 AcfTreeStats AcfTree::Stats() const {

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "birch/acf.h"
@@ -11,6 +12,9 @@
 #include "common/status.h"
 
 namespace dar {
+
+// Test-only backdoor for planting corruptions; defined by invariant tests.
+struct InvariantTestPeer;
 
 /// Tuning knobs for one ACF-tree.
 struct AcfTreeOptions {
@@ -86,31 +90,54 @@ class AcfTree {
 
   /// All leaf clusters, in leaf order. Confirmed outliers are not included;
   /// see outliers().
-  std::vector<Acf> ExtractClusters() const;
+  [[nodiscard]] std::vector<Acf> ExtractClusters() const;
 
   /// Clusters confirmed as outliers by FinishScan (plus any still paged out
   /// if FinishScan has not been called).
-  const std::vector<Acf>& outliers() const { return outliers_; }
+  [[nodiscard]] const std::vector<Acf>& outliers() const { return outliers_; }
 
   /// Index (into ExtractClusters() order) of the leaf cluster whose
   /// centroid is closest to `own_values`, following the tree as a search
   /// structure (§4.3.2). Returns NotFound on an empty tree.
-  Result<size_t> NearestClusterIndex(std::span<const double> own_values) const;
+  [[nodiscard]] Result<size_t> NearestClusterIndex(std::span<const double> own_values) const;
 
-  double threshold() const { return threshold_; }
-  int rebuild_count() const { return rebuild_count_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] int rebuild_count() const { return rebuild_count_; }
 
   /// Adjusts the outlier paging threshold mid-scan. Streaming callers keep
   /// it proportional to the running tuple count, since the absolute
   /// frequency threshold s0 is only known when the scan ends.
   void set_outlier_entry_min_n(int64_t n) { options_.outlier_entry_min_n = n; }
-  AcfTreeStats Stats() const;
+  [[nodiscard]] AcfTreeStats Stats() const;
 
   /// Total tuple mass in the tree plus the outlier buffer. Invariant:
   /// equals the number of inserted points (plus summary masses).
-  int64_t TotalMass() const;
+  [[nodiscard]] int64_t TotalMass() const;
+
+  /// Walks the whole tree and verifies the structural and summary-arithmetic
+  /// invariants the mining phases rely on (Thm 6.1 is only valid on a tree
+  /// where these hold):
+  ///
+  ///  - CF additivity: every internal entry's CF equals the merge of its
+  ///    child subtree's CFs (exactly in N, within float tolerance in
+  ///    LS/SS/min/max, exactly in discrete histograms);
+  ///  - entry-count bounds: internal fan-out within [1, branching_factor],
+  ///    leaf occupancy within [1, leaf_capacity] (root may be empty);
+  ///  - CF sanity: non-negative masses and squared-sum terms, the
+  ///    Cauchy-Schwarz moment inequality N*SS >= |LS|^2, centroids inside
+  ///    the tracked bounding boxes;
+  ///  - ACF cross-attribute consistency: every image summarizes exactly
+  ///    cf().n() tuples on the right dimensions/metric;
+  ///  - cached counters (num_nodes, num_leaf_entries, total mass) match a
+  ///    recount.
+  ///
+  /// Returns the first violation as an Internal status naming the offending
+  /// node path (e.g. "root/c2/e0"), or OK. O(tree size); automatically run
+  /// after every mutating operation when built with -DDAR_VALIDATE_INVARIANTS.
+  [[nodiscard]] Status ValidateInvariants() const;
 
  private:
+  friend struct InvariantTestPeer;
   struct Node;
   struct ChildRef {
     CfVector cf;  // summary of the subtree, on the own part
@@ -137,7 +164,7 @@ class AcfTree {
   std::unique_ptr<Node> SplitNode(Node* node);
 
   // Recomputes the subtree CF of `node` on the own part.
-  CfVector ComputeNodeCf(const Node& node) const;
+  [[nodiscard]] CfVector ComputeNodeCf(const Node& node) const;
 
   // Handles a root split by growing the tree one level.
   void GrowRoot(std::unique_ptr<Node> sibling);
@@ -149,13 +176,22 @@ class AcfTree {
   // Picks the next threshold: max(growth * current, the median over leaves
   // of the smallest merged-pair diameter within the leaf), so that at least
   // a substantial fraction of adjacent clusters merge after the rebuild.
-  double NextThreshold() const;
+  [[nodiscard]] double NextThreshold() const;
 
   void CollectLeafEntries(Node* node, std::vector<Acf>& out);
   void CollectLeafEntriesConst(const Node* node, std::vector<Acf>& out) const;
 
-  size_t CountNodes(const Node* node) const;
-  size_t ApproxBytesNow() const;
+  [[nodiscard]] size_t CountNodes(const Node* node) const;
+  [[nodiscard]] size_t ApproxBytesNow() const;
+
+  // ValidateInvariants helpers; `path` names the node under scrutiny.
+  Status ValidateNodeRec(const Node& node, const std::string& path,
+                         bool is_root, size_t* nodes,
+                         size_t* leaf_entries) const;
+  Status ValidateCfSummary(const CfVector& cf, size_t expect_dim,
+                           MetricKind expect_metric,
+                           const std::string& path) const;
+  [[nodiscard]] Status ValidateAcfEntry(const Acf& acf, const std::string& path) const;
 
   std::shared_ptr<const AcfLayout> layout_;
   size_t own_part_;

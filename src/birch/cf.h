@@ -11,6 +11,8 @@
 
 namespace dar {
 
+struct InvariantTestPeer;
+
 /// A Clustering Feature (BIRCH; Eq. 3 of the paper): the summary
 /// `(N, sum t_i, sum t_i^2)` of a set of points projected on one attribute
 /// set, extended with
@@ -40,21 +42,21 @@ class CfVector {
   CfVector() = default;
   CfVector(size_t dim, MetricKind metric);
 
-  size_t dim() const { return ls_.size(); }
-  MetricKind metric() const { return metric_; }
-  int64_t n() const { return n_; }
+  [[nodiscard]] size_t dim() const { return ls_.size(); }
+  [[nodiscard]] MetricKind metric() const { return metric_; }
+  [[nodiscard]] int64_t n() const { return n_; }
 
   /// Linear sum per dimension.
-  std::span<const double> ls() const { return ls_; }
+  [[nodiscard]] std::span<const double> ls() const { return ls_; }
   /// Sum of squares per dimension.
-  std::span<const double> ss() const { return ss_; }
+  [[nodiscard]] std::span<const double> ss() const { return ss_; }
   /// Per-dimension minima/maxima (meaningless when n() == 0).
-  std::span<const double> min() const { return min_; }
-  std::span<const double> max() const { return max_; }
+  [[nodiscard]] std::span<const double> min() const { return min_; }
+  [[nodiscard]] std::span<const double> max() const { return max_; }
 
-  bool has_histogram() const { return metric_ == MetricKind::kDiscrete; }
+  [[nodiscard]] bool has_histogram() const { return metric_ == MetricKind::kDiscrete; }
   /// Value -> count histogram for dimension `d` (discrete parts only).
-  const std::map<double, int64_t>& histogram(size_t d) const {
+  [[nodiscard]] const std::map<double, int64_t>& histogram(size_t d) const {
     return hist_.at(d);
   }
 
@@ -65,33 +67,36 @@ class CfVector {
   void Merge(const CfVector& other);
 
   /// Centroid `LS / N` (Eq. 4). Requires n() > 0.
-  std::vector<double> Centroid() const;
+  [[nodiscard]] std::vector<double> Centroid() const;
 
   /// RMS distance of points to the centroid; 0 when n() < 2.
-  double Radius() const;
+  [[nodiscard]] double Radius() const;
 
   /// Average pairwise distance (Dfn 4.1); see class comment for the exact
   /// form per metric. 0 when n() < 2.
-  double Diameter() const;
+  [[nodiscard]] double Diameter() const;
 
   /// Diameter of this summary after hypothetically adding point `x`,
   /// without mutating the summary. Used by the CF-tree absorption test.
-  double DiameterWithPoint(std::span<const double> x) const;
+  [[nodiscard]] double DiameterWithPoint(std::span<const double> x) const;
 
   /// Diameter of the hypothetical merge of this summary and `other`.
-  double DiameterWithMerge(const CfVector& other) const;
+  [[nodiscard]] double DiameterWithMerge(const CfVector& other) const;
 
   /// Sum over dimensions of ss (||t||^2 summed over points).
-  double SsSum() const;
+  [[nodiscard]] double SsSum() const;
   /// Squared Euclidean norm of the LS vector.
-  double LsSquaredNorm() const;
+  [[nodiscard]] double LsSquaredNorm() const;
 
   /// Rough heap footprint in bytes (memory-budget accounting).
-  size_t ApproxBytes() const;
+  [[nodiscard]] size_t ApproxBytes() const;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
+  // Test-only backdoor so invariant tests can plant corruptions.
+  friend struct InvariantTestPeer;
+
   double DiameterFromMoments(int64_t n, double ss_sum,
                              double ls_sq_norm) const;
 

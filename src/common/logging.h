@@ -31,11 +31,20 @@ class FatalLogMessage {
 
 /// Aborts with a message when `cond` is false. Active in all build types:
 /// these guard internal invariants whose violation would corrupt results.
-#define DAR_CHECK(cond)                                        \
-  if (!(cond))                                                 \
-  ::dar::internal_logging::FatalLogMessage(__FILE__, __LINE__) \
-          .stream()                                            \
-      << #cond << " "
+///
+/// The `switch (0) case 0: default:` wrapper makes the expansion a single
+/// statement that an outer `else` cannot bind into, so
+/// `if (x) DAR_CHECK(y); else f();` attaches the `else` to `if (x)` as
+/// written rather than to the macro's internal `if`.
+#define DAR_CHECK(cond)                                            \
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (cond) {                                                    \
+    } else                                                         \
+      ::dar::internal_logging::FatalLogMessage(__FILE__, __LINE__) \
+              .stream()                                            \
+          << #cond << " "
 
 #define DAR_CHECK_EQ(a, b) DAR_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DAR_CHECK_NE(a, b) DAR_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
@@ -43,5 +52,47 @@ class FatalLogMessage {
 #define DAR_CHECK_LE(a, b) DAR_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DAR_CHECK_GT(a, b) DAR_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DAR_CHECK_GE(a, b) DAR_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Debug-only checks. `DAR_DCHECK*` mirror `DAR_CHECK*` but compile to a
+/// no-op in release builds (NDEBUG): the condition is still type-checked but
+/// never evaluated, so a DAR_DCHECK may sit on a hot path. Use DAR_CHECK for
+/// invariants whose violation would silently corrupt mining results; use
+/// DAR_DCHECK for expensive redundant checks (e.g. re-walking a tree).
+///
+/// Override the default with -DDAR_ENABLE_DCHECKS=0/1.
+#ifndef DAR_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define DAR_ENABLE_DCHECKS 0
+#else
+#define DAR_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if DAR_ENABLE_DCHECKS
+#define DAR_DCHECK(cond) DAR_CHECK(cond)
+#define DAR_DCHECK_EQ(a, b) DAR_CHECK_EQ(a, b)
+#define DAR_DCHECK_NE(a, b) DAR_CHECK_NE(a, b)
+#define DAR_DCHECK_LT(a, b) DAR_CHECK_LT(a, b)
+#define DAR_DCHECK_LE(a, b) DAR_CHECK_LE(a, b)
+#define DAR_DCHECK_GT(a, b) DAR_CHECK_GT(a, b)
+#define DAR_DCHECK_GE(a, b) DAR_CHECK_GE(a, b)
+#else
+// `while (false)` keeps the operands compiled (type errors still surface)
+// without evaluating them at runtime.
+#define DAR_DCHECK(cond) \
+  while (false) DAR_CHECK(cond)
+#define DAR_DCHECK_EQ(a, b) \
+  while (false) DAR_CHECK_EQ(a, b)
+#define DAR_DCHECK_NE(a, b) \
+  while (false) DAR_CHECK_NE(a, b)
+#define DAR_DCHECK_LT(a, b) \
+  while (false) DAR_CHECK_LT(a, b)
+#define DAR_DCHECK_LE(a, b) \
+  while (false) DAR_CHECK_LE(a, b)
+#define DAR_DCHECK_GT(a, b) \
+  while (false) DAR_CHECK_GT(a, b)
+#define DAR_DCHECK_GE(a, b) \
+  while (false) DAR_CHECK_GE(a, b)
+#endif  // DAR_ENABLE_DCHECKS
 
 #endif  // DAR_COMMON_LOGGING_H_

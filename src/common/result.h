@@ -1,10 +1,10 @@
 #ifndef DAR_COMMON_RESULT_H_
 #define DAR_COMMON_RESULT_H_
 
-#include <cstdlib>
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace dar {
@@ -17,8 +17,11 @@ namespace dar {
 ///     Relation rel = std::move(r).ValueOrDie();
 ///
 /// Prefer the `DAR_ASSIGN_OR_RETURN` macro inside Status-returning code.
+///
+/// Like `Status`, the class is `[[nodiscard]]`: a dropped Result hides the
+/// error it may carry, so discarding one is a compile error under -Werror.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit by design, so functions
   /// can `return value;`).
@@ -26,10 +29,9 @@ class Result {
 
   /// Constructs a Result holding an error. `status` must not be OK.
   Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
-    if (std::get<Status>(v_).ok()) {
-      // An OK status carries no value; this is a programming error.
-      std::abort();
-    }
+    // An OK status carries no value; this is a programming error.
+    DAR_CHECK(!std::get<Status>(v_).ok())
+        << "Result constructed from an OK Status";
   }
 
   Result(const Result&) = default;
@@ -37,10 +39,10 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
 
   /// The error (OK if this holds a value).
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(v_);
   }
 
@@ -65,7 +67,8 @@ class Result {
 
  private:
   void DieIfError() const {
-    if (!ok()) std::abort();
+    DAR_CHECK(ok()) << "ValueOrDie called on an error Result: "
+                    << std::get<Status>(v_).ToString();
   }
 
   std::variant<T, Status> v_;

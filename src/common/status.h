@@ -36,7 +36,11 @@ const char* StatusCodeToString(StatusCode code);
 ///       if (bad) return Status::InvalidArgument("why it is bad");
 ///       return Status::OK();
 ///     }
-class Status {
+///
+/// The class is `[[nodiscard]]`: silently dropping a returned Status is a
+/// compile error under -Werror. Handle it, propagate it with
+/// DAR_RETURN_IF_ERROR, or (rarely) discard explicitly with a void cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -82,27 +86,37 @@ class Status {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
-  bool ok() const { return state_ == nullptr; }
-  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
   /// Error message; empty for OK statuses.
-  const std::string& message() const {
+  [[nodiscard]] const std::string& message() const {
     static const std::string kEmpty;
     return state_ ? state_->message : kEmpty;
   }
 
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
-  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
-  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
-  bool IsResourceExhausted() const {
+  [[nodiscard]] bool IsNotFound() const {
+    return code() == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsOutOfRange() const {
+    return code() == StatusCode::kOutOfRange;
+  }
+  [[nodiscard]] bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
-  bool IsIOError() const { return code() == StatusCode::kIOError; }
-  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  [[nodiscard]] bool IsIOError() const {
+    return code() == StatusCode::kIOError;
+  }
+  [[nodiscard]] bool IsInternal() const {
+    return code() == StatusCode::kInternal;
+  }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   struct State {

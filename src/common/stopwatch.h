@@ -14,12 +14,12 @@ class Stopwatch {
   void Reset() { start_ = Clock::now(); }
 
   /// Seconds elapsed since construction or the last Reset().
-  double ElapsedSeconds() const {
+  [[nodiscard]] double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
   /// Milliseconds elapsed since construction or the last Reset().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  [[nodiscard]] double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -46,19 +46,19 @@ class ClusteringGraph {
   ClusteringGraph(const ClusterSet& clusters,
                   const ClusteringGraphOptions& options);
 
-  size_t num_nodes() const { return adjacency_.size(); }
-  size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] size_t num_edges() const { return num_edges_; }
 
-  bool HasEdge(size_t a, size_t b) const;
-  const std::vector<size_t>& Neighbors(size_t node) const {
+  [[nodiscard]] bool HasEdge(size_t a, size_t b) const;
+  [[nodiscard]] const std::vector<size_t>& Neighbors(size_t node) const {
     return adjacency_.at(node);
   }
 
   /// Number of candidate pairs whose distances were actually evaluated,
   /// and number skipped by the density-image pruning heuristic. For the
   /// ablation bench.
-  int64_t comparisons_made() const { return comparisons_made_; }
-  int64_t comparisons_skipped() const { return comparisons_skipped_; }
+  [[nodiscard]] int64_t comparisons_made() const { return comparisons_made_; }
+  [[nodiscard]] int64_t comparisons_skipped() const { return comparisons_skipped_; }
 
   /// All maximal cliques (each a sorted list of node ids), enumerated with
   /// Bron-Kerbosch with pivoting. Isolated nodes yield trivial 1-cliques,

@@ -108,7 +108,7 @@ struct DarConfig {
   /// disagree with each other. Session::Builder::Build refuses to
   /// construct on any violation; the returned Status names the offending
   /// knob.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 }  // namespace dar

@@ -45,7 +45,7 @@ class DarMiner {
                                  const AttributePartition& partition) const;
 
   /// Runs Phase II on an existing Phase-I result.
-  Result<Phase2Result> RunPhase2(const Phase1Result& phase1) const;
+  [[nodiscard]] Result<Phase2Result> RunPhase2(const Phase1Result& phase1) const;
 
   /// Optional §6.2 post-processing: rescans `rel` once and fills
   /// `support_count` of every rule with the number of tuples assigned to
@@ -55,11 +55,11 @@ class DarMiner {
                           const Phase1Result& phase1,
                           std::vector<DistanceRule>& rules) const;
 
-  const DarConfig& config() const { return config_; }
+  [[nodiscard]] const DarConfig& config() const { return config_; }
 
  private:
   // Serial, non-validating Session with the shim's config (friend access).
-  Session LegacySession() const;
+  [[nodiscard]] Session LegacySession() const;
 
   DarConfig config_;
 };

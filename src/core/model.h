@@ -31,16 +31,16 @@ class ClusterSet {
   ClusterSet(std::shared_ptr<const AcfLayout> layout,
              std::vector<FoundCluster> clusters);
 
-  const std::vector<FoundCluster>& clusters() const { return clusters_; }
-  const FoundCluster& cluster(size_t id) const { return clusters_.at(id); }
-  size_t size() const { return clusters_.size(); }
-  const AcfLayout& layout() const { return *layout_; }
+  [[nodiscard]] const std::vector<FoundCluster>& clusters() const { return clusters_; }
+  [[nodiscard]] const FoundCluster& cluster(size_t id) const { return clusters_.at(id); }
+  [[nodiscard]] size_t size() const { return clusters_.size(); }
+  [[nodiscard]] const AcfLayout& layout() const { return *layout_; }
 
   /// Ids of the clusters defined on part `p`.
-  const std::vector<size_t>& ClustersOnPart(size_t p) const {
+  [[nodiscard]] const std::vector<size_t>& ClustersOnPart(size_t p) const {
     return by_part_.at(p);
   }
-  size_t num_parts() const { return by_part_.size(); }
+  [[nodiscard]] size_t num_parts() const { return by_part_.size(); }
 
   /// Id of the cluster on part `p` whose centroid is nearest to `values`
   /// (the §4.3.2 point-to-cluster assignment), or NotFound when the part

@@ -69,7 +69,7 @@ class CountersObserver : public MiningObserver {
     ++cliques_found_;
   }
 
-  Counters counters() const {
+  [[nodiscard]] Counters counters() const {
     Counters c;
     c.parts_started = parts_started_.load();
     c.parts_done = parts_done_.load();
@@ -103,7 +103,7 @@ class ObserverList : public MiningObserver {
   void Add(std::shared_ptr<MiningObserver> observer) {
     if (observer != nullptr) observers_.push_back(std::move(observer));
   }
-  bool empty() const { return observers_.empty(); }
+  [[nodiscard]] bool empty() const { return observers_.empty(); }
 
   void OnPhase1PartStart(size_t part) override {
     for (auto& o : observers_) o->OnPhase1PartStart(part);

@@ -59,7 +59,7 @@ class Phase1Builder {
   Status AddRelation(const Relation& rel);
 
   /// Number of tuples added so far.
-  int64_t rows_added() const { return rows_added_; }
+  [[nodiscard]] int64_t rows_added() const { return rows_added_; }
 
   /// Re-absorbs outliers, optionally refines clusters, applies the
   /// frequency threshold and assembles the Phase1Result (part-parallel
@@ -79,7 +79,7 @@ class Phase1Builder {
   void UpdateOutlierThresholds();
 
   // Outlier paging threshold for a tree that has seen `rows` tuples.
-  int64_t OutlierMinN(int64_t rows) const;
+  [[nodiscard]] int64_t OutlierMinN(int64_t rows) const;
 
   // Feeds rows [0, rel.num_rows()) of `rel` into part `p`'s tree,
   // replaying the exact per-tree insert/paging sequence of AddRow.

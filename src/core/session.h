@@ -68,7 +68,7 @@ class Session {
 
     /// Validates the config (DarConfig::Validate) and assembles the
     /// session; refuses to construct on any invalid knob.
-    Result<Session> Build() const;
+    [[nodiscard]] Result<Session> Build() const;
 
    private:
     DarConfig config_;
@@ -88,7 +88,7 @@ class Session {
 
   /// Runs Phase II on an existing Phase-I result. The clustering-graph
   /// edge sweep is parallelized on the session's executor.
-  Result<Phase2Result> RunPhase2(const Phase1Result& phase1) const;
+  [[nodiscard]] Result<Phase2Result> RunPhase2(const Phase1Result& phase1) const;
 
   /// Optional §6.2 post-processing: rescans `rel` once and fills
   /// `support_count` of every rule with the number of tuples assigned to
@@ -99,8 +99,8 @@ class Session {
                           const Phase1Result& phase1,
                           std::vector<DistanceRule>& rules) const;
 
-  const DarConfig& config() const { return config_; }
-  Executor& executor() const { return *executor_; }
+  [[nodiscard]] const DarConfig& config() const { return config_; }
+  [[nodiscard]] Executor& executor() const { return *executor_; }
 
  private:
   friend class DarMiner;  // legacy shim bypasses Validate, see miner.h
@@ -112,7 +112,7 @@ class Session {
         observers_(std::move(observers)) {}
 
   // The observer to hand to pipeline stages: null when none registered.
-  MiningObserver* observer_or_null() const {
+  [[nodiscard]] MiningObserver* observer_or_null() const {
     return observers_ != nullptr && !observers_->empty() ? observers_.get()
                                                          : nullptr;
   }

@@ -19,8 +19,8 @@ struct ValueInterval {
   double hi = 0;
   int64_t count = 0;
 
-  bool Contains(double v) const { return lo <= v && v <= hi; }
-  std::string ToString() const;
+  [[nodiscard]] bool Contains(double v) const { return lo <= v && v <= hi; }
+  [[nodiscard]] std::string ToString() const;
 };
 
 /// Equi-depth partitioning of a column into (at most) `num_intervals`

@@ -44,7 +44,7 @@ struct QarPredicate {
   double lo = 0;  // for ranges; for nominal, lo == hi == value
   double hi = 0;
 
-  bool Matches(double v) const {
+  [[nodiscard]] bool Matches(double v) const {
     return is_nominal ? v == lo : (lo <= v && v <= hi);
   }
 };
@@ -61,7 +61,7 @@ struct QarRule {
   /// QarOptions::min_interest); 0 when the filter is disabled.
   double interest = 0;
 
-  std::string ToString(const Schema& schema) const;
+  [[nodiscard]] std::string ToString(const Schema& schema) const;
 };
 
 /// Mining output: the rules plus the base equi-depth partitioning per
@@ -85,7 +85,7 @@ class QarMiner {
 
   /// Mines rules from `rel`. Interval vs nominal attributes are taken from
   /// the relation's schema.
-  Result<QarResult> Mine(const Relation& rel) const;
+  [[nodiscard]] Result<QarResult> Mine(const Relation& rel) const;
 
  private:
   QarOptions options_;

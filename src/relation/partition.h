@@ -22,7 +22,7 @@ struct AttributeSet {
   /// schema when built via AttributePartition::Make).
   std::string label;
 
-  size_t dimension() const { return columns.size(); }
+  [[nodiscard]] size_t dimension() const { return columns.size(); }
 };
 
 /// A partitioning of (a subset of) a relation's attributes into disjoint
@@ -44,15 +44,15 @@ class AttributePartition {
   /// Euclidean for interval attributes, discrete for nominal ones.
   static AttributePartition SingletonPartition(const Schema& schema);
 
-  size_t num_parts() const { return parts_.size(); }
-  const AttributeSet& part(size_t i) const { return parts_.at(i); }
-  const std::vector<AttributeSet>& parts() const { return parts_; }
+  [[nodiscard]] size_t num_parts() const { return parts_.size(); }
+  [[nodiscard]] const AttributeSet& part(size_t i) const { return parts_.at(i); }
+  [[nodiscard]] const std::vector<AttributeSet>& parts() const { return parts_; }
 
   /// Index of the part containing column `col`, or NotFound.
-  Result<size_t> PartOfColumn(size_t col) const;
+  [[nodiscard]] Result<size_t> PartOfColumn(size_t col) const;
 
   /// Total number of columns covered by all parts.
-  size_t TotalColumns() const;
+  [[nodiscard]] size_t TotalColumns() const;
 
  private:
   explicit AttributePartition(std::vector<AttributeSet> parts)

@@ -22,9 +22,9 @@ class Relation {
   Relation() = default;
   explicit Relation(Schema schema);
 
-  const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return num_rows_; }
-  size_t num_columns() const { return columns_.size(); }
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] size_t num_rows() const { return num_rows_; }
+  [[nodiscard]] size_t num_columns() const { return columns_.size(); }
 
   /// Appends a row; `values.size()` must equal the number of attributes.
   Status AppendRow(std::span<const double> values);
@@ -33,11 +33,11 @@ class Relation {
   }
 
   /// Full column `col` (length num_rows()).
-  std::span<const double> column(size_t col) const {
+  [[nodiscard]] std::span<const double> column(size_t col) const {
     return columns_.at(col);
   }
 
-  double at(size_t row, size_t col) const { return columns_.at(col).at(row); }
+  [[nodiscard]] double at(size_t row, size_t col) const { return columns_.at(col).at(row); }
 
   /// Copies row `row` projected on `cols` into `out` (resized to match).
   /// This is the tuple image t[X] used throughout the paper.
@@ -45,13 +45,13 @@ class Relation {
                   std::vector<double>& out) const;
 
   /// Entire row as a vector (convenience for tests/examples).
-  std::vector<double> Row(size_t row) const;
+  [[nodiscard]] std::vector<double> Row(size_t row) const;
 
   /// New relation containing only the columns in `cols`, in that order.
-  Result<Relation> Project(std::span<const size_t> cols) const;
+  [[nodiscard]] Result<Relation> Project(std::span<const size_t> cols) const;
 
   /// New relation containing only the rows in `rows`, in that order.
-  Result<Relation> SelectRows(std::span<const size_t> rows) const;
+  [[nodiscard]] Result<Relation> SelectRows(std::span<const size_t> rows) const;
 
   /// Reserves capacity for `n` rows across all columns.
   void Reserve(size_t n);

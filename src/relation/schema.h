@@ -36,16 +36,16 @@ class Schema {
   /// Builds a schema, failing on duplicate or empty attribute names.
   static Result<Schema> Make(std::vector<Attribute> attributes);
 
-  size_t num_attributes() const { return attributes_.size(); }
-  const Attribute& attribute(size_t i) const { return attributes_.at(i); }
-  const std::vector<Attribute>& attributes() const { return attributes_; }
+  [[nodiscard]] size_t num_attributes() const { return attributes_.size(); }
+  [[nodiscard]] const Attribute& attribute(size_t i) const { return attributes_.at(i); }
+  [[nodiscard]] const std::vector<Attribute>& attributes() const { return attributes_; }
 
   /// Column index of `name`, or NotFound.
-  Result<size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<size_t> IndexOf(const std::string& name) const;
 
   bool operator==(const Schema& other) const;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   std::vector<Attribute> attributes_;
@@ -60,12 +60,12 @@ class Dictionary {
   double Encode(const std::string& label);
 
   /// The label for `code`, or NotFound if the code was never produced.
-  Result<std::string> Decode(double code) const;
+  [[nodiscard]] Result<std::string> Decode(double code) const;
 
   /// Code for `label` if present, without inserting.
-  Result<double> Lookup(const std::string& label) const;
+  [[nodiscard]] Result<double> Lookup(const std::string& label) const;
 
-  size_t size() const { return labels_.size(); }
+  [[nodiscard]] size_t size() const { return labels_.size(); }
 
  private:
   std::vector<std::string> labels_;

@@ -1,0 +1,87 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dar {
+namespace {
+
+TEST(DarCheckTest, PassingCheckIsANoOp) {
+  DAR_CHECK(1 + 1 == 2) << "never printed";
+  DAR_CHECK_EQ(3, 3);
+  DAR_CHECK_NE(3, 4);
+  DAR_CHECK_LT(1, 2);
+  DAR_CHECK_LE(2, 2);
+  DAR_CHECK_GT(2, 1);
+  DAR_CHECK_GE(2, 2);
+}
+
+TEST(DarCheckDeathTest, FailingCheckAbortsWithMessage) {
+  EXPECT_DEATH(DAR_CHECK(false) << "extra context", "check failed: false");
+  EXPECT_DEATH(DAR_CHECK_EQ(1, 2), "\\(1 vs 2\\)");
+}
+
+// Regression test for the dangling-else hazard: with a brace-less
+// `if (!(cond))` expansion, the `else` below would bind to the macro's
+// internal `if` instead of the outer one, running `else_ran = true` whenever
+// the *check* passed. The `switch (0) case 0: default:` expansion makes the
+// macro a single statement an outer `else` cannot capture.
+TEST(DarCheckTest, ElseBindsToOuterIf) {
+  bool else_ran = false;
+  bool outer = true;
+  if (outer)
+    DAR_CHECK(true) << "fine";
+  else
+    else_ran = true;
+  EXPECT_FALSE(else_ran) << "else bound to the macro's internal if";
+
+  outer = false;
+  if (outer)
+    DAR_CHECK(true) << "not reached";
+  else
+    else_ran = true;
+  EXPECT_TRUE(else_ran);
+}
+
+TEST(DarCheckTest, ElseBindsToOuterIfWithComparisonMacros) {
+  bool else_ran = false;
+  if (true)
+    DAR_CHECK_EQ(1, 1);
+  else
+    else_ran = true;
+  EXPECT_FALSE(else_ran);
+}
+
+TEST(DarDcheckTest, PassingDcheckIsANoOp) {
+  DAR_DCHECK(true) << "never printed";
+  DAR_DCHECK_EQ(5, 5);
+  DAR_DCHECK_GE(5, 4);
+}
+
+TEST(DarDcheckTest, ElseBindsToOuterIf) {
+  bool else_ran = false;
+  if (false)
+    DAR_DCHECK(true);
+  else
+    else_ran = true;
+  EXPECT_TRUE(else_ran);
+}
+
+#if DAR_ENABLE_DCHECKS
+TEST(DarDcheckDeathTest, FailingDcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(DAR_DCHECK(false) << "ctx", "check failed: false");
+}
+#else
+TEST(DarDcheckTest, DisabledDcheckDoesNotEvaluateOperands) {
+  int evaluations = 0;
+  auto touch = [&]() {
+    ++evaluations;
+    return true;
+  };
+  DAR_DCHECK(touch());
+  DAR_DCHECK_EQ(touch(), true);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif  // DAR_ENABLE_DCHECKS
+
+}  // namespace
+}  // namespace dar

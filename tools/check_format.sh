@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: runs `clang-format --dry-run -Werror` (config:
+# .clang-format at the repo root) over the C++ tree. Never rewrites files.
+#
+# Usage: tools/check_format.sh
+#
+# Exits 0 with a notice when clang-format is not installed so developer
+# machines without LLVM tooling are not blocked; CI installs clang-format
+# and enforces the gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+format_bin="${CLANG_FORMAT:-}"
+if [[ -z "${format_bin}" ]]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      format_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${format_bin}" ]]; then
+  echo "check_format: clang-format not found on PATH; skipping." \
+       "Install clang-format (or set CLANG_FORMAT) to run the gate." >&2
+  exit 0
+fi
+
+cd "${repo_root}"
+mapfile -t files < <(find src tests bench examples \
+                          \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) |
+                     sort)
+echo "check_format: checking ${#files[@]} files with ${format_bin}" >&2
+"${format_bin}" --dry-run -Werror "${files[@]}"
+echo "check_format: clean" >&2

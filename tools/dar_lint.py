@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Checked invariants (library code = everything under src/):
+
+  header-guard     every header under src/ is guarded by
+                   DAR_<PATH>_H_ derived from its path (src/birch/acf.h ->
+                   DAR_BIRCH_ACF_H_), with a matching #define and a trailing
+                   `#endif  // GUARD` comment.
+  no-iostream      no std::cout / std::cerr / std::abort / abort() in
+                   library code outside common/logging.h; the library
+                   reports failures through Status/Result and fatal checks
+                   through the DAR_CHECK macros.
+  no-naked-new     no `new` / `delete` expressions in library code; use
+                   std::make_unique / std::make_shared and containers
+                   (`= delete` member declarations are fine).
+  no-unseeded-rng  no rand()/srand(), std::random_device, or direct
+                   std::mt19937 outside common/random.h; all randomness
+                   flows through dar::Rng with an explicit seed so every
+                   run is reproducible.
+  test-registered  every tests/*_test.cc is registered with dar_add_test()
+                   in tests/CMakeLists.txt (an unregistered test silently
+                   never runs).
+
+Usage: tools/dar_lint.py [--root REPO_ROOT]
+
+Prints one `path:line: [rule] message` per finding (sorted, deterministic)
+and exits 1 when anything is found, 0 on a clean tree.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Files whose job is exactly the thing the rule bans elsewhere.
+LOGGING_ALLOWLIST = {"src/common/logging.h"}
+RNG_ALLOWLIST = {"src/common/random.h"}
+
+IOSTREAM_RE = re.compile(r"std::cout|std::cerr|(?<![\w:.])(?:std::)?abort\s*\(")
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
+DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[A-Za-z_*(]|(?<![\w.])delete\[\]")
+RNG_RE = re.compile(
+    r"(?<![\w:.])(?:std::)?(?:rand|srand)\s*\(|std::random_device|std::mt19937")
+GUARD_IF_RE = re.compile(r"^#ifndef\s+(\S+)\s*$")
+GUARD_DEF_RE = re.compile(r"^#define\s+(\S+)\s*$")
+GUARD_END_RE = re.compile(r"^#endif\s*//\s*(\S+)\s*$")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line breaks
+    so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel_path):
+    stem = re.sub(r"[./]", "_", str(rel_path.with_suffix("")))
+    return f"DAR_{stem.upper()}_H_"
+
+
+def check_header_guard(path, rel, text, findings):
+    guard = expected_guard(rel.relative_to("src"))
+    lines = text.splitlines()
+    ifndef_line = None
+    for i, line in enumerate(lines):
+        if line.strip() and not line.lstrip().startswith("//"):
+            ifndef_line = i
+            break
+    if ifndef_line is None:
+        findings.append((rel, 1, "header-guard", f"empty header, expected guard {guard}"))
+        return
+    m = GUARD_IF_RE.match(lines[ifndef_line].strip())
+    if not m or m.group(1) != guard:
+        findings.append((rel, ifndef_line + 1, "header-guard",
+                         f"first directive must be '#ifndef {guard}'"))
+        return
+    if ifndef_line + 1 >= len(lines):
+        findings.append((rel, ifndef_line + 1, "header-guard",
+                         f"missing '#define {guard}'"))
+        return
+    m = GUARD_DEF_RE.match(lines[ifndef_line + 1].strip())
+    if not m or m.group(1) != guard:
+        findings.append((rel, ifndef_line + 2, "header-guard",
+                         f"second directive must be '#define {guard}'"))
+        return
+    for i in range(len(lines) - 1, -1, -1):
+        if lines[i].strip():
+            m = GUARD_END_RE.match(lines[i].strip())
+            if not m or m.group(1) != guard:
+                findings.append((rel, i + 1, "header-guard",
+                                 f"header must end with '#endif  // {guard}'"))
+            return
+
+
+def check_code_rules(rel, text, findings):
+    rel_str = str(rel)
+    code = strip_comments_and_strings(text)
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if rel_str not in LOGGING_ALLOWLIST:
+            if IOSTREAM_RE.search(line):
+                findings.append((rel, lineno, "no-iostream",
+                                 "std::cout/std::cerr/abort are reserved for "
+                                 "common/logging.h; return a Status or use "
+                                 "DAR_CHECK"))
+        if NEW_RE.search(line) or DELETE_RE.search(line):
+            findings.append((rel, lineno, "no-naked-new",
+                             "use std::make_unique/std::make_shared or a "
+                             "container instead of new/delete"))
+        if rel_str not in RNG_ALLOWLIST and RNG_RE.search(line):
+            findings.append((rel, lineno, "no-unseeded-rng",
+                             "use dar::Rng (common/random.h) with an "
+                             "explicit seed"))
+
+
+def check_tests_registered(root, findings):
+    cmake = root / "tests" / "CMakeLists.txt"
+    if not cmake.is_file():
+        return
+    registered = set(re.findall(r"dar_add_test\(\s*(\w+)", cmake.read_text()))
+    for test in sorted((root / "tests").glob("*_test.cc")):
+        if test.stem not in registered:
+            findings.append((test.relative_to(root), 1, "test-registered",
+                             f"add 'dar_add_test({test.stem})' to "
+                             "tests/CMakeLists.txt or the test never runs"))
+
+
+def run(root):
+    findings = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc") or not path.is_file():
+            continue
+        rel = path.relative_to(root)
+        text = path.read_text()
+        if path.suffix == ".h":
+            check_header_guard(path, rel, text, findings)
+        check_code_rules(rel, text, findings)
+    check_tests_registered(root, findings)
+    findings.sort(key=lambda f: (str(f[0]), f[1], f[2]))
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    return 1 if findings else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root to lint (default: this repo)")
+    args = parser.parse_args()
+    status = run(args.root.resolve())
+    if status == 0:
+        print("dar_lint: clean", file=sys.stderr)
+    sys.exit(status)
+
+
+if __name__ == "__main__":
+    main()

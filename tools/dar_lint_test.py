@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Golden-output test for tools/dar_lint.py.
+
+Runs the linter over the fixture tree in tools/testdata/lint_fixture (which
+plants exactly one violation of each rule, plus allowlisted files that must
+stay silent) and diffs stdout against tools/testdata/expected_lint_output.txt.
+Also asserts the exit codes: 1 on the fixture, 0 on the real tree.
+"""
+
+import difflib
+import pathlib
+import subprocess
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+REPO = TOOLS.parent
+
+
+def main():
+    fixture = TOOLS / "testdata" / "lint_fixture"
+    expected_path = TOOLS / "testdata" / "expected_lint_output.txt"
+
+    proc = subprocess.run(
+        [sys.executable, str(TOOLS / "dar_lint.py"), "--root", str(fixture)],
+        capture_output=True, text=True)
+    if proc.returncode != 1:
+        print(f"FAIL: expected exit 1 on the fixture, got {proc.returncode}")
+        print(proc.stdout + proc.stderr)
+        return 1
+
+    expected = expected_path.read_text()
+    if proc.stdout != expected:
+        print("FAIL: lint output differs from golden file:")
+        sys.stdout.writelines(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            proc.stdout.splitlines(keepends=True),
+            fromfile="expected_lint_output.txt", tofile="actual"))
+        return 1
+
+    proc = subprocess.run(
+        [sys.executable, str(TOOLS / "dar_lint.py"), "--root", str(REPO)],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("FAIL: the real tree must lint clean:")
+        print(proc.stdout + proc.stderr)
+        return 1
+
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

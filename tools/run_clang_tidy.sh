@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every library
+# source file, using the compile database of an existing build directory.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# The build directory must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the `lint` CMake target does this for
+# you). Exits 0 and prints a notice when clang-tidy is not installed, so the
+# target degrades gracefully on machines without LLVM tooling; CI installs
+# clang-tidy and treats every finding as an error (WarningsAsErrors: '*').
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping." \
+       "Install clang-tidy (or set CLANG_TIDY) to run the lint gate." >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+  exit 1
+fi
+
+cd "${repo_root}"
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "run_clang_tidy: checking ${#sources[@]} files with ${tidy_bin}" >&2
+"${tidy_bin}" -p "${build_dir}" --quiet "${sources[@]}"
+echo "run_clang_tidy: clean" >&2

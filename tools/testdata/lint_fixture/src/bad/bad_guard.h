@@ -1,0 +1,8 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace dar {
+inline int Answer() { return 42; }
+}  // namespace dar
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,18 @@
+#include <cstdlib>
+#include <iostream>
+
+namespace dar {
+
+// Talking about a new cluster in a comment is fine; "new" in a string is
+// fine too.
+const char* kMessage = "a new hope";
+
+void Noisy() {
+  std::cout << "library code must not write to stdout" << std::endl;
+  int* leak = new int(7);
+  delete leak;
+  int roll = rand() % 6;
+  if (roll == 0) abort();
+}
+
+}  // namespace dar

@@ -1,0 +1,14 @@
+#ifndef DAR_BAD_UNSEEDED_H_
+#define DAR_BAD_UNSEEDED_H_
+
+#include <random>
+
+namespace dar {
+inline double Roll() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return std::uniform_real_distribution<double>(0, 1)(gen);
+}
+}  // namespace dar
+
+#endif  // DAR_BAD_UNSEEDED_H_

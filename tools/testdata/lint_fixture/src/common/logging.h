@@ -1,0 +1,15 @@
+#ifndef DAR_COMMON_LOGGING_H_
+#define DAR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+
+namespace dar {
+// The one place allowed to talk to stderr and abort.
+inline void Fatal() {
+  std::cerr << "fatal" << std::endl;
+  std::abort();
+}
+}  // namespace dar
+
+#endif  // DAR_COMMON_LOGGING_H_

@@ -1,0 +1,17 @@
+#ifndef DAR_COMMON_RANDOM_H_
+#define DAR_COMMON_RANDOM_H_
+
+#include <random>
+
+namespace dar {
+// The one place allowed to name the underlying engine.
+class Rng {
+ public:
+  explicit Rng(unsigned seed) : engine_(seed) {}
+
+ private:
+  std::mt19937 engine_;
+};
+}  // namespace dar
+
+#endif  // DAR_COMMON_RANDOM_H_

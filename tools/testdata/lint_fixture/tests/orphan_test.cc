@@ -1,0 +1,2 @@
+// Deliberately NOT registered in CMakeLists.txt.
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// Registered in CMakeLists.txt below; produces no findings.
+int main() { return 0; }
