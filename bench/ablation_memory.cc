@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 int main(int argc, char** argv) {
@@ -43,8 +43,12 @@ int main(int argc, char** argv) {
     DarConfig config;
     config.memory_budget_bytes = kb << 10;
     config.frequency_fraction = 0.01;
-    DarMiner miner(config);
-    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    auto session = Session::Builder().WithConfig(config).Build();
+    if (!session.ok()) {
+      std::cout << "  budget " << kb << "KB: " << session.status() << "\n";
+      continue;
+    }
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
     if (!phase1.ok()) {
       std::cout << "  budget " << kb << "KB: " << phase1.status() << "\n";
       continue;

@@ -11,7 +11,7 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "core/clustering_graph.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 int main(int argc, char** argv) {
@@ -40,8 +40,12 @@ int main(int argc, char** argv) {
   // ~32 MB; see EXPERIMENTS.md.
   config.memory_budget_bytes = 32u << 20;
   config.frequency_fraction = 0.005;
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  auto session = Session::Builder().WithConfig(config).Build();
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  auto phase1 = session->RunPhase1(data->relation, data->partition);
   if (!phase1.ok()) {
     std::cerr << phase1.status() << "\n";
     return 1;

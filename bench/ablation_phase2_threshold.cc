@@ -13,7 +13,7 @@
 #include <map>
 
 #include "bench_util.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 namespace dar {
@@ -86,8 +86,17 @@ int main(int argc, char** argv) {
   base.degree_threshold = 250.0;
   base.max_cliques = 2000;
   base.max_rules = 200000;
-  DarMiner phase1_miner(base);
-  auto phase1 = phase1_miner.RunPhase1(data->relation, data->partition);
+  // Session validates phase2_leniency >= 1, but this sweep deliberately
+  // visits sub-unit leniencies. RunPhase2 applies the multiplier as
+  // d0 * leniency, so the sweep scales effective_d0 on a copy of the
+  // Phase-I result instead and keeps the session at leniency 1.
+  base.phase2_leniency = 1.0;
+  auto session = Session::Builder().WithConfig(base).Build();
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  auto phase1 = session->RunPhase1(data->relation, data->partition);
   if (!phase1.ok()) {
     std::cerr << phase1.status() << "\n";
     return 1;
@@ -112,10 +121,9 @@ int main(int argc, char** argv) {
   // explodes; the cap below keeps those sweep points bounded and loudly
   // truncated.
   for (double leniency : {0.25, 0.5, 1.0, 1.5, 2.0, 2.5}) {
-    DarConfig config = base;
-    config.phase2_leniency = leniency;
-    DarMiner miner(config);
-    auto phase2 = miner.RunPhase2(*phase1);
+    Phase1Result scaled = *phase1;
+    for (double& d0 : scaled.effective_d0) d0 *= leniency;
+    auto phase2 = session->RunPhase2(scaled);
     if (!phase2.ok()) {
       std::cerr << phase2.status() << "\n";
       return 1;

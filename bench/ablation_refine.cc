@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 int main(int argc, char** argv) {
@@ -46,8 +46,12 @@ int main(int argc, char** argv) {
       config.frequency_fraction = 0.02;
       config.initial_diameters.assign(kAttrs, factor * sigma);
       config.refine_clusters = refine;
-      DarMiner miner(config);
-      auto phase1 = miner.RunPhase1(data->relation, data->partition);
+      auto session = Session::Builder().WithConfig(config).Build();
+      if (!session.ok()) {
+        std::cerr << session.status() << "\n";
+        return 1;
+      }
+      auto phase1 = session->RunPhase1(data->relation, data->partition);
       if (!phase1.ok()) {
         std::cerr << phase1.status() << "\n";
         return 1;

@@ -1,0 +1,391 @@
+// Unified JSON bench harness. Executes the phase-1-scaling,
+// phase-2-stability, and micro-kernel suites over seeded planted
+// generators and writes BENCH_phase1.json / BENCH_phase2.json /
+// BENCH_micro.json (by default into the current directory), seeding the
+// perf trajectory that EXPERIMENTS.md ("Reading BENCH_*.json") documents.
+//
+// Usage: bench_main [--smoke] [--outdir DIR] [--seed N] [--threads N]
+//                   [--no-timings]
+//
+// Every run's "telemetry" field is the *deterministic view* of the run's
+// metrics (JsonExporter with include_timings=false): for a fixed seed and
+// config it is bit-identical across thread counts and repeated runs. The
+// "timings" objects carry wall-clock seconds and naturally vary;
+// --no-timings omits them (and nothing else), so entire output files
+// become byte-comparable — CI's bench-smoke job diffs a 1-thread and an
+// 8-thread --smoke run exactly this way.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "birch/acf_tree.h"
+#include "birch/metrics.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/clustering_graph.h"
+#include "core/session.h"
+#include "datagen/planted.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace dar {
+namespace {
+
+struct BenchOptions {
+  bool smoke = false;
+  bool include_timings = true;
+  std::string outdir = ".";
+  uint64_t seed = 1997;
+  int threads = 1;
+};
+
+// One benchmark execution: scalar parameters, wall-clock timings, and the
+// deterministic telemetry export (a complete JSON object).
+struct RunRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> params;
+  std::vector<std::pair<std::string, double>> timings;
+  std::string telemetry_json;
+};
+
+std::string DeterministicTelemetry(const telemetry::Snapshot& snapshot) {
+  telemetry::JsonExporterOptions options;
+  options.include_timings = false;
+  return telemetry::JsonExporter(options).Export(snapshot);
+}
+
+int WriteSuite(const BenchOptions& options, const std::string& suite,
+               const std::vector<RunRecord>& runs) {
+  telemetry::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("suite");
+  w.String(suite);
+  w.Key("smoke");
+  w.Bool(options.smoke);
+  w.Key("seed");
+  w.Int(static_cast<int64_t>(options.seed));
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunRecord& run : runs) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(run.name);
+    w.Key("params");
+    w.BeginObject();
+    for (const auto& [key, value] : run.params) {
+      w.Key(key);
+      w.Double(value);
+    }
+    w.EndObject();
+    if (options.include_timings) {
+      w.Key("timings");
+      w.BeginObject();
+      for (const auto& [key, value] : run.timings) {
+        w.Key(key);
+        w.Double(value);
+      }
+      w.EndObject();
+    }
+    w.Key("telemetry");
+    w.Raw(run.telemetry_json);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string path = options.outdir + "/BENCH_" + suite + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << w.str() << "\n";
+  if (!out.good()) {
+    std::cerr << "bench_main: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " (" << runs.size() << " runs)\n";
+  return 0;
+}
+
+Result<Session> MakeSession(const BenchOptions& options, DarConfig config) {
+  return Session::Builder()
+      .WithConfig(config)
+      .WithThreads(options.threads)
+      .Build();
+}
+
+// --- Suite 1: Phase-I scaling (the Figure-6 axis: N grows, structure
+// fixed, ACF count and scan cost should stay stable). ---
+
+int RunPhase1Suite(const BenchOptions& options,
+                   std::vector<RunRecord>& runs) {
+  const size_t attrs = options.smoke ? 4 : 30;
+  const size_t clusters = options.smoke ? 3 : 35;
+  const std::vector<size_t> sizes =
+      options.smoke ? std::vector<size_t>{2000, 4000}
+                    : std::vector<size_t>{100000, 200000, 400000};
+  const PlantedDataSpec spec =
+      WbcdLikeSpec(attrs, clusters, 0.1, options.seed);
+  for (const size_t n : sizes) {
+    auto data = GeneratePlanted(spec, n, options.seed + n);
+    if (!data.ok()) {
+      std::cerr << data.status() << "\n";
+      return 1;
+    }
+    DarConfig config;
+    config.memory_budget_bytes = 32u << 20;
+    config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+    config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+    config.refine_clusters = true;
+    auto session = MakeSession(options, config);
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
+    const double seconds = watch.ElapsedSeconds();
+    if (!phase1.ok()) {
+      std::cerr << phase1.status() << "\n";
+      return 1;
+    }
+    RunRecord run;
+    run.name = "phase1/n=" + std::to_string(n);
+    run.params = {{"n", static_cast<double>(n)},
+                  {"attrs", static_cast<double>(attrs)},
+                  {"clusters_per_attr", static_cast<double>(clusters)}};
+    run.timings = {{"seconds", seconds},
+                   {"phase1_seconds", phase1->seconds}};
+    run.telemetry_json =
+        DeterministicTelemetry(session->metrics().TakeSnapshot());
+    runs.push_back(std::move(run));
+  }
+  return 0;
+}
+
+// --- Suite 2: Phase-II stability (full Mine; clique and edge counts
+// should stay roughly constant as N grows at fixed complexity). ---
+
+int RunPhase2Suite(const BenchOptions& options,
+                   std::vector<RunRecord>& runs) {
+  const size_t attrs = options.smoke ? 4 : 10;
+  const size_t clusters = options.smoke ? 3 : 8;
+  const std::vector<size_t> sizes =
+      options.smoke ? std::vector<size_t>{2000, 4000}
+                    : std::vector<size_t>{50000, 100000, 200000};
+  const PlantedDataSpec spec =
+      WbcdLikeSpec(attrs, clusters, 0.05, options.seed + 1);
+  for (const size_t n : sizes) {
+    auto data = GeneratePlanted(spec, n, options.seed + 2 * n);
+    if (!data.ok()) {
+      std::cerr << data.status() << "\n";
+      return 1;
+    }
+    DarConfig config;
+    config.memory_budget_bytes = 32u << 20;
+    config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+    config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+    config.degree_threshold = 150.0;
+    config.refine_clusters = true;
+    auto session = MakeSession(options, config);
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    auto report = session->Mine(data->relation, data->partition);
+    const double seconds = watch.ElapsedSeconds();
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return 1;
+    }
+    RunRecord run;
+    run.name = "phase2/n=" + std::to_string(n);
+    run.params = {{"n", static_cast<double>(n)},
+                  {"attrs", static_cast<double>(attrs)},
+                  {"clusters_per_attr", static_cast<double>(clusters)}};
+    run.timings = {{"seconds", seconds},
+                   {"phase1_seconds", report->phase1().seconds},
+                   {"phase2_seconds", report->phase2().seconds}};
+    run.telemetry_json = DeterministicTelemetry(report->telemetry);
+    runs.push_back(std::move(run));
+  }
+  return 0;
+}
+
+// --- Suite 3: micro kernels (ACF-tree insertion, D2 distance, clique
+// enumeration), measured standalone with their own registries. ---
+
+void MicroAcfInsert(const BenchOptions& options,
+                    std::vector<RunRecord>& runs) {
+  const size_t n = options.smoke ? 5000 : 200000;
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kEuclidean, "x"}};
+  AcfTreeOptions tree_opts;
+  tree_opts.initial_threshold = 5.0;
+  tree_opts.memory_budget_bytes = 8u << 20;
+  AcfTree tree(layout, 0, tree_opts);
+  Rng rng(options.seed + 11);
+  PartedRow row(1, std::vector<double>(1));
+  Stopwatch watch;
+  for (size_t i = 0; i < n; ++i) {
+    row[0][0] = rng.Uniform(0, 1000);
+    (void)tree.InsertPoint(row);
+  }
+  const double seconds = watch.ElapsedSeconds();
+  const AcfTreeStats stats = tree.Stats();
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("micro.acf_insert.points")
+      ->Increment(stats.points_inserted);
+  registry.GetCounter("micro.acf_insert.splits")->Increment(stats.split_count);
+  registry.GetCounter("micro.acf_insert.rebuilds")
+      ->Increment(stats.rebuild_count);
+  registry.GetGauge("micro.acf_insert.height")
+      ->Set(static_cast<double>(stats.height));
+  RunRecord run;
+  run.name = "micro/acf_insert";
+  run.params = {{"points", static_cast<double>(n)}};
+  run.timings = {
+      {"seconds", seconds},
+      {"points_per_second", seconds > 0 ? static_cast<double>(n) / seconds
+                                        : 0.0}};
+  run.telemetry_json = DeterministicTelemetry(registry.TakeSnapshot());
+  runs.push_back(std::move(run));
+}
+
+void MicroD2Distance(const BenchOptions& options,
+                     std::vector<RunRecord>& runs) {
+  const size_t evals = options.smoke ? 20000 : 2000000;
+  const size_t dim = 4;
+  CfVector a(dim, MetricKind::kEuclidean), b(dim, MetricKind::kEuclidean);
+  Rng rng(options.seed + 12);
+  std::vector<double> x(dim);
+  for (int i = 0; i < 100; ++i) {
+    for (double& v : x) v = rng.Uniform(0, 10);
+    a.AddPoint(x);
+    for (double& v : x) v = rng.Uniform(5, 15);
+    b.AddPoint(x);
+  }
+  Stopwatch watch;
+  double checksum = 0;
+  for (size_t i = 0; i < evals; ++i) {
+    checksum += ClusterDistance(a, b, ClusterMetric::kD2AvgInter);
+  }
+  const double seconds = watch.ElapsedSeconds();
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("micro.d2.evals")
+      ->Increment(static_cast<int64_t>(evals));
+  registry.GetGauge("micro.d2.checksum")->Set(checksum);
+  RunRecord run;
+  run.name = "micro/d2_distance";
+  run.params = {{"evals", static_cast<double>(evals)},
+                {"dim", static_cast<double>(dim)}};
+  run.timings = {
+      {"seconds", seconds},
+      {"evals_per_second",
+       seconds > 0 ? static_cast<double>(evals) / seconds : 0.0}};
+  run.telemetry_json = DeterministicTelemetry(registry.TakeSnapshot());
+  runs.push_back(std::move(run));
+}
+
+int MicroCliqueEnum(const BenchOptions& options,
+                    std::vector<RunRecord>& runs) {
+  const size_t attrs = options.smoke ? 4 : 12;
+  const size_t clusters = options.smoke ? 3 : 10;
+  const size_t n = options.smoke ? 3000 : 60000;
+  const PlantedDataSpec spec =
+      WbcdLikeSpec(attrs, clusters, 0.05, options.seed + 13);
+  auto data = GeneratePlanted(spec, n, options.seed + 14);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  DarConfig config;
+  config.memory_budget_bytes = 32u << 20;
+  config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+  config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+  auto session = MakeSession(options, config);
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  auto phase1 = session->RunPhase1(data->relation, data->partition);
+  if (!phase1.ok()) {
+    std::cerr << phase1.status() << "\n";
+    return 1;
+  }
+  ClusteringGraphOptions graph_opts;
+  for (const double d0 : phase1->effective_d0) {
+    graph_opts.d0.push_back(d0 * 2.0);
+  }
+  ClusteringGraph graph(phase1->clusters, graph_opts);
+  Stopwatch watch;
+  const auto cliques = graph.MaximalCliques();
+  const double seconds = watch.ElapsedSeconds();
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("micro.clique.nodes")
+      ->Increment(static_cast<int64_t>(graph.num_nodes()));
+  registry.GetCounter("micro.clique.edges")
+      ->Increment(static_cast<int64_t>(graph.num_edges()));
+  registry.GetCounter("micro.clique.cliques")
+      ->Increment(static_cast<int64_t>(cliques.size()));
+  RunRecord run;
+  run.name = "micro/clique_enum";
+  run.params = {{"n", static_cast<double>(n)},
+                {"attrs", static_cast<double>(attrs)},
+                {"clusters_per_attr", static_cast<double>(clusters)}};
+  run.timings = {{"seconds", seconds}};
+  run.telemetry_json = DeterministicTelemetry(registry.TakeSnapshot());
+  runs.push_back(std::move(run));
+  return 0;
+}
+
+int Usage() {
+  std::cerr << "usage: bench_main [--smoke] [--outdir DIR] [--seed N] "
+               "[--threads N] [--no-timings]\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--no-timings") {
+      options.include_timings = false;
+    } else if (arg == "--outdir" && i + 1 < argc) {
+      options.outdir = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else {
+      return Usage();
+    }
+  }
+
+  std::vector<RunRecord> phase1_runs;
+  if (RunPhase1Suite(options, phase1_runs) != 0) return 1;
+  if (WriteSuite(options, "phase1", phase1_runs) != 0) return 1;
+
+  std::vector<RunRecord> phase2_runs;
+  if (RunPhase2Suite(options, phase2_runs) != 0) return 1;
+  if (WriteSuite(options, "phase2", phase2_runs) != 0) return 1;
+
+  std::vector<RunRecord> micro_runs;
+  MicroAcfInsert(options, micro_runs);
+  MicroD2Distance(options, micro_runs);
+  if (MicroCliqueEnum(options, micro_runs) != 0) return 1;
+  if (WriteSuite(options, "micro", micro_runs) != 0) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace dar
+
+int main(int argc, char** argv) { return dar::Main(argc, argv); }

@@ -11,7 +11,7 @@
 #include "birch/metrics.h"
 #include "common/random.h"
 #include "core/clustering_graph.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 #include "qar/equidepth.h"
 
@@ -84,8 +84,8 @@ void BM_MaximalCliques(benchmark::State& state) {
   DarConfig config;
   config.memory_budget_bytes = 5u << 20;
   config.frequency_fraction = 0.01;
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  auto session = Session::Builder().WithConfig(config).Build();
+  auto phase1 = session->RunPhase1(data->relation, data->partition);
   ClusteringGraphOptions opts;
   for (double d0 : phase1->effective_d0) opts.d0.push_back(d0 * 2.0);
   ClusteringGraph graph(phase1->clusters, opts);

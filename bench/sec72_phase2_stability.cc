@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 int main(int argc, char** argv) {
@@ -66,13 +66,17 @@ int main(int argc, char** argv) {
     config.density_thresholds.assign(30, 125.0);
     config.phase2_leniency = 2.0;
     config.degree_threshold = 250.0;
-    DarMiner miner(config);
-    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    auto session = Session::Builder().WithConfig(config).Build();
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
     if (!phase1.ok()) {
       std::cerr << phase1.status() << "\n";
       return 1;
     }
-    auto phase2 = miner.RunPhase2(*phase1);
+    auto phase2 = session->RunPhase2(*phase1);
     if (!phase2.ok()) {
       std::cerr << phase2.status() << "\n";
       return 1;

@@ -144,9 +144,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (cli.json) {
-    std::cout << MiningResultToJson(*result, schema, partition);
+    std::cout << MiningResultToJson(result->result, schema, partition);
   } else {
-    std::cout << MiningResultSummary(*result, schema, partition, 40);
+    std::cout << MiningResultSummary(result->result, schema, partition, 40);
   }
   return 0;
 }

@@ -9,7 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/fixtures.h"
 
 int main(int argc, char** argv) {
@@ -32,18 +32,19 @@ int main(int argc, char** argv) {
   config.initial_diameters = {9.0, 1.2, 2200.0};  // Age, Dependents, Claims
   config.degree_threshold = 2500.0;
   config.count_rule_support = true;
-  // This example deliberately keeps the legacy one-class API. DarMiner is
-  // deprecated: new code should use dar::Session (see quickstart.cpp),
-  // which validates the config and can run the phases multi-threaded.
-  DarMiner miner(config);
+  auto session = Session::Builder().WithConfig(config).Build();
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
 
-  auto result = miner.Mine(data->relation, data->partition);
+  auto result = session->Mine(data->relation, data->partition);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
   }
 
-  const ClusterSet& clusters = result->phase1.clusters;
+  const ClusterSet& clusters = result->phase1().clusters;
   std::cout << "Frequent clusters:\n";
   for (const auto& c : clusters.clusters()) {
     std::cout << "  [" << c.id << "] "
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
   // rules whose consequent is a single Claims cluster (part 2).
   std::cout << "\nN:1 rules targeting Claims (strongest first):\n";
   size_t shown = 0;
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     if (rule.consequent.size() != 1) continue;
     if (clusters.cluster(rule.consequent[0]).part != 2) continue;
     std::cout << "  " << rule.ToString(clusters, schema, data->partition)

@@ -62,7 +62,7 @@ int main() {
   }
 
   // 4. Inspect the output.
-  const auto& phase1 = result->phase1;
+  const Phase1Result& phase1 = result->phase1();
   std::cout << "Phase I: " << phase1.clusters.size()
             << " frequent clusters (threshold s0 = "
             << phase1.frequency_threshold << " tuples)\n";
@@ -70,12 +70,18 @@ int main() {
     std::cout << "  cluster " << c.id << ": "
               << phase1.clusters.Describe(c.id, schema, partition) << "\n";
   }
-  std::cout << "Phase II: " << result->phase2.cliques.size()
-            << " maximal cliques, " << result->phase2.rules.size()
+  std::cout << "Phase II: " << result->phase2().cliques.size()
+            << " maximal cliques, " << result->rules().size()
             << " distance-based rules\n";
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     std::cout << "  " << rule.ToString(phase1.clusters, schema, partition)
               << "\n";
   }
+  // 5. The run's telemetry rides along on the report; export it as JSON if
+  //    you want machine-readable run metrics (see telemetry/json.h).
+  std::cout << "\nPhase I inserted "
+            << result->telemetry.CounterOr("phase1.inserts")
+            << " points; Phase II evaluated "
+            << result->graph_comparisons_made() << " cluster pairs\n";
   return 0;
 }

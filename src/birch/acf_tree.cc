@@ -240,6 +240,7 @@ std::unique_ptr<AcfTree::Node> AcfTree::SplitNode(Node* node) {
   auto sibling = std::make_unique<Node>();
   sibling->is_leaf = node->is_leaf;
   ++num_nodes_;
+  ++split_count_;
 
   if (node->is_leaf) {
     // Seed with the farthest pair of entry centroids, then assign each
@@ -817,6 +818,16 @@ AcfTreeStats AcfTree::Stats() const {
   s.threshold = threshold_;
   s.approx_bytes = ApproxBytesNow();
   s.points_inserted = points_inserted_;
+  s.split_count = split_count_;
+  // The tree is height-balanced, so the leftmost root-to-leaf path has the
+  // common length.
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    ++s.height;
+    node = node->is_leaf || node->children.empty()
+               ? nullptr
+               : node->children.front().child.get();
+  }
   return s;
 }
 

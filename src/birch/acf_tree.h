@@ -44,7 +44,7 @@ struct AcfTreeOptions {
   std::function<void(int rebuild_count, double new_threshold)> on_rebuild;
 };
 
-/// Summary statistics for benchmarking and tests.
+/// Summary statistics for benchmarking, telemetry and tests.
 struct AcfTreeStats {
   size_t num_nodes = 0;
   size_t num_leaf_entries = 0;
@@ -53,6 +53,12 @@ struct AcfTreeStats {
   double threshold = 0;
   size_t approx_bytes = 0;
   int64_t points_inserted = 0;
+  /// Node splits over the tree's lifetime (including splits replayed
+  /// during rebuilds).
+  int64_t split_count = 0;
+  /// Levels from root to leaf; 1 for a leaf-only root. The tree is
+  /// height-balanced, so any root-to-leaf path has this length.
+  int height = 0;
 };
 
 /// The height-balanced clustering tree of §4.3.1/§6.1: a CF-tree whose leaf
@@ -201,6 +207,7 @@ class AcfTree {
   std::vector<Acf> outlier_buffer_;  // paged out, not yet confirmed
   std::vector<Acf> outliers_;        // confirmed by FinishScan
   int rebuild_count_ = 0;
+  int64_t split_count_ = 0;
   int64_t points_inserted_ = 0;
   size_t num_nodes_ = 1;
   size_t num_leaf_entries_ = 0;

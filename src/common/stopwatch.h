@@ -5,7 +5,15 @@
 
 namespace dar {
 
-/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and by
+/// telemetry::TraceSpan.
+///
+/// Thread-safety: `start_` is a plain (non-atomic) time_point. Concurrent
+/// ElapsedSeconds()/ElapsedMillis() calls are safe — they only read
+/// `start_` — but Reset() must not race with any other member call.
+/// Callers that time work on worker threads must either give each scope
+/// its own Stopwatch (what TraceSpan does) or confine Reset() to the
+/// coordinating thread before workers start (what Phase1Builder does).
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

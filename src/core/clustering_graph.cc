@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/trace.h"
 
 namespace dar {
 
@@ -82,7 +83,12 @@ ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
   };
   std::vector<Shard> shards(num_shards);
 
+  // Resolved once on the coordinator; per-shard Record calls are
+  // lock-free and may fire concurrently.
+  telemetry::Histogram* shard_hist = options.telemetry.GetHistogram(
+      "phase2.shard_seconds", telemetry::Histogram::LatencyBounds());
   auto sweep_shard = [&](size_t s) -> Status {
+    const telemetry::TraceSpan span(shard_hist);
     Shard& shard = shards[s];
     for (size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
       const FoundCluster& a = clusters.cluster(i);

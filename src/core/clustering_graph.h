@@ -8,6 +8,7 @@
 #include "common/executor.h"
 #include "core/model.h"
 #include "core/observer.h"
+#include "telemetry/context.h"
 
 namespace dar {
 
@@ -29,6 +30,11 @@ struct ClusteringGraphOptions {
   /// OnCliqueFound fire from the coordinating thread, serially and in
   /// deterministic order.
   MiningObserver* observer = nullptr;
+  /// Optional recording context (default: disabled). The pair sweep
+  /// records per-shard wall times into the "phase2.shard_seconds"
+  /// histogram; the deterministic counters (evaluations, pruned pairs,
+  /// edges) are recorded by Session::RunPhase2 from the accessors.
+  telemetry::TelemetryContext telemetry;
 };
 
 /// The clustering graph of Dfn 6.1: one node per frequent cluster, and an

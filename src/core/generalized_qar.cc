@@ -24,7 +24,9 @@ std::string GeneralizedQarRule::ToString(
 Result<GeneralizedQarResult> GeneralizedQarMiner::Mine(
     const Relation& rel, const AttributePartition& partition) const {
   GeneralizedQarResult out;
-  DAR_ASSIGN_OR_RETURN(out.phase1, miner_.RunPhase1(rel, partition));
+  DAR_ASSIGN_OR_RETURN(Session session,
+                       Session::Builder().WithConfig(config_).Build());
+  DAR_ASSIGN_OR_RETURN(out.phase1, session.RunPhase1(rel, partition));
   const ClusterSet& clusters = out.phase1.clusters;
 
   // Encode each tuple as the set of nearest frequent clusters, one item per

@@ -6,7 +6,7 @@
 
 #include "apriori/apriori.h"
 #include "common/result.h"
-#include "core/miner.h"
+#include "core/session.h"
 
 namespace dar {
 
@@ -32,7 +32,7 @@ struct GeneralizedQarResult {
 };
 
 /// The §4.3 algorithm for *classical* association rules over interval data:
-/// Phase I clusters each attribute set (Birch/ACF trees, same as DarMiner);
+/// Phase I clusters each attribute set (Birch/ACF trees, same as Session);
 /// Phase II assigns every tuple to its nearest frequent cluster per part,
 /// treats the cluster ids as items, and runs the a-priori algorithm with
 /// the same frequency threshold s0 and a confidence threshold. This is the
@@ -41,13 +41,15 @@ struct GeneralizedQarResult {
 class GeneralizedQarMiner {
  public:
   GeneralizedQarMiner(DarConfig config, double min_confidence)
-      : miner_(std::move(config)), min_confidence_(min_confidence) {}
+      : config_(std::move(config)), min_confidence_(min_confidence) {}
 
+  /// Validates the config (via Session::Builder) and runs the algorithm
+  /// serially.
   Result<GeneralizedQarResult> Mine(const Relation& rel,
                                     const AttributePartition& partition) const;
 
  private:
-  DarMiner miner_;
+  DarConfig config_;
   double min_confidence_;
 };
 

@@ -9,18 +9,17 @@
 
 namespace dar {
 
-/// Everything Phase II reports.
+/// Everything Phase II reports. Instrumentation counters that used to
+/// live here (graph comparison counts, degree evaluations) moved to the
+/// telemetry::Snapshot — read them through MiningReport's views.
 struct Phase2Result {
   /// Maximal cliques of the clustering graph (cluster-id lists).
   std::vector<std::vector<size_t>> cliques;
   size_t num_nontrivial_cliques = 0;  // cliques of size >= 2
   bool cliques_truncated = false;
   size_t graph_edges = 0;
-  int64_t graph_comparisons_made = 0;
-  int64_t graph_comparisons_skipped = 0;
   std::vector<DistanceRule> rules;
   bool rules_truncated = false;
-  int64_t degree_evaluations = 0;
   /// Wall-clock seconds spent in Phase II (graph + cliques + rules).
   double seconds = 0;
 };

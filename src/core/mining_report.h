@@ -1,0 +1,60 @@
+#ifndef DAR_CORE_MINING_REPORT_H_
+#define DAR_CORE_MINING_REPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/miner_result.h"
+#include "core/rules.h"
+#include "telemetry/metrics.h"
+
+namespace dar {
+
+/// What Session::Mine returns: the mining output plus the run's telemetry
+/// snapshot. The loose instrumentation counters that used to live on
+/// Phase2Result (comparison counts, degree evaluations, ...) are now views
+/// over the snapshot — one source of truth, and every future metric is
+/// reachable without another API change.
+///
+/// The snapshot's non-timing metrics are deterministic: for a fixed seed
+/// and config they are identical across thread counts and repeated runs
+/// (serialize with JsonExporter{include_timings=false} to compare).
+struct MiningReport {
+  DarMiningResult result;
+  telemetry::Snapshot telemetry;
+
+  [[nodiscard]] const Phase1Result& phase1() const { return result.phase1; }
+  [[nodiscard]] const Phase2Result& phase2() const { return result.phase2; }
+  [[nodiscard]] const std::vector<DistanceRule>& rules() const {
+    return result.phase2.rules;
+  }
+
+  // Legacy loose-counter views (previously fields on Phase2Result /
+  // derived from Phase1Result).
+
+  /// Cluster pairs whose inter-cluster distances were evaluated while
+  /// building the clustering graph.
+  [[nodiscard]] int64_t graph_comparisons_made() const {
+    return telemetry.CounterOr("phase2.edge_evaluations");
+  }
+  /// Cluster pairs skipped by the low-density-image pruning heuristic.
+  [[nodiscard]] int64_t graph_comparisons_skipped() const {
+    return telemetry.CounterOr("phase2.pruned_pairs");
+  }
+  /// Degree computations performed during rule generation.
+  [[nodiscard]] int64_t degree_evaluations() const {
+    return telemetry.CounterOr("phase2.degree_evaluations");
+  }
+  /// Threshold-raise rebuilds across all Phase-I trees.
+  [[nodiscard]] int64_t tree_rebuilds() const {
+    return telemetry.CounterOr("phase1.rebuilds");
+  }
+  /// Node splits across all Phase-I trees.
+  [[nodiscard]] int64_t tree_splits() const {
+    return telemetry.CounterOr("phase1.splits");
+  }
+};
+
+}  // namespace dar
+
+#endif  // DAR_CORE_MINING_REPORT_H_

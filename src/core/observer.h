@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "birch/acf_tree.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace dar {
 
@@ -18,9 +20,10 @@ namespace dar {
 /// callbacks (OnPhase1PartStart/Done, OnTreeRebuild) fire from whichever
 /// worker owns that attribute part and may arrive *concurrently* —
 /// implementations must be thread-safe for those. The Phase-II callbacks
-/// (OnGraphEdge, OnCliqueFound) are always invoked from the coordinating
-/// thread, serially and in deterministic order (edges by ascending cluster
-/// pair, cliques in Bron-Kerbosch discovery order).
+/// (OnGraphEdge, OnCliqueFound) and OnRunComplete are always invoked from
+/// the coordinating thread, serially and in deterministic order (edges by
+/// ascending cluster pair, cliques in Bron-Kerbosch discovery order,
+/// OnRunComplete once at the very end of Session::Mine).
 class MiningObserver {
  public:
   virtual ~MiningObserver() = default;
@@ -28,9 +31,30 @@ class MiningObserver {
   /// Phase I is about to start feeding tuples into part `part`'s ACF-tree.
   virtual void OnPhase1PartStart(size_t /*part*/) {}
 
-  /// Part `part`'s tree has absorbed every tuple of the batch.
-  virtual void OnPhase1PartDone(size_t /*part*/,
-                                const AcfTreeStats& /*stats*/) {}
+  /// Part `part`'s tree has absorbed every tuple of the batch. `timings`
+  /// carries the part's wall-clock feed time (finish_seconds is filled by
+  /// the Finish-stage callbacks of a later release and is currently 0
+  /// here). The default forwards to the deprecated two-argument overload
+  /// so existing observers keep working for one release.
+  virtual void OnPhase1PartDone(size_t part, const AcfTreeStats& stats,
+                                const telemetry::PartTimings& /*timings*/) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    OnPhase1PartDone(part, stats);
+#pragma GCC diagnostic pop
+  }
+
+  /// Deprecated: override the three-argument overload taking
+  /// telemetry::PartTimings instead. Only called via the default
+  /// implementation above; will be removed next release.
+  [[deprecated(
+      "override OnPhase1PartDone(part, stats, timings) instead")]] virtual void
+  OnPhase1PartDone(size_t /*part*/, const AcfTreeStats& /*stats*/) {}
+
+  /// The run's metrics snapshot, fired by Session::Mine exactly once per
+  /// run, after both phases (and optional support counting) finish. Always
+  /// invoked from the coordinating thread.
+  virtual void OnRunComplete(const telemetry::Snapshot& /*snapshot*/) {}
 
   /// Part `part`'s tree hit its memory budget and rebuilt itself at a
   /// raised diameter threshold (§4.3.1).
@@ -57,11 +81,16 @@ class CountersObserver : public MiningObserver {
     int64_t tree_rebuilds = 0;
     int64_t graph_edges = 0;
     int64_t cliques_found = 0;
+    int64_t runs_completed = 0;
   };
 
   void OnPhase1PartStart(size_t) override { ++parts_started_; }
-  void OnPhase1PartDone(size_t, const AcfTreeStats&) override {
+  void OnPhase1PartDone(size_t, const AcfTreeStats&,
+                        const telemetry::PartTimings&) override {
     ++parts_done_;
+  }
+  void OnRunComplete(const telemetry::Snapshot&) override {
+    ++runs_completed_;
   }
   void OnTreeRebuild(size_t, int, double) override { ++tree_rebuilds_; }
   void OnGraphEdge(size_t, size_t) override { ++graph_edges_; }
@@ -76,6 +105,7 @@ class CountersObserver : public MiningObserver {
     c.tree_rebuilds = tree_rebuilds_.load();
     c.graph_edges = graph_edges_.load();
     c.cliques_found = cliques_found_.load();
+    c.runs_completed = runs_completed_.load();
     return c;
   }
 
@@ -85,6 +115,7 @@ class CountersObserver : public MiningObserver {
     tree_rebuilds_ = 0;
     graph_edges_ = 0;
     cliques_found_ = 0;
+    runs_completed_ = 0;
   }
 
  private:
@@ -93,6 +124,7 @@ class CountersObserver : public MiningObserver {
   std::atomic<int64_t> tree_rebuilds_{0};
   std::atomic<int64_t> graph_edges_{0};
   std::atomic<int64_t> cliques_found_{0};
+  std::atomic<int64_t> runs_completed_{0};
 };
 
 /// Fan-out: forwards every callback to each registered observer, in
@@ -108,8 +140,12 @@ class ObserverList : public MiningObserver {
   void OnPhase1PartStart(size_t part) override {
     for (auto& o : observers_) o->OnPhase1PartStart(part);
   }
-  void OnPhase1PartDone(size_t part, const AcfTreeStats& stats) override {
-    for (auto& o : observers_) o->OnPhase1PartDone(part, stats);
+  void OnPhase1PartDone(size_t part, const AcfTreeStats& stats,
+                        const telemetry::PartTimings& timings) override {
+    for (auto& o : observers_) o->OnPhase1PartDone(part, stats, timings);
+  }
+  void OnRunComplete(const telemetry::Snapshot& snapshot) override {
+    for (auto& o : observers_) o->OnRunComplete(snapshot);
   }
   void OnTreeRebuild(size_t part, int rebuild_count,
                      double new_threshold) override {

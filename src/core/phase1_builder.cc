@@ -10,7 +10,7 @@ namespace dar {
 Result<Phase1Builder> Phase1Builder::Make(
     const DarConfig& config, const Schema& schema,
     const AttributePartition& partition, Executor* executor,
-    MiningObserver* observer) {
+    MiningObserver* observer, telemetry::TelemetryContext telemetry) {
   if (partition.num_parts() == 0) {
     return Status::InvalidArgument("attribute partition is empty");
   }
@@ -56,21 +56,23 @@ Result<Phase1Builder> Phase1Builder::Make(
   }
   return Phase1Builder(config, partition, std::move(layout),
                        std::move(trees), schema.num_attributes(), executor,
-                       observer);
+                       observer, telemetry);
 }
 
 Phase1Builder::Phase1Builder(DarConfig config, AttributePartition partition,
                              std::shared_ptr<const AcfLayout> layout,
                              std::vector<std::unique_ptr<AcfTree>> trees,
                              size_t schema_width, Executor* executor,
-                             MiningObserver* observer)
+                             MiningObserver* observer,
+                             telemetry::TelemetryContext telemetry)
     : config_(std::move(config)),
       partition_(std::move(partition)),
       layout_(std::move(layout)),
       trees_(std::move(trees)),
       schema_width_(schema_width),
       executor_(executor),
-      observer_(observer) {
+      observer_(observer),
+      telemetry_(telemetry) {
   scratch_.resize(partition_.num_parts());
   for (size_t p = 0; p < partition_.num_parts(); ++p) {
     scratch_[p].resize(partition_.part(p).dimension());
@@ -125,6 +127,12 @@ Status Phase1Builder::ForEachPart(const std::function<Status(size_t)>& fn) {
 
 Status Phase1Builder::FeedPart(const Relation& rel, size_t p) {
   if (observer_ != nullptr) observer_->OnPhase1PartStart(p);
+  // Sampled absorb latency: every 64th insert is individually timed. The
+  // histogram handle is resolved once per part (the lookup locks), and
+  // recording is lock-free and safe from this worker thread.
+  telemetry::Histogram* absorb_hist = telemetry_.GetHistogram(
+      "phase1.absorb_seconds", telemetry::Histogram::LatencyBounds());
+  Stopwatch feed_watch;
   // Each tree sees the exact insert sequence and outlier-paging cadence it
   // would under the streaming AddRow loop — trees only observe their own
   // insertions, so interleaving across trees is immaterial and the result
@@ -144,13 +152,28 @@ Status Phase1Builder::FeedPart(const Relation& rel, size_t p) {
         scratch[q][d] = rel.at(r, cols[d]);
       }
     }
-    DAR_RETURN_IF_ERROR(tree.InsertPoint(scratch));
+    if (absorb_hist != nullptr && (r & 63) == 0) {
+      Stopwatch insert_watch;
+      DAR_RETURN_IF_ERROR(tree.InsertPoint(scratch));
+      absorb_hist->Record(insert_watch.ElapsedSeconds());
+    } else {
+      DAR_RETURN_IF_ERROR(tree.InsertPoint(scratch));
+    }
     int64_t count = start + static_cast<int64_t>(r) + 1;
     if ((count & 0xFFF) == 0 && config_.outlier_fraction > 0) {
       tree.set_outlier_entry_min_n(OutlierMinN(count));
     }
   }
-  if (observer_ != nullptr) observer_->OnPhase1PartDone(p, tree.Stats());
+  telemetry::PartTimings timings;
+  timings.feed_seconds = feed_watch.ElapsedSeconds();
+  if (telemetry::Histogram* feed_hist = telemetry_.GetHistogram(
+          "phase1.feed_seconds", telemetry::Histogram::LatencyBounds());
+      feed_hist != nullptr) {
+    feed_hist->Record(timings.feed_seconds);
+  }
+  if (observer_ != nullptr) {
+    observer_->OnPhase1PartDone(p, tree.Stats(), timings);
+  }
   return Status::OK();
 }
 
@@ -246,7 +269,41 @@ Result<Phase1Result> Phase1Builder::Finish() && {
   }
   out.clusters = ClusterSet(out.layout, std::move(found));
   out.seconds = watch_.ElapsedSeconds();
+  RecordTelemetry(out);
   return out;
+}
+
+void Phase1Builder::RecordTelemetry(const Phase1Result& out) const {
+  if (!telemetry_.enabled()) return;
+  using telemetry::Unit;
+  telemetry_.GetCounter("phase1.rows")->Increment(rows_added_);
+  telemetry_.GetCounter("phase1.clusters")
+      ->Increment(static_cast<int64_t>(out.clusters.size()));
+  telemetry_.GetCounter("phase1.outliers")
+      ->Increment(static_cast<int64_t>(out.outliers.size()));
+  int64_t inserts = 0, splits = 0, rebuilds = 0;
+  size_t bytes = 0;
+  for (size_t p = 0; p < out.tree_stats.size(); ++p) {
+    const AcfTreeStats& stats = out.tree_stats[p];
+    const std::string prefix = "phase1.part" + std::to_string(p);
+    telemetry_.GetCounter(prefix + ".inserts")
+        ->Increment(stats.points_inserted);
+    telemetry_.GetCounter(prefix + ".splits")->Increment(stats.split_count);
+    telemetry_.GetCounter(prefix + ".rebuilds")
+        ->Increment(stats.rebuild_count);
+    telemetry_.GetGauge(prefix + ".height")
+        ->Set(static_cast<double>(stats.height));
+    inserts += stats.points_inserted;
+    splits += stats.split_count;
+    rebuilds += stats.rebuild_count;
+    bytes += stats.approx_bytes;
+  }
+  telemetry_.GetCounter("phase1.inserts")->Increment(inserts);
+  telemetry_.GetCounter("phase1.splits")->Increment(splits);
+  telemetry_.GetCounter("phase1.rebuilds")->Increment(rebuilds);
+  telemetry_.GetGauge("phase1.tree_bytes", Unit::kBytes)
+      ->Set(static_cast<double>(bytes));
+  telemetry_.GetGauge("phase1.seconds", Unit::kSeconds)->Set(out.seconds);
 }
 
 }  // namespace dar

@@ -13,6 +13,7 @@
 #include "core/observer.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
+#include "telemetry/context.h"
 
 namespace dar {
 
@@ -41,12 +42,15 @@ class Phase1Builder {
  public:
   /// Validates the configuration and builds one ACF-tree per part.
   /// `executor` and `observer` are optional non-owning pointers that must
-  /// outlive the builder; null means serial / no callbacks.
-  static Result<Phase1Builder> Make(const DarConfig& config,
-                                    const Schema& schema,
-                                    const AttributePartition& partition,
-                                    Executor* executor = nullptr,
-                                    MiningObserver* observer = nullptr);
+  /// outlive the builder; null means serial / no callbacks. `telemetry` is
+  /// an optional recording context (default: disabled); the batch
+  /// AddRelation/Finish path records per-part insert/split/rebuild
+  /// counters, tree heights and sampled absorb latencies through it.
+  static Result<Phase1Builder> Make(
+      const DarConfig& config, const Schema& schema,
+      const AttributePartition& partition, Executor* executor = nullptr,
+      MiningObserver* observer = nullptr,
+      telemetry::TelemetryContext telemetry = {});
 
   Phase1Builder(Phase1Builder&&) = default;
   Phase1Builder& operator=(Phase1Builder&&) = default;
@@ -72,7 +76,8 @@ class Phase1Builder {
                 std::shared_ptr<const AcfLayout> layout,
                 std::vector<std::unique_ptr<AcfTree>> trees,
                 size_t schema_width, Executor* executor,
-                MiningObserver* observer);
+                MiningObserver* observer,
+                telemetry::TelemetryContext telemetry);
 
   // Keeps each tree's outlier paging threshold in step with the running
   // tuple count (s0 is only known at Finish in streaming mode).
@@ -88,6 +93,10 @@ class Phase1Builder {
   // Runs fn(p) for every part, on the executor when present.
   Status ForEachPart(const std::function<Status(size_t)>& fn);
 
+  // Records the Phase-I counters/gauges of `out` into telemetry_ (no-op
+  // when the context is disabled). Called once from Finish.
+  void RecordTelemetry(const Phase1Result& out) const;
+
   DarConfig config_;
   AttributePartition partition_;
   std::shared_ptr<const AcfLayout> layout_;
@@ -95,6 +104,7 @@ class Phase1Builder {
   size_t schema_width_;
   Executor* executor_ = nullptr;       // not owned; may be null
   MiningObserver* observer_ = nullptr; // not owned; may be null
+  telemetry::TelemetryContext telemetry_;  // disabled by default
   int64_t rows_added_ = 0;
   Stopwatch watch_;
   PartedRow scratch_;

@@ -5,7 +5,7 @@
 #include <string>
 
 #include "common/status.h"
-#include "core/miner.h"
+#include "core/miner_result.h"
 #include "relation/partition.h"
 
 namespace dar {

@@ -24,7 +24,8 @@ Result<Session> Session::Builder::Build() const {
                            : std::make_shared<SerialExecutor>();
   auto observers = std::make_shared<ObserverList>();
   for (const auto& o : observers_) observers->Add(o);
-  return Session(config_, std::move(executor), std::move(observers));
+  return Session(config_, std::move(executor), std::move(observers),
+                 std::make_shared<telemetry::MetricsRegistry>());
 }
 
 Result<Phase1Result> Session::RunPhase1(
@@ -35,7 +36,8 @@ Result<Phase1Result> Session::RunPhase1(
   DAR_ASSIGN_OR_RETURN(
       Phase1Builder builder,
       Phase1Builder::Make(config_, rel.schema(), partition, executor_.get(),
-                          observer_or_null()));
+                          observer_or_null(),
+                          telemetry::TelemetryContext(registry_.get())));
   DAR_RETURN_IF_ERROR(builder.AddRelation(rel));
   return std::move(builder).Finish();
 }
@@ -43,12 +45,14 @@ Result<Phase1Result> Session::RunPhase1(
 Result<Phase2Result> Session::RunPhase2(const Phase1Result& phase1) const {
   Stopwatch watch;
   Phase2Result out;
+  const telemetry::TelemetryContext telem(registry_.get());
 
   ClusteringGraphOptions graph_opts;
   graph_opts.metric = config_.metric;
   graph_opts.prune_low_density_images = config_.prune_low_density_images;
   graph_opts.executor = executor_.get();
   graph_opts.observer = observer_or_null();
+  graph_opts.telemetry = telem;
   graph_opts.d0.reserve(phase1.effective_d0.size());
   for (double d0 : phase1.effective_d0) {
     graph_opts.d0.push_back(d0 * config_.phase2_leniency);
@@ -56,8 +60,6 @@ Result<Phase2Result> Session::RunPhase2(const Phase1Result& phase1) const {
 
   ClusteringGraph graph(phase1.clusters, graph_opts);
   out.graph_edges = graph.num_edges();
-  out.graph_comparisons_made = graph.comparisons_made();
-  out.graph_comparisons_skipped = graph.comparisons_skipped();
 
   out.cliques = graph.MaximalCliques(config_.max_cliques,
                                      &out.cliques_truncated);
@@ -76,7 +78,6 @@ Result<Phase2Result> Session::RunPhase2(const Phase1Result& phase1) const {
       GenerateDistanceRules(phase1.clusters, out.cliques, rule_opts);
   out.rules = std::move(rules.rules);
   out.rules_truncated = rules.truncated;
-  out.degree_evaluations = rules.degree_evaluations;
 
   // Strongest rules first.
   std::sort(out.rules.begin(), out.rules.end(),
@@ -84,6 +85,25 @@ Result<Phase2Result> Session::RunPhase2(const Phase1Result& phase1) const {
               return a.degree < b.degree;
             });
   out.seconds = watch.ElapsedSeconds();
+
+  // The loose Phase-II counters live in the snapshot now; recorded once
+  // per run on the coordinating thread, so their values are deterministic.
+  telem.GetCounter("phase2.edge_evaluations")
+      ->Increment(graph.comparisons_made());
+  telem.GetCounter("phase2.pruned_pairs")
+      ->Increment(graph.comparisons_skipped());
+  telem.GetCounter("phase2.graph_edges")
+      ->Increment(static_cast<int64_t>(out.graph_edges));
+  telem.GetCounter("phase2.cliques")
+      ->Increment(static_cast<int64_t>(out.cliques.size()));
+  telem.GetCounter("phase2.nontrivial_cliques")
+      ->Increment(static_cast<int64_t>(out.num_nontrivial_cliques));
+  telem.GetCounter("phase2.degree_evaluations")
+      ->Increment(rules.degree_evaluations);
+  telem.GetCounter("phase2.rules")
+      ->Increment(static_cast<int64_t>(out.rules.size()));
+  telem.GetGauge("phase2.seconds", telemetry::Unit::kSeconds)
+      ->Set(out.seconds);
   return out;
 }
 
@@ -149,16 +169,23 @@ Status Session::CountRuleSupport(const Relation& rel,
   return Status::OK();
 }
 
-Result<DarMiningResult> Session::Mine(
+Result<MiningReport> Session::Mine(
     const Relation& rel, const AttributePartition& partition) const {
-  DarMiningResult result;
-  DAR_ASSIGN_OR_RETURN(result.phase1, RunPhase1(rel, partition));
-  DAR_ASSIGN_OR_RETURN(result.phase2, RunPhase2(result.phase1));
+  registry_->Reset();  // one Mine call == one reported run
+  MiningReport report;
+  DAR_ASSIGN_OR_RETURN(report.result.phase1, RunPhase1(rel, partition));
+  DAR_ASSIGN_OR_RETURN(report.result.phase2,
+                       RunPhase2(report.result.phase1));
   if (config_.count_rule_support) {
-    DAR_RETURN_IF_ERROR(CountRuleSupport(rel, partition, result.phase1,
-                                         result.phase2.rules));
+    DAR_RETURN_IF_ERROR(CountRuleSupport(rel, partition,
+                                         report.result.phase1,
+                                         report.result.phase2.rules));
   }
-  return result;
+  report.telemetry = registry_->TakeSnapshot();
+  if (MiningObserver* observer = observer_or_null(); observer != nullptr) {
+    observer->OnRunComplete(report.telemetry);
+  }
+  return report;
 }
 
 }  // namespace dar

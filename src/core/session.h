@@ -8,17 +8,21 @@
 #include "common/result.h"
 #include "core/config.h"
 #include "core/miner_result.h"
+#include "core/mining_report.h"
 #include "core/model.h"
 #include "core/observer.h"
 #include "core/rules.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
+#include "telemetry/context.h"
+#include "telemetry/metrics.h"
 
 namespace dar {
 
 /// The library's mining facade: a validated DarConfig, an Executor that
-/// decides how the two phases use the hardware, and observers receiving
-/// progress/metrics callbacks. Construct through the fluent Builder:
+/// decides how the two phases use the hardware, observers receiving
+/// progress/metrics callbacks, and a MetricsRegistry both phases record
+/// into. Construct through the fluent Builder:
 ///
 ///     DAR_ASSIGN_OR_RETURN(
 ///         dar::Session session,
@@ -27,8 +31,9 @@ namespace dar {
 ///             .WithThreads(8)                 // or .WithExecutor(...)
 ///             .AddObserver(my_observer)       // optional
 ///             .Build());                      // validates the config
-///     DAR_ASSIGN_OR_RETURN(DarMiningResult res,
+///     DAR_ASSIGN_OR_RETURN(MiningReport report,
 ///                          session.Mine(rel, partition));
+///     // report.rules(), report.phase1(), report.telemetry, ...
 ///
 /// Determinism guarantee: for a fixed config and input, every executor —
 /// SerialExecutor, ThreadPoolExecutor(k) for any k — produces bit-identical
@@ -76,9 +81,15 @@ class Session {
     std::vector<std::shared_ptr<MiningObserver>> observers_;
   };
 
-  /// Runs both phases on `rel` under the user's attribute partitioning.
-  Result<DarMiningResult> Mine(const Relation& rel,
-                               const AttributePartition& partition) const;
+  /// Runs both phases on `rel` under the user's attribute partitioning
+  /// and returns the results bundled with the run's telemetry snapshot.
+  /// The registry is reset at the start of the run and observers receive
+  /// OnRunComplete(snapshot) exactly once at the end, so each Mine call
+  /// reports one run. Concurrent Mine calls on one Session would share
+  /// (and race on resetting) the registry — run them on separate
+  /// Sessions.
+  Result<MiningReport> Mine(const Relation& rel,
+                            const AttributePartition& partition) const;
 
   /// Runs Phase I only (used by scaling benches and by callers that want
   /// to inspect clusters before rule formation). Parallelized per
@@ -88,7 +99,8 @@ class Session {
 
   /// Runs Phase II on an existing Phase-I result. The clustering-graph
   /// edge sweep is parallelized on the session's executor.
-  [[nodiscard]] Result<Phase2Result> RunPhase2(const Phase1Result& phase1) const;
+  [[nodiscard]] Result<Phase2Result> RunPhase2(
+      const Phase1Result& phase1) const;
 
   /// Optional §6.2 post-processing: rescans `rel` once and fills
   /// `support_count` of every rule with the number of tuples assigned to
@@ -102,14 +114,21 @@ class Session {
   [[nodiscard]] const DarConfig& config() const { return config_; }
   [[nodiscard]] Executor& executor() const { return *executor_; }
 
- private:
-  friend class DarMiner;  // legacy shim bypasses Validate, see miner.h
+  /// The session's metrics registry. RunPhase1/RunPhase2 record into it
+  /// cumulatively; Mine resets it per run. Callers driving the phases
+  /// directly can TakeSnapshot()/Reset() it between runs themselves.
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() const {
+    return *registry_;
+  }
 
+ private:
   Session(DarConfig config, std::shared_ptr<Executor> executor,
-          std::shared_ptr<ObserverList> observers)
+          std::shared_ptr<ObserverList> observers,
+          std::shared_ptr<telemetry::MetricsRegistry> registry)
       : config_(std::move(config)),
         executor_(std::move(executor)),
-        observers_(std::move(observers)) {}
+        observers_(std::move(observers)),
+        registry_(std::move(registry)) {}
 
   // The observer to hand to pipeline stages: null when none registered.
   [[nodiscard]] MiningObserver* observer_or_null() const {
@@ -120,6 +139,7 @@ class Session {
   DarConfig config_;
   std::shared_ptr<Executor> executor_;
   std::shared_ptr<ObserverList> observers_;
+  std::shared_ptr<telemetry::MetricsRegistry> registry_;
 };
 
 }  // namespace dar

@@ -22,8 +22,8 @@
 #include "core/clustering_graph.h"  // IWYU pragma: export
 #include "core/config.h"         // IWYU pragma: export
 #include "core/generalized_qar.h"   // IWYU pragma: export
-#include "core/miner.h"          // IWYU pragma: export
 #include "core/miner_result.h"   // IWYU pragma: export
+#include "core/mining_report.h"  // IWYU pragma: export
 #include "core/model.h"          // IWYU pragma: export
 #include "core/observer.h"       // IWYU pragma: export
 #include "core/phase1_builder.h"    // IWYU pragma: export
@@ -40,5 +40,9 @@
 #include "relation/partition.h"  // IWYU pragma: export
 #include "relation/relation.h"   // IWYU pragma: export
 #include "relation/schema.h"     // IWYU pragma: export
+#include "telemetry/context.h"   // IWYU pragma: export
+#include "telemetry/json.h"      // IWYU pragma: export
+#include "telemetry/metrics.h"   // IWYU pragma: export
+#include "telemetry/trace.h"     // IWYU pragma: export
 
 #endif  // DAR_DAR_H_

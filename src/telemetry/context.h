@@ -1,0 +1,56 @@
+#ifndef DAR_TELEMETRY_CONTEXT_H_
+#define DAR_TELEMETRY_CONTEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace dar {
+namespace telemetry {
+
+/// The handle the mining phases record through: a nullable view onto a
+/// MetricsRegistry, cheap to pass by value. A default-constructed context
+/// is *disabled* — every Get* returns null and callers skip recording —
+/// so code paths that run without a Session (unit tests, ad-hoc builders)
+/// pay nothing.
+///
+/// The registry is not owned and must outlive every phase using the
+/// context.
+class TelemetryContext {
+ public:
+  TelemetryContext() = default;
+  explicit TelemetryContext(MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  [[nodiscard]] bool enabled() const { return registry_ != nullptr; }
+  [[nodiscard]] MetricsRegistry* registry() const { return registry_; }
+
+  /// Null when disabled; otherwise the registry metric. Resolve once per
+  /// phase and record through the returned handle (lock-free), not
+  /// through repeated lookups.
+  [[nodiscard]] Counter* GetCounter(const std::string& name,
+                                    Unit unit = Unit::kCount) const {
+    return registry_ == nullptr ? nullptr
+                                : registry_->GetCounter(name, unit);
+  }
+  [[nodiscard]] Gauge* GetGauge(const std::string& name,
+                                Unit unit = Unit::kCount) const {
+    return registry_ == nullptr ? nullptr : registry_->GetGauge(name, unit);
+  }
+  [[nodiscard]] Histogram* GetHistogram(
+      const std::string& name, std::vector<double> bounds,
+      Unit unit = Unit::kSeconds) const {
+    return registry_ == nullptr
+               ? nullptr
+               : registry_->GetHistogram(name, std::move(bounds), unit);
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+};
+
+}  // namespace telemetry
+}  // namespace dar
+
+#endif  // DAR_TELEMETRY_CONTEXT_H_

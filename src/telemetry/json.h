@@ -1,0 +1,86 @@
+#ifndef DAR_TELEMETRY_JSON_H_
+#define DAR_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace dar {
+namespace telemetry {
+
+/// Minimal deterministic JSON writer. Emits compact JSON (no whitespace);
+/// numbers use std::to_chars shortest round-trip formatting, so the same
+/// value always serializes to the same bytes regardless of locale or
+/// stream state. Keys are emitted in call order — callers that need
+/// sorted output iterate sorted containers (Snapshot's std::maps already
+/// are).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Starts a key inside an object; follow with exactly one value call
+  /// (or Begin*). Handles the separating comma.
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  /// Splices `json` into the document verbatim as one value. `json` must
+  /// itself be well-formed (e.g. a JsonExporter result embedded as a
+  /// sub-object); no validation is performed.
+  void Raw(const std::string& json);
+
+  /// The document so far. Call after the outermost End*.
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string&& TakeStr() && { return std::move(out_); }
+
+  /// Shortest round-trip decimal form of `value` ("NaN"/"Inf" are mapped
+  /// to null, which JSON cannot represent otherwise).
+  static std::string FormatDouble(double value);
+  /// `value` with JSON string escaping applied, without quotes.
+  static std::string Escape(const std::string& value);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+struct JsonExporterOptions {
+  /// When false, metrics whose Unit is kSeconds are omitted everywhere
+  /// (counters, gauges, histograms). The result is the *deterministic
+  /// view*: for a fixed seed and config it is byte-identical across
+  /// thread counts and repeated runs.
+  bool include_timings = true;
+};
+
+/// Serializes a Snapshot to a deterministic JSON object:
+///
+///   {"counters":{"<name>":{"unit":"count","value":N},...},
+///    "gauges":{"<name>":{"unit":"count","value":X},...},
+///    "histograms":{"<name>":{"unit":"seconds","bounds":[...],
+///                            "counts":[...],"count":N,"sum":X},...}}
+///
+/// Keys are sorted (Snapshot's maps are ordered) and floats use fixed
+/// shortest round-trip formatting.
+class JsonExporter {
+ public:
+  explicit JsonExporter(JsonExporterOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string Export(const Snapshot& snapshot) const;
+
+ private:
+  JsonExporterOptions options_;
+};
+
+}  // namespace telemetry
+}  // namespace dar
+
+#endif  // DAR_TELEMETRY_JSON_H_

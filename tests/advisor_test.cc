@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 namespace dar {
@@ -85,14 +85,15 @@ TEST(AdvisorTest, AdvisedThresholdsRecoverPlantedStructure) {
   config.density_thresholds = advice->density_thresholds;
   config.degree_thresholds = advice->degree_thresholds;
   config.refine_clusters = true;
-  DarMiner miner(config);
-  auto result = miner.Mine(data->relation, data->partition);
+  auto session = Session::Builder().WithConfig(config).Build();
+  ASSERT_TRUE(session.ok());
+  auto result = session->Mine(data->relation, data->partition);
   ASSERT_TRUE(result.ok());
   // All 3 clusters per part recovered and a healthy number of rules found.
   for (size_t p = 0; p < 3; ++p) {
-    EXPECT_EQ(result->phase1.clusters.ClustersOnPart(p).size(), 3u);
+    EXPECT_EQ(result->phase1().clusters.ClustersOnPart(p).size(), 3u);
   }
-  EXPECT_GE(result->phase2.rules.size(), 6u);
+  EXPECT_GE(result->rules().size(), 6u);
 }
 
 TEST(AdvisorTest, TiedColumnFallsBackToSpreadFraction) {

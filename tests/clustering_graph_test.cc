@@ -6,7 +6,7 @@
 #include <set>
 
 #include "common/random.h"
-#include "core/miner.h"
+#include "core/session.h"
 
 namespace dar {
 namespace {

@@ -1,5 +1,5 @@
 // End-to-end scenarios exercising the full public API the way the examples
-// and benches do: CSV input -> partition -> DarMiner -> printed rules.
+// and benches do: CSV input -> partition -> dar::Session -> printed rules.
 
 #include <gtest/gtest.h>
 
@@ -10,7 +10,7 @@
 
 #include "common/random.h"
 #include "core/generalized_qar.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/fixtures.h"
 #include "datagen/planted.h"
 #include "qar/qar_miner.h"
@@ -43,14 +43,15 @@ TEST(IntegrationTest, CsvToRulesPipeline) {
   config.frequency_fraction = 0.1;
   config.initial_diameters = {4.0, 2000.0};
   config.degree_threshold = 3000.0;
-  DarMiner miner(config);
-  auto result = miner.Mine(table->relation, partition);
+  auto session = Session::Builder().WithConfig(config).Build();
+  ASSERT_TRUE(session.ok());
+  auto result = session->Mine(table->relation, partition);
   ASSERT_TRUE(result.ok());
 
   // Expect a rule linking the age-30 cluster to the salary-40K cluster.
-  const ClusterSet& clusters = result->phase1.clusters;
+  const ClusterSet& clusters = result->phase1().clusters;
   bool found = false;
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     if (rule.antecedent.size() != 1 || rule.consequent.size() != 1) continue;
     const FoundCluster& a = clusters.cluster(rule.antecedent[0]);
     const FoundCluster& c = clusters.cluster(rule.consequent[0]);
@@ -76,14 +77,15 @@ TEST(IntegrationTest, InsuranceN1Rules) {
   config.initial_diameters = {9.0, 1.2, 2200.0};
   config.degree_threshold = 2500.0;
   config.count_rule_support = true;
-  DarMiner miner(config);
-  auto result = miner.Mine(data->relation, data->partition);
+  auto session = Session::Builder().WithConfig(config).Build();
+  ASSERT_TRUE(session.ok());
+  auto result = session->Mine(data->relation, data->partition);
   ASSERT_TRUE(result.ok());
 
-  const ClusterSet& clusters = result->phase1.clusters;
+  const ClusterSet& clusters = result->phase1().clusters;
   // Look for AgeMid AND DependentsHigh => ClaimsHigh.
   bool found = false;
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     if (rule.consequent.size() != 1 || rule.antecedent.size() != 2) continue;
     const FoundCluster& y = clusters.cluster(rule.consequent[0]);
     if (y.part != 2) continue;
@@ -118,14 +120,15 @@ TEST(IntegrationTest, DarVsGeneralizedQarAgreeOnStructure) {
   config.initial_diameters.assign(3, 80.0);
   config.degree_threshold = 150.0;
 
-  DarMiner dar_miner(config);
-  auto dar_result = dar_miner.Mine(data->relation, data->partition);
+  auto dar_session = Session::Builder().WithConfig(config).Build();
+  ASSERT_TRUE(dar_session.ok());
+  auto dar_result = dar_session->Mine(data->relation, data->partition);
   ASSERT_TRUE(dar_result.ok());
   GeneralizedQarMiner gq_miner(config, 0.7);
   auto gq_result = gq_miner.Mine(data->relation, data->partition);
   ASSERT_TRUE(gq_result.ok());
 
-  EXPECT_FALSE(dar_result->phase2.rules.empty());
+  EXPECT_FALSE(dar_result->rules().empty());
   EXPECT_FALSE(gq_result->rules.empty());
 
   // Count 1:1 structural pairs (part_a, centroid bucket) linked by each.
@@ -137,9 +140,9 @@ TEST(IntegrationTest, DarVsGeneralizedQarAgreeOnStructure) {
                       bucket(cb.acf.Centroid()[0]));
   };
   std::set<std::tuple<size_t, int, size_t, int>> dar_pairs, gq_pairs;
-  for (const auto& rule : dar_result->phase2.rules) {
+  for (const auto& rule : dar_result->rules()) {
     if (rule.antecedent.size() == 1 && rule.consequent.size() == 1) {
-      dar_pairs.insert(pair_key(dar_result->phase1.clusters,
+      dar_pairs.insert(pair_key(dar_result->phase1().clusters,
                                 rule.antecedent[0], rule.consequent[0]));
     }
   }
@@ -179,8 +182,9 @@ TEST(IntegrationTest, MemoryBudgetSweepKeepsMassAndShrinksClusters) {
     DarConfig config;
     config.memory_budget_bytes = budget;
     config.frequency_fraction = 0.02;
-    DarMiner miner(config);
-    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    auto session = Session::Builder().WithConfig(config).Build();
+    ASSERT_TRUE(session.ok());
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
     ASSERT_TRUE(phase1.ok());
     size_t raw = 0;
     for (size_t c : phase1->raw_cluster_counts) raw += c;

@@ -1,12 +1,12 @@
-#include "core/miner.h"
-
+// End-to-end mining behavior through the dar::Session facade (formerly
+// miner_test.cc, which exercised the removed DarMiner shim).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 
 #include "common/random.h"
-
+#include "core/session.h"
 #include "datagen/fixtures.h"
 #include "datagen/planted.h"
 
@@ -22,34 +22,36 @@ DarConfig SmallConfig() {
   return config;
 }
 
-TEST(MinerTest, RejectsEmptyInput) {
-  Schema s = *Schema::Make({{"a", AttributeKind::kInterval}});
-  Relation rel(s);
-  AttributePartition part = AttributePartition::SingletonPartition(s);
-  DarMiner miner(SmallConfig());
-  EXPECT_TRUE(miner.Mine(rel, part).status().IsInvalidArgument());
+Session MakeSession(const DarConfig& config) {
+  auto session = Session::Builder().WithConfig(config).Build();
+  return std::move(session).ValueOrDie();
 }
 
-TEST(MinerTest, RejectsBadFrequencyFraction) {
+TEST(MiningTest, RejectsEmptyInput) {
   Schema s = *Schema::Make({{"a", AttributeKind::kInterval}});
   Relation rel(s);
-  ASSERT_TRUE(rel.AppendRow({1.0}).ok());
   AttributePartition part = AttributePartition::SingletonPartition(s);
+  Session session = MakeSession(SmallConfig());
+  EXPECT_TRUE(session.Mine(rel, part).status().IsInvalidArgument());
+}
+
+TEST(MiningTest, RejectsBadFrequencyFraction) {
   DarConfig config = SmallConfig();
   config.frequency_fraction = 0;
-  DarMiner miner(config);
-  EXPECT_TRUE(miner.Mine(rel, part).status().IsInvalidArgument());
+  // The bad knob is refused at session construction, before any data.
+  auto session = Session::Builder().WithConfig(config).Build();
+  EXPECT_TRUE(session.status().IsInvalidArgument());
 }
 
-TEST(MinerTest, Phase1FindsPlantedClusters) {
+TEST(MiningTest, Phase1FindsPlantedClusters) {
   PlantedDataSpec spec = WbcdLikeSpec(/*num_attrs=*/4, /*clusters_per_attr=*/3,
                                       /*outlier_fraction=*/0.0, /*seed=*/1);
   auto data = GeneratePlanted(spec, 3000, /*seed=*/2);
   ASSERT_TRUE(data.ok());
   DarConfig config = SmallConfig();
   config.initial_diameters.assign(4, 80.0);  // slot width is ~333, sigma ~13
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto phase1 = session.RunPhase1(data->relation, data->partition);
   ASSERT_TRUE(phase1.ok());
   // Expect exactly 3 frequent clusters per part.
   for (size_t p = 0; p < 4; ++p) {
@@ -68,21 +70,21 @@ TEST(MinerTest, Phase1FindsPlantedClusters) {
   EXPECT_EQ(phase1->tree_stats.size(), 4u);
 }
 
-TEST(MinerTest, Phase1MassAccounting) {
+TEST(MiningTest, Phase1MassAccounting) {
   PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.1, 3);
   auto data = GeneratePlanted(spec, 2000, 4);
   ASSERT_TRUE(data.ok());
   DarConfig config = SmallConfig();
   config.initial_diameters.assign(3, 80.0);
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto phase1 = session.RunPhase1(data->relation, data->partition);
   ASSERT_TRUE(phase1.ok());
   for (const auto& stats : phase1->tree_stats) {
     EXPECT_EQ(stats.points_inserted, 2000);
   }
 }
 
-TEST(MinerTest, EndToEndRecoversPlantedRules) {
+TEST(MiningTest, EndToEndRecoversPlantedRules) {
   // 3 attributes, 3 aligned patterns: every cluster pair within a pattern
   // is a planted 1:1 rule.
   PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.05, 5);
@@ -91,11 +93,11 @@ TEST(MinerTest, EndToEndRecoversPlantedRules) {
   DarConfig config = SmallConfig();
   config.initial_diameters.assign(3, 80.0);
   config.degree_threshold = 150.0;
-  DarMiner miner(config);
-  auto result = miner.Mine(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto result = session.Mine(data->relation, data->partition);
   ASSERT_TRUE(result.ok());
 
-  const ClusterSet& clusters = result->phase1.clusters;
+  const ClusterSet& clusters = result->phase1().clusters;
   // For every pattern k and attribute pair (p, q), some rule must connect
   // the cluster near center k of p to the cluster near center k of q.
   auto cluster_near = [&](size_t part, double center) -> int64_t {
@@ -115,7 +117,7 @@ TEST(MinerTest, EndToEndRecoversPlantedRules) {
         int64_t a = cluster_near(p, spec.parts[p].clusters[k].center[0]);
         int64_t b = cluster_near(q, spec.parts[q].clusters[k].center[0]);
         if (a < 0 || b < 0) continue;
-        for (const auto& rule : result->phase2.rules) {
+        for (const auto& rule : result->rules()) {
           if (rule.antecedent == std::vector<size_t>{size_t(a)} &&
               rule.consequent == std::vector<size_t>{size_t(b)}) {
             ++planted_found;
@@ -129,7 +131,7 @@ TEST(MinerTest, EndToEndRecoversPlantedRules) {
 
   // No rule may connect clusters from *different* patterns (they never
   // co-occur, so no clique contains both).
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     std::set<int> patterns;
     for (const auto* side : {&rule.antecedent, &rule.consequent}) {
       for (size_t id : *side) {
@@ -147,7 +149,7 @@ TEST(MinerTest, EndToEndRecoversPlantedRules) {
   }
 }
 
-TEST(MinerTest, DegreeThresholdMonotone) {
+TEST(MiningTest, DegreeThresholdMonotone) {
   PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.05, 7);
   auto data = GeneratePlanted(spec, 2000, 8);
   ASSERT_TRUE(data.ok());
@@ -155,32 +157,31 @@ TEST(MinerTest, DegreeThresholdMonotone) {
     DarConfig config = SmallConfig();
     config.initial_diameters.assign(3, 80.0);
     config.degree_threshold = degree;
-    DarMiner miner(config);
-    auto result = miner.Mine(data->relation, data->partition);
+    Session session = MakeSession(config);
+    auto result = session.Mine(data->relation, data->partition);
     EXPECT_TRUE(result.ok());
-    return result->phase2.rules.size();
+    return result->rules().size();
   };
   EXPECT_LE(rules_at(1.0), rules_at(50.0));
 }
 
-TEST(MinerTest, RulesSortedByDegree) {
+TEST(MiningTest, RulesSortedByDegree) {
   PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.05, 9);
   auto data = GeneratePlanted(spec, 2000, 10);
   ASSERT_TRUE(data.ok());
   DarConfig config = SmallConfig();
   config.initial_diameters.assign(3, 80.0);
   config.degree_threshold = 100.0;
-  DarMiner miner(config);
-  auto result = miner.Mine(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto result = session.Mine(data->relation, data->partition);
   ASSERT_TRUE(result.ok());
-  ASSERT_GT(result->phase2.rules.size(), 1u);
-  for (size_t i = 1; i < result->phase2.rules.size(); ++i) {
-    EXPECT_LE(result->phase2.rules[i - 1].degree,
-              result->phase2.rules[i].degree);
+  ASSERT_GT(result->rules().size(), 1u);
+  for (size_t i = 1; i < result->rules().size(); ++i) {
+    EXPECT_LE(result->rules()[i - 1].degree, result->rules()[i].degree);
   }
 }
 
-TEST(MinerTest, SupportCountingMatchesPlantedPatternSizes) {
+TEST(MiningTest, SupportCountingMatchesPlantedPatternSizes) {
   PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 11);
   auto data = GeneratePlanted(spec, 1000, 12);
   ASSERT_TRUE(data.ok());
@@ -188,10 +189,10 @@ TEST(MinerTest, SupportCountingMatchesPlantedPatternSizes) {
   config.initial_diameters.assign(2, 80.0);
   config.degree_threshold = 60.0;
   config.count_rule_support = true;
-  DarMiner miner(config);
-  auto result = miner.Mine(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto result = session.Mine(data->relation, data->partition);
   ASSERT_TRUE(result.ok());
-  ASSERT_FALSE(result->phase2.rules.empty());
+  ASSERT_FALSE(result->rules().empty());
   // Pattern sizes: roughly 500 each; every 1:1 rule within a pattern
   // should have support close to the pattern size.
   int64_t pattern0 = 0, pattern1 = 0;
@@ -199,7 +200,7 @@ TEST(MinerTest, SupportCountingMatchesPlantedPatternSizes) {
     if (p == 0) ++pattern0;
     if (p == 1) ++pattern1;
   }
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     ASSERT_GE(rule.support_count, 0);
     bool near0 = std::llabs(rule.support_count - pattern0) < 50;
     bool near1 = std::llabs(rule.support_count - pattern1) < 50;
@@ -207,7 +208,7 @@ TEST(MinerTest, SupportCountingMatchesPlantedPatternSizes) {
   }
 }
 
-TEST(MinerTest, OutlierFractionProducesOutliers) {
+TEST(MiningTest, OutlierFractionProducesOutliers) {
   PlantedDataSpec spec = WbcdLikeSpec(2, 3, 0.25, 13);
   auto data = GeneratePlanted(spec, 4000, 14);
   ASSERT_TRUE(data.ok());
@@ -215,8 +216,8 @@ TEST(MinerTest, OutlierFractionProducesOutliers) {
   // Small budget so rebuilds (and outlier paging) happen.
   config.memory_budget_bytes = 64u << 10;
   config.outlier_fraction = 0.5;
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto phase1 = session.RunPhase1(data->relation, data->partition);
   ASSERT_TRUE(phase1.ok());
   bool rebuilt = false;
   for (const auto& stats : phase1->tree_stats) {
@@ -225,22 +226,22 @@ TEST(MinerTest, OutlierFractionProducesOutliers) {
   EXPECT_TRUE(rebuilt);
 }
 
-TEST(MinerTest, EffectiveD0UsesOverrides) {
+TEST(MiningTest, EffectiveD0UsesOverrides) {
   PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 15);
   auto data = GeneratePlanted(spec, 500, 16);
   ASSERT_TRUE(data.ok());
   DarConfig config = SmallConfig();
   config.density_thresholds = {7.5, 0.0};  // override part 0 only
   config.initial_diameters.assign(2, 80.0);
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto phase1 = session.RunPhase1(data->relation, data->partition);
   ASSERT_TRUE(phase1.ok());
   EXPECT_DOUBLE_EQ(phase1->effective_d0[0], 7.5);
   EXPECT_GT(phase1->effective_d0[1], 0.0);  // derived
 }
 
-TEST(MinerTest, PartWithoutFrequentClustersIsOmitted) {
-  // Â§4.3.2: "If for some X_i there are no frequent clusters, we omit X_i
+TEST(MiningTest, PartWithoutFrequentClustersIsOmitted) {
+  // §4.3.2: "If for some X_i there are no frequent clusters, we omit X_i
   // from consideration in Phase II." A uniform attribute at threshold 0
   // produces only infrequent singleton clusters.
   Schema s = *Schema::Make({{"structured", AttributeKind::kInterval},
@@ -257,22 +258,22 @@ TEST(MinerTest, PartWithoutFrequentClustersIsOmitted) {
   DarConfig config = SmallConfig();
   config.frequency_fraction = 0.25;
   config.initial_diameters = {2.0, 0.0};
-  DarMiner miner(config);
-  auto result = miner.Mine(rel, partition);
+  Session session = MakeSession(config);
+  auto result = session.Mine(rel, partition);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->phase1.clusters.ClustersOnPart(0).size(), 2u);
-  EXPECT_EQ(result->phase1.clusters.ClustersOnPart(1).size(), 0u);
+  EXPECT_EQ(result->phase1().clusters.ClustersOnPart(0).size(), 2u);
+  EXPECT_EQ(result->phase1().clusters.ClustersOnPart(1).size(), 0u);
   // No rule may mention part 1.
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     for (const auto* side : {&rule.antecedent, &rule.consequent}) {
       for (size_t id : *side) {
-        EXPECT_EQ(result->phase1.clusters.cluster(id).part, 0u);
+        EXPECT_EQ(result->phase1().clusters.cluster(id).part, 0u);
       }
     }
   }
 }
 
-TEST(MinerTest, MultiDimensionalPartEndToEnd) {
+TEST(MiningTest, MultiDimensionalPartEndToEnd) {
   // Cluster on a 2-d Lat+Lon part, rules against a 1-d attribute.
   Schema s = *Schema::Make({{"lat", AttributeKind::kInterval},
                             {"lon", AttributeKind::kInterval},
@@ -300,23 +301,23 @@ TEST(MinerTest, MultiDimensionalPartEndToEnd) {
   config.frequency_fraction = 0.2;
   config.initial_diameters = {2.0, 400.0};
   config.degree_threshold = 500.0;
-  DarMiner miner(config);
-  auto result = miner.Mine(rel, *partition);
+  Session session = MakeSession(config);
+  auto result = session.Mine(rel, *partition);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->phase1.clusters.ClustersOnPart(0).size(), 2u);
+  EXPECT_EQ(result->phase1().clusters.ClustersOnPart(0).size(), 2u);
   // A rule city-cluster => price-cluster must exist.
   bool found = false;
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     if (rule.antecedent.size() == 1 && rule.consequent.size() == 1 &&
-        result->phase1.clusters.cluster(rule.antecedent[0]).part == 0 &&
-        result->phase1.clusters.cluster(rule.consequent[0]).part == 1) {
+        result->phase1().clusters.cluster(rule.antecedent[0]).part == 0 &&
+        result->phase1().clusters.cluster(rule.consequent[0]).part == 1) {
       found = true;
     }
   }
   EXPECT_TRUE(found);
 }
 
-TEST(MinerTest, MixedNominalIntervalMining) {
+TEST(MiningTest, MixedNominalIntervalMining) {
   // The paper's mixed-variable-data direction (conclusions): a nominal Job
   // attribute under the discrete metric mined together with an interval
   // Salary attribute. Job clusters are exact values (Thm 5.1) and rules
@@ -338,10 +339,10 @@ TEST(MinerTest, MixedNominalIntervalMining) {
   config.initial_diameters = {0.0, 2000.0};
   config.degree_threshold = 2000.0;
   config.density_thresholds = {0.4, 1500.0};
-  DarMiner miner(config);
-  auto result = miner.Mine(rel, partition);
+  Session session = MakeSession(config);
+  auto result = session.Mine(rel, partition);
   ASSERT_TRUE(result.ok());
-  const ClusterSet& clusters = result->phase1.clusters;
+  const ClusterSet& clusters = result->phase1().clusters;
   ASSERT_EQ(clusters.ClustersOnPart(0).size(), 2u);  // two job values
   for (size_t id : clusters.ClustersOnPart(0)) {
     EXPECT_DOUBLE_EQ(clusters.cluster(id).acf.Diameter(), 0.0);  // Thm 5.1
@@ -349,7 +350,7 @@ TEST(MinerTest, MixedNominalIntervalMining) {
   // Expect a rule job-cluster => salary-cluster with a small degree (jobs
   // determine salaries exactly here).
   bool found = false;
-  for (const auto& rule : result->phase2.rules) {
+  for (const auto& rule : result->rules()) {
     if (rule.antecedent.size() == 1 && rule.consequent.size() == 1 &&
         clusters.cluster(rule.antecedent[0]).part == 0 &&
         clusters.cluster(rule.consequent[0]).part == 1) {
@@ -360,28 +361,28 @@ TEST(MinerTest, MixedNominalIntervalMining) {
   EXPECT_TRUE(found);
 }
 
-TEST(MinerTest, CliqueTruncationSurfacesInPhase2) {
+TEST(MiningTest, CliqueTruncationSurfacesInPhase2) {
   PlantedDataSpec spec = WbcdLikeSpec(3, 3, 0.0, 19);
   auto data = GeneratePlanted(spec, 1000, 20);
   ASSERT_TRUE(data.ok());
   DarConfig config = SmallConfig();
   config.initial_diameters.assign(3, 80.0);
   config.max_cliques = 2;  // below the 3 planted pattern cliques
-  DarMiner miner(config);
-  auto result = miner.Mine(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto result = session.Mine(data->relation, data->partition);
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->phase2.cliques_truncated);
-  EXPECT_LE(result->phase2.cliques.size(), 2u);
+  EXPECT_TRUE(result->phase2().cliques_truncated);
+  EXPECT_LE(result->phase2().cliques.size(), 2u);
 }
 
-TEST(MinerTest, DescribeUsesBoundingBox) {
+TEST(MiningTest, DescribeUsesBoundingBox) {
   PlantedDataSpec spec = WbcdLikeSpec(2, 2, 0.0, 17);
   auto data = GeneratePlanted(spec, 500, 18);
   ASSERT_TRUE(data.ok());
   DarConfig config = SmallConfig();
   config.initial_diameters.assign(2, 80.0);
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  Session session = MakeSession(config);
+  auto phase1 = session.RunPhase1(data->relation, data->partition);
   ASSERT_TRUE(phase1.ok());
   ASSERT_GT(phase1->clusters.size(), 0u);
   std::string desc = phase1->clusters.Describe(0, data->relation.schema(),

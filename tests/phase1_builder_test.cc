@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 
 namespace dar {
@@ -50,9 +50,10 @@ TEST(Phase1BuilderTest, StreamingEqualsBatch) {
   ASSERT_TRUE(data.ok());
   DarConfig config = TestConfig();
 
-  // Batch via the miner.
-  DarMiner miner(config);
-  auto batch = miner.RunPhase1(data->relation, data->partition);
+  // Batch via a serial session.
+  auto session = Session::Builder().WithConfig(config).Build();
+  ASSERT_TRUE(session.ok());
+  auto batch = session->RunPhase1(data->relation, data->partition);
   ASSERT_TRUE(batch.ok());
 
   // Streaming via the builder, row by row.
@@ -87,8 +88,9 @@ TEST(Phase1BuilderTest, RefinementReducesFragmentation) {
     DarConfig config = TestConfig();
     config.initial_diameters = {25.0, 25.0};  // sigma ~10 => fragments
     config.refine_clusters = refine;
-    DarMiner miner(config);
-    auto phase1 = miner.RunPhase1(data->relation, data->partition);
+    auto session = Session::Builder().WithConfig(config).Build();
+    EXPECT_TRUE(session.ok());
+    auto phase1 = session->RunPhase1(data->relation, data->partition);
     EXPECT_TRUE(phase1.ok());
     size_t raw = 0;
     for (size_t c : phase1->raw_cluster_counts) raw += c;

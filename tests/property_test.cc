@@ -10,7 +10,7 @@
 #include "birch/acf_tree.h"
 #include "birch/metrics.h"
 #include "common/random.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "datagen/planted.h"
 #include "test_util.h"
 
@@ -175,8 +175,9 @@ TEST_P(RecoveryPropertyTest, FindsAllPlantedClusters) {
   config.frequency_fraction = 0.4 / static_cast<double>(w.clusters);
   config.initial_diameters.assign(w.attrs, 0.3 * 1000.0 / w.clusters);
   config.refine_clusters = true;
-  DarMiner miner(config);
-  auto phase1 = miner.RunPhase1(data->relation, data->partition);
+  auto session = Session::Builder().WithConfig(config).Build();
+  ASSERT_TRUE(session.ok());
+  auto phase1 = session->RunPhase1(data->relation, data->partition);
   ASSERT_TRUE(phase1.ok());
   for (size_t p = 0; p < w.attrs; ++p) {
     EXPECT_EQ(phase1->clusters.ClustersOnPart(p).size(), w.clusters)

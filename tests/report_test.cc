@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "common/random.h"
-
+#include "core/session.h"
 #include "datagen/planted.h"
 
 namespace dar {
@@ -18,10 +18,11 @@ DarMiningResult MineSmall(const PlantedDataset& data) {
   config.initial_diameters = {80.0, 80.0};
   config.degree_threshold = 150.0;
   config.count_rule_support = true;
-  DarMiner miner(config);
-  auto result = miner.Mine(data.relation, data.partition);
+  auto session = Session::Builder().WithConfig(config).Build();
+  EXPECT_TRUE(session.ok());
+  auto result = session->Mine(data.relation, data.partition);
   EXPECT_TRUE(result.ok());
-  return std::move(result).ValueOrDie();
+  return std::move(result).ValueOrDie().result;
 }
 
 TEST(ReportTest, JsonContainsClustersAndRules) {
@@ -99,10 +100,11 @@ TEST(ReportTest, EscapesSpecialCharactersInLabels) {
   DarConfig config;
   config.frequency_fraction = 0.5;
   config.initial_diameters = {5.0, 5.0};
-  DarMiner miner(config);
-  auto result = miner.Mine(rel, part);
+  auto session = Session::Builder().WithConfig(config).Build();
+  ASSERT_TRUE(session.ok());
+  auto result = session->Mine(rel, part);
   ASSERT_TRUE(result.ok());
-  std::string json = MiningResultToJson(*result, s, part);
+  std::string json = MiningResultToJson(result->result, s, part);
   EXPECT_NE(json.find("a\\\"b"), std::string::npos);
 }
 

@@ -1,19 +1,21 @@
 // dar::Session: the determinism guarantee (bit-identical output for every
-// executor and thread count), observer counter consistency, the DarMiner
-// legacy shim, and streaming-vs-batch Phase I equivalence.
+// executor and thread count, including the telemetry snapshot's
+// deterministic JSON view), observer counter consistency, and
+// streaming-vs-batch Phase I equivalence.
 
 #include "core/session.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/executor.h"
-#include "core/miner.h"
 #include "core/observer.h"
 #include "core/phase1_builder.h"
 #include "datagen/planted.h"
+#include "telemetry/json.h"
 
 namespace dar {
 namespace {
@@ -85,8 +87,6 @@ void ExpectSamePhase1(const Phase1Result& a, const Phase1Result& b) {
 
 void ExpectSamePhase2(const Phase2Result& a, const Phase2Result& b) {
   EXPECT_EQ(a.graph_edges, b.graph_edges);
-  EXPECT_EQ(a.graph_comparisons_made, b.graph_comparisons_made);
-  EXPECT_EQ(a.graph_comparisons_skipped, b.graph_comparisons_skipped);
   EXPECT_EQ(a.cliques, b.cliques);  // exact, including order
   EXPECT_EQ(a.num_nontrivial_cliques, b.num_nontrivial_cliques);
   ASSERT_EQ(a.rules.size(), b.rules.size());
@@ -99,10 +99,17 @@ void ExpectSamePhase2(const Phase2Result& a, const Phase2Result& b) {
   }
 }
 
-Result<DarMiningResult> MineWithThreads(const PlantedDataset& data,
-                                        int threads,
-                                        std::shared_ptr<MiningObserver>
-                                            observer = nullptr) {
+// Serializes the deterministic (timing-free) view of a run's snapshot.
+std::string DeterministicJson(const MiningReport& report) {
+  telemetry::JsonExporterOptions options;
+  options.include_timings = false;
+  return telemetry::JsonExporter(options).Export(report.telemetry);
+}
+
+Result<MiningReport> MineWithThreads(const PlantedDataset& data,
+                                     int threads,
+                                     std::shared_ptr<MiningObserver>
+                                         observer = nullptr) {
   Session::Builder builder;
   builder.WithConfig(TestConfig()).WithThreads(threads);
   if (observer != nullptr) builder.AddObserver(std::move(observer));
@@ -120,13 +127,15 @@ TEST_P(SessionDeterminismTest, MatchesSerialBitForBit) {
   PlantedDataset data = TestData();
   auto serial = MineWithThreads(data, 1);
   ASSERT_TRUE(serial.ok()) << serial.status();
-  ASSERT_GT(serial->phase2.rules.size(), 0u)
+  ASSERT_GT(serial->rules().size(), 0u)
       << "workload must produce rules for the comparison to mean anything";
 
   auto parallel = MineWithThreads(data, GetParam());
   ASSERT_TRUE(parallel.ok()) << parallel.status();
-  ExpectSamePhase1(serial->phase1, parallel->phase1);
-  ExpectSamePhase2(serial->phase2, parallel->phase2);
+  ExpectSamePhase1(serial->phase1(), parallel->phase1());
+  ExpectSamePhase2(serial->phase2(), parallel->phase2());
+  // The snapshot's deterministic view serializes to the same bytes too.
+  EXPECT_EQ(DeterministicJson(*serial), DeterministicJson(*parallel));
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, SessionDeterminismTest,
@@ -143,8 +152,11 @@ TEST(SessionTest, RepeatedRunsOnOnePoolAreIdentical) {
   auto b = session->Mine(data.relation, data.partition);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  ExpectSamePhase1(a->phase1, b->phase1);
-  ExpectSamePhase2(a->phase2, b->phase2);
+  ExpectSamePhase1(a->phase1(), b->phase1());
+  ExpectSamePhase2(a->phase2(), b->phase2());
+  // The registry is reset per Mine call, so repeated runs also snapshot
+  // identically (no cross-run accumulation).
+  EXPECT_EQ(DeterministicJson(*a), DeterministicJson(*b));
 }
 
 TEST(SessionTest, CountersObserverMatchesResultCounters) {
@@ -155,18 +167,26 @@ TEST(SessionTest, CountersObserverMatchesResultCounters) {
     ASSERT_TRUE(result.ok()) << result.status();
     CountersObserver::Counters c = counters->counters();
     const auto num_parts =
-        static_cast<int64_t>(result->phase1.tree_stats.size());
+        static_cast<int64_t>(result->phase1().tree_stats.size());
     EXPECT_EQ(c.parts_started, num_parts) << "threads=" << threads;
     EXPECT_EQ(c.parts_done, num_parts);
     int64_t rebuilds = 0;
-    for (const auto& stats : result->phase1.tree_stats) {
+    for (const auto& stats : result->phase1().tree_stats) {
       rebuilds += stats.rebuild_count;
     }
     EXPECT_EQ(c.tree_rebuilds, rebuilds);
     EXPECT_EQ(c.graph_edges,
-              static_cast<int64_t>(result->phase2.graph_edges));
+              static_cast<int64_t>(result->phase2().graph_edges));
     EXPECT_EQ(c.cliques_found,
-              static_cast<int64_t>(result->phase2.cliques.size()));
+              static_cast<int64_t>(result->phase2().cliques.size()));
+    EXPECT_EQ(c.runs_completed, 1);
+    // The snapshot views agree with the observer and the result structs.
+    EXPECT_EQ(result->tree_rebuilds(), rebuilds);
+    EXPECT_EQ(result->telemetry.CounterOr("phase2.graph_edges"),
+              static_cast<int64_t>(result->phase2().graph_edges));
+    EXPECT_EQ(result->telemetry.CounterOr("phase2.cliques"),
+              static_cast<int64_t>(result->phase2().cliques.size()));
+    EXPECT_GT(result->graph_comparisons_made(), 0);
   }
 }
 
@@ -191,15 +211,40 @@ TEST(SessionTest, ObserversFireInRegistrationOrderForPhase2) {
   EXPECT_EQ(a.parts_done, b.parts_done);
 }
 
-TEST(SessionTest, LegacyMinerShimMatchesSerialSession) {
+// The satellite determinism pin: identical runs at 1 and 8 threads export
+// byte-identical deterministic JSON (and a second 8-thread run matches a
+// re-serialization exactly, i.e. serialization itself is stable).
+TEST(SessionTest, DeterministicJsonIdenticalAcrossThreadCounts) {
   PlantedDataset data = TestData();
-  DarMiner miner(TestConfig());
-  auto legacy = miner.Mine(data.relation, data.partition);
-  ASSERT_TRUE(legacy.ok());
-  auto session = MineWithThreads(data, 1);
+  auto one = MineWithThreads(data, 1);
+  auto eight = MineWithThreads(data, 8);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(eight.ok());
+  const std::string json_one = DeterministicJson(*one);
+  EXPECT_EQ(json_one, DeterministicJson(*eight));
+  EXPECT_EQ(json_one, DeterministicJson(*one));  // stable re-serialization
+  EXPECT_NE(json_one.find("\"phase1.rows\""), std::string::npos);
+  EXPECT_NE(json_one.find("\"phase2.graph_edges\""), std::string::npos);
+  // Timing metrics exist in the full export but not the deterministic view.
+  const std::string full = telemetry::JsonExporter().Export(one->telemetry);
+  EXPECT_NE(full.find("\"phase1.seconds\""), std::string::npos);
+  EXPECT_EQ(json_one.find("\"phase1.seconds\""), std::string::npos);
+}
+
+// OnRunComplete fires exactly once per Mine call, after both phases.
+TEST(SessionTest, OnRunCompleteFiresExactlyOncePerRun) {
+  PlantedDataset data = TestData();
+  auto counters = std::make_shared<CountersObserver>();
+  auto session = Session::Builder()
+                     .WithConfig(TestConfig())
+                     .WithThreads(2)
+                     .AddObserver(counters)
+                     .Build();
   ASSERT_TRUE(session.ok());
-  ExpectSamePhase1(legacy->phase1, session->phase1);
-  ExpectSamePhase2(legacy->phase2, session->phase2);
+  ASSERT_TRUE(session->Mine(data.relation, data.partition).ok());
+  EXPECT_EQ(counters->counters().runs_completed, 1);
+  ASSERT_TRUE(session->Mine(data.relation, data.partition).ok());
+  EXPECT_EQ(counters->counters().runs_completed, 2);
 }
 
 TEST(SessionTest, StreamingAddRowMatchesBatchAddRelation) {

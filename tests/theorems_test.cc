@@ -9,7 +9,7 @@
 
 #include "birch/metrics.h"
 #include "common/random.h"
-#include "core/miner.h"
+#include "core/session.h"
 #include "core/rule_gen.h"
 #include "datagen/fixtures.h"
 

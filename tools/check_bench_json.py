@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Schema validator for the BENCH_*.json files written by bench_main.
+
+Expected document shape (schema_version 1):
+
+  {
+    "schema_version": 1,
+    "suite": "phase1" | "phase2" | "micro",
+    "smoke": bool,
+    "seed": int,
+    "runs": [
+      {
+        "name": str,                  # non-empty, unique within the file
+        "params": {str: number, ...},
+        "timings": {str: number, ...},   # optional (--no-timings omits it)
+        "telemetry": {                   # deterministic snapshot export
+          "counters": {name: {"unit": str, "value": int}, ...},
+          "gauges": {name: {"unit": str, "value": number|null}, ...},
+          "histograms": {name: {"unit": str, "bounds": [number...],
+                                "counts": [int...],  # len(bounds) + 1
+                                "count": int, "sum": number|null}, ...}
+        }
+      }, ...
+    ]
+  }
+
+The telemetry objects are the *deterministic view* (no seconds-valued
+metrics), so two files produced with the same seed and --no-timings must
+be byte-identical regardless of thread count; this script only checks
+shape, the byte comparison is a plain diff/cmp in CI.
+
+Usage: tools/check_bench_json.py FILE [FILE...]
+Prints one `file: message` per violation and exits 1 when anything is
+found, 0 when every file is schema-valid. Stdlib only.
+"""
+
+import json
+import numbers
+import sys
+
+VALID_SUITES = {"phase1", "phase2", "micro"}
+VALID_UNITS = {"count", "seconds", "bytes"}
+
+
+def is_number(value):
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def check_scalar_map(errors, path, obj):
+    if not isinstance(obj, dict):
+        errors.append(f"{path}: expected object, got {type(obj).__name__}")
+        return
+    for key, value in obj.items():
+        if value is not None and not is_number(value):
+            errors.append(f"{path}.{key}: expected number, got {value!r}")
+
+
+def check_telemetry(errors, path, telemetry):
+    if not isinstance(telemetry, dict):
+        errors.append(f"{path}: expected object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if section not in telemetry:
+            errors.append(f"{path}: missing '{section}'")
+    for name, counter in telemetry.get("counters", {}).items():
+        where = f"{path}.counters.{name}"
+        if counter.get("unit") not in VALID_UNITS:
+            errors.append(f"{where}: bad unit {counter.get('unit')!r}")
+        if counter.get("unit") == "seconds":
+            errors.append(f"{where}: seconds-valued metric in the "
+                          "deterministic view")
+        if not is_int(counter.get("value")):
+            errors.append(f"{where}: value must be an integer")
+    for name, gauge in telemetry.get("gauges", {}).items():
+        where = f"{path}.gauges.{name}"
+        if gauge.get("unit") not in VALID_UNITS:
+            errors.append(f"{where}: bad unit {gauge.get('unit')!r}")
+        if gauge.get("unit") == "seconds":
+            errors.append(f"{where}: seconds-valued metric in the "
+                          "deterministic view")
+        if gauge.get("value") is not None and not is_number(gauge["value"]):
+            errors.append(f"{where}: value must be a number or null")
+    for name, hist in telemetry.get("histograms", {}).items():
+        where = f"{path}.histograms.{name}"
+        if hist.get("unit") not in VALID_UNITS:
+            errors.append(f"{where}: bad unit {hist.get('unit')!r}")
+        if hist.get("unit") == "seconds":
+            errors.append(f"{where}: seconds-valued metric in the "
+                          "deterministic view")
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not all(
+                is_number(b) for b in bounds):
+            errors.append(f"{where}: bounds must be a number array")
+            continue
+        if sorted(bounds) != bounds:
+            errors.append(f"{where}: bounds must be ascending")
+        if not isinstance(counts, list) or not all(
+                is_int(c) for c in counts):
+            errors.append(f"{where}: counts must be an integer array")
+            continue
+        if len(counts) != len(bounds) + 1:
+            errors.append(f"{where}: expected {len(bounds) + 1} counts "
+                          f"(bounds + overflow), got {len(counts)}")
+        if not is_int(hist.get("count")):
+            errors.append(f"{where}: count must be an integer")
+        elif hist["count"] != sum(counts):
+            errors.append(f"{where}: count {hist['count']} != "
+                          f"sum(counts) {sum(counts)}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("schema_version") != 1:
+        errors.append(f"schema_version must be 1, "
+                      f"got {doc.get('schema_version')!r}")
+    if doc.get("suite") not in VALID_SUITES:
+        errors.append(f"suite must be one of {sorted(VALID_SUITES)}, "
+                      f"got {doc.get('suite')!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("smoke must be a boolean")
+    if not is_int(doc.get("seed")):
+        errors.append("seed must be an integer")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty array")
+        return errors
+    names = set()
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where}: expected object")
+            continue
+        name = run.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: name must be a non-empty string")
+        elif name in names:
+            errors.append(f"{where}: duplicate name {name!r}")
+        else:
+            names.add(name)
+        if "params" not in run:
+            errors.append(f"{where}: missing 'params'")
+        else:
+            check_scalar_map(errors, f"{where}.params", run["params"])
+        if "timings" in run:  # optional: --no-timings omits it
+            check_scalar_map(errors, f"{where}.timings", run["timings"])
+        if "telemetry" not in run:
+            errors.append(f"{where}: missing 'telemetry'")
+        else:
+            check_telemetry(errors, f"{where}.telemetry", run["telemetry"])
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        for message in errors:
+            print(f"{path}: {message}")
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
