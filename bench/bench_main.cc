@@ -1,8 +1,9 @@
 // Unified JSON bench harness. Executes the phase-1-scaling,
-// phase-2-stability, and micro-kernel suites over seeded planted
-// generators and writes BENCH_phase1.json / BENCH_phase2.json /
-// BENCH_micro.json (by default into the current directory), seeding the
-// perf trajectory that EXPERIMENTS.md ("Reading BENCH_*.json") documents.
+// phase-2-stability, streaming-remine, and micro-kernel suites over
+// seeded planted generators and writes BENCH_phase1.json /
+// BENCH_phase2.json / BENCH_stream.json / BENCH_micro.json (by default
+// into the current directory), seeding the perf trajectory that
+// EXPERIMENTS.md ("Reading BENCH_*.json") documents.
 //
 // Usage: bench_main [--smoke] [--outdir DIR] [--seed N] [--threads N]
 //                   [--no-timings]
@@ -15,6 +16,7 @@
 // become byte-comparable — CI's bench-smoke job diffs a 1-thread and an
 // 8-thread --smoke run exactly this way.
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -30,6 +32,7 @@
 #include "core/clustering_graph.h"
 #include "core/session.h"
 #include "datagen/planted.h"
+#include "stream/streaming_miner.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 
@@ -217,6 +220,105 @@ int RunPhase2Suite(const BenchOptions& options,
   return 0;
 }
 
+// --- Suite: streaming — the incremental re-mine claim. Ingest N rows as
+// micro-batches into a dar::stream, then compare the cost of refreshing
+// the rules incrementally (clone live summaries + Phase II, no data
+// rescan) against a cold full re-mine (fresh Session::Mine over the same
+// accumulated relation). The whole point of summary-only re-mining is
+// that `speedup` grows with N. ---
+
+int RunStreamSuite(const BenchOptions& options,
+                   std::vector<RunRecord>& runs) {
+  const size_t attrs = options.smoke ? 4 : 10;
+  const size_t clusters = options.smoke ? 3 : 8;
+  const size_t n = options.smoke ? 20000 : 200000;
+  const size_t batch_rows = n / 20;
+  constexpr int kRemines = 5;  // averaged to de-noise the short refresh
+  const PlantedDataSpec spec =
+      WbcdLikeSpec(attrs, clusters, 0.05, options.seed + 21);
+  auto data = GeneratePlanted(spec, n, options.seed + 22);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  DarConfig config;
+  config.memory_budget_bytes = 32u << 20;
+  config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+  config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+  config.degree_threshold = 150.0;
+  auto session = MakeSession(options, config);
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  StreamConfig stream_config;
+  stream_config.remine_every_rows = 0;  // remine explicitly, timed below
+  auto stream = session->OpenStream(data->relation.schema(),
+                                    data->partition, stream_config);
+  if (!stream.ok()) {
+    std::cerr << stream.status() << "\n";
+    return 1;
+  }
+  Stopwatch ingest_watch;
+  for (size_t begin = 0; begin < n; begin += batch_rows) {
+    const size_t end = std::min(n, begin + batch_rows);
+    Relation batch(data->relation.schema());
+    batch.Reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) {
+      (void)batch.AppendRow(data->relation.Row(r));
+    }
+    if (auto s = (*stream)->Ingest(batch); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  const double ingest_seconds = ingest_watch.ElapsedSeconds();
+
+  Stopwatch remine_watch;
+  for (int i = 0; i < kRemines; ++i) {
+    auto snapshot = (*stream)->Remine();
+    if (!snapshot.ok()) {
+      std::cerr << snapshot.status() << "\n";
+      return 1;
+    }
+  }
+  const double incremental_seconds =
+      remine_watch.ElapsedSeconds() / kRemines;
+
+  // Cold baseline: everything the stream already knows, mined from
+  // scratch (fresh trees, full Phase-I pass over all N rows).
+  auto cold_session = MakeSession(options, config);
+  if (!cold_session.ok()) {
+    std::cerr << cold_session.status() << "\n";
+    return 1;
+  }
+  Stopwatch cold_watch;
+  auto cold = cold_session->Mine(data->relation, data->partition);
+  const double cold_seconds = cold_watch.ElapsedSeconds();
+  if (!cold.ok()) {
+    std::cerr << cold.status() << "\n";
+    return 1;
+  }
+
+  RunRecord run;
+  run.name = "stream/n=" + std::to_string(n);
+  run.params = {{"n", static_cast<double>(n)},
+                {"attrs", static_cast<double>(attrs)},
+                {"clusters_per_attr", static_cast<double>(clusters)},
+                {"batch_rows", static_cast<double>(batch_rows)},
+                {"remines", static_cast<double>(kRemines)}};
+  run.timings = {{"ingest_seconds", ingest_seconds},
+                 {"incremental_remine_seconds", incremental_seconds},
+                 {"cold_remine_seconds", cold_seconds},
+                 {"speedup", incremental_seconds > 0
+                                 ? cold_seconds / incremental_seconds
+                                 : 0.0}};
+  run.telemetry_json =
+      DeterministicTelemetry(session->metrics().TakeSnapshot());
+  runs.push_back(std::move(run));
+  return 0;
+}
+
 // --- Suite 3: micro kernels (ACF-tree insertion, D2 distance, clique
 // enumeration), measured standalone with their own registries. ---
 
@@ -376,6 +478,10 @@ int Main(int argc, char** argv) {
   std::vector<RunRecord> phase2_runs;
   if (RunPhase2Suite(options, phase2_runs) != 0) return 1;
   if (WriteSuite(options, "phase2", phase2_runs) != 0) return 1;
+
+  std::vector<RunRecord> stream_runs;
+  if (RunStreamSuite(options, stream_runs) != 0) return 1;
+  if (WriteSuite(options, "stream", stream_runs) != 0) return 1;
 
   std::vector<RunRecord> micro_runs;
   MicroAcfInsert(options, micro_runs);

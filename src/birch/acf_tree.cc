@@ -53,6 +53,31 @@ AcfTree::AcfTree(std::shared_ptr<const AcfLayout> layout, size_t own_part,
   acf_bytes_estimate_ = layout_->ApproxAcfBytes();
 }
 
+std::unique_ptr<AcfTree::Node> AcfTree::CloneNode(const Node& node) const {
+  auto copy = std::make_unique<Node>();
+  copy->is_leaf = node.is_leaf;
+  copy->entries = node.entries;  // Acf is value-copyable (shared layout)
+  copy->children.reserve(node.children.size());
+  for (const ChildRef& ref : node.children) {
+    copy->children.push_back(ChildRef{ref.cf, CloneNode(*ref.child)});
+  }
+  return copy;
+}
+
+std::unique_ptr<AcfTree> AcfTree::Clone() const {
+  auto copy = std::make_unique<AcfTree>(layout_, own_part_, options_);
+  copy->threshold_ = threshold_;
+  copy->root_ = CloneNode(*root_);
+  copy->outlier_buffer_ = outlier_buffer_;
+  copy->outliers_ = outliers_;
+  copy->rebuild_count_ = rebuild_count_;
+  copy->split_count_ = split_count_;
+  copy->points_inserted_ = points_inserted_;
+  copy->num_nodes_ = num_nodes_;
+  copy->num_leaf_entries_ = num_leaf_entries_;
+  return copy;
+}
+
 Status AcfTree::InsertPoint(const PartedRow& row) {
   if (row.size() != layout_->num_parts()) {
     return Status::InvalidArgument(

@@ -82,6 +82,14 @@ class AcfTree {
   AcfTree(const AcfTree&) = delete;
   AcfTree& operator=(const AcfTree&) = delete;
 
+  /// Deep copy of the tree's full state — nodes, leaf ACFs, outlier
+  /// buffers, counters and options (including any on_rebuild hook). The
+  /// clone evolves independently of the original; streaming re-mines clone
+  /// each live tree and run the destructive finishing pipeline
+  /// (FinishScan + extraction) on the copies, so ingestion can continue on
+  /// the originals. O(tree size).
+  [[nodiscard]] std::unique_ptr<AcfTree> Clone() const;
+
   /// Inserts one tuple (projected per part). May trigger rebuilds.
   Status InsertPoint(const PartedRow& row);
 
@@ -186,6 +194,9 @@ class AcfTree {
 
   void CollectLeafEntries(Node* node, std::vector<Acf>& out);
   void CollectLeafEntriesConst(const Node* node, std::vector<Acf>& out) const;
+
+  // Recursive deep copy of a subtree (Clone's workhorse).
+  [[nodiscard]] std::unique_ptr<Node> CloneNode(const Node& node) const;
 
   [[nodiscard]] size_t CountNodes(const Node* node) const;
   [[nodiscard]] size_t ApproxBytesNow() const;

@@ -113,7 +113,8 @@ Status Phase1Builder::AddRow(std::span<const double> row) {
   return Status::OK();
 }
 
-Status Phase1Builder::ForEachPart(const std::function<Status(size_t)>& fn) {
+Status Phase1Builder::ForEachPart(
+    const std::function<Status(size_t)>& fn) const {
   if (executor_ != nullptr) {
     return executor_->ParallelFor(partition_.num_parts(), fn);
   }
@@ -190,6 +191,24 @@ Status Phase1Builder::AddRelation(const Relation& rel) {
 }
 
 Result<Phase1Result> Phase1Builder::Finish() && {
+  return FinishTrees(trees_);
+}
+
+Result<Phase1Result> Phase1Builder::Snapshot() const {
+  // Clone every live tree (part-parallel) and finish the clones; the
+  // originals keep absorbing rows. Clones replay FinishScan exactly as the
+  // real trees would, so for identical rows the result is bit-identical
+  // to Finish().
+  std::vector<std::unique_ptr<AcfTree>> clones(trees_.size());
+  DAR_RETURN_IF_ERROR(ForEachPart([&](size_t p) -> Status {
+    clones[p] = trees_[p]->Clone();
+    return Status::OK();
+  }));
+  return FinishTrees(clones);
+}
+
+Result<Phase1Result> Phase1Builder::FinishTrees(
+    std::vector<std::unique_ptr<AcfTree>>& trees) const {
   if (rows_added_ == 0) {
     return Status::InvalidArgument("no rows were added");
   }
@@ -215,12 +234,12 @@ Result<Phase1Result> Phase1Builder::Finish() && {
   std::vector<PartSlot> slots(partition_.num_parts());
   const int64_t s0 = out.frequency_threshold;
   DAR_RETURN_IF_ERROR(ForEachPart([&](size_t p) -> Status {
-    DAR_RETURN_IF_ERROR(trees_[p]->FinishScan());
+    DAR_RETURN_IF_ERROR(trees[p]->FinishScan());
     PartSlot& slot = slots[p];
-    std::vector<Acf> leaf_clusters = trees_[p]->ExtractClusters();
+    std::vector<Acf> leaf_clusters = trees[p]->ExtractClusters();
     if (config_.refine_clusters) {
       RefineOptions refine;
-      refine.diameter_threshold = trees_[p]->threshold();
+      refine.diameter_threshold = trees[p]->threshold();
       leaf_clusters = RefineClusters(std::move(leaf_clusters), refine);
     }
     slot.raw_count = leaf_clusters.size();
@@ -242,11 +261,11 @@ Result<Phase1Result> Phase1Builder::Finish() && {
                          diameters.end());
         median = diameters[mid];
       }
-      d0 = std::max(trees_[p]->threshold(), median);
+      d0 = std::max(trees[p]->threshold(), median);
     }
     slot.d0 = d0;
-    slot.stats = trees_[p]->Stats();
-    slot.outliers = trees_[p]->outliers();
+    slot.stats = trees[p]->Stats();
+    slot.outliers = trees[p]->outliers();
     return Status::OK();
   }));
 

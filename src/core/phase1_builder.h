@@ -71,6 +71,15 @@ class Phase1Builder {
   /// not depend on the executor). The builder is consumed.
   Result<Phase1Result> Finish() &&;
 
+  /// Non-consuming Finish: deep-clones every live tree and runs the exact
+  /// finishing pipeline (FinishScan, optional refinement, frequency
+  /// filtering, d0 derivation) on the clones, leaving the builder ready to
+  /// absorb more rows. For identical rows this produces a Phase1Result
+  /// bit-identical to Finish() — it is the incremental re-mine primitive of
+  /// dar::stream: Phase II only needs the summaries, so rules can be
+  /// re-derived mid-stream without rescanning any data (Thm 6.1).
+  [[nodiscard]] Result<Phase1Result> Snapshot() const;
+
  private:
   Phase1Builder(DarConfig config, AttributePartition partition,
                 std::shared_ptr<const AcfLayout> layout,
@@ -91,7 +100,13 @@ class Phase1Builder {
   Status FeedPart(const Relation& rel, size_t p);
 
   // Runs fn(p) for every part, on the executor when present.
-  Status ForEachPart(const std::function<Status(size_t)>& fn);
+  Status ForEachPart(const std::function<Status(size_t)>& fn) const;
+
+  // Shared finishing pipeline over `trees` (the real trees for Finish, a
+  // fresh set of clones for Snapshot). Mutates the given trees (outlier
+  // re-absorption), never the builder itself.
+  Result<Phase1Result> FinishTrees(
+      std::vector<std::unique_ptr<AcfTree>>& trees) const;
 
   // Records the Phase-I counters/gauges of `out` into telemetry_ (no-op
   // when the context is disabled). Called once from Finish.

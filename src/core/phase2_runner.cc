@@ -1,0 +1,79 @@
+#include "core/phase2_runner.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/clustering_graph.h"
+#include "core/rule_gen.h"
+
+namespace dar {
+
+Result<Phase2Result> RunPhase2OnSummaries(const Phase1Result& phase1,
+                                          const DarConfig& config,
+                                          const Phase2RunOptions& options) {
+  Stopwatch watch;
+  Phase2Result out;
+  const telemetry::TelemetryContext telem = options.telemetry;
+
+  ClusteringGraphOptions graph_opts;
+  graph_opts.metric = config.metric;
+  graph_opts.prune_low_density_images = config.prune_low_density_images;
+  graph_opts.executor = options.executor;
+  graph_opts.observer = options.observer;
+  graph_opts.telemetry = telem;
+  graph_opts.d0.reserve(phase1.effective_d0.size());
+  for (double d0 : phase1.effective_d0) {
+    graph_opts.d0.push_back(d0 * config.phase2_leniency);
+  }
+
+  ClusteringGraph graph(phase1.clusters, graph_opts);
+  out.graph_edges = graph.num_edges();
+
+  out.cliques = graph.MaximalCliques(config.max_cliques,
+                                     &out.cliques_truncated);
+  for (const auto& q : out.cliques) {
+    if (q.size() >= 2) ++out.num_nontrivial_cliques;
+  }
+
+  RuleGenOptions rule_opts;
+  rule_opts.metric = config.metric;
+  rule_opts.degree_threshold = config.degree_threshold;
+  rule_opts.degree_thresholds = config.degree_thresholds;
+  rule_opts.max_antecedent = config.max_antecedent;
+  rule_opts.max_consequent = config.max_consequent;
+  rule_opts.max_rules = config.max_rules;
+  RuleGenResult rules =
+      GenerateDistanceRules(phase1.clusters, out.cliques, rule_opts);
+  out.rules = std::move(rules.rules);
+  out.rules_truncated = rules.truncated;
+
+  // Strongest rules first.
+  std::sort(out.rules.begin(), out.rules.end(),
+            [](const DistanceRule& a, const DistanceRule& b) {
+              return a.degree < b.degree;
+            });
+  out.seconds = watch.ElapsedSeconds();
+
+  // The loose Phase-II counters live in the snapshot now; recorded once
+  // per run on the coordinating thread, so their values are deterministic.
+  if (!telem.enabled()) return out;
+  telem.GetCounter("phase2.edge_evaluations")
+      ->Increment(graph.comparisons_made());
+  telem.GetCounter("phase2.pruned_pairs")
+      ->Increment(graph.comparisons_skipped());
+  telem.GetCounter("phase2.graph_edges")
+      ->Increment(static_cast<int64_t>(out.graph_edges));
+  telem.GetCounter("phase2.cliques")
+      ->Increment(static_cast<int64_t>(out.cliques.size()));
+  telem.GetCounter("phase2.nontrivial_cliques")
+      ->Increment(static_cast<int64_t>(out.num_nontrivial_cliques));
+  telem.GetCounter("phase2.degree_evaluations")
+      ->Increment(rules.degree_evaluations);
+  telem.GetCounter("phase2.rules")
+      ->Increment(static_cast<int64_t>(out.rules.size()));
+  telem.GetGauge("phase2.seconds", telemetry::Unit::kSeconds)
+      ->Set(out.seconds);
+  return out;
+}
+
+}  // namespace dar

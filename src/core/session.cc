@@ -5,9 +5,8 @@
 
 #include "birch/acf_tree.h"
 #include "common/stopwatch.h"
-#include "core/clustering_graph.h"
 #include "core/phase1_builder.h"
-#include "core/rule_gen.h"
+#include "core/phase2_runner.h"
 
 namespace dar {
 
@@ -43,69 +42,18 @@ Result<Phase1Result> Session::RunPhase1(
 }
 
 Result<Phase2Result> Session::RunPhase2(const Phase1Result& phase1) const {
-  Stopwatch watch;
-  Phase2Result out;
-  const telemetry::TelemetryContext telem(registry_.get());
-
-  ClusteringGraphOptions graph_opts;
-  graph_opts.metric = config_.metric;
-  graph_opts.prune_low_density_images = config_.prune_low_density_images;
-  graph_opts.executor = executor_.get();
-  graph_opts.observer = observer_or_null();
-  graph_opts.telemetry = telem;
-  graph_opts.d0.reserve(phase1.effective_d0.size());
-  for (double d0 : phase1.effective_d0) {
-    graph_opts.d0.push_back(d0 * config_.phase2_leniency);
-  }
-
-  ClusteringGraph graph(phase1.clusters, graph_opts);
-  out.graph_edges = graph.num_edges();
-
-  out.cliques = graph.MaximalCliques(config_.max_cliques,
-                                     &out.cliques_truncated);
-  for (const auto& q : out.cliques) {
-    if (q.size() >= 2) ++out.num_nontrivial_cliques;
-  }
-
-  RuleGenOptions rule_opts;
-  rule_opts.metric = config_.metric;
-  rule_opts.degree_threshold = config_.degree_threshold;
-  rule_opts.degree_thresholds = config_.degree_thresholds;
-  rule_opts.max_antecedent = config_.max_antecedent;
-  rule_opts.max_consequent = config_.max_consequent;
-  rule_opts.max_rules = config_.max_rules;
-  RuleGenResult rules =
-      GenerateDistanceRules(phase1.clusters, out.cliques, rule_opts);
-  out.rules = std::move(rules.rules);
-  out.rules_truncated = rules.truncated;
-
-  // Strongest rules first.
-  std::sort(out.rules.begin(), out.rules.end(),
-            [](const DistanceRule& a, const DistanceRule& b) {
-              return a.degree < b.degree;
-            });
-  out.seconds = watch.ElapsedSeconds();
-
-  // The loose Phase-II counters live in the snapshot now; recorded once
-  // per run on the coordinating thread, so their values are deterministic.
-  telem.GetCounter("phase2.edge_evaluations")
-      ->Increment(graph.comparisons_made());
-  telem.GetCounter("phase2.pruned_pairs")
-      ->Increment(graph.comparisons_skipped());
-  telem.GetCounter("phase2.graph_edges")
-      ->Increment(static_cast<int64_t>(out.graph_edges));
-  telem.GetCounter("phase2.cliques")
-      ->Increment(static_cast<int64_t>(out.cliques.size()));
-  telem.GetCounter("phase2.nontrivial_cliques")
-      ->Increment(static_cast<int64_t>(out.num_nontrivial_cliques));
-  telem.GetCounter("phase2.degree_evaluations")
-      ->Increment(rules.degree_evaluations);
-  telem.GetCounter("phase2.rules")
-      ->Increment(static_cast<int64_t>(out.rules.size()));
-  telem.GetGauge("phase2.seconds", telemetry::Unit::kSeconds)
-      ->Set(out.seconds);
-  return out;
+  // Phase II is summary-only (Thm 6.1): delegate to the shared runner that
+  // dar::stream re-mines through as well.
+  Phase2RunOptions options;
+  options.executor = executor_.get();
+  options.observer = observer_or_null();
+  options.telemetry = telemetry::TelemetryContext(registry_.get());
+  return RunPhase2OnSummaries(phase1, config_, options);
 }
+
+// Session::OpenStream is defined in src/stream/streaming_miner.cc: the
+// stream subsystem layers on top of dar_core, so the facade's streaming
+// entry point lives (and links) with the code it constructs.
 
 Status Session::CountRuleSupport(const Relation& rel,
                                  const AttributePartition& partition,

@@ -14,10 +14,13 @@
 #include "core/rules.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
+#include "stream/stream_config.h"
 #include "telemetry/context.h"
 #include "telemetry/metrics.h"
 
 namespace dar {
+
+class StreamingMiner;  // stream/streaming_miner.h
 
 /// The library's mining facade: a validated DarConfig, an Executor that
 /// decides how the two phases use the hardware, observers receiving
@@ -101,6 +104,21 @@ class Session {
   /// edge sweep is parallelized on the session's executor.
   [[nodiscard]] Result<Phase2Result> RunPhase2(
       const Phase1Result& phase1) const;
+
+  /// Opens an incremental mining stream over this session's config,
+  /// executor and metrics registry: a StreamingMiner that accepts
+  /// micro-batches of tuples, keeps the per-part ACF-trees live, and
+  /// republishes an immutable RuleSnapshot (rules + tuple->rule query
+  /// index) on a configurable cadence — ingest-while-serving, no rescans
+  /// (see stream/streaming_miner.h for the threading contract).
+  ///
+  /// The stream records into the session's registry cumulatively; do not
+  /// interleave Mine() calls (which Reset() the registry) with an open
+  /// stream on the same Session. Defined in src/stream/ — callers link the
+  /// umbrella `dar` target.
+  [[nodiscard]] Result<std::unique_ptr<StreamingMiner>> OpenStream(
+      const Schema& schema, const AttributePartition& partition,
+      StreamConfig stream_config = {}) const;
 
   /// Optional §6.2 post-processing: rescans `rel` once and fills
   /// `support_count` of every rule with the number of tuples assigned to

@@ -1,0 +1,127 @@
+#include "stream/rule_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dar {
+
+RuleIndex RuleIndex::Build(const ClusterSet& clusters,
+                           const std::vector<DistanceRule>& rules,
+                           const AttributePartition& partition) {
+  RuleIndex index;
+  index.num_clusters_ = clusters.size();
+  index.parts_.resize(partition.num_parts());
+
+  for (size_t p = 0; p < partition.num_parts(); ++p) {
+    PartIndex& part = index.parts_[p];
+    part.columns = partition.part(p).columns;
+    for (size_t col : part.columns) {
+      index.min_row_width_ = std::max(index.min_row_width_, col + 1);
+    }
+    if (p < clusters.num_parts()) {
+      const std::vector<size_t>& on_part = clusters.ClustersOnPart(p);
+      part.ids.assign(on_part.begin(), on_part.end());
+    }
+    // Sort by the box's lower bound on the part's first dimension, ties by
+    // id, so the layout is a pure function of the cluster set.
+    std::vector<std::vector<Interval>> boxes(part.ids.size());
+    for (size_t i = 0; i < part.ids.size(); ++i) {
+      const auto bb = clusters.cluster(part.ids[i]).acf.BoundingBox(p);
+      boxes[i].reserve(bb.size());
+      for (const auto& [lo, hi] : bb) boxes[i].push_back({lo, hi});
+    }
+    std::vector<size_t> order(part.ids.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const double la = boxes[a].empty() ? 0 : boxes[a][0].lo;
+      const double lb = boxes[b].empty() ? 0 : boxes[b][0].lo;
+      if (la != lb) return la < lb;
+      return part.ids[a] < part.ids[b];
+    });
+    std::vector<size_t> sorted_ids;
+    sorted_ids.reserve(order.size());
+    part.lo0.reserve(order.size());
+    part.prefix_max_hi.reserve(order.size());
+    part.boxes.reserve(order.size());
+    double running_max = -std::numeric_limits<double>::infinity();
+    for (size_t i : order) {
+      sorted_ids.push_back(part.ids[i]);
+      part.lo0.push_back(boxes[i].empty() ? 0 : boxes[i][0].lo);
+      running_max =
+          std::max(running_max, boxes[i].empty() ? 0 : boxes[i][0].hi);
+      part.prefix_max_hi.push_back(running_max);
+      part.boxes.push_back(std::move(boxes[i]));
+    }
+    part.ids = std::move(sorted_ids);
+  }
+
+  index.rules_of_cluster_.resize(clusters.size());
+  index.rule_arity_.resize(rules.size());
+  for (size_t k = 0; k < rules.size(); ++k) {
+    const DistanceRule& rule = rules[k];
+    index.rule_arity_[k] = rule.antecedent.size() + rule.consequent.size();
+    for (const auto* side : {&rule.antecedent, &rule.consequent}) {
+      for (size_t id : *side) {
+        if (id < index.rules_of_cluster_.size()) {
+          index.rules_of_cluster_[id].push_back(k);
+        }
+      }
+    }
+  }
+  return index;
+}
+
+Status RuleIndex::Query(std::span<const double> row,
+                        QueryResult& out) const {
+  out.clusters.clear();
+  out.rules.clear();
+  if (row.size() < min_row_width_) {
+    return Status::InvalidArgument(
+        "query tuple has " + std::to_string(row.size()) +
+        " values; the partitioning references column " +
+        std::to_string(min_row_width_ - 1));
+  }
+
+  for (const PartIndex& part : parts_) {
+    if (part.ids.empty()) continue;
+    const double v0 = row[part.columns[0]];
+    // Candidates must have lo0 <= v0; walk left from the upper bound while
+    // some candidate's dim-0 interval can still reach v0.
+    auto it = std::upper_bound(part.lo0.begin(), part.lo0.end(), v0);
+    for (size_t i = static_cast<size_t>(it - part.lo0.begin()); i-- > 0;) {
+      if (part.prefix_max_hi[i] < v0) break;  // nothing earlier reaches v0
+      const std::vector<Interval>& box = part.boxes[i];
+      bool contains = true;
+      for (size_t d = 0; d < box.size(); ++d) {
+        const double v = row[part.columns[d]];
+        if (v < box[d].lo || v > box[d].hi) {
+          contains = false;
+          break;
+        }
+      }
+      if (contains) out.clusters.push_back(part.ids[i]);
+    }
+  }
+  std::sort(out.clusters.begin(), out.clusters.end());
+
+  // A rule fires iff every one of its clusters contains the tuple. Gather
+  // the rule references of the containing clusters and count runs — cost
+  // is proportional to the references actually touched, never to the
+  // total rule count.
+  std::vector<size_t> touched;
+  for (size_t id : out.clusters) {
+    const std::vector<size_t>& refs = rules_of_cluster_[id];
+    touched.insert(touched.end(), refs.begin(), refs.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  for (size_t i = 0; i < touched.size();) {
+    size_t j = i;
+    while (j < touched.size() && touched[j] == touched[i]) ++j;
+    if (j - i == rule_arity_[touched[i]]) out.rules.push_back(touched[i]);
+    i = j;
+  }
+  return Status::OK();
+}
+
+}  // namespace dar

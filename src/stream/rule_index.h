@@ -1,0 +1,88 @@
+#ifndef DAR_STREAM_RULE_INDEX_H_
+#define DAR_STREAM_RULE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+#include "core/rules.h"
+#include "relation/partition.h"
+
+namespace dar {
+
+/// The snapshot's serving index: answers "which clusters contain tuple t"
+/// and "which DARs fire for t" point queries without scanning every
+/// cluster or rule.
+///
+/// Containment is bounding-box containment of the tuple's projection in
+/// the cluster's image on its own part (the §7.2 presentation geometry —
+/// the same boxes ClusterSet::Describe prints). A rule *fires* for t when
+/// every antecedent and consequent cluster contains t.
+///
+/// Structure: per part, clusters are sorted by their box's lower bound on
+/// the part's first dimension, with a running prefix-max of the upper
+/// bounds. A query binary-searches the sorted lower bounds and walks left
+/// only while the prefix-max still reaches the probe value, so it visits
+/// the candidates whose first-dimension interval actually straddles the
+/// probe instead of every cluster on the part. Rule firing is counted
+/// through a cluster->rules adjacency, touching only rules that reference
+/// at least one containing cluster.
+///
+/// Immutable after Build; Query is const, allocation-contained, and safe
+/// to call from any number of reader threads concurrently.
+class RuleIndex {
+ public:
+  struct QueryResult {
+    /// Ids (into the snapshot's ClusterSet) of clusters whose bounding box
+    /// contains the tuple, ascending.
+    std::vector<size_t> clusters;
+    /// Indices (into the snapshot's rule vector) of rules all of whose
+    /// clusters contain the tuple, ascending.
+    std::vector<size_t> rules;
+  };
+
+  RuleIndex() = default;
+
+  /// Builds the index over a Phase-I cluster set and the Phase-II rules
+  /// derived from it. `partition` supplies each part's schema columns so
+  /// queries can take a full-width tuple.
+  static RuleIndex Build(const ClusterSet& clusters,
+                         const std::vector<DistanceRule>& rules,
+                         const AttributePartition& partition);
+
+  /// Point query for one full-width tuple (one value per schema
+  /// attribute covered by the partitioning; `row.size()` must be at least
+  /// the largest partitioned column index + 1).
+  Status Query(std::span<const double> row, QueryResult& out) const;
+
+  [[nodiscard]] size_t num_clusters() const { return num_clusters_; }
+  [[nodiscard]] size_t num_rules() const { return rule_arity_.size(); }
+
+ private:
+  // One dimension's [lo, hi] of a cluster's bounding box.
+  struct Interval {
+    double lo = 0;
+    double hi = 0;
+  };
+
+  struct PartIndex {
+    std::vector<size_t> columns;  // schema columns of this part
+    // Clusters on this part sorted by box lo on dimension 0 (ties by id).
+    std::vector<size_t> ids;
+    std::vector<double> lo0;            // sort keys, aligned with ids
+    std::vector<double> prefix_max_hi;  // running max of hi on dim 0
+    std::vector<std::vector<Interval>> boxes;  // full box, aligned with ids
+  };
+
+  std::vector<PartIndex> parts_;
+  std::vector<std::vector<size_t>> rules_of_cluster_;
+  std::vector<size_t> rule_arity_;  // |antecedent| + |consequent| per rule
+  size_t num_clusters_ = 0;
+  size_t min_row_width_ = 0;
+};
+
+}  // namespace dar
+
+#endif  // DAR_STREAM_RULE_INDEX_H_

@@ -1,0 +1,74 @@
+#include "stream/rule_snapshot.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace dar {
+
+RuleSnapshot::RuleSnapshot(uint64_t generation, int64_t rows_ingested,
+                           Phase1Result phase1, Phase2Result phase2,
+                           const AttributePartition& partition,
+                           bool build_index)
+    : generation_(generation),
+      rows_ingested_(rows_ingested),
+      phase1_(std::move(phase1)),
+      phase2_(std::move(phase2)) {
+  if (build_index) {
+    index_ = std::make_unique<const RuleIndex>(
+        RuleIndex::Build(phase1_.clusters, phase2_.rules, partition));
+  }
+}
+
+Status RuleSnapshot::CheckConsistency() const {
+  if (generation_ == 0) {
+    return Status::Internal("snapshot has generation 0 (never published)");
+  }
+  if (rows_ingested_ <= 0) {
+    return Status::Internal("snapshot claims " +
+                            std::to_string(rows_ingested_) +
+                            " ingested rows");
+  }
+  const size_t num_clusters = phase1_.clusters.size();
+  if (phase1_.effective_d0.size() != phase1_.clusters.num_parts()) {
+    return Status::Internal(
+        "effective_d0 has " + std::to_string(phase1_.effective_d0.size()) +
+        " entries for " + std::to_string(phase1_.clusters.num_parts()) +
+        " parts");
+  }
+  for (size_t k = 0; k < phase2_.rules.size(); ++k) {
+    const DistanceRule& rule = phase2_.rules[k];
+    if (rule.antecedent.empty() || rule.consequent.empty()) {
+      return Status::Internal("rule " + std::to_string(k) +
+                              " has an empty side");
+    }
+    for (const auto* side : {&rule.antecedent, &rule.consequent}) {
+      if (!std::is_sorted(side->begin(), side->end())) {
+        return Status::Internal("rule " + std::to_string(k) +
+                                " has unsorted cluster ids");
+      }
+      for (size_t id : *side) {
+        if (id >= num_clusters) {
+          return Status::Internal(
+              "rule " + std::to_string(k) + " references cluster " +
+              std::to_string(id) + " of " + std::to_string(num_clusters));
+        }
+      }
+    }
+  }
+  if (index_ != nullptr) {
+    if (index_->num_clusters() != num_clusters) {
+      return Status::Internal(
+          "index covers " + std::to_string(index_->num_clusters()) +
+          " clusters, snapshot has " + std::to_string(num_clusters));
+    }
+    if (index_->num_rules() != phase2_.rules.size()) {
+      return Status::Internal(
+          "index covers " + std::to_string(index_->num_rules()) +
+          " rules, snapshot has " + std::to_string(phase2_.rules.size()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dar

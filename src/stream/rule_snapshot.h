@@ -1,0 +1,72 @@
+#ifndef DAR_STREAM_RULE_SNAPSHOT_H_
+#define DAR_STREAM_RULE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/miner_result.h"
+#include "core/model.h"
+#include "core/rules.h"
+#include "relation/partition.h"
+#include "stream/rule_index.h"
+
+namespace dar {
+
+/// One published state of an incremental mining stream: the Phase-I
+/// summaries and Phase-II rules derived from everything ingested up to
+/// `rows_ingested`, plus (optionally) the RuleIndex serving layer built
+/// over them.
+///
+/// Immutable after construction. StreamingMiner publishes snapshots as
+/// `std::shared_ptr<const RuleSnapshot>` through an atomic swap, so any
+/// number of reader threads can hold, query and compare snapshots while
+/// the ingest thread keeps mining — a reader's view is always one
+/// complete, internally consistent generation, never a half-updated one.
+class RuleSnapshot {
+ public:
+  RuleSnapshot(uint64_t generation, int64_t rows_ingested,
+               Phase1Result phase1, Phase2Result phase2,
+               const AttributePartition& partition, bool build_index);
+
+  RuleSnapshot(const RuleSnapshot&) = delete;
+  RuleSnapshot& operator=(const RuleSnapshot&) = delete;
+
+  /// 1-based publication counter: snapshot N+1 replaced snapshot N.
+  [[nodiscard]] uint64_t generation() const { return generation_; }
+
+  /// Rows the stream had absorbed when this snapshot was derived.
+  [[nodiscard]] int64_t rows_ingested() const { return rows_ingested_; }
+
+  [[nodiscard]] const Phase1Result& phase1() const { return phase1_; }
+  [[nodiscard]] const Phase2Result& phase2() const { return phase2_; }
+  [[nodiscard]] const ClusterSet& clusters() const {
+    return phase1_.clusters;
+  }
+  [[nodiscard]] const std::vector<DistanceRule>& rules() const {
+    return phase2_.rules;
+  }
+
+  /// The tuple->cluster/rule point-query index; null when the stream was
+  /// opened with StreamConfig::build_rule_index = false.
+  [[nodiscard]] const RuleIndex* index() const { return index_.get(); }
+
+  /// Structural self-check used by the concurrency tests: a reader that
+  /// obtained this snapshot through StreamingMiner::snapshot() must always
+  /// see a complete object — every rule's cluster ids sorted and in range,
+  /// per-part d0 vector sized to the cluster set, index cardinalities
+  /// matching, generation positive. Any violation means a torn publish.
+  [[nodiscard]] Status CheckConsistency() const;
+
+ private:
+  uint64_t generation_;
+  int64_t rows_ingested_;
+  Phase1Result phase1_;
+  Phase2Result phase2_;
+  std::unique_ptr<const RuleIndex> index_;  // null when disabled
+};
+
+}  // namespace dar
+
+#endif  // DAR_STREAM_RULE_SNAPSHOT_H_

@@ -1,0 +1,59 @@
+#ifndef DAR_STREAM_SNAPSHOT_CELL_H_
+#define DAR_STREAM_SNAPSHOT_CELL_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace dar {
+
+// Single-slot publication cell for std::shared_ptr<T>: one writer swaps in
+// new values, any number of readers copy the current one concurrently.
+//
+// This exists because libstdc++'s std::atomic<std::shared_ptr<T>> (as of
+// GCC 12) guards its pointer slot with a lock bit but releases it on the
+// reader path with memory_order_relaxed, so the plain pointer read formally
+// races with the writer's swap — ThreadSanitizer reports it, correctly per
+// the C++ memory model. This cell runs the same spin-on-a-bit protocol with
+// acquire/release on both sides. The critical section is a pointer +
+// refcount copy (a few instructions, no allocation: the previous value is
+// released outside the lock), so contention is negligible for the stream's
+// one-writer/many-reader publication pattern.
+template <typename T>
+class SnapshotCell {
+ public:
+  SnapshotCell() = default;
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  [[nodiscard]] std::shared_ptr<T> load() const {
+    Lock();
+    std::shared_ptr<T> copy = ptr_;
+    Unlock();
+    return copy;
+  }
+
+  void store(std::shared_ptr<T> next) {
+    Lock();
+    ptr_.swap(next);
+    Unlock();
+    // `next` now holds the previous value; it is released here, after the
+    // lock, so a possibly expensive destructor never runs under it.
+  }
+
+ private:
+  void Lock() const {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void Unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<T> ptr_;  // guarded by locked_
+};
+
+}  // namespace dar
+
+#endif  // DAR_STREAM_SNAPSHOT_CELL_H_

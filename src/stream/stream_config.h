@@ -1,0 +1,42 @@
+#ifndef DAR_STREAM_STREAM_CONFIG_H_
+#define DAR_STREAM_STREAM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dar {
+
+/// Knobs of an incremental mining stream (Session::OpenStream). The
+/// DarConfig knobs — thresholds, metrics, arities — are inherited from the
+/// owning Session; this struct only configures *when* rules are re-derived
+/// and what the published snapshot carries.
+struct StreamConfig {
+  /// Re-mine cadence: after every `remine_every_rows` ingested rows a new
+  /// RuleSnapshot is derived and published automatically. 0 disables the
+  /// automatic cadence — snapshots are then produced only by explicit
+  /// Remine() calls. Re-mining is summary-only (Thm 6.1): cost is
+  /// proportional to the number of clusters, not to the rows ingested.
+  int64_t remine_every_rows = 4096;
+
+  /// When true (default) every snapshot carries a RuleIndex, so readers
+  /// can answer "which clusters contain tuple t / which DARs fire for t"
+  /// point queries in sublinear time. Costs O(clusters * log) per re-mine.
+  bool build_rule_index = true;
+
+  /// Rejects a negative cadence. Session::OpenStream refuses to open a
+  /// stream on any violation.
+  [[nodiscard]] Status Validate() const {
+    if (remine_every_rows < 0) {
+      return Status::InvalidArgument(
+          "StreamConfig::remine_every_rows must be >= 0, got " +
+          std::to_string(remine_every_rows));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace dar
+
+#endif  // DAR_STREAM_STREAM_CONFIG_H_

@@ -1,0 +1,169 @@
+#include "stream/streaming_miner.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/phase2_runner.h"
+#include "core/session.h"
+#include "telemetry/context.h"
+
+namespace dar {
+
+StreamingMiner::StreamingMiner(
+    PrivateTag, DarConfig config, StreamConfig stream_config,
+    AttributePartition partition, std::shared_ptr<Executor> executor,
+    std::shared_ptr<telemetry::MetricsRegistry> registry,
+    MiningObserver* observer, Phase1Builder builder)
+    : config_(std::move(config)),
+      stream_config_(stream_config),
+      partition_(std::move(partition)),
+      executor_(std::move(executor)),
+      registry_(std::move(registry)),
+      observer_(observer),
+      builder_(std::move(builder)) {
+  if (registry_ != nullptr) {
+    // Resolve every handle once; recording is then lock-free. All metric
+    // names live under stream.* so a telemetry snapshot shows the stream's
+    // lifetime totals next to the per-remine phase1.*/phase2.* counters.
+    telemetry::MetricsRegistry& reg = *registry_;
+    ingest_batches_ = reg.GetCounter("stream.ingest_batches");
+    ingest_rows_ = reg.GetCounter("stream.ingest_rows");
+    remines_ = reg.GetCounter("stream.remines");
+    generation_gauge_ = reg.GetGauge("stream.generation");
+    staleness_gauge_ = reg.GetGauge("stream.staleness_rows");
+    snapshot_rules_ = reg.GetGauge("stream.snapshot_rules");
+    snapshot_clusters_ = reg.GetGauge("stream.snapshot_clusters");
+    ingest_seconds_ = reg.GetHistogram(
+        "stream.ingest_seconds", telemetry::Histogram::LatencyBounds());
+    remine_seconds_ = reg.GetHistogram(
+        "stream.remine_seconds", telemetry::Histogram::LatencyBounds());
+    query_seconds_ = reg.GetHistogram(
+        "stream.query_seconds", telemetry::Histogram::LatencyBounds());
+  }
+}
+
+Result<std::unique_ptr<StreamingMiner>> StreamingMiner::Make(
+    const DarConfig& config, const Schema& schema,
+    const AttributePartition& partition, StreamConfig stream_config,
+    std::shared_ptr<Executor> executor,
+    std::shared_ptr<telemetry::MetricsRegistry> registry,
+    MiningObserver* observer) {
+  DAR_RETURN_IF_ERROR(config.Validate());
+  DAR_RETURN_IF_ERROR(stream_config.Validate());
+  DAR_ASSIGN_OR_RETURN(
+      Phase1Builder builder,
+      Phase1Builder::Make(config, schema, partition,
+                          executor != nullptr ? executor.get() : nullptr,
+                          observer,
+                          telemetry::TelemetryContext(registry.get())));
+  // The atomics rule out moves, so the stream lives on the heap from
+  // birth; PrivateTag keeps construction funneled through Make.
+  return std::make_unique<StreamingMiner>(
+      PrivateTag{}, config, stream_config, partition, std::move(executor),
+      std::move(registry), observer, std::move(builder));
+}
+
+Status StreamingMiner::Ingest(const Relation& batch) {
+  Stopwatch watch;
+  DAR_RETURN_IF_ERROR(builder_.AddRelation(batch));
+  rows_ingested_.store(builder_.rows_added(), std::memory_order_release);
+  if (ingest_batches_ != nullptr) {
+    ingest_batches_->Increment();
+    ingest_rows_->Increment(static_cast<int64_t>(batch.num_rows()));
+    ingest_seconds_->Record(watch.ElapsedSeconds());
+    staleness_gauge_->Set(static_cast<double>(rows_since_snapshot()));
+  }
+  return MaybeRemine();
+}
+
+Status StreamingMiner::IngestRow(std::span<const double> row) {
+  Stopwatch watch;
+  DAR_RETURN_IF_ERROR(builder_.AddRow(row));
+  rows_ingested_.store(builder_.rows_added(), std::memory_order_release);
+  if (ingest_rows_ != nullptr) {
+    ingest_rows_->Increment();
+    ingest_seconds_->Record(watch.ElapsedSeconds());
+    staleness_gauge_->Set(static_cast<double>(rows_since_snapshot()));
+  }
+  return MaybeRemine();
+}
+
+Status StreamingMiner::MaybeRemine() {
+  if (stream_config_.remine_every_rows <= 0) return Status::OK();
+  if (rows_since_snapshot() < stream_config_.remine_every_rows) {
+    return Status::OK();
+  }
+  return Remine().status();
+}
+
+Result<std::shared_ptr<const RuleSnapshot>> StreamingMiner::Remine() {
+  Stopwatch watch;
+  const int64_t rows = builder_.rows_added();
+  // Summary-only: clone the live trees, finish the clones, re-derive the
+  // rules from the summaries. No ingested tuple is revisited.
+  DAR_ASSIGN_OR_RETURN(Phase1Result phase1, builder_.Snapshot());
+  Phase2RunOptions options;
+  options.executor = executor_ != nullptr ? executor_.get() : nullptr;
+  options.observer = observer_;
+  options.telemetry = telemetry::TelemetryContext(registry_.get());
+  DAR_ASSIGN_OR_RETURN(Phase2Result phase2,
+                       RunPhase2OnSummaries(phase1, config_, options));
+
+  const uint64_t generation =
+      generation_.load(std::memory_order_relaxed) + 1;
+  auto snapshot = std::make_shared<const RuleSnapshot>(
+      generation, rows, std::move(phase1), std::move(phase2), partition_,
+      stream_config_.build_rule_index);
+
+  // Publication order: the fully built snapshot first (SnapshotCell's
+  // unlock is a release), then the counters readers use as staleness/
+  // progress gauges. A reader that sees generation N can therefore always
+  // load a snapshot of at least that generation.
+  snapshot_.store(snapshot);
+  rows_at_snapshot_.store(rows, std::memory_order_release);
+  generation_.store(generation, std::memory_order_release);
+
+  if (remines_ != nullptr) {
+    remines_->Increment();
+    remine_seconds_->Record(watch.ElapsedSeconds());
+    generation_gauge_->Set(static_cast<double>(generation));
+    staleness_gauge_->Set(0);
+    snapshot_rules_->Set(static_cast<double>(snapshot->rules().size()));
+    snapshot_clusters_->Set(static_cast<double>(snapshot->clusters().size()));
+  }
+  return snapshot;
+}
+
+Result<RuleIndex::QueryResult> StreamingMiner::Query(
+    std::span<const double> row) const {
+  std::shared_ptr<const RuleSnapshot> snapshot = snapshot_.load();
+  if (snapshot == nullptr) {
+    return Status::NotFound(
+        "no RuleSnapshot published yet — ingest past the re-mine cadence "
+        "or call Remine()");
+  }
+  const RuleIndex* index = snapshot->index();
+  if (index == nullptr) {
+    return Status::InvalidArgument(
+        "stream was opened with StreamConfig::build_rule_index = false");
+  }
+  Stopwatch watch;
+  RuleIndex::QueryResult out;
+  DAR_RETURN_IF_ERROR(index->Query(row, out));
+  if (query_seconds_ != nullptr) {
+    query_seconds_->Record(watch.ElapsedSeconds());
+  }
+  return out;
+}
+
+// Defined here rather than in session.cc so dar_core does not depend on
+// dar_stream: the facade's streaming entry point links with the subsystem
+// it constructs.
+Result<std::unique_ptr<StreamingMiner>> Session::OpenStream(
+    const Schema& schema, const AttributePartition& partition,
+    StreamConfig stream_config) const {
+  return StreamingMiner::Make(config_, schema, partition, stream_config,
+                              executor_, registry_, observer_or_null());
+}
+
+}  // namespace dar

@@ -1,0 +1,169 @@
+#ifndef DAR_STREAM_STREAMING_MINER_H_
+#define DAR_STREAM_STREAMING_MINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/executor.h"
+#include "common/result.h"
+#include "core/config.h"
+#include "core/observer.h"
+#include "core/phase1_builder.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+#include "stream/rule_index.h"
+#include "stream/rule_snapshot.h"
+#include "stream/snapshot_cell.h"
+#include "stream/stream_config.h"
+#include "telemetry/metrics.h"
+
+namespace dar {
+
+/// Incremental micro-batch mining (the tentpole of dar::stream): tuples
+/// arrive in micro-batches, the per-part ACF-trees stay live across
+/// batches (the same insert/absorb path batch Phase I uses — §3's single
+/// pass, just never finished), and on a configurable cadence the current
+/// summaries are re-mined into an immutable RuleSnapshot published through
+/// an atomic shared_ptr swap.
+///
+/// Re-mining is *summary-only*: Phase1Builder::Snapshot() deep-clones the
+/// live trees and runs the finishing pipeline on the clones, and Phase II
+/// is a pure function of those summaries (Thm 6.1) — no ingested tuple is
+/// ever revisited, so the cost of refreshing the rules is proportional to
+/// the number of clusters, not to the stream length. Because the per-tree
+/// insert sequence is identical to the batch path, a stream fed K
+/// micro-batches on one thread publishes exactly the rule set a one-shot
+/// Session::Mine over the concatenated batches derives (DistanceRule::
+/// support_count stays -1: the stream retains no tuples to rescan).
+///
+/// Threading contract: ONE writer thread calls Ingest/IngestRow/Remine;
+/// any number of reader threads call snapshot()/Query()/generation()/
+/// rows_ingested()/rows_since_snapshot() concurrently with it without
+/// blocking (publication is a SnapshotCell pointer swap; counters are
+/// plain atomics).
+/// A reader's snapshot is complete and internally consistent
+/// (RuleSnapshot::CheckConsistency) and remains valid as long as the
+/// reader holds the shared_ptr, even after newer generations replace it.
+///
+///     DAR_ASSIGN_OR_RETURN(auto stream,
+///                          session.OpenStream(schema, partition));
+///     DAR_RETURN_IF_ERROR(stream->Ingest(batch));  // may auto-publish
+///     auto snap = stream->snapshot();              // lock-free
+///     DAR_ASSIGN_OR_RETURN(auto hits, stream->Query(tuple));
+class StreamingMiner {
+ public:
+  /// Validates both configs and assembles the stream. `executor` may be
+  /// null (serial); `registry` may be null (telemetry disabled);
+  /// `observer` may be null. Prefer Session::OpenStream, which wires the
+  /// session's executor, registry and observers in.
+  static Result<std::unique_ptr<StreamingMiner>> Make(
+      const DarConfig& config, const Schema& schema,
+      const AttributePartition& partition, StreamConfig stream_config,
+      std::shared_ptr<Executor> executor,
+      std::shared_ptr<telemetry::MetricsRegistry> registry,
+      MiningObserver* observer = nullptr);
+
+  StreamingMiner(const StreamingMiner&) = delete;
+  StreamingMiner& operator=(const StreamingMiner&) = delete;
+
+  /// Absorbs one micro-batch (same schema as the stream). Feeds each
+  /// part's tree with the identical insert/paging sequence AddRow would,
+  /// part-parallel on the stream's executor. When the cadence is enabled
+  /// and this batch crosses it, re-mines and publishes a new snapshot
+  /// before returning.
+  Status Ingest(const Relation& batch);
+
+  /// Absorbs a single tuple (one value per schema attribute). Cadence
+  /// applies as in Ingest.
+  Status IngestRow(std::span<const double> row);
+
+  /// Re-mines the current summaries and publishes the result as the new
+  /// current snapshot, regardless of cadence. Returns the published
+  /// snapshot. Fails (and publishes nothing) when no rows were ingested.
+  Result<std::shared_ptr<const RuleSnapshot>> Remine();
+
+  /// The current published snapshot; null until the first publication.
+  /// Callable from any thread; never blocks beyond SnapshotCell's
+  /// few-instruction pointer copy.
+  [[nodiscard]] std::shared_ptr<const RuleSnapshot> snapshot() const {
+    return snapshot_.load();
+  }
+
+  /// Queries the current snapshot's RuleIndex for one tuple. Fails when
+  /// nothing has been published yet or the stream was opened with
+  /// build_rule_index = false. Lock-free, callable from any thread.
+  Result<RuleIndex::QueryResult> Query(std::span<const double> row) const;
+
+  /// Total tuples absorbed so far.
+  [[nodiscard]] int64_t rows_ingested() const {
+    return rows_ingested_.load(std::memory_order_acquire);
+  }
+
+  /// Generation of the current snapshot; 0 until the first publication.
+  [[nodiscard]] uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Staleness gauge: tuples absorbed since the current snapshot was
+  /// derived (== rows_ingested() until the first publication).
+  [[nodiscard]] int64_t rows_since_snapshot() const {
+    return rows_ingested_.load(std::memory_order_acquire) -
+           rows_at_snapshot_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const StreamConfig& stream_config() const {
+    return stream_config_;
+  }
+
+ private:
+  // Gates the public constructor (make_unique needs one) to Make().
+  struct PrivateTag {
+    explicit PrivateTag() = default;
+  };
+
+ public:
+  StreamingMiner(PrivateTag, DarConfig config, StreamConfig stream_config,
+                 AttributePartition partition,
+                 std::shared_ptr<Executor> executor,
+                 std::shared_ptr<telemetry::MetricsRegistry> registry,
+                 MiningObserver* observer, Phase1Builder builder);
+
+ private:
+
+  // Publishes a fresh snapshot when the auto-remine cadence has been
+  // crossed; no-op otherwise.
+  Status MaybeRemine();
+
+  DarConfig config_;
+  StreamConfig stream_config_;
+  AttributePartition partition_;
+  std::shared_ptr<Executor> executor_;  // may be null => serial
+  std::shared_ptr<telemetry::MetricsRegistry> registry_;  // may be null
+  MiningObserver* observer_ = nullptr;  // not owned; may be null
+  Phase1Builder builder_;  // writer-thread only
+
+  SnapshotCell<const RuleSnapshot> snapshot_;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<int64_t> rows_ingested_{0};
+  std::atomic<int64_t> rows_at_snapshot_{0};
+
+  // Telemetry handles, resolved once at construction (null when the
+  // registry is null). Histograms carry Unit::kSeconds, so the exporter's
+  // deterministic view excludes them automatically.
+  telemetry::Counter* ingest_batches_ = nullptr;
+  telemetry::Counter* ingest_rows_ = nullptr;
+  telemetry::Counter* remines_ = nullptr;
+  telemetry::Gauge* generation_gauge_ = nullptr;
+  telemetry::Gauge* staleness_gauge_ = nullptr;
+  telemetry::Gauge* snapshot_rules_ = nullptr;
+  telemetry::Gauge* snapshot_clusters_ = nullptr;
+  telemetry::Histogram* ingest_seconds_ = nullptr;
+  telemetry::Histogram* remine_seconds_ = nullptr;
+  telemetry::Histogram* query_seconds_ = nullptr;
+};
+
+}  // namespace dar
+
+#endif  // DAR_STREAM_STREAMING_MINER_H_

@@ -219,6 +219,95 @@ TEST(CsvTest, HandlesCrlf) {
   EXPECT_DOUBLE_EQ(table->relation.at(0, 1), 2);
 }
 
+TEST(CsvTest, FinalRowWithoutTrailingNewline) {
+  std::istringstream in("a,b\n1,2\n3,4");  // EOF right after the last field
+  auto table = ReadCsv(in);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->relation.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table->relation.at(1, 1), 4);
+}
+
+TEST(CsvTest, RaggedRowErrorNamesPhysicalLine) {
+  // Blank line before the ragged row: the error must name the physical
+  // line (4), not the how-many-rows-so-far count.
+  std::istringstream in("a,b\n1,2\n\n3\n");
+  auto table = ReadCsv(in);
+  ASSERT_TRUE(table.status().IsInvalidArgument());
+  EXPECT_NE(table.status().message().find("line 4"), std::string::npos);
+  EXPECT_NE(table.status().message().find("expected 2"), std::string::npos);
+}
+
+TEST(CsvStreamReaderTest, BatchesWithPersistentDictionaries) {
+  std::istringstream in("job,age\nDBA,30\nMgr,31\nDBA,32\nOps,33\nMgr,34\n");
+  CsvOptions opts;
+  opts.nominal_columns = {"job"};
+  auto reader = CsvStreamReader::Open(in, opts);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->schema().attribute(0).kind, AttributeKind::kNominal);
+
+  auto batch1 = reader->NextBatch(2);
+  ASSERT_TRUE(batch1.ok());
+  ASSERT_EQ(batch1->num_rows(), 2u);
+  EXPECT_FALSE(reader->exhausted());
+
+  auto batch2 = reader->NextBatch(2);
+  ASSERT_TRUE(batch2.ok());
+  ASSERT_EQ(batch2->num_rows(), 2u);
+  // "DBA" in batch 2 must reuse the code assigned in batch 1.
+  EXPECT_DOUBLE_EQ(batch2->at(0, 0), batch1->at(0, 0));
+
+  auto batch3 = reader->NextBatch(2);  // only one row left
+  ASSERT_TRUE(batch3.ok());
+  ASSERT_EQ(batch3->num_rows(), 1u);
+  EXPECT_TRUE(reader->exhausted());
+  EXPECT_DOUBLE_EQ(batch3->at(0, 0), batch1->at(1, 0));  // "Mgr" again
+  EXPECT_EQ(reader->dictionaries()[0].size(), 3u);  // DBA, Mgr, Ops
+
+  auto empty = reader->NextBatch(2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+}
+
+TEST(CsvStreamReaderTest, CrlfAndNoTrailingNewline) {
+  std::istringstream in("a,b\r\n1,2\r\n3,4");
+  auto reader = CsvStreamReader::Open(in);
+  ASSERT_TRUE(reader.ok());
+  auto batch = reader->NextBatch(100);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(batch->at(0, 1), 2);
+  EXPECT_DOUBLE_EQ(batch->at(1, 1), 4);
+  EXPECT_TRUE(reader->exhausted());
+}
+
+TEST(CsvStreamReaderTest, ColumnMismatchIsErrorNotSkip) {
+  std::istringstream in("a,b\n1,2\n3\n5,6\n");
+  auto reader = CsvStreamReader::Open(in);
+  ASSERT_TRUE(reader.ok());
+  auto batch = reader->NextBatch(100);
+  ASSERT_TRUE(batch.status().IsInvalidArgument());
+  EXPECT_NE(batch.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(batch.status().message().find("has 1 fields"), std::string::npos);
+}
+
+TEST(CsvStreamReaderTest, NoHeaderFirstRowIsData) {
+  std::istringstream in("1,2\n3,4\n");
+  CsvOptions opts;
+  opts.has_header = false;
+  auto reader = CsvStreamReader::Open(in, opts);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->schema().attribute(1).name, "c1");
+  auto batch = reader->NextBatch(10);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->num_rows(), 2u);  // the peeked first line is replayed
+  EXPECT_DOUBLE_EQ(batch->at(0, 0), 1);
+}
+
+TEST(CsvStreamReaderTest, EmptyInputFailsAtOpen) {
+  std::istringstream in("");
+  EXPECT_TRUE(CsvStreamReader::Open(in).status().IsInvalidArgument());
+}
+
 TEST(CsvTest, WriteReadRoundTrip) {
   std::istringstream in("job,age\nDBA,30\nMgr,31\nDBA,32\n");
   CsvOptions opts;

@@ -1,0 +1,373 @@
+// dar::stream: streaming-vs-batch rule equality (K micro-batches on one
+// thread == one-shot Session::Mine), snapshot cadence/generation
+// accounting, RuleIndex point queries against brute force, and the
+// single-writer/many-reader publication contract (run under
+// -DDAR_SANITIZE=thread via `ctest -L tsan`).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "datagen/planted.h"
+#include "stream/rule_index.h"
+#include "stream/rule_snapshot.h"
+#include "stream/streaming_miner.h"
+
+namespace dar {
+namespace {
+
+PlantedDataset TestData() {
+  PlantedDataSpec spec = WbcdLikeSpec(/*num_attrs=*/4, /*clusters_per_attr=*/3,
+                                      /*outlier_fraction=*/0.05, /*seed=*/31);
+  auto data = GeneratePlanted(spec, 3000, 32);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return *std::move(data);
+}
+
+DarConfig TestConfig() {
+  DarConfig config;
+  config.frequency_fraction = 0.05;
+  config.initial_diameters.assign(4, 80.0);
+  config.degree_threshold = 150.0;
+  // The stream retains no tuples, so the §6.2 support rescan cannot run;
+  // keep the batch reference comparable.
+  config.count_rule_support = false;
+  return config;
+}
+
+Result<Session> TestSession(int threads = 1) {
+  return Session::Builder().WithConfig(TestConfig()).WithThreads(threads).Build();
+}
+
+// Slices rows [begin, end) of `rel` into a fresh Relation.
+Relation Slice(const Relation& rel, size_t begin, size_t end) {
+  Relation out(rel.schema());
+  for (size_t r = begin; r < end; ++r) {
+    EXPECT_TRUE(out.AppendRow(rel.Row(r)).ok());
+  }
+  return out;
+}
+
+void ExpectSameRules(const std::vector<DistanceRule>& a,
+                     const std::vector<DistanceRule>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].antecedent, b[i].antecedent);
+    EXPECT_EQ(a[i].consequent, b[i].consequent);
+    EXPECT_EQ(a[i].degree, b[i].degree);  // bitwise
+    EXPECT_EQ(a[i].cooccurrence_slack, b[i].cooccurrence_slack);
+    EXPECT_EQ(a[i].support_count, b[i].support_count);
+  }
+}
+
+// The acceptance pin: a stream fed K micro-batches (fixed seed, one
+// thread) publishes exactly the rule set a one-shot Mine over the
+// concatenated batches derives.
+TEST(StreamTest, MicroBatchStreamEqualsOneShotMine) {
+  PlantedDataset data = TestData();
+  auto batch_session = TestSession();
+  ASSERT_TRUE(batch_session.ok());
+  auto report = batch_session->Mine(data.relation, data.partition);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_GT(report->rules().size(), 0u)
+      << "workload must produce rules for the comparison to mean anything";
+
+  auto stream_session = TestSession();
+  ASSERT_TRUE(stream_session.ok());
+  auto stream = stream_session->OpenStream(
+      data.relation.schema(), data.partition,
+      StreamConfig{.remine_every_rows = 0});
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  // Deliberately ragged micro-batches: equality must not depend on where
+  // the batch boundaries fall.
+  const size_t sizes[] = {1, 7, 500, 992, 1000, 100, 400};
+  size_t begin = 0;
+  for (size_t size : sizes) {
+    size_t end = std::min(data.relation.num_rows(), begin + size);
+    ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, begin, end)).ok());
+    begin = end;
+  }
+  ASSERT_EQ(begin, data.relation.num_rows());
+  EXPECT_EQ((*stream)->rows_ingested(),
+            static_cast<int64_t>(data.relation.num_rows()));
+
+  auto snapshot = (*stream)->Remine();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_TRUE((*snapshot)->CheckConsistency().ok());
+  EXPECT_EQ((*snapshot)->clusters().size(), report->phase1().clusters.size());
+  EXPECT_EQ((*snapshot)->phase1().frequency_threshold,
+            report->phase1().frequency_threshold);
+  EXPECT_EQ((*snapshot)->phase1().effective_d0, report->phase1().effective_d0);
+  EXPECT_EQ((*snapshot)->phase2().cliques, report->phase2().cliques);
+  ExpectSameRules((*snapshot)->rules(), report->rules());
+}
+
+// Snapshot() must not perturb the live trees: re-mining mid-stream and
+// then finishing produces the same final result as never re-mining.
+TEST(StreamTest, MidStreamReminesDoNotPerturbFinalSnapshot) {
+  PlantedDataset data = TestData();
+  auto reference_session = TestSession();
+  ASSERT_TRUE(reference_session.ok());
+  auto reference = reference_session->Mine(data.relation, data.partition);
+  ASSERT_TRUE(reference.ok());
+
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  // Cadence 750: publishes fire *during* ingest this time.
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    StreamConfig{.remine_every_rows = 750});
+  ASSERT_TRUE(stream.ok());
+  const size_t kBatch = 250;
+  for (size_t begin = 0; begin < data.relation.num_rows(); begin += kBatch) {
+    size_t end = std::min(data.relation.num_rows(), begin + kBatch);
+    ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, begin, end)).ok());
+  }
+  EXPECT_GE((*stream)->generation(), 3u);  // 3000 rows / 750 cadence
+  auto final_snapshot = (*stream)->Remine();
+  ASSERT_TRUE(final_snapshot.ok());
+  ExpectSameRules((*final_snapshot)->rules(), reference->rules());
+}
+
+TEST(StreamTest, CadenceAndGenerationAccounting) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    StreamConfig{.remine_every_rows = 500});
+  ASSERT_TRUE(stream.ok());
+
+  EXPECT_EQ((*stream)->generation(), 0u);
+  EXPECT_EQ((*stream)->snapshot(), nullptr);
+  EXPECT_TRUE((*stream)->Query(data.relation.Row(0)).status().IsNotFound());
+
+  ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, 0, 499)).ok());
+  EXPECT_EQ((*stream)->generation(), 0u) << "cadence not crossed yet";
+  EXPECT_EQ((*stream)->rows_since_snapshot(), 499);
+
+  ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, 499, 500)).ok());
+  EXPECT_EQ((*stream)->generation(), 1u) << "row 500 crosses the cadence";
+  EXPECT_EQ((*stream)->rows_since_snapshot(), 0);
+  auto first = (*stream)->snapshot();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->generation(), 1u);
+  EXPECT_EQ(first->rows_ingested(), 500);
+  EXPECT_TRUE(first->CheckConsistency().ok());
+
+  // One big batch crossing the cadence twice still publishes once, at the
+  // batch boundary.
+  ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, 500, 1600)).ok());
+  EXPECT_EQ((*stream)->generation(), 2u);
+  auto second = (*stream)->snapshot();
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->rows_ingested(), 1600);
+
+  // The first snapshot is immutable and still valid after being replaced.
+  EXPECT_EQ(first->generation(), 1u);
+  EXPECT_EQ(first->rows_ingested(), 500);
+  EXPECT_TRUE(first->CheckConsistency().ok());
+
+  // Stream telemetry accumulates in the session registry.
+  auto telemetry = session->metrics().TakeSnapshot();
+  EXPECT_EQ(telemetry.CounterOr("stream.ingest_rows"), 1600);
+  EXPECT_EQ(telemetry.CounterOr("stream.remines"), 2);
+  EXPECT_EQ(telemetry.GaugeOr("stream.generation"), 2.0);
+}
+
+TEST(StreamTest, ManualRemineOnlyWhenCadenceDisabled) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    StreamConfig{.remine_every_rows = 0});
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
+  EXPECT_EQ((*stream)->snapshot(), nullptr);
+  auto snapshot = (*stream)->Remine();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*stream)->generation(), 1u);
+}
+
+TEST(StreamTest, RemineWithNoRowsFails) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  auto stream =
+      session->OpenStream(data.relation.schema(), data.partition);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE((*stream)->Remine().status().IsInvalidArgument());
+  EXPECT_EQ((*stream)->snapshot(), nullptr) << "nothing may be published";
+}
+
+TEST(StreamTest, RejectsNegativeCadence) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    StreamConfig{.remine_every_rows = -1});
+  EXPECT_TRUE(stream.status().IsInvalidArgument());
+}
+
+// Reference implementation for the index: scan every cluster / rule.
+std::vector<size_t> BruteForceClusters(const ClusterSet& clusters,
+                                       const AttributePartition& partition,
+                                       const std::vector<double>& row) {
+  std::vector<size_t> out;
+  for (size_t id = 0; id < clusters.size(); ++id) {
+    const FoundCluster& c = clusters.cluster(id);
+    const auto box = c.acf.BoundingBox(c.part);
+    const auto& cols = partition.part(c.part).columns;
+    bool contains = true;
+    for (size_t d = 0; d < box.size(); ++d) {
+      const double v = row[cols[d]];
+      if (v < box[d].first || v > box[d].second) {
+        contains = false;
+        break;
+      }
+    }
+    if (contains) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<size_t> BruteForceRules(const std::vector<DistanceRule>& rules,
+                                    const std::vector<size_t>& containing) {
+  std::vector<size_t> out;
+  for (size_t k = 0; k < rules.size(); ++k) {
+    bool all = true;
+    for (const auto* side : {&rules[k].antecedent, &rules[k].consequent}) {
+      for (size_t id : *side) {
+        if (!std::binary_search(containing.begin(), containing.end(), id)) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) break;
+    }
+    if (all) out.push_back(k);
+  }
+  return out;
+}
+
+TEST(StreamTest, RuleIndexMatchesBruteForce) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  auto stream =
+      session->OpenStream(data.relation.schema(), data.partition,
+                          StreamConfig{.remine_every_rows = 0});
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
+  auto snapshot = (*stream)->Remine();
+  ASSERT_TRUE(snapshot.ok());
+  const RuleIndex* index = (*snapshot)->index();
+  ASSERT_NE(index, nullptr);
+  ASSERT_GT((*snapshot)->rules().size(), 0u);
+
+  size_t tuples_with_rules = 0;
+  for (size_t r = 0; r < data.relation.num_rows(); r += 17) {
+    const std::vector<double> row = data.relation.Row(r);
+    auto hits = (*stream)->Query(row);
+    ASSERT_TRUE(hits.ok()) << hits.status();
+    EXPECT_EQ(hits->clusters, BruteForceClusters((*snapshot)->clusters(),
+                                                 data.partition, row));
+    EXPECT_EQ(hits->rules,
+              BruteForceRules((*snapshot)->rules(), hits->clusters));
+    tuples_with_rules += hits->rules.empty() ? 0 : 1;
+  }
+  EXPECT_GT(tuples_with_rules, 0u)
+      << "planted data must make some rules fire or the check is vacuous";
+
+  // A tuple far outside every planted range matches nothing.
+  const std::vector<double> far(data.relation.num_columns(), 1e13);
+  auto miss = (*stream)->Query(far);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->clusters.empty());
+  EXPECT_TRUE(miss->rules.empty());
+
+  // A too-short tuple is a clear error, not UB.
+  const std::vector<double> narrow(1, 0.0);
+  EXPECT_TRUE((*stream)->Query(narrow).status().IsInvalidArgument());
+}
+
+TEST(StreamTest, IndexDisabledByConfig) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  auto stream = session->OpenStream(
+      data.relation.schema(), data.partition,
+      StreamConfig{.remine_every_rows = 0, .build_rule_index = false});
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
+  auto snapshot = (*stream)->Remine();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->index(), nullptr);
+  EXPECT_TRUE(
+      (*stream)->Query(data.relation.Row(0)).status().IsInvalidArgument());
+}
+
+// The tsan-labeled publication test: one ingest thread re-mining on a
+// tight cadence while reader threads continuously load, self-check and
+// query snapshots. Readers must only ever observe complete snapshots with
+// monotonically non-decreasing generations.
+TEST(StreamTest, ConcurrentReadersSeeConsistentSnapshots) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok());
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    StreamConfig{.remine_every_rows = 200});
+  ASSERT_TRUE(stream.ok());
+  StreamingMiner& miner = **stream;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  const std::vector<double> probe = data.relation.Row(0);
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      uint64_t last_generation = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        std::shared_ptr<const RuleSnapshot> snapshot = miner.snapshot();
+        if (snapshot == nullptr) continue;
+        if (!snapshot->CheckConsistency().ok() ||
+            snapshot->generation() < last_generation) {
+          failures.fetch_add(1);
+          return;
+        }
+        last_generation = snapshot->generation();
+        RuleIndex::QueryResult hits;
+        if (snapshot->index()->Query(probe, hits).ok()) {
+          // Rule hits must reference rules that exist in *this* snapshot.
+          for (size_t k : hits.rules) {
+            if (k >= snapshot->rules().size()) {
+              failures.fetch_add(1);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  const size_t kBatch = 100;
+  for (size_t begin = 0; begin < data.relation.num_rows(); begin += kBatch) {
+    size_t end = std::min(data.relation.num_rows(), begin + kBatch);
+    ASSERT_TRUE(miner.Ingest(Slice(data.relation, begin, end)).ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(miner.generation(), 10u);  // 3000 rows / 200 cadence
+}
+
+}  // namespace
+}  // namespace dar

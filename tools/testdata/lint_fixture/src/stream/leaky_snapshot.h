@@ -1,0 +1,15 @@
+#ifndef DAR_STREAM_LEAKY_SNAPSHOT_H_
+#define DAR_STREAM_LEAKY_SNAPSHOT_H_
+
+// Fixture proving src/stream/ is inside the linted tree: a header-guard
+// that is correct for its path, plus one naked-new violation.
+
+namespace dar {
+
+struct LeakySnapshot {
+  int* generation = new int(0);
+};
+
+}  // namespace dar
+
+#endif  // DAR_STREAM_LEAKY_SNAPSHOT_H_
