@@ -1,9 +1,10 @@
 // Unified JSON bench harness. Executes the phase-1-scaling,
-// phase-2-stability, streaming-remine, and micro-kernel suites over
-// seeded planted generators and writes BENCH_phase1.json /
-// BENCH_phase2.json / BENCH_stream.json / BENCH_micro.json (by default
-// into the current directory), seeding the perf trajectory that
-// EXPERIMENTS.md ("Reading BENCH_*.json") documents.
+// phase-2-stability, streaming-remine, checkpoint-persistence, and
+// micro-kernel suites over seeded planted generators and writes
+// BENCH_phase1.json / BENCH_phase2.json / BENCH_stream.json /
+// BENCH_persist.json / BENCH_micro.json (by default into the current
+// directory), seeding the perf trajectory that EXPERIMENTS.md ("Reading
+// BENCH_*.json") documents.
 //
 // Usage: bench_main [--smoke] [--outdir DIR] [--seed N] [--threads N]
 //                   [--no-timings]
@@ -17,6 +18,7 @@
 // 8-thread --smoke run exactly this way.
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -319,6 +321,131 @@ int RunStreamSuite(const BenchOptions& options,
   return 0;
 }
 
+// --- Suite: persist — checkpoint save/restore throughput plus the warm
+// re-mine claim: a restored checkpoint carries complete ACF summaries
+// (Thm 6.1), so refreshing the rules after a restore costs Phase II only
+// while a cold mine pays the full Phase-I scan over all N rows. The
+// checkpoint file is deleted before returning so --outdir holds nothing
+// but BENCH_*.json (CI diffs the 1-thread and 8-thread directories). ---
+
+int RunPersistSuite(const BenchOptions& options,
+                    std::vector<RunRecord>& runs) {
+  const size_t attrs = options.smoke ? 4 : 10;
+  const size_t clusters = options.smoke ? 3 : 8;
+  const size_t n = options.smoke ? 20000 : 200000;
+  constexpr int kReps = 3;  // averaged to de-noise the short file ops
+  const PlantedDataSpec spec =
+      WbcdLikeSpec(attrs, clusters, 0.05, options.seed + 31);
+  auto data = GeneratePlanted(spec, n, options.seed + 32);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  DarConfig config;
+  config.memory_budget_bytes = 32u << 20;
+  config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+  config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+  config.degree_threshold = 150.0;
+  auto session = MakeSession(options, config);
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  StreamConfig stream_config;
+  stream_config.remine_every_rows = 0;
+  auto stream = session->OpenStream(data->relation.schema(),
+                                    data->partition, stream_config);
+  if (!stream.ok()) {
+    std::cerr << stream.status() << "\n";
+    return 1;
+  }
+  if (auto s = (*stream)->Ingest(data->relation); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  if (auto snapshot = (*stream)->Remine(); !snapshot.ok()) {
+    std::cerr << snapshot.status() << "\n";
+    return 1;
+  }
+
+  const std::string ckpt_path = options.outdir + "/bench_persist.darckpt";
+  Stopwatch save_watch;
+  for (int i = 0; i < kReps; ++i) {
+    if (auto s = session->SaveCheckpoint(**stream, ckpt_path); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  const double save_seconds = save_watch.ElapsedSeconds() / kReps;
+  size_t checkpoint_bytes = 0;
+  {
+    std::ifstream in(ckpt_path, std::ios::binary | std::ios::ate);
+    if (in.good()) checkpoint_bytes = static_cast<size_t>(in.tellg());
+  }
+
+  Stopwatch load_watch;
+  Result<RestoredStream> restored = Status::Internal("never restored");
+  for (int i = 0; i < kReps; ++i) {
+    restored = session->RestoreCheckpoint(ckpt_path);
+    if (!restored.ok()) {
+      std::cerr << restored.status() << "\n";
+      return 1;
+    }
+  }
+  const double load_seconds = load_watch.ElapsedSeconds() / kReps;
+
+  // Warm refresh: Phase II from the restored summaries, no data access.
+  Stopwatch warm_watch;
+  for (int i = 0; i < kReps; ++i) {
+    auto snapshot = restored->stream->Remine();
+    if (!snapshot.ok()) {
+      std::cerr << snapshot.status() << "\n";
+      return 1;
+    }
+  }
+  const double warm_seconds = warm_watch.ElapsedSeconds() / kReps;
+
+  // Cold baseline: the same rules mined from scratch out of the raw data.
+  auto cold_session = MakeSession(options, config);
+  if (!cold_session.ok()) {
+    std::cerr << cold_session.status() << "\n";
+    return 1;
+  }
+  Stopwatch cold_watch;
+  auto cold = cold_session->Mine(data->relation, data->partition);
+  const double cold_seconds = cold_watch.ElapsedSeconds();
+  if (!cold.ok()) {
+    std::cerr << cold.status() << "\n";
+    return 1;
+  }
+
+  std::remove(ckpt_path.c_str());
+
+  RunRecord run;
+  run.name = "persist/n=" + std::to_string(n);
+  run.params = {{"n", static_cast<double>(n)},
+                {"attrs", static_cast<double>(attrs)},
+                {"clusters_per_attr", static_cast<double>(clusters)},
+                {"reps", static_cast<double>(kReps)},
+                {"checkpoint_bytes", static_cast<double>(checkpoint_bytes)}};
+  run.timings = {
+      {"save_seconds", save_seconds},
+      {"save_bytes_per_second",
+       save_seconds > 0 ? static_cast<double>(checkpoint_bytes) / save_seconds
+                        : 0.0},
+      {"load_seconds", load_seconds},
+      {"load_bytes_per_second",
+       load_seconds > 0 ? static_cast<double>(checkpoint_bytes) / load_seconds
+                        : 0.0},
+      {"warm_remine_seconds", warm_seconds},
+      {"cold_mine_seconds", cold_seconds},
+      {"warm_speedup", warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0}};
+  run.telemetry_json =
+      DeterministicTelemetry(session->metrics().TakeSnapshot());
+  runs.push_back(std::move(run));
+  return 0;
+}
+
 // --- Suite 3: micro kernels (ACF-tree insertion, D2 distance, clique
 // enumeration), measured standalone with their own registries. ---
 
@@ -482,6 +609,10 @@ int Main(int argc, char** argv) {
   std::vector<RunRecord> stream_runs;
   if (RunStreamSuite(options, stream_runs) != 0) return 1;
   if (WriteSuite(options, "stream", stream_runs) != 0) return 1;
+
+  std::vector<RunRecord> persist_runs;
+  if (RunPersistSuite(options, persist_runs) != 0) return 1;
+  if (WriteSuite(options, "persist", persist_runs) != 0) return 1;
 
   std::vector<RunRecord> micro_runs;
   MicroAcfInsert(options, micro_runs);

@@ -84,6 +84,8 @@ class Acf {
  private:
   // Test-only backdoor so invariant tests can plant corruptions.
   friend struct InvariantTestPeer;
+  // Serialization backdoor for dar::persist (persist/persist_peer.h).
+  friend struct PersistPeer;
 
   std::shared_ptr<const AcfLayout> layout_;
   size_t own_part_ = 0;

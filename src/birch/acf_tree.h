@@ -15,6 +15,8 @@ namespace dar {
 
 // Test-only backdoor for planting corruptions; defined by invariant tests.
 struct InvariantTestPeer;
+// Serialization backdoor for dar::persist; defined in persist/persist_peer.h.
+struct PersistPeer;
 
 /// Tuning knobs for one ACF-tree.
 struct AcfTreeOptions {
@@ -152,6 +154,7 @@ class AcfTree {
 
  private:
   friend struct InvariantTestPeer;
+  friend struct PersistPeer;
   struct Node;
   struct ChildRef {
     CfVector cf;  // summary of the subtree, on the own part

@@ -12,6 +12,7 @@
 namespace dar {
 
 struct InvariantTestPeer;
+struct PersistPeer;
 
 /// A Clustering Feature (BIRCH; Eq. 3 of the paper): the summary
 /// `(N, sum t_i, sum t_i^2)` of a set of points projected on one attribute
@@ -96,6 +97,8 @@ class CfVector {
  private:
   // Test-only backdoor so invariant tests can plant corruptions.
   friend struct InvariantTestPeer;
+  // Serialization backdoor for dar::persist (persist/persist_peer.h).
+  friend struct PersistPeer;
 
   double DiameterFromMoments(int64_t n, double ss_sum,
                              double ls_sq_norm) const;

@@ -81,6 +81,11 @@ class Phase1Builder {
   [[nodiscard]] Result<Phase1Result> Snapshot() const;
 
  private:
+  // Serialization backdoor for dar::persist (persist/persist_peer.h):
+  // checkpoint encode reads the trees, decode reconstructs a builder
+  // through this constructor with deserialized trees.
+  friend struct PersistPeer;
+
   Phase1Builder(DarConfig config, AttributePartition partition,
                 std::shared_ptr<const AcfLayout> layout,
                 std::vector<std::unique_ptr<AcfTree>> trees,

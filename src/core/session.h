@@ -2,6 +2,8 @@
 #define DAR_CORE_SESSION_H_
 
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/executor.h"
@@ -20,7 +22,8 @@
 
 namespace dar {
 
-class StreamingMiner;  // stream/streaming_miner.h
+class StreamingMiner;   // stream/streaming_miner.h
+struct RestoredStream;  // stream/streaming_miner.h
 
 /// The library's mining facade: a validated DarConfig, an Executor that
 /// decides how the two phases use the hardware, observers receiving
@@ -119,6 +122,26 @@ class Session {
   [[nodiscard]] Result<std::unique_ptr<StreamingMiner>> OpenStream(
       const Schema& schema, const AttributePartition& partition,
       StreamConfig stream_config = {}) const;
+
+  /// Persists `stream`'s complete resumable state — config, schema,
+  /// partition, the live per-part ACF-trees, counters and the current
+  /// snapshot — to `path` atomically (versioned, CRC-guarded container;
+  /// see persist/checkpoint_io.h). `dictionaries` are embedded when given
+  /// so a restoring process decodes nominal tuples identically. Convenience
+  /// forwarder for StreamingMiner::SaveCheckpoint; defined in src/stream/
+  /// — callers link the umbrella `dar` target.
+  [[nodiscard]] Status SaveCheckpoint(
+      const StreamingMiner& stream, const std::string& path,
+      std::span<const Dictionary> dictionaries = {}) const;
+
+  /// Reopens a checkpointed stream under THIS session's config, executor,
+  /// registry and observers: restored summaries re-mine to rules
+  /// bit-identical to the saved stream's when the config matches, and warm
+  /// re-mine under this session's thresholds when it does not (no data
+  /// access either way — Thm 6.1). Any corruption of the file surfaces as
+  /// a descriptive error Status. Defined in src/stream/.
+  [[nodiscard]] Result<RestoredStream> RestoreCheckpoint(
+      const std::string& path) const;
 
   /// Optional §6.2 post-processing: rescans `rel` once and fills
   /// `support_count` of every rule with the number of tuples assigned to

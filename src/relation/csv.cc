@@ -10,6 +10,14 @@ namespace dar {
 
 namespace {
 
+// Prefixes input-shaped errors with the configured source name (a file
+// path, a URL, a queue id) so multi-input callers can attribute failures.
+Status WithSource(Status status, const CsvOptions& options) {
+  if (status.ok() || options.source_name.empty()) return status;
+  return Status(status.code(),
+                "'" + options.source_name + "': " + status.message());
+}
+
 // Parses one data line into `row`, encoding nominal fields through the
 // (persistent) dictionaries. `line_number` is the 1-based physical line,
 // used verbatim in every error.
@@ -60,7 +68,7 @@ Result<CsvStreamReader> CsvStreamReader::Open(std::istream& in,
   CsvStreamReader reader(in, options);
   std::string first;
   if (!reader.NextLine(first)) {
-    return Status::InvalidArgument("empty CSV input");
+    return WithSource(Status::InvalidArgument("empty CSV input"), options);
   }
 
   std::vector<std::string> names;
@@ -116,8 +124,10 @@ Result<Relation> CsvStreamReader::NextBatch(size_t max_rows) {
       exhausted_ = true;
       break;
     }
-    DAR_RETURN_IF_ERROR(ParseCsvRow(line, options_, schema_, names_,
-                                    line_number, dictionaries_, row));
+    DAR_RETURN_IF_ERROR(WithSource(
+        ParseCsvRow(line, options_, schema_, names_, line_number,
+                    dictionaries_, row),
+        options_));
     DAR_RETURN_IF_ERROR(batch.AppendRow(row));
   }
   return batch;
@@ -145,7 +155,9 @@ Result<CsvTable> ReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-  return ReadCsv(in, options);
+  CsvOptions file_options = options;
+  if (file_options.source_name.empty()) file_options.source_name = path;
+  return ReadCsv(in, file_options);
 }
 
 Status WriteCsv(const CsvTable& table, std::ostream& out, char delimiter) {

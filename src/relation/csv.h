@@ -19,6 +19,10 @@ struct CsvOptions {
   bool has_header = true;
   /// Columns (by name) to treat as nominal; everything else is interval.
   std::vector<std::string> nominal_columns;
+  /// When non-empty, every parse error is prefixed with "'source_name': "
+  /// so a caller juggling several inputs can tell which one is malformed.
+  /// ReadCsvFile fills it with the file path when the caller left it empty.
+  std::string source_name;
 };
 
 /// Result of reading a CSV: the relation plus the dictionaries that encoded

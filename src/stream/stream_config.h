@@ -25,13 +25,38 @@ struct StreamConfig {
   /// point queries in sublinear time. Costs O(clusters * log) per re-mine.
   bool build_rule_index = true;
 
-  /// Rejects a negative cadence. Session::OpenStream refuses to open a
-  /// stream on any violation.
+  /// Checkpoint cadence: after every `checkpoint_every_rows` ingested rows
+  /// the stream's full resumable state — live ACF-trees, counters and the
+  /// current snapshot — is written atomically to `checkpoint_path`
+  /// (see persist/checkpoint_io.h). 0 disables automatic checkpointing;
+  /// StreamingMiner::SaveCheckpoint still works on demand. Cadence
+  /// checkpoints carry no dictionaries section (the writer thread does not
+  /// hold them); pass them to an explicit SaveCheckpoint call instead.
+  int64_t checkpoint_every_rows = 0;
+
+  /// Destination file for cadence checkpoints. Required (non-empty) when
+  /// checkpoint_every_rows > 0; each checkpoint atomically replaces the
+  /// previous one via write-to-temp + rename.
+  std::string checkpoint_path;
+
+  /// Rejects a negative cadence, and a checkpoint cadence without a
+  /// destination path. Session::OpenStream refuses to open a stream on any
+  /// violation.
   [[nodiscard]] Status Validate() const {
     if (remine_every_rows < 0) {
       return Status::InvalidArgument(
           "StreamConfig::remine_every_rows must be >= 0, got " +
           std::to_string(remine_every_rows));
+    }
+    if (checkpoint_every_rows < 0) {
+      return Status::InvalidArgument(
+          "StreamConfig::checkpoint_every_rows must be >= 0, got " +
+          std::to_string(checkpoint_every_rows));
+    }
+    if (checkpoint_every_rows > 0 && checkpoint_path.empty()) {
+      return Status::InvalidArgument(
+          "StreamConfig::checkpoint_every_rows is set but checkpoint_path "
+          "is empty");
     }
     return Status::OK();
   }

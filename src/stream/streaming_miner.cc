@@ -10,12 +10,13 @@
 namespace dar {
 
 StreamingMiner::StreamingMiner(
-    PrivateTag, DarConfig config, StreamConfig stream_config,
+    PrivateTag, DarConfig config, StreamConfig stream_config, Schema schema,
     AttributePartition partition, std::shared_ptr<Executor> executor,
     std::shared_ptr<telemetry::MetricsRegistry> registry,
     MiningObserver* observer, Phase1Builder builder)
     : config_(std::move(config)),
-      stream_config_(stream_config),
+      stream_config_(std::move(stream_config)),
+      schema_(std::move(schema)),
       partition_(std::move(partition)),
       executor_(std::move(executor)),
       registry_(std::move(registry)),
@@ -59,8 +60,9 @@ Result<std::unique_ptr<StreamingMiner>> StreamingMiner::Make(
   // The atomics rule out moves, so the stream lives on the heap from
   // birth; PrivateTag keeps construction funneled through Make.
   return std::make_unique<StreamingMiner>(
-      PrivateTag{}, config, stream_config, partition, std::move(executor),
-      std::move(registry), observer, std::move(builder));
+      PrivateTag{}, config, std::move(stream_config), schema, partition,
+      std::move(executor), std::move(registry), observer,
+      std::move(builder));
 }
 
 Status StreamingMiner::Ingest(const Relation& batch) {
@@ -73,7 +75,10 @@ Status StreamingMiner::Ingest(const Relation& batch) {
     ingest_seconds_->Record(watch.ElapsedSeconds());
     staleness_gauge_->Set(static_cast<double>(rows_since_snapshot()));
   }
-  return MaybeRemine();
+  // Re-mine before checkpointing, so a cadence checkpoint taken this batch
+  // carries the freshest snapshot available.
+  DAR_RETURN_IF_ERROR(MaybeRemine());
+  return MaybeCheckpoint();
 }
 
 Status StreamingMiner::IngestRow(std::span<const double> row) {
@@ -85,7 +90,8 @@ Status StreamingMiner::IngestRow(std::span<const double> row) {
     ingest_seconds_->Record(watch.ElapsedSeconds());
     staleness_gauge_->Set(static_cast<double>(rows_since_snapshot()));
   }
-  return MaybeRemine();
+  DAR_RETURN_IF_ERROR(MaybeRemine());
+  return MaybeCheckpoint();
 }
 
 Status StreamingMiner::MaybeRemine() {

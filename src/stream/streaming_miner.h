@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "common/executor.h"
 #include "common/result.h"
@@ -13,6 +15,7 @@
 #include "core/phase1_builder.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
+#include "relation/schema.h"
 #include "stream/rule_index.h"
 #include "stream/rule_snapshot.h"
 #include "stream/snapshot_cell.h"
@@ -20,6 +23,23 @@
 #include "telemetry/metrics.h"
 
 namespace dar {
+
+class StreamingMiner;
+
+/// Everything StreamingMiner::RestoreFromFile recovers from a checkpoint:
+/// the resumed stream plus the context a caller needs to keep feeding it —
+/// the relation schema, the nominal-label dictionaries (empty when the
+/// checkpoint carried none) and the DarConfig the checkpoint was written
+/// under. The stream itself runs under the *restoring* session's config,
+/// so comparing it against `saved_config` tells the caller whether they
+/// are continuing the original run or warm re-mining the same summaries
+/// under new thresholds.
+struct RestoredStream {
+  std::unique_ptr<StreamingMiner> stream;
+  Schema schema;
+  std::vector<Dictionary> dictionaries;
+  DarConfig saved_config;
+};
 
 /// Incremental micro-batch mining (the tentpole of dar::stream): tuples
 /// arrive in micro-batches, the per-part ACF-trees stay live across
@@ -84,6 +104,35 @@ class StreamingMiner {
   /// snapshot. Fails (and publishes nothing) when no rows were ingested.
   Result<std::shared_ptr<const RuleSnapshot>> Remine();
 
+  /// Writes the stream's complete resumable state to `path` atomically
+  /// (write-to-temp + rename; see persist/checkpoint_io.h for the format):
+  /// config, schema, partition, the live per-part ACF-trees, the stream
+  /// counters, and the current snapshot's results when one is published.
+  /// `dictionaries` (one per nominal column, optional) are embedded so a
+  /// restoring process can decode future nominal tuples identically.
+  ///
+  /// The trees are serialized bit-exactly, so a stream restored from this
+  /// checkpoint re-mines to rules bit-identical to this stream's, at any
+  /// thread count (Thm 6.1: Phase II is a pure function of the ACF
+  /// summaries). Writer-thread only (reads the live builder).
+  [[nodiscard]] Status SaveCheckpoint(
+      const std::string& path,
+      std::span<const Dictionary> dictionaries = {}) const;
+
+  /// Reopens a checkpointed stream: rebuilds the live trees and counters
+  /// from `path` and republishes the checkpointed snapshot (when one was
+  /// recorded), ready to ingest from exactly where the saved stream
+  /// stopped. `config` is the restoring session's DarConfig — pass the
+  /// original for exact continuation, or different d0/frequency thresholds
+  /// to warm re-mine the same summaries without any data access. Every
+  /// corruption mode (truncation, bit flips, version skew) surfaces as a
+  /// descriptive error Status, never a crash or a partially built stream.
+  static Result<RestoredStream> RestoreFromFile(
+      const std::string& path, const DarConfig& config,
+      std::shared_ptr<Executor> executor,
+      std::shared_ptr<telemetry::MetricsRegistry> registry,
+      MiningObserver* observer = nullptr);
+
   /// The current published snapshot; null until the first publication.
   /// Callable from any thread; never blocks beyond SnapshotCell's
   /// few-instruction pointer copy.
@@ -125,7 +174,7 @@ class StreamingMiner {
 
  public:
   StreamingMiner(PrivateTag, DarConfig config, StreamConfig stream_config,
-                 AttributePartition partition,
+                 Schema schema, AttributePartition partition,
                  std::shared_ptr<Executor> executor,
                  std::shared_ptr<telemetry::MetricsRegistry> registry,
                  MiningObserver* observer, Phase1Builder builder);
@@ -136,8 +185,14 @@ class StreamingMiner {
   // crossed; no-op otherwise.
   Status MaybeRemine();
 
+  // Saves a cadence checkpoint to stream_config_.checkpoint_path when the
+  // checkpoint cadence has been crossed; no-op otherwise. Defined in
+  // stream_checkpoint.cc with the rest of the persistence glue.
+  Status MaybeCheckpoint();
+
   DarConfig config_;
   StreamConfig stream_config_;
+  Schema schema_;
   AttributePartition partition_;
   std::shared_ptr<Executor> executor_;  // may be null => serial
   std::shared_ptr<telemetry::MetricsRegistry> registry_;  // may be null
@@ -148,6 +203,9 @@ class StreamingMiner {
   std::atomic<uint64_t> generation_{0};
   std::atomic<int64_t> rows_ingested_{0};
   std::atomic<int64_t> rows_at_snapshot_{0};
+  // Rows ingested when the last cadence checkpoint was written. Only the
+  // writer thread reads or writes it, so a plain field suffices.
+  int64_t rows_at_checkpoint_ = 0;
 
   // Telemetry handles, resolved once at construction (null when the
   // registry is null). Histograms carry Unit::kSeconds, so the exporter's

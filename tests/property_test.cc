@@ -12,6 +12,8 @@
 #include "common/random.h"
 #include "core/session.h"
 #include "datagen/planted.h"
+#include "persist/codec.h"
+#include "persist/wire.h"
 #include "test_util.h"
 
 namespace dar {
@@ -108,6 +110,90 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TreeParam{4, 2, 1}, TreeParam{4, 8, 2},
                       TreeParam{16, 8, 3}, TreeParam{16, 2, 4},
                       TreeParam{32, 16, 5}, TreeParam{2, 1, 6}));
+
+// ---------------------------------------------------------------------------
+// Persistence round-trip across the same structural sweep: encode -> decode
+// -> re-encode reproduces the exact bytes (hence the exact ACF sums, node
+// structure and counters), for trees mid-scan with live outlier buffers as
+// well as finished ones.
+
+class TreeRoundTripPropertyTest : public ::testing::TestWithParam<TreeParam> {
+};
+
+TEST_P(TreeRoundTripPropertyTest, EncodeDecodeEncodeIsIdentity) {
+  TreeParam param = GetParam();
+  auto layout = std::make_shared<AcfLayout>();
+  layout->parts = {{1, MetricKind::kEuclidean, "X"},
+                   {1, MetricKind::kEuclidean, "Y"}};
+  AcfTreeOptions opts;
+  opts.branching_factor = param.branching;
+  opts.leaf_capacity = param.leaf_capacity;
+  opts.memory_budget_bytes = 48u << 10;  // forces rebuilds
+  opts.outlier_entry_min_n = 3;          // exercises the outlier buffers
+  AcfTree tree(layout, 0, opts);
+  Rng rng(param.seed);
+  for (int i = 0; i < 2500; ++i) {
+    ASSERT_TRUE(
+        tree.InsertPoint({{rng.Uniform(0, 1e4)}, {rng.Gaussian(0, 3)}}).ok());
+  }
+  // Deliberately no FinishScan: a checkpointed tree is mid-stream, with
+  // paged-out outliers still buffered.
+
+  persist::WireWriter w;
+  persist::EncodeTree(tree, w);
+  persist::WireReader r(w.bytes());
+  auto decoded = persist::DecodeTree(r, layout, /*expect_part=*/0);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(r.ExpectEnd("tree blob").ok());
+  EXPECT_TRUE((*decoded)->ValidateInvariants().ok());
+
+  // Bit-identical re-encoding: nothing was lost or perturbed.
+  persist::WireWriter w2;
+  persist::EncodeTree(**decoded, w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+
+  // Derived views agree too (belt and braces on top of byte equality).
+  const AcfTreeStats a = tree.Stats(), b = (*decoded)->Stats();
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.num_leaf_entries, b.num_leaf_entries);
+  EXPECT_EQ(a.num_outliers, b.num_outliers);
+  EXPECT_EQ(a.rebuild_count, b.rebuild_count);
+  EXPECT_EQ(a.threshold, b.threshold);  // bitwise
+  EXPECT_EQ(a.points_inserted, b.points_inserted);
+  EXPECT_EQ(a.split_count, b.split_count);
+  EXPECT_EQ(a.height, b.height);
+  EXPECT_EQ(tree.TotalMass(), (*decoded)->TotalMass());
+
+  // ExtractClusters order — the source of cluster ids, hence rule
+  // identities — survives exactly.
+  const auto orig = tree.ExtractClusters();
+  const auto back = (*decoded)->ExtractClusters();
+  ASSERT_EQ(orig.size(), back.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    ASSERT_EQ(orig[i].n(), back[i].n());
+    for (size_t p = 0; p < layout->parts.size(); ++p) {
+      EXPECT_EQ(orig[i].image(p).ls()[0], back[i].image(p).ls()[0]);  // bitwise
+      EXPECT_EQ(orig[i].image(p).ss()[0], back[i].image(p).ss()[0]);
+    }
+  }
+
+  // After finishing both trees the same way, they still agree bit-exactly.
+  persist::WireReader r2(w.bytes());
+  auto decoded2 = persist::DecodeTree(r2, layout, 0);
+  ASSERT_TRUE(decoded2.ok());
+  ASSERT_TRUE(tree.FinishScan().ok());
+  ASSERT_TRUE((*decoded2)->FinishScan().ok());
+  persist::WireWriter wf1, wf2;
+  persist::EncodeTree(tree, wf1);
+  persist::EncodeTree(**decoded2, wf2);
+  EXPECT_EQ(wf1.bytes(), wf2.bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeRoundTripPropertyTest,
+    ::testing::Values(TreeParam{4, 2, 11}, TreeParam{4, 8, 12},
+                      TreeParam{16, 8, 13}, TreeParam{16, 2, 14},
+                      TreeParam{32, 16, 15}, TreeParam{2, 1, 16}));
 
 // ---------------------------------------------------------------------------
 // Apriori equals brute force across seeds.

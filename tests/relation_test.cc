@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "relation/csv.h"
@@ -306,6 +308,47 @@ TEST(CsvStreamReaderTest, NoHeaderFirstRowIsData) {
 TEST(CsvStreamReaderTest, EmptyInputFailsAtOpen) {
   std::istringstream in("");
   EXPECT_TRUE(CsvStreamReader::Open(in).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, SourceNamePrefixesParseErrors) {
+  // A caller feeding several inputs through one code path names each one;
+  // the prefix wraps whatever the parse error already said.
+  std::istringstream in("a,b\n1,2\n3\n");
+  CsvOptions opts;
+  opts.source_name = "orders.csv";
+  auto table = ReadCsv(in, opts);
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("'orders.csv':"),
+            std::string::npos);
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos);
+
+  // Default options stay prefix-free: string-stream callers see the same
+  // messages as before the knob existed.
+  std::istringstream bare("a,b\n1,2\n3\n");
+  auto bare_table = ReadCsv(bare);
+  ASSERT_FALSE(bare_table.ok());
+  EXPECT_EQ(bare_table.status().message().find("'"), std::string::npos);
+}
+
+TEST(CsvTest, ReadCsvFileErrorsNameThePath) {
+  const std::string path =
+      testing::TempDir() + "/dar_relation_test_malformed.csv";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "a,b\n1,not_a_number\n";
+  }
+  auto table = ReadCsvFile(path);
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsInvalidArgument());
+  EXPECT_NE(table.status().message().find("'" + path + "':"),
+            std::string::npos);
+  EXPECT_NE(table.status().message().find("column 'b'"), std::string::npos);
+  std::remove(path.c_str());
+
+  auto missing = ReadCsvFile(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsIOError());
+  EXPECT_NE(missing.status().message().find(path), std::string::npos);
 }
 
 TEST(CsvTest, WriteReadRoundTrip) {

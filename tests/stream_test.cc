@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -42,6 +44,20 @@ DarConfig TestConfig() {
 
 Result<Session> TestSession(int threads = 1) {
   return Session::Builder().WithConfig(TestConfig()).WithThreads(threads).Build();
+}
+
+// StreamConfig with the given re-mine cadence (0 = manual Remine only).
+StreamConfig Cadence(int64_t remine_every_rows) {
+  StreamConfig sc;
+  sc.remine_every_rows = remine_every_rows;
+  return sc;
+}
+
+StreamConfig NoIndexConfig() {
+  StreamConfig sc;
+  sc.remine_every_rows = 0;
+  sc.build_rule_index = false;
+  return sc;
 }
 
 // Slices rows [begin, end) of `rel` into a fresh Relation.
@@ -81,7 +97,7 @@ TEST(StreamTest, MicroBatchStreamEqualsOneShotMine) {
   ASSERT_TRUE(stream_session.ok());
   auto stream = stream_session->OpenStream(
       data.relation.schema(), data.partition,
-      StreamConfig{.remine_every_rows = 0});
+      Cadence(0));
   ASSERT_TRUE(stream.ok()) << stream.status();
 
   // Deliberately ragged micro-batches: equality must not depend on where
@@ -121,7 +137,7 @@ TEST(StreamTest, MidStreamReminesDoNotPerturbFinalSnapshot) {
   ASSERT_TRUE(session.ok());
   // Cadence 750: publishes fire *during* ingest this time.
   auto stream = session->OpenStream(data.relation.schema(), data.partition,
-                                    StreamConfig{.remine_every_rows = 750});
+                                    Cadence(750));
   ASSERT_TRUE(stream.ok());
   const size_t kBatch = 250;
   for (size_t begin = 0; begin < data.relation.num_rows(); begin += kBatch) {
@@ -139,7 +155,7 @@ TEST(StreamTest, CadenceAndGenerationAccounting) {
   auto session = TestSession();
   ASSERT_TRUE(session.ok());
   auto stream = session->OpenStream(data.relation.schema(), data.partition,
-                                    StreamConfig{.remine_every_rows = 500});
+                                    Cadence(500));
   ASSERT_TRUE(stream.ok());
 
   EXPECT_EQ((*stream)->generation(), 0u);
@@ -184,7 +200,7 @@ TEST(StreamTest, ManualRemineOnlyWhenCadenceDisabled) {
   auto session = TestSession();
   ASSERT_TRUE(session.ok());
   auto stream = session->OpenStream(data.relation.schema(), data.partition,
-                                    StreamConfig{.remine_every_rows = 0});
+                                    Cadence(0));
   ASSERT_TRUE(stream.ok());
   ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
   EXPECT_EQ((*stream)->snapshot(), nullptr);
@@ -209,7 +225,7 @@ TEST(StreamTest, RejectsNegativeCadence) {
   auto session = TestSession();
   ASSERT_TRUE(session.ok());
   auto stream = session->OpenStream(data.relation.schema(), data.partition,
-                                    StreamConfig{.remine_every_rows = -1});
+                                    Cadence(-1));
   EXPECT_TRUE(stream.status().IsInvalidArgument());
 }
 
@@ -260,7 +276,7 @@ TEST(StreamTest, RuleIndexMatchesBruteForce) {
   ASSERT_TRUE(session.ok());
   auto stream =
       session->OpenStream(data.relation.schema(), data.partition,
-                          StreamConfig{.remine_every_rows = 0});
+                          Cadence(0));
   ASSERT_TRUE(stream.ok());
   ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
   auto snapshot = (*stream)->Remine();
@@ -301,7 +317,7 @@ TEST(StreamTest, IndexDisabledByConfig) {
   ASSERT_TRUE(session.ok());
   auto stream = session->OpenStream(
       data.relation.schema(), data.partition,
-      StreamConfig{.remine_every_rows = 0, .build_rule_index = false});
+      NoIndexConfig());
   ASSERT_TRUE(stream.ok());
   ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
   auto snapshot = (*stream)->Remine();
@@ -320,7 +336,7 @@ TEST(StreamTest, ConcurrentReadersSeeConsistentSnapshots) {
   auto session = TestSession();
   ASSERT_TRUE(session.ok());
   auto stream = session->OpenStream(data.relation.schema(), data.partition,
-                                    StreamConfig{.remine_every_rows = 200});
+                                    Cadence(200));
   ASSERT_TRUE(stream.ok());
   StreamingMiner& miner = **stream;
 
@@ -367,6 +383,82 @@ TEST(StreamTest, ConcurrentReadersSeeConsistentSnapshots) {
 
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(miner.generation(), 10u);  // 3000 rows / 200 cadence
+}
+
+// Crash recovery: a stream with a checkpoint cadence is killed mid-run,
+// restored from its last checkpoint in a fresh session (different thread
+// count), and fed the remaining rows. The resumed stream must publish rules
+// bit-identical to an uninterrupted stream over the same data — the
+// checkpoint is the complete mining state, not an approximation.
+TEST(StreamTest, KillRestoreContinueEqualsUninterruptedStream) {
+  PlantedDataset data = TestData();
+  const size_t total = data.relation.num_rows();  // 3000
+  const std::string ckpt = testing::TempDir() + "/stream_kill.ckpt";
+
+  StreamConfig cadence;
+  cadence.remine_every_rows = 500;
+
+  // Reference: one uninterrupted stream over all rows.
+  auto ref_session = TestSession();
+  ASSERT_TRUE(ref_session.ok());
+  auto ref_stream = ref_session->OpenStream(data.relation.schema(),
+                                            data.partition, cadence);
+  ASSERT_TRUE(ref_stream.ok());
+  for (size_t begin = 0; begin < total; begin += 250) {
+    ASSERT_TRUE(
+        (*ref_stream)->Ingest(Slice(data.relation, begin, begin + 250)).ok());
+  }
+  auto reference = (*ref_stream)->snapshot();
+  ASSERT_NE(reference, nullptr);
+  ASSERT_GT(reference->rules().size(), 0u);
+
+  // Interrupted run: same cadence, plus a checkpoint every 500 rows.
+  StreamConfig with_ckpt = cadence;
+  with_ckpt.checkpoint_every_rows = 500;
+  with_ckpt.checkpoint_path = ckpt;
+  {
+    auto session = TestSession();
+    ASSERT_TRUE(session.ok());
+    auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                      with_ckpt);
+    ASSERT_TRUE(stream.ok()) << stream.status();
+    for (size_t begin = 0; begin < 1250; begin += 250) {
+      ASSERT_TRUE(
+          (*stream)->Ingest(Slice(data.relation, begin, begin + 250)).ok());
+    }
+    // Stream destroyed here with 1250 rows ingested — the "crash". The
+    // last cadence checkpoint was written at 1000 rows.
+  }
+
+  // Restore in a new session at a different thread count and catch up.
+  auto resumed_session = TestSession(/*threads=*/4);
+  ASSERT_TRUE(resumed_session.ok());
+  auto restored = resumed_session->RestoreCheckpoint(ckpt);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  StreamingMiner& resumed = *restored->stream;
+  EXPECT_EQ(resumed.rows_ingested(), 1000);
+  EXPECT_EQ(resumed.generation(), 2u);  // re-mines fired at 500 and 1000
+  ASSERT_NE(resumed.snapshot(), nullptr);
+  EXPECT_EQ(resumed.snapshot()->rows_ingested(), 1000);
+  EXPECT_TRUE(restored->schema == data.relation.schema());
+
+  // Rows [1000, 1250) were ingested after the checkpoint and lost in the
+  // crash; the caller re-feeds from the checkpoint's row count.
+  for (size_t begin = 1000; begin < total; begin += 250) {
+    ASSERT_TRUE(
+        resumed.Ingest(Slice(data.relation, begin, begin + 250)).ok());
+  }
+  EXPECT_EQ(resumed.rows_ingested(), static_cast<int64_t>(total));
+
+  auto final_snapshot = resumed.snapshot();
+  ASSERT_NE(final_snapshot, nullptr);
+  EXPECT_EQ(final_snapshot->rows_ingested(), reference->rows_ingested());
+  EXPECT_EQ(final_snapshot->generation(), reference->generation());
+  EXPECT_EQ(final_snapshot->phase1().effective_d0,
+            reference->phase1().effective_d0);
+  EXPECT_EQ(final_snapshot->phase2().cliques, reference->phase2().cliques);
+  ExpectSameRules(final_snapshot->rules(), reference->rules());
+  std::remove(ckpt.c_str());
 }
 
 }  // namespace

@@ -5,7 +5,7 @@ Expected document shape (schema_version 1):
 
   {
     "schema_version": 1,
-    "suite": "phase1" | "phase2" | "stream" | "micro",
+    "suite": "phase1" | "phase2" | "stream" | "persist" | "micro",
     "smoke": bool,
     "seed": int,
     "runs": [
@@ -38,7 +38,7 @@ import json
 import numbers
 import sys
 
-VALID_SUITES = {"phase1", "phase2", "stream", "micro"}
+VALID_SUITES = {"phase1", "phase2", "stream", "persist", "micro"}
 VALID_UNITS = {"count", "seconds", "bytes"}
 
 

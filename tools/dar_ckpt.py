@@ -1,0 +1,469 @@
+#!/usr/bin/env python3
+"""Inspect DAR checkpoint files without the C++ library.
+
+Parses the versioned container of src/persist/checkpoint_io.h (magic,
+format_version, CRC-guarded length-prefixed sections) and the section
+payloads of src/persist/codec.cc / src/stream/stream_checkpoint.cc, and
+prints a structural summary: per-section byte sizes, schema/partition
+shapes, stream counters, per-part ACF-tree statistics (node/leaf/outlier
+counts verified against a full recursive walk of the serialized node
+structure), and snapshot cluster/clique/rule counts.
+
+Stdlib-only (struct + binascii.crc32 — the C++ side uses the same
+CRC-32/ISO-HDLC polynomial) so it runs anywhere Python does. The wire
+layout mirrored here must be updated in lockstep with the C++ codecs; the
+`dar_ckpt` ctest golden test pins the agreement.
+
+Usage: tools/dar_ckpt.py [--no-floats] CHECKPOINT
+
+Exits 0 on a valid checkpoint, 1 on any corruption (bad magic, CRC
+mismatch, truncation, counter disagreement), printing the reason to
+stderr. `--no-floats` renders every floating-point field as `_` so output
+over deterministic fixtures is byte-stable for golden tests.
+"""
+
+import argparse
+import binascii
+import pathlib
+import struct
+import sys
+
+MAGIC = b"DARCKPT\x00"
+FORMAT_VERSION = 1
+HEADER_BYTES = 20
+
+SECTION_NAMES = {1: "config", 2: "schema", 3: "partition",
+                 4: "dictionaries", 5: "stream_state", 6: "builder",
+                 7: "snapshot"}
+METRIC_NAMES = {0: "euclidean", 1: "manhattan", 2: "discrete"}
+ATTRIBUTE_KINDS = {0: "interval", 1: "nominal"}
+CLUSTER_METRICS = {0: "D0", 1: "D1", 2: "D2", 3: "D3", 4: "D4"}
+
+# Safety cap mirroring the C++ decoder's recursion guard.
+MAX_NODE_DEPTH = 64
+
+
+class CorruptError(Exception):
+    """Any structural problem with the checkpoint bytes."""
+
+
+class Reader:
+    """Bounds-checked little-endian cursor over a byte range."""
+
+    def __init__(self, data, what="payload"):
+        self.data = data
+        self.pos = 0
+        self.what = what
+
+    def _take(self, n, what):
+        if self.pos + n > len(self.data):
+            raise CorruptError(
+                f"truncated {self.what}: need {n} bytes for {what}, "
+                f"{len(self.data) - self.pos} remain")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self, what="u8"):
+        return self._take(1, what)[0]
+
+    def u32(self, what="u32"):
+        return struct.unpack("<I", self._take(4, what))[0]
+
+    def u64(self, what="u64"):
+        return struct.unpack("<Q", self._take(8, what))[0]
+
+    def i32(self, what="i32"):
+        return struct.unpack("<i", self._take(4, what))[0]
+
+    def i64(self, what="i64"):
+        return struct.unpack("<q", self._take(8, what))[0]
+
+    def f64(self, what="f64"):
+        return struct.unpack("<d", self._take(8, what))[0]
+
+    def str_(self, what="string"):
+        n = self.u32(what + " length")
+        return self._take(n, what).decode("utf-8", errors="replace")
+
+    def remaining(self):
+        return len(self.data) - self.pos
+
+    def expect_end(self, what):
+        if self.remaining() != 0:
+            raise CorruptError(
+                f"{what} has {self.remaining()} trailing bytes")
+
+    def count(self, min_bytes_each, what):
+        """A u32 element count, refused when it cannot fit in the bytes
+        that remain — mirrors the C++ decoder's allocation guard."""
+        n = self.u32(what + " count")
+        if n * min_bytes_each > self.remaining():
+            raise CorruptError(
+                f"{what} count {n} cannot fit in "
+                f"{self.remaining()} remaining bytes")
+        return n
+
+
+class Printer:
+    def __init__(self, show_floats):
+        self.show_floats = show_floats
+
+    def flt(self, value):
+        return repr(value) if self.show_floats else "_"
+
+    def line(self, indent, text):
+        print("  " * indent + text)
+
+
+# ---------------------------------------------------------------------------
+# Shared sub-structures (mirroring codec.cc).
+
+def parse_cf(r):
+    """CfVector: metric u8, dim u32, n i64, 4*dim f64 moment vectors, plus
+    per-dimension histograms for discrete parts. Returns (metric, dim, n)."""
+    metric = r.u8("CF metric")
+    if metric not in METRIC_NAMES:
+        raise CorruptError(f"CF metric byte {metric} out of range")
+    dim = r.u32("CF dim")
+    n = r.i64("CF n")
+    if n < 0:
+        raise CorruptError(f"CF has negative count {n}")
+    for _ in range(4 * dim):
+        r.f64("CF moments")
+    if METRIC_NAMES[metric] == "discrete":
+        for d in range(dim):
+            entries = r.count(16, f"CF histogram dim {d}")
+            last = None
+            for _ in range(entries):
+                value = r.f64("histogram value")
+                if last is not None and not value > last:
+                    raise CorruptError(
+                        "CF histogram keys not strictly ascending")
+                last = value
+                r.i64("histogram count")
+    return metric, dim, n
+
+
+def parse_acf(r):
+    """Acf: own_part u32, image count u32, then one CF per part. Returns
+    (own_part, n) where n is the mass of the own-part image."""
+    own_part = r.u32("ACF own_part")
+    images = r.count(21, "ACF image")
+    n = 0
+    for p in range(images):
+        _, _, cf_n = parse_cf(r)
+        if p == own_part:
+            n = cf_n
+    return own_part, n
+
+
+def parse_tree_options(r, out):
+    out["branching_factor"] = r.i32("branching_factor")
+    out["leaf_capacity"] = r.i32("leaf_capacity")
+    out["initial_threshold"] = r.f64("initial_threshold")
+    out["memory_budget_bytes"] = r.u64("memory_budget_bytes")
+    out["threshold_growth"] = r.f64("threshold_growth")
+    out["outlier_entry_min_n"] = r.i64("outlier_entry_min_n")
+    out["max_rebuilds_per_insert"] = r.i32("max_rebuilds_per_insert")
+
+
+def parse_node(r, depth=0):
+    """Preorder node walk. Returns (nodes, leaf_entries) under this node."""
+    if depth > MAX_NODE_DEPTH:
+        raise CorruptError(f"tree deeper than {MAX_NODE_DEPTH} levels")
+    is_leaf = r.u8("node tag")
+    if is_leaf > 1:
+        raise CorruptError(f"node tag byte {is_leaf} is neither 0 nor 1")
+    nodes, leaf_entries = 1, 0
+    if is_leaf:
+        for _ in range(r.count(21, "leaf entry")):
+            parse_acf(r)
+            leaf_entries += 1
+    else:
+        children = r.count(22, "child")
+        if children == 0:
+            raise CorruptError("internal node with zero children")
+        for _ in range(children):
+            parse_cf(r)
+            sub_nodes, sub_entries = parse_node(r, depth + 1)
+            nodes += sub_nodes
+            leaf_entries += sub_entries
+    return nodes, leaf_entries
+
+
+def parse_tree(r, p):
+    """One ACF-tree blob (see PersistPeer::EncodeTree). Returns a summary
+    line after verifying the stored counters against the node walk."""
+    own_part = r.u32("tree own_part")
+    opts = {}
+    parse_tree_options(r, opts)
+    r.f64("threshold")
+    rebuilds = r.i32("rebuild_count")
+    splits = r.i64("split_count")
+    points = r.i64("points_inserted")
+    num_nodes = r.u64("num_nodes")
+    num_leaf_entries = r.u64("num_leaf_entries")
+    outlier_buffer = r.count(21, "outlier_buffer ACF")
+    for _ in range(outlier_buffer):
+        parse_acf(r)
+    outliers = r.count(21, "outlier ACF")
+    for _ in range(outliers):
+        parse_acf(r)
+    walked_nodes, walked_entries = parse_node(r)
+    if walked_nodes != num_nodes or walked_entries != num_leaf_entries:
+        raise CorruptError(
+            f"tree {p}: serialized counters claim {num_nodes} nodes / "
+            f"{num_leaf_entries} leaf entries but the node walk found "
+            f"{walked_nodes} / {walked_entries}")
+    return (f"tree[{p}] part={own_part} nodes={num_nodes} "
+            f"leaf_entries={num_leaf_entries} "
+            f"outlier_buffer={outlier_buffer} outliers={outliers} "
+            f"points={points} rebuilds={rebuilds} splits={splits} "
+            f"branching={opts['branching_factor']} "
+            f"leaf_capacity={opts['leaf_capacity']}")
+
+
+def parse_id_list(r, what):
+    return [r.u64(what) for _ in range(r.count(8, what))]
+
+
+# ---------------------------------------------------------------------------
+# Section parsers. Each consumes its whole payload (expect_end).
+
+def show_config(r, pr):
+    pr.line(1, f"memory_budget_bytes: {r.u64('memory_budget_bytes')}")
+    pr.line(1, f"frequency_fraction: {pr.flt(r.f64())}")
+    pr.line(1, f"outlier_fraction: {pr.flt(r.f64())}")
+    diameters = [r.f64() for _ in range(r.count(8, "initial_diameter"))]
+    pr.line(1, "initial_diameters: ["
+            + ", ".join(pr.flt(d) for d in diameters) + "]")
+    opts = {}
+    parse_tree_options(r, opts)
+    pr.line(1, f"tree.branching_factor: {opts['branching_factor']}")
+    pr.line(1, f"tree.leaf_capacity: {opts['leaf_capacity']}")
+    pr.line(1, f"tree.threshold_growth: {pr.flt(opts['threshold_growth'])}")
+    pr.line(1, f"refine_clusters: {bool(r.u8())}")
+    metric = r.u8("cluster metric")
+    if metric not in CLUSTER_METRICS:
+        raise CorruptError(f"cluster metric byte {metric} out of range")
+    pr.line(1, f"metric: {CLUSTER_METRICS[metric]}")
+    pr.line(1, f"degree_threshold: {pr.flt(r.f64())}")
+    for name in ("degree_thresholds", "density_thresholds"):
+        values = [r.f64() for _ in range(r.count(8, name))]
+        pr.line(1, f"{name}: [" + ", ".join(pr.flt(v) for v in values) + "]")
+    pr.line(1, f"phase2_leniency: {pr.flt(r.f64())}")
+    pr.line(1, f"prune_low_density_images: {bool(r.u8())}")
+    pr.line(1, f"max_antecedent: {r.u64()}")
+    pr.line(1, f"max_consequent: {r.u64()}")
+    pr.line(1, f"max_rules: {r.u64()}")
+    pr.line(1, f"max_cliques: {r.u64()}")
+    pr.line(1, f"count_rule_support: {bool(r.u8())}")
+
+
+def show_schema(r, pr):
+    count = r.count(5, "schema attribute")
+    pr.line(1, f"attributes: {count}")
+    for i in range(count):
+        name = r.str_("attribute name")
+        kind = r.u8("attribute kind")
+        if kind not in ATTRIBUTE_KINDS:
+            raise CorruptError(f"attribute kind byte {kind} out of range")
+        pr.line(2, f"[{i}] {name}: {ATTRIBUTE_KINDS[kind]}")
+
+
+def show_partition(r, pr):
+    count = r.count(5, "partition part")
+    pr.line(1, f"parts: {count}")
+    for p in range(count):
+        metric = r.u8("part metric")
+        if metric not in METRIC_NAMES:
+            raise CorruptError(f"part metric byte {metric} out of range")
+        columns = [r.u64("column") for _ in range(r.count(8, "column"))]
+        pr.line(2, f"[{p}] metric={METRIC_NAMES[metric]} columns={columns}")
+
+
+def show_dictionaries(r, pr):
+    count = r.count(4, "dictionary")
+    pr.line(1, f"dictionaries: {count}")
+    for i in range(count):
+        labels = r.count(4, "dictionary label")
+        for _ in range(labels):
+            r.str_("label")
+        pr.line(2, f"[{i}] {labels} labels")
+
+
+def show_stream_state(r, pr):
+    pr.line(1, f"generation: {r.u64('generation')}")
+    pr.line(1, f"rows_ingested: {r.i64('rows_ingested')}")
+    pr.line(1, f"rows_at_snapshot: {r.i64('rows_at_snapshot')}")
+    pr.line(1, f"rows_at_checkpoint: {r.i64('rows_at_checkpoint')}")
+    pr.line(1, f"remine_every_rows: {r.i64('remine_every_rows')}")
+    index_byte = r.u8("build_rule_index")
+    if index_byte > 1:
+        raise CorruptError(f"build_rule_index byte {index_byte} is not 0/1")
+    pr.line(1, f"build_rule_index: {bool(index_byte)}")
+    pr.line(1, f"checkpoint_every_rows: {r.i64('checkpoint_every_rows')}")
+    pr.line(1, f"checkpoint_path: {r.str_('checkpoint_path')!r}")
+
+
+def show_builder(r, pr):
+    pr.line(1, f"rows_added: {r.i64('rows_added')}")
+    trees = r.count(9, "tree blob")
+    pr.line(1, f"trees: {trees}")
+    for p in range(trees):
+        blob_len = r.u64("tree blob length")
+        blob = Reader(r._take(blob_len, f"tree {p} blob"), f"tree {p}")
+        pr.line(2, parse_tree(blob, p))
+        blob.expect_end(f"tree {p} blob")
+
+
+def show_snapshot(r, pr):
+    pr.line(1, f"generation: {r.u64('generation')}")
+    pr.line(1, f"rows_ingested: {r.i64('rows_ingested')}")
+    num_parts = r.count(13, "layout part")
+    for _ in range(num_parts):
+        r.u64("part dim")
+        metric = r.u8("part metric")
+        if metric not in METRIC_NAMES:
+            raise CorruptError(f"layout metric byte {metric} out of range")
+        r.str_("part label")
+    pr.line(1, f"layout_parts: {num_parts}")
+    clusters = r.count(37, "cluster")
+    per_part = [0] * num_parts
+    for i in range(clusters):
+        cluster_id = r.u64("cluster id")
+        if cluster_id != i:
+            raise CorruptError(
+                f"cluster ids not dense: expected {i}, got {cluster_id}")
+        part = r.u64("cluster part")
+        if part >= num_parts:
+            raise CorruptError(
+                f"cluster {i} on part {part} outside the layout")
+        per_part[part] += 1
+        parse_acf(r)
+    pr.line(1, f"clusters: {clusters} per_part={per_part}")
+    tree_stats = r.count(61, "tree stats")
+    for _ in range(tree_stats):
+        r.u64(), r.u64(), r.u64(), r.i32(), r.f64()
+        r.u64(), r.i64(), r.i64(), r.i32()
+    pr.line(1, f"tree_stats: {tree_stats}")
+    outliers = r.count(21, "outlier")
+    for _ in range(outliers):
+        parse_acf(r)
+    pr.line(1, f"outliers: {outliers}")
+    raw = [r.u64() for _ in range(r.count(8, "raw cluster count"))]
+    pr.line(1, f"raw_cluster_counts: {raw}")
+    d0 = [r.f64() for _ in range(r.count(8, "effective d0"))]
+    pr.line(1, "effective_d0: [" + ", ".join(pr.flt(v) for v in d0) + "]")
+    pr.line(1, f"frequency_threshold: {r.i64('frequency_threshold')}")
+    r.f64("phase1 seconds")
+    cliques = r.count(4, "clique")
+    sizes = []
+    for _ in range(cliques):
+        sizes.append(len(parse_id_list(r, "clique member")))
+    nontrivial = r.u64("num_nontrivial_cliques")
+    pr.line(1, f"cliques: {cliques} nontrivial={nontrivial} "
+            f"sizes={sorted(sizes, reverse=True)}")
+    pr.line(1, f"cliques_truncated: {bool(r.u8())}")
+    pr.line(1, f"graph_edges: {r.u64('graph_edges')}")
+    rules = r.count(28, "rule")
+    for _ in range(rules):
+        parse_id_list(r, "antecedent")
+        parse_id_list(r, "consequent")
+        r.f64("degree")
+        r.f64("cooccurrence_slack")
+        r.i64("support_count")
+    pr.line(1, f"rules: {rules}")
+    pr.line(1, f"rules_truncated: {bool(r.u8())}")
+    r.f64("phase2 seconds")
+
+
+SECTION_PARSERS = {"config": show_config, "schema": show_schema,
+                   "partition": show_partition,
+                   "dictionaries": show_dictionaries,
+                   "stream_state": show_stream_state,
+                   "builder": show_builder, "snapshot": show_snapshot}
+
+
+# ---------------------------------------------------------------------------
+# Container framing.
+
+def parse_container(data):
+    """Verifies the framing and yields (id, payload) in file order."""
+    if len(data) < HEADER_BYTES:
+        raise CorruptError(
+            f"not a DAR checkpoint: {len(data)} bytes is shorter than the "
+            f"{HEADER_BYTES}-byte header")
+    if data[:8] != MAGIC:
+        raise CorruptError("not a DAR checkpoint (bad magic)")
+    version, section_count, header_crc = struct.unpack("<III", data[8:20])
+    if binascii.crc32(data[:16]) != header_crc:
+        raise CorruptError("header CRC mismatch (corrupted header)")
+    if version > FORMAT_VERSION:
+        raise CorruptError(
+            f"format_version {version} is newer than supported version "
+            f"{FORMAT_VERSION} — upgrade this tool to read the file")
+    if version == 0:
+        raise CorruptError("format_version 0 is invalid")
+    sections = []
+    seen = set()
+    r = Reader(data, "container")
+    r.pos = HEADER_BYTES
+    for _ in range(section_count):
+        section_id = r.u32("section id")
+        length = r.u64("section length")
+        payload = r._take(length, f"section {section_id} payload")
+        crc = r.u32("section CRC")
+        if binascii.crc32(payload) != crc:
+            name = SECTION_NAMES.get(section_id, "unknown")
+            raise CorruptError(
+                f"section {section_id} ({name}) failed its CRC check")
+        if section_id in seen:
+            raise CorruptError(f"duplicate section {section_id}")
+        seen.add(section_id)
+        sections.append((section_id, payload))
+    r.expect_end("container")
+    return version, sections
+
+
+def inspect(path, show_floats):
+    data = pathlib.Path(path).read_bytes()
+    version, sections = parse_container(data)
+    pr = Printer(show_floats)
+    pr.line(0, f"format_version: {version}")
+    pr.line(0, f"sections: {len(sections)}")
+    for section_id, payload in sections:
+        name = SECTION_NAMES.get(section_id, "unknown")
+        pr.line(0, f"section {name} (id={section_id}, {len(payload)} bytes)")
+        parser = SECTION_PARSERS.get(name)
+        if parser is None:
+            pr.line(1, "(unknown section, skipped)")
+            continue
+        r = Reader(payload, f"{name} section")
+        parser(r, pr)
+        r.expect_end(f"{name} section")
+    pr.line(0, "ok")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Inspect a DAR checkpoint file.")
+    parser.add_argument("checkpoint", help="path to the .darckpt file")
+    parser.add_argument("--no-floats", action="store_true",
+                        help="render floating-point fields as '_' "
+                        "(byte-stable output for golden tests)")
+    args = parser.parse_args()
+    try:
+        inspect(args.checkpoint, show_floats=not args.no_floats)
+    except OSError as err:
+        print(f"dar_ckpt: error: {err}", file=sys.stderr)
+        return 1
+    except CorruptError as err:
+        print(f"dar_ckpt: error: {args.checkpoint}: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Golden-output test for tools/dar_ckpt.py.
+
+Generates the deterministic fixture checkpoint with gen_ckpt_fixture (path
+passed as argv[1] by ctest), runs the inspector over it with --no-floats,
+and diffs stdout against tools/testdata/expected_ckpt_output.txt — pinning
+the Python wire-format mirror to the C++ codecs. Also asserts the failure
+paths: a flipped byte, a truncation and a non-checkpoint file must all
+exit 1 with a diagnostic on stderr.
+"""
+
+import difflib
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+
+
+def run_ckpt(args):
+    return subprocess.run(
+        [sys.executable, str(TOOLS / "dar_ckpt.py")] + args,
+        capture_output=True, text=True)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: dar_ckpt_test.py <path-to-gen_ckpt_fixture-binary>")
+        return 2
+    generator = sys.argv[1]
+    expected_path = TOOLS / "testdata" / "expected_ckpt_output.txt"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fixture = pathlib.Path(tmp) / "fixture.darckpt"
+        gen = subprocess.run([generator, str(fixture)],
+                             capture_output=True, text=True)
+        if gen.returncode != 0:
+            print(f"FAIL: fixture generator exited {gen.returncode}")
+            print(gen.stdout + gen.stderr)
+            return 1
+
+        # Golden structural output (floats masked: their *presence* is part
+        # of the wire layout under test, their values are not).
+        proc = run_ckpt(["--no-floats", str(fixture)])
+        if proc.returncode != 0:
+            print(f"FAIL: inspector exited {proc.returncode} on a valid "
+                  "checkpoint")
+            print(proc.stdout + proc.stderr)
+            return 1
+        expected = expected_path.read_text()
+        if proc.stdout != expected:
+            print("FAIL: inspector output differs from golden file:")
+            sys.stdout.writelines(difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                proc.stdout.splitlines(keepends=True),
+                fromfile="expected_ckpt_output.txt", tofile="actual"))
+            return 1
+
+        data = fixture.read_bytes()
+
+        # A flipped payload byte must trip a CRC check.
+        corrupt = pathlib.Path(tmp) / "corrupt.darckpt"
+        flipped = bytearray(data)
+        flipped[len(flipped) // 2] ^= 0x01
+        corrupt.write_bytes(bytes(flipped))
+        proc = run_ckpt([str(corrupt)])
+        if proc.returncode != 1 or "CRC" not in proc.stderr:
+            print("FAIL: flipped byte not reported as a CRC failure "
+                  f"(exit {proc.returncode}): {proc.stderr}")
+            return 1
+
+        # A truncation must be reported, not crash.
+        corrupt.write_bytes(data[:len(data) - 10])
+        proc = run_ckpt([str(corrupt)])
+        if proc.returncode != 1:
+            print(f"FAIL: truncated file accepted (exit {proc.returncode})")
+            return 1
+
+        # A non-checkpoint file must be refused by magic.
+        proc = run_ckpt([str(TOOLS / "dar_ckpt.py")])
+        if proc.returncode != 1 or "magic" not in proc.stderr:
+            print("FAIL: non-checkpoint file not refused by magic "
+                  f"(exit {proc.returncode}): {proc.stderr}")
+            return 1
+
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

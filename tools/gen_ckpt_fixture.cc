@@ -1,0 +1,94 @@
+// Generates the deterministic checkpoint fixture for tools/dar_ckpt_test.py.
+//
+// The workload is tiny and integer-valued (two planted patterns over two
+// interval attributes and one nominal attribute), so every serialized
+// double — CF sums, thresholds, centroids — is an exact binary value and
+// the checkpoint's *structure* (cluster counts, tree shapes, rule counts)
+// is identical on every IEEE-754 platform. tools/dar_ckpt.py is run over
+// the result with --no-floats and diffed against
+// tools/testdata/expected_ckpt_output.txt.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "relation/relation.h"
+#include "stream/streaming_miner.h"
+
+namespace {
+
+// Tool-style error handling: print and exit nonzero (the library's Status
+// machinery reports the reason).
+template <typename T>
+T OrDie(dar::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << "gen_ckpt_fixture: " << what << ": "
+              << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+void CheckOk(const dar::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << "gen_ckpt_fixture: " << what << ": " << status.ToString()
+              << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: gen_ckpt_fixture <output-checkpoint-path>\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+
+  auto schema = OrDie(
+      dar::Schema::Make({{"X", dar::AttributeKind::kInterval},
+                         {"Y", dar::AttributeKind::kInterval},
+                         {"Color", dar::AttributeKind::kNominal}}),
+      "schema");
+  auto partition = OrDie(
+      dar::AttributePartition::Make(
+          schema, {{{"X"}, dar::MetricKind::kEuclidean},
+                   {{"Y"}, dar::MetricKind::kEuclidean},
+                   {{"Color"}, dar::MetricKind::kDiscrete}}),
+      "partition");
+
+  // Labels "low"/"high" encode to 0.0/1.0; the dictionary rides along in
+  // the checkpoint so the inspector's dictionaries section is non-empty.
+  std::vector<dar::Dictionary> dictionaries(1);
+  const double low = dictionaries[0].Encode("low");
+  const double high = dictionaries[0].Encode("high");
+
+  // Two clean co-occurrence patterns, 32 tuples each, all values exact
+  // small integers: (X near 0, Y near 64, low) and (X near 64, Y near 0,
+  // high).
+  dar::Relation rel(schema);
+  for (int i = 0; i < 32; ++i) {
+    const double jitter = i % 4;  // 0, 1, 2, 3
+    CheckOk(rel.AppendRow({jitter, 64.0 + jitter, low}), "append row");
+    CheckOk(rel.AppendRow({64.0 + jitter, jitter, high}), "append row");
+  }
+
+  dar::DarConfig config;
+  config.frequency_fraction = 0.25;
+  config.initial_diameters = {8.0, 8.0, 0.5};
+  config.degree_threshold = 16.0;
+
+  auto session = OrDie(
+      dar::Session::Builder().WithConfig(config).Build(), "session");
+  dar::StreamConfig stream_config;
+  stream_config.remine_every_rows = 0;  // publish manually below
+  auto stream = OrDie(session.OpenStream(schema, partition, stream_config),
+                      "open stream");
+  CheckOk(stream->Ingest(rel), "ingest");
+  CheckOk(stream->Remine().status(), "remine");
+  CheckOk(session.SaveCheckpoint(*stream, path, dictionaries),
+          "save checkpoint");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#ifndef DAR_PERSIST_CHATTY_READER_H_
+#define DAR_PERSIST_CHATTY_READER_H_
+
+// Fixture proving src/persist/ is inside the linted tree: a header-guard
+// that is correct for its path, plus one iostream violation.
+
+#include <iostream>
+
+namespace dar::persist {
+
+inline void Complain() { std::cerr << "corrupt checkpoint\n"; }
+
+}  // namespace dar::persist
+
+#endif  // DAR_PERSIST_CHATTY_READER_H_
