@@ -1,10 +1,10 @@
 // Unified JSON bench harness. Executes the phase-1-scaling,
-// phase-2-stability, streaming-remine, checkpoint-persistence, and
-// micro-kernel suites over seeded planted generators and writes
-// BENCH_phase1.json / BENCH_phase2.json / BENCH_stream.json /
-// BENCH_persist.json / BENCH_micro.json (by default into the current
-// directory), seeding the perf trajectory that EXPERIMENTS.md ("Reading
-// BENCH_*.json") documents.
+// phase-2-stability, streaming-remine, checkpoint-persistence,
+// rule-serving, and micro-kernel suites over seeded planted generators
+// and writes BENCH_phase1.json / BENCH_phase2.json / BENCH_stream.json /
+// BENCH_persist.json / BENCH_serve.json / BENCH_micro.json (by default
+// into the current directory), seeding the perf trajectory that
+// EXPERIMENTS.md ("Reading BENCH_*.json") documents.
 //
 // Usage: bench_main [--smoke] [--outdir DIR] [--seed N] [--threads N]
 //                   [--no-timings]
@@ -18,12 +18,14 @@
 // 8-thread --smoke run exactly this way.
 
 #include <algorithm>
+#include <barrier>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -34,6 +36,9 @@
 #include "core/clustering_graph.h"
 #include "core/session.h"
 #include "datagen/planted.h"
+#include "serve/client.h"
+#include "serve/query_service.h"
+#include "serve/server.h"
 #include "stream/streaming_miner.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
@@ -446,6 +451,229 @@ int RunPersistSuite(const BenchOptions& options,
   return 0;
 }
 
+// --- Suite: serve — mixed query traffic from concurrent binary clients
+// against a live RuleServer on loopback, with snapshot hot-swaps
+// mid-traffic. Request counts are fixed (70/20/10 point/list/info by
+// request index) so the suite's telemetry view is deterministic and CI
+// can byte-diff it across thread counts; only the "timings" object (QPS
+// and client-observed latency percentiles) varies run to run. Traffic
+// runs in phases separated by a barrier: the writer ingests a chunk and
+// re-mines DURING phases 1..3, so every swap overlaps live queries. Each
+// client validates every response's (generation, rows_ingested) pair
+// against the writer's publication ledger after the fact — a mixed-
+// generation response would pair them wrongly. ---
+
+int RunServeSuite(const BenchOptions& options, std::vector<RunRecord>& runs) {
+  const size_t attrs = 4;
+  const size_t clusters = 3;
+  const size_t clients = 8;
+  const size_t phases = 4;  // phase 0 on generation 1, then 3 hot swaps
+  const size_t requests_per_phase = options.smoke ? 30 : 150;
+  const size_t requests_per_client = phases * requests_per_phase;
+  const size_t chunk_rows = options.smoke ? 3000 : 10000;
+  const size_t n = phases * chunk_rows;
+
+  const PlantedDataSpec spec =
+      WbcdLikeSpec(attrs, clusters, 0.05, options.seed + 41);
+  auto data = GeneratePlanted(spec, n, options.seed + 42);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  DarConfig config;
+  config.memory_budget_bytes = 32u << 20;
+  config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+  config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+  config.degree_threshold = 150.0;
+  auto session = MakeSession(options, config);
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  StreamConfig stream_config;
+  stream_config.remine_every_rows = 0;  // the writer publishes explicitly
+  auto stream = session->OpenStream(data->relation.schema(),
+                                    data->partition, stream_config);
+  if (!stream.ok()) {
+    std::cerr << stream.status() << "\n";
+    return 1;
+  }
+
+  // Generation 1 before any traffic, from the first chunk.
+  auto ingest_chunk = [&](size_t phase) -> Status {
+    const size_t begin = phase * chunk_rows;
+    const size_t end = std::min(n, begin + chunk_rows);
+    for (size_t r = begin; r < end; ++r) {
+      DAR_RETURN_IF_ERROR((*stream)->IngestRow(data->relation.Row(r)));
+    }
+    DAR_ASSIGN_OR_RETURN(auto snapshot, (*stream)->Remine());
+    (void)snapshot;
+    return Status::OK();
+  };
+  if (auto s = ingest_chunk(0); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  telemetry::MetricsRegistry registry;
+  QueryService service(&registry);
+  service.AttachStream(**stream);
+  serve::ServerConfig server_config;
+  server_config.admission.max_concurrent = 0;  // never shed: the bench
+  server_config.admission.max_per_tenant = 0;  // must drop zero responses
+  server_config.admission.max_tenant_requests = 0;
+  serve::RuleServer server(service, server_config, &registry);
+  if (auto s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // Publication ledger: appended only by the writer, read by clients only
+  // after join.
+  std::vector<std::pair<uint64_t, int64_t>> published;
+  published.push_back({(*stream)->generation(), (*stream)->rows_ingested()});
+
+  struct ClientStats {
+    std::vector<double> latencies;
+    uint64_t dropped = 0;
+    std::vector<std::pair<uint64_t, int64_t>> seen;  // deduped pairs
+    bool connect_failed = false;
+  };
+  std::vector<ClientStats> stats(clients);
+  std::barrier sync(static_cast<std::ptrdiff_t>(clients) + 1);
+  std::atomic<bool> writer_failed{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientStats& mine = stats[c];
+      mine.latencies.reserve(requests_per_client);
+      auto client = serve::RuleClient::Connect(
+          "127.0.0.1", server.port(), "bench-" + std::to_string(c));
+      if (!client.ok()) {
+        mine.connect_failed = true;
+        for (size_t p = 0; p < phases; ++p) sync.arrive_and_wait();
+        return;
+      }
+      PointQueryResponse point;
+      RuleListResponse list;
+      SnapshotInfoResponse info;
+      std::vector<double> tuple;
+      auto note = [&mine](uint64_t generation, int64_t rows) {
+        const auto pair = std::make_pair(generation, rows);
+        if (std::find(mine.seen.begin(), mine.seen.end(), pair) ==
+            mine.seen.end()) {
+          mine.seen.push_back(pair);
+        }
+      };
+      for (size_t p = 0; p < phases; ++p) {
+        sync.arrive_and_wait();
+        for (size_t i = 0; i < requests_per_phase; ++i) {
+          const size_t idx = p * requests_per_phase + i;
+          Stopwatch watch;
+          Status status = Status::OK();
+          if (idx % 10 < 7) {
+            tuple = data->relation.Row((c * 131 + idx * 17) % n);
+            PointQueryRequest request;
+            request.tuple = tuple;
+            status = client->PointQuery(request, point);
+            if (status.ok()) note(point.generation, point.rows_ingested);
+          } else if (idx % 10 < 9) {
+            RuleListRequest request;
+            request.offset = static_cast<uint32_t>(idx % 3);
+            request.limit = 8;
+            status = client->ListRules(request, list);
+            if (status.ok()) note(list.generation, list.rows_ingested);
+          } else {
+            status = client->SnapshotInfo(info);
+            if (status.ok()) note(info.generation, info.rows_ingested);
+          }
+          mine.latencies.push_back(watch.ElapsedSeconds());
+          if (!status.ok()) ++mine.dropped;
+        }
+      }
+    });
+  }
+
+  // The writer drives the barrier: phase 0 serves generation 1 untouched;
+  // during phases 1..3 it ingests the next chunk and hot-swaps.
+  Stopwatch traffic_watch;
+  for (size_t p = 0; p < phases; ++p) {
+    sync.arrive_and_wait();
+    if (p + 1 < phases) {
+      if (auto s = ingest_chunk(p + 1); !s.ok()) {
+        std::cerr << s << "\n";
+        writer_failed.store(true);
+      }
+      published.push_back(
+          {(*stream)->generation(), (*stream)->rows_ingested()});
+    }
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double traffic_seconds = traffic_watch.ElapsedSeconds();
+  server.Stop();
+  if (writer_failed.load()) return 1;
+
+  uint64_t dropped = 0;
+  uint64_t inconsistent = 0;
+  std::vector<double> latencies;
+  latencies.reserve(clients * requests_per_client);
+  for (const ClientStats& mine : stats) {
+    if (mine.connect_failed) {
+      std::cerr << "bench serve: client failed to connect\n";
+      return 1;
+    }
+    dropped += mine.dropped;
+    for (const auto& pair : mine.seen) {
+      if (std::find(published.begin(), published.end(), pair) ==
+          published.end()) {
+        ++inconsistent;
+      }
+    }
+    latencies.insert(latencies.end(), mine.latencies.begin(),
+                     mine.latencies.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&latencies](double q) {
+    if (latencies.empty()) return 0.0;
+    const size_t idx = std::min(
+        latencies.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies.size())));
+    return latencies[idx];
+  };
+  const double total_requests =
+      static_cast<double>(clients * requests_per_client);
+
+  // The final queue-depth value depends on request-release interleaving;
+  // pin it so the deterministic telemetry view stays byte-identical.
+  registry.GetGauge("serve.queue_depth")->Set(0);
+
+  if (dropped != 0 || inconsistent != 0) {
+    std::cerr << "bench serve: " << dropped << " dropped and " << inconsistent
+              << " cross-generation-inconsistent responses (want 0)\n";
+    return 1;
+  }
+
+  RunRecord run;
+  run.name = "serve/clients=" + std::to_string(clients);
+  run.params = {{"n", static_cast<double>(n)},
+                {"clients", static_cast<double>(clients)},
+                {"requests_per_client", static_cast<double>(requests_per_client)},
+                {"swaps", static_cast<double>(phases - 1)},
+                {"dropped_responses", static_cast<double>(dropped)},
+                {"inconsistent_responses", static_cast<double>(inconsistent)}};
+  run.timings = {
+      {"seconds", traffic_seconds},
+      {"qps", traffic_seconds > 0 ? total_requests / traffic_seconds : 0.0},
+      {"p50_seconds", percentile(0.50)},
+      {"p99_seconds", percentile(0.99)},
+      {"p999_seconds", percentile(0.999)}};
+  run.telemetry_json = DeterministicTelemetry(registry.TakeSnapshot());
+  runs.push_back(std::move(run));
+  return 0;
+}
+
 // --- Suite 3: micro kernels (ACF-tree insertion, D2 distance, clique
 // enumeration), measured standalone with their own registries. ---
 
@@ -613,6 +841,10 @@ int Main(int argc, char** argv) {
   std::vector<RunRecord> persist_runs;
   if (RunPersistSuite(options, persist_runs) != 0) return 1;
   if (WriteSuite(options, "persist", persist_runs) != 0) return 1;
+
+  std::vector<RunRecord> serve_runs;
+  if (RunServeSuite(options, serve_runs) != 0) return 1;
+  if (WriteSuite(options, "serve", serve_runs) != 0) return 1;
 
   std::vector<RunRecord> micro_runs;
   MicroAcfInsert(options, micro_runs);

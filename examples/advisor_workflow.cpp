@@ -20,6 +20,7 @@
 #include "core/report.h"
 #include "core/session.h"
 #include "datagen/fixtures.h"
+#include "serve/query_service.h"
 
 int main(int argc, char** argv) {
   using namespace dar;
@@ -97,5 +98,26 @@ int main(int argc, char** argv) {
             << MiningResultToJson(result, schema, data->partition)
                    .substr(0, 600)
             << "...\n";
+
+  // 5. Serve the batch result through dar::QueryService — the same facade
+  //    streams and the TCP rule server use — so downstream code asks
+  //    "which rules fire for this tuple?" without touching Phase I/II
+  //    internals. MakeSnapshot wraps the result (building the rule index);
+  //    AttachSnapshot pins it as the served generation.
+  QueryService service;
+  service.AttachSnapshot(
+      QueryService::MakeSnapshot(std::move(result), data->partition), schema,
+      data->partition);
+  const std::vector<double> tuple0 = data->relation.Row(0);
+  PointQueryRequest query;
+  query.tuple = tuple0;  // the request views the tuple, it does not copy
+  PointQueryResponse hits;
+  if (Status s = service.PointQuery(query, hits); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "\nServing check: tuple 0 falls in " << hits.clusters.size()
+            << " clusters and fires " << hits.total_rule_matches
+            << " rules\n";
   return 0;
 }

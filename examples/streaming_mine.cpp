@@ -1,6 +1,7 @@
 // Streaming mining: feed a WBCD-like planted dataset to a dar::stream in
 // micro-batches, watch rule snapshots get republished on the cadence, and
-// point-query the current snapshot's RuleIndex for a handful of tuples.
+// serve point queries through dar::QueryService — the same transport-
+// agnostic facade the rule server (serve/server.h) speaks over TCP.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -15,8 +16,7 @@
 
 #include "core/session.h"
 #include "datagen/planted.h"
-#include "stream/rule_index.h"
-#include "stream/rule_snapshot.h"
+#include "serve/query_service.h"
 #include "stream/streaming_miner.h"
 
 int main(int argc, char** argv) {
@@ -57,11 +57,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  //    All reads go through the QueryService facade. It binds to the live
+  //    stream, so every published generation is served the instant it
+  //    lands — the same hot-swap the TCP server relies on.
+  QueryService service;
+  service.AttachStream(**stream);
+
   // 3. Ingest in micro-batches, reporting each newly published generation
   //    and how the rule count moved.
   const size_t kBatch = 250;
   uint64_t seen_generation = 0;
-  size_t last_rules = 0;
+  int64_t last_rules = 0;
   for (size_t begin = 0; begin < rel.num_rows(); begin += kBatch) {
     const size_t end = std::min(rel.num_rows(), begin + kBatch);
     Relation batch(rel.schema());
@@ -75,48 +81,62 @@ int main(int argc, char** argv) {
       std::cerr << "ingest failed: " << s << "\n";
       return 1;
     }
-    auto snapshot = (*stream)->snapshot();  // lock-free, any thread
-    if (snapshot != nullptr && snapshot->generation() > seen_generation) {
-      seen_generation = snapshot->generation();
-      const size_t rules = snapshot->rules().size();
-      std::cout << "generation " << snapshot->generation() << " @ row "
-                << snapshot->rows_ingested() << ": "
-                << snapshot->clusters().size() << " clusters, " << rules
-                << " rules (" << (rules >= last_rules ? "+" : "")
-                << (static_cast<long long>(rules) -
-                    static_cast<long long>(last_rules))
+    SnapshotInfoResponse info;
+    if (auto s = service.SnapshotInfo(info); !s.ok()) {
+      std::cerr << "info failed: " << s << "\n";
+      return 1;
+    }
+    if (info.generation > seen_generation) {
+      seen_generation = info.generation;
+      const int64_t rules = static_cast<int64_t>(info.num_rules);
+      std::cout << "generation " << info.generation << " @ row "
+                << info.rows_ingested << ": " << info.num_clusters
+                << " clusters, " << rules << " rules ("
+                << (rules >= last_rules ? "+" : "") << (rules - last_rules)
                 << ")\n";
       last_rules = rules;
     }
   }
 
-  // 4. Point-query the final snapshot: which clusters contain tuple t,
-  //    which rules fire for it?
+  // 4. Point-query through the service: which clusters contain tuple t,
+  //    which rules fire for it? The response carries the answering
+  //    snapshot's generation, so a caller can tell when a hot-swap
+  //    happened between two queries.
   std::cout << "\nafter " << (*stream)->rows_ingested() << " rows, "
             << (*stream)->rows_since_snapshot()
             << " rows newer than the snapshot\n";
-  auto snapshot = (*stream)->snapshot();
-  const Schema& schema = rel.schema();
+  PointQueryResponse hits;
+  RuleListResponse page;
   for (size_t r : {size_t{0}, num_rows / 2, num_rows - 1}) {
-    auto hits = (*stream)->Query(rel.Row(r));
-    if (!hits.ok()) {
-      std::cerr << "query failed: " << hits.status() << "\n";
+    // The request views the tuple (no copy); keep the row alive past the
+    // query call.
+    const std::vector<double> row = rel.Row(r);
+    PointQueryRequest query;
+    query.tuple = row;
+    if (auto s = service.PointQuery(query, hits); !s.ok()) {
+      std::cerr << "query failed: " << s << "\n";
       return 1;
     }
-    std::cout << "tuple " << r << ": " << hits->clusters.size()
-              << " containing clusters, " << hits->rules.size()
-              << " firing rules\n";
-    // Rules come back sorted by index, which Phase II orders by ascending
-    // degree — so the strongest implications print first.
-    const size_t shown = std::min<size_t>(3, hits->rules.size());
+    std::cout << "tuple " << r << " (generation " << hits.generation
+              << "): " << hits.clusters.size() << " containing clusters, "
+              << hits.total_rule_matches << " firing rules\n";
+    // Rule ids ascend by degree (Phase II sorts strongest first); fetch
+    // the pretty text of the top few through the paginated listing.
+    const size_t shown = std::min<size_t>(3, hits.rules.size());
     for (size_t i = 0; i < shown; ++i) {
-      std::cout << "    " << snapshot->rules()[hits->rules[i]].ToString(
-                                 snapshot->clusters(), schema,
-                                 data->partition)
-                << "\n";
+      RuleListRequest one;
+      one.offset = hits.rules[i];
+      one.limit = 1;
+      one.include_text = true;
+      if (auto s = service.ListRules(one, page);
+          !s.ok() || page.rules.empty()) {
+        std::cerr << "rule fetch failed: " << s << "\n";
+        return 1;
+      }
+      std::cout << "    " << page.rules[0].text << "\n";
     }
-    if (hits->rules.size() > shown) {
-      std::cout << "    ... and " << hits->rules.size() - shown << " more\n";
+    if (hits.rules.size() > shown) {
+      std::cout << "    ... and " << hits.rules.size() - shown << " more\n";
     }
   }
 
@@ -130,10 +150,17 @@ int main(int argc, char** argv) {
     std::cerr << "checkpoint failed: " << s << "\n";
     return 1;
   }
+  SnapshotInfoResponse live_info;
+  if (auto s = service.SnapshotInfo(live_info); !s.ok()) {
+    std::cerr << "info failed: " << s << "\n";
+    return 1;
+  }
 
   // 6. Recover, as a crashed process would: a fresh session restores the
   //    stream and re-mines from the summaries alone — no ingested tuple
-  //    is re-read, and the rules come back bit-identical (Thm 6.1).
+  //    is re-read, and the rules come back bit-identical (Thm 6.1). Then
+  //    hot-swap the service onto the restored stream: in-flight readers
+  //    finish on the old binding, new queries see the warm-started one.
   auto restore_session =
       Session::Builder().WithConfig(config).WithThreads(0).Build();
   if (!restore_session.ok()) {
@@ -145,15 +172,20 @@ int main(int argc, char** argv) {
     std::cerr << "restore failed: " << restored.status() << "\n";
     return 1;
   }
-  auto remined = restored->stream->Remine();
-  if (!remined.ok()) {
+  if (auto remined = restored->stream->Remine(); !remined.ok()) {
     std::cerr << "re-mine failed: " << remined.status() << "\n";
     return 1;
   }
+  service.AttachStream(*restored->stream);
+  SnapshotInfoResponse restored_info;
+  if (auto s = service.SnapshotInfo(restored_info); !s.ok()) {
+    std::cerr << "info failed: " << s << "\n";
+    return 1;
+  }
   std::cout << "\nrestored from " << ckpt << ": "
-            << restored->stream->rows_ingested() << " rows, re-mined to "
-            << (*remined)->rules().size() << " rules ("
-            << ((*remined)->rules().size() == snapshot->rules().size()
+            << restored_info.rows_ingested << " rows, re-mined to "
+            << restored_info.num_rules << " rules ("
+            << (restored_info.num_rules == live_info.num_rules
                     ? "identical to"
                     : "DIFFERS from")
             << " the live stream)\n";

@@ -22,6 +22,10 @@ enum class StatusCode : int {
   kIOError = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  /// The service cannot answer right now (e.g. no published rule snapshot
+  /// yet); the same call may succeed later without any change by the
+  /// caller. Distinct from kNotFound, which is about a specific entity.
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -85,6 +89,9 @@ class [[nodiscard]] Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return state_ == nullptr; }
   [[nodiscard]] StatusCode code() const {
@@ -113,6 +120,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] bool IsInternal() const {
     return code() == StatusCode::kInternal;
+  }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code() == StatusCode::kUnavailable;
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -40,6 +40,13 @@
 #include "relation/partition.h"  // IWYU pragma: export
 #include "relation/relation.h"   // IWYU pragma: export
 #include "relation/schema.h"     // IWYU pragma: export
+#include "serve/admission.h"     // IWYU pragma: export
+#include "serve/client.h"        // IWYU pragma: export
+#include "serve/http_adapter.h"  // IWYU pragma: export
+#include "serve/protocol.h"      // IWYU pragma: export
+#include "serve/query_api.h"     // IWYU pragma: export
+#include "serve/query_service.h"    // IWYU pragma: export
+#include "serve/server.h"        // IWYU pragma: export
 #include "telemetry/context.h"   // IWYU pragma: export
 #include "telemetry/json.h"      // IWYU pragma: export
 #include "telemetry/metrics.h"   // IWYU pragma: export

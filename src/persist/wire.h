@@ -35,6 +35,10 @@ class WireWriter {
   [[nodiscard]] const std::string& bytes() const { return buf_; }
   [[nodiscard]] size_t size() const { return buf_.size(); }
   [[nodiscard]] std::string Take() { return std::move(buf_); }
+  /// Empties the buffer but keeps its capacity, so one writer can encode
+  /// a stream of messages (e.g. dar::serve response frames) without
+  /// reallocating per message.
+  void Clear() { buf_.clear(); }
 
  private:
   std::string buf_;

@@ -1,0 +1,87 @@
+#include "serve/admission.h"
+
+#include <string>
+
+namespace dar::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         telemetry::MetricsRegistry* registry)
+    : config_(config) {
+  if (registry == nullptr) return;
+  admitted_metric_ = registry->GetCounter("serve.admitted");
+  shed_metric_ = registry->GetCounter("serve.shed");
+  in_flight_gauge_ = registry->GetGauge("serve.queue_depth");
+}
+
+AdmissionController::TenantState* AdmissionController::GetTenant(
+    std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(std::string(tenant),
+                          std::make_unique<TenantState>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    std::string_view tenant) {
+  TenantState* state = GetTenant(tenant);
+
+  // Optimistically take the global slot, backing out on any quota miss —
+  // under load the common path is three uncontended fetch_adds.
+  const uint32_t global =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.max_concurrent != 0 && global > config_.max_concurrent) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_metric_) shed_metric_->Increment();
+    return Status::ResourceExhausted(
+        "server at max_concurrent=" + std::to_string(config_.max_concurrent) +
+        " in-flight requests; retry with backoff");
+  }
+  const uint32_t mine =
+      state->in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.max_per_tenant != 0 && mine > config_.max_per_tenant) {
+    state->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_metric_) shed_metric_->Increment();
+    return Status::ResourceExhausted(
+        "tenant \"" + std::string(tenant) + "\" at max_per_tenant=" +
+        std::to_string(config_.max_per_tenant) + " in-flight requests");
+  }
+  if (config_.max_tenant_requests != 0) {
+    const uint64_t total =
+        state->admitted_total.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (total > config_.max_tenant_requests) {
+      // Leave the counter past the cap: the quota is lifetime, so every
+      // later request observes it exhausted too.
+      state->in_flight.fetch_sub(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_metric_) shed_metric_->Increment();
+      return Status::ResourceExhausted(
+          "tenant \"" + std::string(tenant) + "\" exhausted its " +
+          std::to_string(config_.max_tenant_requests) + "-request quota");
+    }
+  }
+  if (admitted_metric_) admitted_metric_->Increment();
+  if (in_flight_gauge_) in_flight_gauge_->Set(global);
+  return Ticket(this, state);
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  tenant_->in_flight.fetch_sub(1, std::memory_order_relaxed);
+  const uint32_t now =
+      controller_->in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (controller_->in_flight_gauge_) {
+    controller_->in_flight_gauge_->Set(now);
+  }
+  controller_ = nullptr;
+  tenant_ = nullptr;
+}
+
+}  // namespace dar::serve

@@ -1,0 +1,128 @@
+#ifndef DAR_SERVE_ADMISSION_H_
+#define DAR_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "telemetry/metrics.h"
+
+namespace dar::serve {
+
+/// Load-shedding quotas. Zero never means "block everything" — it means
+/// "no limit" — so a zeroed config admits freely.
+struct AdmissionConfig {
+  /// In-flight requests across all tenants; excess is shed. 0 = unlimited.
+  uint32_t max_concurrent = 256;
+  /// In-flight requests per tenant. 0 = unlimited.
+  uint32_t max_per_tenant = 64;
+  /// Lifetime request quota per tenant (admitted requests only; sheds do
+  /// not consume it). 0 = unlimited.
+  uint64_t max_tenant_requests = 0;
+};
+
+/// Bounded admission for the rule server: every request acquires a Ticket
+/// before touching the QueryService, or is shed with ResourceExhausted
+/// (kOverloaded on the wire) WITHOUT being executed — under overload the
+/// server stays responsive and degrades by rejecting, not by queueing
+/// unboundedly.
+///
+/// The admit/release hot path is lock-free (a few atomic RMWs); the only
+/// lock guards the first sighting of a new tenant name. Per-tenant state
+/// lives behind stable pointers, so tickets outliving a map insert are
+/// safe.
+///
+/// Thread-safe.
+class AdmissionController {
+ private:
+  // One tenant's live usage. Stable address: nodes are never erased.
+  struct TenantState {
+    std::atomic<uint32_t> in_flight{0};
+    std::atomic<uint64_t> admitted_total{0};
+  };
+
+ public:
+  explicit AdmissionController(AdmissionConfig config,
+                               telemetry::MetricsRegistry* registry = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission slot: holds one unit of the global and per-tenant
+  /// in-flight budgets, released on destruction. Movable, not copyable; a
+  /// moved-from or default-constructed ticket holds nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        tenant_ = other.tenant_;
+        other.controller_ = nullptr;
+        other.tenant_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    [[nodiscard]] bool holds() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, TenantState* tenant)
+        : controller_(controller), tenant_(tenant) {}
+
+    void Release();
+
+    AdmissionController* controller_ = nullptr;
+    TenantState* tenant_ = nullptr;
+  };
+
+  /// Admits one request for `tenant` ("" is a valid tenant: anonymous
+  /// connections share its quota) or sheds it: ResourceExhausted names the
+  /// exhausted quota. The returned Ticket releases the slots when
+  /// destroyed; it must not outlive the controller.
+  Result<Ticket> Admit(std::string_view tenant);
+
+  /// Requests currently holding tickets.
+  [[nodiscard]] uint32_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  /// Requests shed since construction.
+  [[nodiscard]] uint64_t shed_count() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+ private:
+  // Stable pointer to `tenant`'s state, created on first sighting.
+  TenantState* GetTenant(std::string_view tenant);
+
+  const AdmissionConfig config_;
+  std::atomic<uint32_t> in_flight_{0};
+  std::atomic<uint64_t> shed_{0};
+
+  std::mutex mu_;  // guards tenants_ (lookup/insert only)
+  std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_;
+
+  // Null when telemetry is disabled.
+  telemetry::Counter* admitted_metric_ = nullptr;
+  telemetry::Counter* shed_metric_ = nullptr;
+  telemetry::Gauge* in_flight_gauge_ = nullptr;
+};
+
+}  // namespace dar::serve
+
+#endif  // DAR_SERVE_ADMISSION_H_

@@ -1,0 +1,352 @@
+#include "serve/http_adapter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace dar::serve {
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// Splits "a=1&b=2" into a map; no %-decoding (values here are numbers and
+// flags, which never need it).
+std::map<std::string, std::string> ParseQueryParams(std::string_view query) {
+  std::map<std::string, std::string> params;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    std::string_view pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      params[std::string(pair.substr(0, eq))] =
+          std::string(pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      params[std::string(pair)] = "";
+    }
+    pos = amp + 1;
+  }
+  return params;
+}
+
+// Parses "1,2,3" or "[1, 2, 3]" into doubles.
+Result<std::vector<double>> ParseTupleList(std::string_view text) {
+  std::string trimmed(text);
+  std::erase_if(trimmed, [](unsigned char c) {
+    return std::isspace(c) || c == '[' || c == ']';
+  });
+  std::vector<double> values;
+  size_t pos = 0;
+  while (pos < trimmed.size()) {
+    size_t comma = trimmed.find(',', pos);
+    if (comma == std::string::npos) comma = trimmed.size();
+    const std::string token = trimmed.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      return Status::InvalidArgument("cannot parse tuple value \"" + token +
+                                     "\"");
+    }
+    values.push_back(v);
+    pos = comma + 1;
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument(
+        "empty tuple; pass ?tuple=v1,v2,... or a body like [v1,v2,...]");
+  }
+  return values;
+}
+
+Result<uint32_t> ParseU32Param(const std::map<std::string, std::string>& params,
+                               const std::string& name, uint32_t fallback) {
+  auto it = params.find(name);
+  if (it == params.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(it->second.c_str(), &end, 10);
+  if (end != it->second.c_str() + it->second.size() ||
+      v > 0xffffffffUL) {
+    return Status::InvalidArgument("parameter " + name + "=\"" + it->second +
+                                   "\" is not a u32");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+std::string MakeResponse(int http_status, std::string_view reason,
+                         const std::string& json_body) {
+  std::string out = "HTTP/1.1 " + std::to_string(http_status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(json_body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += json_body;
+  return out;
+}
+
+std::string_view ReasonPhrase(int http_status) {
+  switch (http_status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string ErrorBody(ServeCode code, std::string_view message) {
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.Key("error");
+  json.String(ServeCodeName(code));
+  json.Key("message");
+  json.String(std::string(message));
+  json.EndObject();
+  return std::move(json).TakeStr();
+}
+
+std::string ErrorResponseForStatus(const Status& status) {
+  const ServeCode code = ServeCodeFromStatus(status);
+  return MakeHttpErrorResponse(code, status.message());
+}
+
+std::string HandleInfo(const QueryService& service) {
+  SnapshotInfoResponse info;
+  Status status = service.SnapshotInfo(info);
+  if (!status.ok()) return ErrorResponseForStatus(status);
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.Key("api_version");
+  json.Int(info.api_version);
+  json.Key("generation");
+  json.Int(static_cast<int64_t>(info.generation));
+  json.Key("rows_ingested");
+  json.Int(info.rows_ingested);
+  json.Key("num_clusters");
+  json.Int(static_cast<int64_t>(info.num_clusters));
+  json.Key("num_rules");
+  json.Int(static_cast<int64_t>(info.num_rules));
+  json.Key("has_index");
+  json.Bool(info.has_index);
+  json.EndObject();
+  return MakeResponse(200, "OK", json.str());
+}
+
+std::string HandleRules(const QueryService& service,
+                        const HttpRequest& request) {
+  const auto params = ParseQueryParams(request.query);
+  RuleListRequest list;
+  {
+    auto offset = ParseU32Param(params, "offset", 0);
+    if (!offset.ok()) return ErrorResponseForStatus(offset.status());
+    list.offset = *offset;
+  }
+  {
+    auto limit = ParseU32Param(params, "limit", 0);
+    if (!limit.ok()) return ErrorResponseForStatus(limit.status());
+    list.limit = *limit;
+  }
+  auto text_it = params.find("text");
+  list.include_text = text_it != params.end() && text_it->second == "1";
+
+  RuleListResponse response;
+  Status status = service.ListRules(list, response);
+  if (!status.ok()) return ErrorResponseForStatus(status);
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.Key("generation");
+  json.Int(static_cast<int64_t>(response.generation));
+  json.Key("rows_ingested");
+  json.Int(response.rows_ingested);
+  json.Key("total_rules");
+  json.Int(response.total_rules);
+  json.Key("offset");
+  json.Int(response.offset);
+  json.Key("rules");
+  json.BeginArray();
+  for (const RuleListEntry& entry : response.rules) {
+    json.BeginObject();
+    json.Key("id");
+    json.Int(entry.id);
+    json.Key("degree");
+    json.Double(entry.degree);
+    json.Key("support_count");
+    json.Int(entry.support_count);
+    json.Key("antecedent_size");
+    json.Int(entry.antecedent_size);
+    json.Key("consequent_size");
+    json.Int(entry.consequent_size);
+    if (list.include_text) {
+      json.Key("text");
+      json.String(entry.text);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return MakeResponse(200, "OK", json.str());
+}
+
+std::string HandleQuery(const QueryService& service,
+                        const HttpRequest& request) {
+  const auto params = ParseQueryParams(request.query);
+  std::string_view tuple_text;
+  auto tuple_it = params.find("tuple");
+  if (tuple_it != params.end()) {
+    tuple_text = tuple_it->second;
+  } else if (!request.body.empty()) {
+    tuple_text = request.body;
+  } else {
+    return MakeHttpErrorResponse(
+        ServeCode::kInvalidRequest,
+        "missing tuple: pass ?tuple=v1,v2,... or a request body");
+  }
+  auto tuple = ParseTupleList(tuple_text);
+  if (!tuple.ok()) return ErrorResponseForStatus(tuple.status());
+
+  PointQueryRequest point;
+  point.tuple = std::span<const double>(*tuple);
+  {
+    auto max_rules = ParseU32Param(params, "max_rules", 0);
+    if (!max_rules.ok()) return ErrorResponseForStatus(max_rules.status());
+    point.max_rules = *max_rules;
+  }
+
+  PointQueryResponse response;
+  Status status = service.PointQuery(point, response);
+  if (!status.ok()) return ErrorResponseForStatus(status);
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.Key("generation");
+  json.Int(static_cast<int64_t>(response.generation));
+  json.Key("rows_ingested");
+  json.Int(response.rows_ingested);
+  json.Key("clusters");
+  json.BeginArray();
+  for (uint32_t id : response.clusters) json.Int(id);
+  json.EndArray();
+  json.Key("rules");
+  json.BeginArray();
+  for (uint32_t id : response.rules) json.Int(id);
+  json.EndArray();
+  json.Key("total_rule_matches");
+  json.Int(response.total_rule_matches);
+  json.EndObject();
+  return MakeResponse(200, "OK", json.str());
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  auto it = headers.find(ToLower(name));
+  if (it == headers.end()) return {};
+  return it->second;
+}
+
+Result<HttpRequest> ParseHttpRequest(std::string_view text) {
+  HttpRequest request;
+  const size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return Status::InvalidArgument("HTTP request head is not terminated");
+  }
+  std::string_view head = text.substr(0, head_end);
+  request.body = std::string(text.substr(head_end + 4));
+
+  const size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  request.method = std::string(request_line.substr(0, sp1));
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    request.path = std::string(target);
+  } else {
+    request.path = std::string(target.substr(0, qmark));
+    request.query = std::string(target.substr(qmark + 1));
+  }
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed HTTP header line \"" +
+                                     std::string(line) + "\"");
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    request.headers[ToLower(line.substr(0, colon))] = std::string(value);
+    pos = eol + 2;
+  }
+  return request;
+}
+
+int HttpStatusForServeCode(ServeCode code) {
+  switch (code) {
+    case ServeCode::kOk:
+      return 200;
+    case ServeCode::kInvalidRequest:
+      return 400;
+    case ServeCode::kNotFound:
+      return 404;
+    case ServeCode::kUnavailable:
+      return 503;
+    case ServeCode::kOverloaded:
+      return 429;
+    case ServeCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+std::string MakeHttpErrorResponse(ServeCode code, std::string_view message) {
+  const int http_status = HttpStatusForServeCode(code);
+  return MakeResponse(http_status, ReasonPhrase(http_status),
+                      ErrorBody(code, message));
+}
+
+std::string HandleHttpRequest(const QueryService& service,
+                              const HttpRequest& request) {
+  if (request.path == "/v1/info" && request.method == "GET") {
+    return HandleInfo(service);
+  }
+  if (request.path == "/v1/rules" && request.method == "GET") {
+    return HandleRules(service, request);
+  }
+  if (request.path == "/v1/query" &&
+      (request.method == "GET" || request.method == "POST")) {
+    return HandleQuery(service, request);
+  }
+  return MakeHttpErrorResponse(
+      ServeCode::kNotFound, "no endpoint " + request.method + " " +
+                                request.path +
+                                "; serving /v1/info, /v1/rules, /v1/query");
+}
+
+}  // namespace dar::serve

@@ -1,0 +1,64 @@
+#ifndef DAR_SERVE_HTTP_ADAPTER_H_
+#define DAR_SERVE_HTTP_ADAPTER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/query_api.h"
+#include "serve/query_service.h"
+
+namespace dar::serve {
+
+/// The HTTP/JSON face of the rule server: a thin, dependency-free
+/// translation of three GET/POST endpoints onto the same QueryService
+/// surface the binary protocol uses. One request per connection
+/// (Connection: close); responses are compact JSON built with the
+/// deterministic telemetry JsonWriter.
+///
+/// Endpoints (all under api version 1):
+///   GET  /v1/info                     -> SnapshotInfo
+///   GET  /v1/rules?offset=&limit=&text=1   -> ListRules
+///   GET  /v1/query?tuple=1,2,3&max_rules=N -> PointQuery
+///   POST /v1/query   (body "1,2,3" or "[1,2,3]")
+/// The tenant for admission is the X-Tenant header ("" when absent).
+/// Errors map ServeCode -> HTTP status: invalid_request 400, not_found
+/// 404, unavailable 503, overloaded 429, internal 500; the body is
+/// {"error":"<code name>","message":"..."}.
+
+/// One parsed HTTP/1.x request head plus body.
+struct HttpRequest {
+  std::string method;  // uppercase, e.g. "GET"
+  std::string path;    // without the query string
+  std::string query;   // after '?', may be empty
+  /// Header names lowercased; last occurrence wins.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header value by lowercase name, or "" when absent.
+  [[nodiscard]] std::string_view Header(std::string_view name) const;
+};
+
+/// Parses `text` (complete head + body, as read off the socket). Fails
+/// with InvalidArgument on malformed request lines or headers.
+Result<HttpRequest> ParseHttpRequest(std::string_view text);
+
+/// HTTP status code for a serve outcome (200/400/404/503/429/500).
+int HttpStatusForServeCode(ServeCode code);
+
+/// Executes `request` against `service` and returns the complete HTTP/1.1
+/// response bytes (status line, headers, JSON body). Admission must have
+/// been granted by the caller; sheds are answered with
+/// MakeHttpErrorResponse instead of calling this.
+std::string HandleHttpRequest(const QueryService& service,
+                              const HttpRequest& request);
+
+/// Complete HTTP/1.1 error response for `code` (e.g. an admission shed or
+/// a parse failure).
+std::string MakeHttpErrorResponse(ServeCode code, std::string_view message);
+
+}  // namespace dar::serve
+
+#endif  // DAR_SERVE_HTTP_ADAPTER_H_

@@ -1,0 +1,282 @@
+#include "serve/protocol.h"
+
+#include <string>
+#include <utility>
+
+namespace dar::serve {
+namespace {
+
+void EncodeRequestHeader(Method method, uint64_t request_id,
+                         persist::WireWriter& out) {
+  out.Clear();
+  out.U32(kQueryApiVersion);
+  out.U8(static_cast<uint8_t>(method));
+  out.U64(request_id);
+}
+
+void EncodeResponseHeader(const RequestHeader& header, ServeCode code,
+                          persist::WireWriter& out) {
+  out.Clear();
+  out.U32(kQueryApiVersion);
+  out.U8(static_cast<uint8_t>(header.method));
+  out.U64(header.request_id);
+  out.U8(static_cast<uint8_t>(code));
+}
+
+}  // namespace
+
+void AppendFrame(std::string_view payload, persist::WireWriter& out) {
+  out.U32(static_cast<uint32_t>(payload.size()));
+  out.Raw(payload);
+}
+
+Result<uint32_t> DecodeFrameLength(std::string_view bytes) {
+  persist::WireReader reader(bytes);
+  DAR_ASSIGN_OR_RETURN(const uint32_t length, reader.U32());
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds the " +
+        std::to_string(kMaxFrameBytes) + "-byte cap; dropping connection");
+  }
+  return length;
+}
+
+void EncodeHelloRequest(uint64_t request_id, std::string_view tenant,
+                        persist::WireWriter& out) {
+  EncodeRequestHeader(Method::kHello, request_id, out);
+  out.Str(tenant);
+}
+
+void EncodePointQueryRequest(uint64_t request_id,
+                             const PointQueryRequest& request,
+                             persist::WireWriter& out) {
+  EncodeRequestHeader(Method::kPointQuery, request_id, out);
+  out.U32(request.max_rules);
+  out.U32(static_cast<uint32_t>(request.tuple.size()));
+  for (double v : request.tuple) out.F64(v);
+}
+
+void EncodeRuleListRequest(uint64_t request_id,
+                           const RuleListRequest& request,
+                           persist::WireWriter& out) {
+  EncodeRequestHeader(Method::kListRules, request_id, out);
+  out.U32(request.offset);
+  out.U32(request.limit);
+  out.U8(request.include_text ? 1 : 0);
+}
+
+void EncodeSnapshotInfoRequest(uint64_t request_id,
+                               persist::WireWriter& out) {
+  EncodeRequestHeader(Method::kSnapshotInfo, request_id, out);
+}
+
+Result<Request> DecodeRequest(std::string_view payload,
+                              std::vector<double>& tuple_scratch) {
+  persist::WireReader reader(payload);
+  Request request;
+  DAR_ASSIGN_OR_RETURN(request.header.api_version, reader.U32());
+  if (request.header.api_version != kQueryApiVersion) {
+    return Status::InvalidArgument(
+        "request api version " + std::to_string(request.header.api_version) +
+        " does not match server version " +
+        std::to_string(kQueryApiVersion));
+  }
+  DAR_ASSIGN_OR_RETURN(const uint8_t method_byte, reader.U8());
+  if (method_byte < static_cast<uint8_t>(Method::kHello) ||
+      method_byte > static_cast<uint8_t>(Method::kSnapshotInfo)) {
+    return Status::InvalidArgument("unknown request method " +
+                                   std::to_string(method_byte));
+  }
+  request.header.method = static_cast<Method>(method_byte);
+  DAR_ASSIGN_OR_RETURN(request.header.request_id, reader.U64());
+
+  switch (request.header.method) {
+    case Method::kHello: {
+      DAR_ASSIGN_OR_RETURN(const uint32_t len, reader.U32());
+      const size_t start = payload.size() - reader.remaining();
+      DAR_ASSIGN_OR_RETURN(persist::WireReader name, reader.Slice(len));
+      (void)name;  // bounds-checked skip
+      // Tenant views the payload buffer: no copy on the accept path.
+      request.tenant = payload.substr(start, len);
+      break;
+    }
+    case Method::kPointQuery: {
+      DAR_ASSIGN_OR_RETURN(request.point.max_rules, reader.U32());
+      DAR_ASSIGN_OR_RETURN(const uint32_t count, reader.U32());
+      if (count > kMaxTupleValues) {
+        return Status::InvalidArgument(
+            "point-query tuple has " + std::to_string(count) +
+            " values; the protocol caps tuples at " +
+            std::to_string(kMaxTupleValues));
+      }
+      tuple_scratch.clear();
+      tuple_scratch.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        DAR_ASSIGN_OR_RETURN(const double v, reader.F64());
+        tuple_scratch.push_back(v);
+      }
+      request.point.tuple = std::span<const double>(tuple_scratch);
+      break;
+    }
+    case Method::kListRules: {
+      DAR_ASSIGN_OR_RETURN(request.list.offset, reader.U32());
+      DAR_ASSIGN_OR_RETURN(request.list.limit, reader.U32());
+      DAR_ASSIGN_OR_RETURN(const uint8_t text, reader.U8());
+      request.list.include_text = text != 0;
+      break;
+    }
+    case Method::kSnapshotInfo:
+      break;
+  }
+  DAR_RETURN_IF_ERROR(reader.ExpectEnd("request payload"));
+  return request;
+}
+
+void EncodeErrorResponse(const RequestHeader& header, ServeCode code,
+                         std::string_view message,
+                         persist::WireWriter& out) {
+  EncodeResponseHeader(header, code, out);
+  out.Str(message);
+}
+
+void EncodeHelloResponse(const RequestHeader& header,
+                         persist::WireWriter& out) {
+  EncodeResponseHeader(header, ServeCode::kOk, out);
+}
+
+void EncodePointQueryResponse(const RequestHeader& header,
+                              const PointQueryResponse& response,
+                              persist::WireWriter& out) {
+  EncodeResponseHeader(header, ServeCode::kOk, out);
+  out.U64(response.generation);
+  out.I64(response.rows_ingested);
+  out.U32(response.total_rule_matches);
+  out.U32(static_cast<uint32_t>(response.clusters.size()));
+  for (uint32_t id : response.clusters) out.U32(id);
+  out.U32(static_cast<uint32_t>(response.rules.size()));
+  for (uint32_t id : response.rules) out.U32(id);
+}
+
+void EncodeRuleListResponse(const RequestHeader& header,
+                            const RuleListResponse& response,
+                            persist::WireWriter& out) {
+  EncodeResponseHeader(header, ServeCode::kOk, out);
+  out.U64(response.generation);
+  out.I64(response.rows_ingested);
+  out.U32(response.total_rules);
+  out.U32(response.offset);
+  out.U32(static_cast<uint32_t>(response.rules.size()));
+  for (const RuleListEntry& entry : response.rules) {
+    out.U32(entry.id);
+    out.F64(entry.degree);
+    out.I64(entry.support_count);
+    out.U32(entry.antecedent_size);
+    out.U32(entry.consequent_size);
+    out.Str(entry.text);
+  }
+}
+
+void EncodeSnapshotInfoResponse(const RequestHeader& header,
+                                const SnapshotInfoResponse& response,
+                                persist::WireWriter& out) {
+  EncodeResponseHeader(header, ServeCode::kOk, out);
+  out.U32(response.api_version);
+  out.U64(response.generation);
+  out.I64(response.rows_ingested);
+  out.U64(response.num_clusters);
+  out.U64(response.num_rules);
+  out.U8(response.has_index ? 1 : 0);
+}
+
+Result<ResponseHeader> DecodeResponseHeader(persist::WireReader& reader) {
+  ResponseHeader out;
+  DAR_ASSIGN_OR_RETURN(out.header.api_version, reader.U32());
+  if (out.header.api_version != kQueryApiVersion) {
+    return Status::InvalidArgument(
+        "response api version " + std::to_string(out.header.api_version) +
+        " does not match client version " +
+        std::to_string(kQueryApiVersion));
+  }
+  DAR_ASSIGN_OR_RETURN(const uint8_t method_byte, reader.U8());
+  if (method_byte < static_cast<uint8_t>(Method::kHello) ||
+      method_byte > static_cast<uint8_t>(Method::kSnapshotInfo)) {
+    return Status::InvalidArgument("unknown response method " +
+                                   std::to_string(method_byte));
+  }
+  out.header.method = static_cast<Method>(method_byte);
+  DAR_ASSIGN_OR_RETURN(out.header.request_id, reader.U64());
+  DAR_ASSIGN_OR_RETURN(const uint8_t code_byte, reader.U8());
+  if (code_byte > static_cast<uint8_t>(ServeCode::kInternal)) {
+    return Status::InvalidArgument("unknown serve code " +
+                                   std::to_string(code_byte));
+  }
+  out.code = static_cast<ServeCode>(code_byte);
+  if (out.code != ServeCode::kOk) {
+    DAR_ASSIGN_OR_RETURN(out.message, reader.Str());
+    DAR_RETURN_IF_ERROR(reader.ExpectEnd("error response payload"));
+  }
+  return out;
+}
+
+Status DecodePointQueryBody(persist::WireReader& reader,
+                            PointQueryResponse& out) {
+  DAR_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  DAR_ASSIGN_OR_RETURN(out.rows_ingested, reader.I64());
+  DAR_ASSIGN_OR_RETURN(out.total_rule_matches, reader.U32());
+  DAR_ASSIGN_OR_RETURN(const uint32_t num_clusters, reader.U32());
+  out.clusters.clear();
+  out.clusters.reserve(num_clusters);
+  for (uint32_t i = 0; i < num_clusters; ++i) {
+    DAR_ASSIGN_OR_RETURN(const uint32_t id, reader.U32());
+    out.clusters.push_back(id);
+  }
+  DAR_ASSIGN_OR_RETURN(const uint32_t num_rules, reader.U32());
+  out.rules.clear();
+  out.rules.reserve(num_rules);
+  for (uint32_t i = 0; i < num_rules; ++i) {
+    DAR_ASSIGN_OR_RETURN(const uint32_t id, reader.U32());
+    out.rules.push_back(id);
+  }
+  return reader.ExpectEnd("point-query response payload");
+}
+
+Status DecodeRuleListBody(persist::WireReader& reader,
+                          RuleListResponse& out) {
+  DAR_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  DAR_ASSIGN_OR_RETURN(out.rows_ingested, reader.I64());
+  DAR_ASSIGN_OR_RETURN(out.total_rules, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.offset, reader.U32());
+  DAR_ASSIGN_OR_RETURN(const uint32_t num_entries, reader.U32());
+  if (num_entries > kMaxRuleListLimit) {
+    return Status::InvalidArgument(
+        "rule-list response carries " + std::to_string(num_entries) +
+        " entries; the protocol caps pages at " +
+        std::to_string(kMaxRuleListLimit));
+  }
+  out.rules.clear();
+  out.rules.reserve(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    RuleListEntry& entry = out.rules.emplace_back();
+    DAR_ASSIGN_OR_RETURN(entry.id, reader.U32());
+    DAR_ASSIGN_OR_RETURN(entry.degree, reader.F64());
+    DAR_ASSIGN_OR_RETURN(entry.support_count, reader.I64());
+    DAR_ASSIGN_OR_RETURN(entry.antecedent_size, reader.U32());
+    DAR_ASSIGN_OR_RETURN(entry.consequent_size, reader.U32());
+    DAR_ASSIGN_OR_RETURN(entry.text, reader.Str());
+  }
+  return reader.ExpectEnd("rule-list response payload");
+}
+
+Status DecodeSnapshotInfoBody(persist::WireReader& reader,
+                              SnapshotInfoResponse& out) {
+  DAR_ASSIGN_OR_RETURN(out.api_version, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  DAR_ASSIGN_OR_RETURN(out.rows_ingested, reader.I64());
+  DAR_ASSIGN_OR_RETURN(out.num_clusters, reader.U64());
+  DAR_ASSIGN_OR_RETURN(out.num_rules, reader.U64());
+  DAR_ASSIGN_OR_RETURN(const uint8_t has_index, reader.U8());
+  out.has_index = has_index != 0;
+  return reader.ExpectEnd("snapshot-info response payload");
+}
+
+}  // namespace dar::serve

@@ -1,0 +1,157 @@
+#ifndef DAR_SERVE_PROTOCOL_H_
+#define DAR_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "persist/wire.h"
+#include "serve/query_api.h"
+
+namespace dar::serve {
+
+/// The framed binary protocol the rule server speaks (the HTTP adapter is
+/// a thin translation onto the same request surface).
+///
+/// Framing: every message is `u32 length (little-endian) | payload`, with
+/// `length == payload size <= kMaxFrameBytes`. The payload reuses the
+/// dar::persist wire primitives (WireWriter/WireReader), so every integer
+/// is little-endian and every double is its IEEE-754 bit pattern —
+/// byte-identical across machines.
+///
+/// Request payload:  u32 api_version | u8 method | u64 request_id | body.
+/// Response payload: u32 api_version | u8 method | u64 request_id |
+///                   u8 serve_code | [error message Str when code != ok |
+///                   body when code == ok].
+/// The response echoes the request's method and request_id, so a client
+/// pipelining requests can match responses by id.
+///
+/// Versioning: api_version is kQueryApiVersion. A server receiving a
+/// frame with an unknown version answers kInvalidRequest naming both
+/// versions instead of misparsing the body (fields within one version are
+/// append-only; see query_api.h).
+enum class Method : uint8_t {
+  /// Opens a session: body = tenant name Str (may be empty). The server
+  /// uses the tenant for per-tenant admission quotas. Response body is
+  /// empty. Optional — a connection that skips Hello runs as tenant "".
+  kHello = 1,
+  /// Body: u32 max_rules | u32 tuple count | count * f64.
+  /// Response body: u64 generation | i64 rows_ingested |
+  ///   u32 total_rule_matches | u32 #clusters | #clusters * u32 |
+  ///   u32 #rules | #rules * u32.
+  kPointQuery = 2,
+  /// Body: u32 offset | u32 limit | u8 include_text.
+  /// Response body: u64 generation | i64 rows_ingested | u32 total_rules |
+  ///   u32 offset | u32 #entries | per entry: u32 id | f64 degree |
+  ///   i64 support_count | u32 antecedent_size | u32 consequent_size |
+  ///   Str text.
+  kListRules = 3,
+  /// Empty body. Response body: u32 api_version | u64 generation |
+  ///   i64 rows_ingested | u64 num_clusters | u64 num_rules | u8 has_index.
+  kSnapshotInfo = 4,
+};
+
+/// Hard cap on one frame's payload; a length prefix above it is treated as
+/// a corrupt or hostile stream and the connection is dropped.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Hard cap on a point-query tuple's value count (well above any real
+/// schema width; bounds the decode allocation).
+inline constexpr uint32_t kMaxTupleValues = 4096;
+
+/// Decoded request header, echoed verbatim into the response.
+struct RequestHeader {
+  uint32_t api_version = kQueryApiVersion;
+  Method method = Method::kHello;
+  uint64_t request_id = 0;
+};
+
+/// One decoded request. Which member is meaningful depends on
+/// header.method. `tenant` views the payload buffer and `point.tuple`
+/// views the caller's scratch vector: both stay valid only until the next
+/// DecodeRequest call on the same buffers.
+struct Request {
+  RequestHeader header;
+  std::string_view tenant;  // kHello
+  PointQueryRequest point;  // kPointQuery
+  RuleListRequest list;     // kListRules
+};
+
+/// Appends `u32 length | payload` to `out`.
+void AppendFrame(std::string_view payload, persist::WireWriter& out);
+
+/// Reads one frame length prefix out of `bytes` (which must hold >= 4
+/// bytes) and validates it against kMaxFrameBytes.
+Result<uint32_t> DecodeFrameLength(std::string_view bytes);
+
+// --- Request encoding (client side) -----------------------------------
+// Each encoder writes the request PAYLOAD into `out` (cleared first);
+// callers frame it with AppendFrame. Reusing the same two writers across
+// messages keeps the encode path allocation-free in steady state.
+
+void EncodeHelloRequest(uint64_t request_id, std::string_view tenant,
+                        persist::WireWriter& out);
+void EncodePointQueryRequest(uint64_t request_id,
+                             const PointQueryRequest& request,
+                             persist::WireWriter& out);
+void EncodeRuleListRequest(uint64_t request_id,
+                           const RuleListRequest& request,
+                           persist::WireWriter& out);
+void EncodeSnapshotInfoRequest(uint64_t request_id,
+                               persist::WireWriter& out);
+
+// --- Request decoding (server side) -----------------------------------
+
+/// Decodes one request payload. Point-query tuple values are decoded into
+/// `tuple_scratch` (cleared first) and viewed by the result. Fails with
+/// InvalidArgument on version skew, unknown method, out-of-contract sizes
+/// or trailing bytes; OutOfRange on truncation.
+Result<Request> DecodeRequest(std::string_view payload,
+                              std::vector<double>& tuple_scratch);
+
+// --- Response encoding (server side) ----------------------------------
+
+/// Error response: header echo + code + message, no body. `code` must not
+/// be kOk.
+void EncodeErrorResponse(const RequestHeader& header, ServeCode code,
+                         std::string_view message, persist::WireWriter& out);
+void EncodeHelloResponse(const RequestHeader& header,
+                         persist::WireWriter& out);
+void EncodePointQueryResponse(const RequestHeader& header,
+                              const PointQueryResponse& response,
+                              persist::WireWriter& out);
+void EncodeRuleListResponse(const RequestHeader& header,
+                            const RuleListResponse& response,
+                            persist::WireWriter& out);
+void EncodeSnapshotInfoResponse(const RequestHeader& header,
+                                const SnapshotInfoResponse& response,
+                                persist::WireWriter& out);
+
+// --- Response decoding (client side) ----------------------------------
+
+/// Header + outcome of one response payload. When `code != kOk`, `message`
+/// carries the server's error text and no body follows.
+struct ResponseHeader {
+  RequestHeader header;
+  ServeCode code = ServeCode::kOk;
+  std::string message;
+};
+
+/// Decodes the response header (and error message, when present), leaving
+/// `reader` positioned at the body.
+Result<ResponseHeader> DecodeResponseHeader(persist::WireReader& reader);
+
+/// Body decoders; call after DecodeResponseHeader returned code == kOk.
+/// Each validates that the body is fully consumed.
+Status DecodePointQueryBody(persist::WireReader& reader,
+                            PointQueryResponse& out);
+Status DecodeRuleListBody(persist::WireReader& reader, RuleListResponse& out);
+Status DecodeSnapshotInfoBody(persist::WireReader& reader,
+                              SnapshotInfoResponse& out);
+
+}  // namespace dar::serve
+
+#endif  // DAR_SERVE_PROTOCOL_H_

@@ -1,0 +1,61 @@
+#include "serve/query_api.h"
+
+#include <utility>
+
+namespace dar {
+
+const char* ServeCodeName(ServeCode code) {
+  switch (code) {
+    case ServeCode::kOk:
+      return "ok";
+    case ServeCode::kInvalidRequest:
+      return "invalid_request";
+    case ServeCode::kNotFound:
+      return "not_found";
+    case ServeCode::kUnavailable:
+      return "unavailable";
+    case ServeCode::kOverloaded:
+      return "overloaded";
+    case ServeCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+ServeCode ServeCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ServeCode::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return ServeCode::kInvalidRequest;
+    case StatusCode::kNotFound:
+      return ServeCode::kNotFound;
+    case StatusCode::kUnavailable:
+      return ServeCode::kUnavailable;
+    case StatusCode::kResourceExhausted:
+      return ServeCode::kOverloaded;
+    default:
+      return ServeCode::kInternal;
+  }
+}
+
+Status StatusFromServeCode(ServeCode code, std::string message) {
+  switch (code) {
+    case ServeCode::kOk:
+      return Status::OK();
+    case ServeCode::kInvalidRequest:
+      return Status::InvalidArgument(std::move(message));
+    case ServeCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case ServeCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case ServeCode::kOverloaded:
+      return Status::ResourceExhausted(std::move(message));
+    case ServeCode::kInternal:
+      return Status::Internal(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+}  // namespace dar

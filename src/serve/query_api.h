@@ -1,0 +1,138 @@
+#ifndef DAR_SERVE_QUERY_API_H_
+#define DAR_SERVE_QUERY_API_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dar {
+
+/// Version of the QueryService request/response surface. Compatibility
+/// policy (see DESIGN.md "Serving"): within one api version, fields are
+/// append-only — existing field names, types and meanings never change,
+/// new fields are added with defaults that older peers can ignore. A
+/// request/response shape change that cannot be expressed that way bumps
+/// this constant, and the binary protocol (serve/protocol.h) carries the
+/// version in every frame so mismatched peers fail with a clear error
+/// instead of a misparse.
+inline constexpr uint32_t kQueryApiVersion = 1;
+
+/// Typed outcome of a serve-layer request, carried verbatim on the wire
+/// (one byte) and mapped to/from dar::Status at the endpoints. Values are
+/// part of the protocol — never renumber.
+enum class ServeCode : uint8_t {
+  kOk = 0,
+  /// Malformed or out-of-contract request (undecodable frame, tuple too
+  /// short, unknown method).
+  kInvalidRequest = 1,
+  /// The requested entity does not exist (e.g. an unknown HTTP path).
+  kNotFound = 2,
+  /// The service has no published snapshot yet (stream has not crossed
+  /// its re-mine cadence and nothing was attached).
+  kUnavailable = 3,
+  /// Admission control shed the request: a quota (global or per-tenant)
+  /// is exhausted. The request was NOT executed; retry with backoff.
+  kOverloaded = 4,
+  kInternal = 5,
+};
+
+/// Stable lowercase name for `code` ("ok", "overloaded", ...).
+const char* ServeCodeName(ServeCode code);
+
+/// Maps a service Status onto the wire code: OK->kOk, InvalidArgument/
+/// OutOfRange->kInvalidRequest, NotFound->kNotFound, Unavailable->
+/// kUnavailable, ResourceExhausted->kOverloaded, everything else->
+/// kInternal.
+ServeCode ServeCodeFromStatus(const Status& status);
+
+/// Inverse mapping for clients: reconstructs a Status carrying `message`
+/// from a wire code (kOk -> OK).
+Status StatusFromServeCode(ServeCode code, std::string message);
+
+/// "Which clusters contain tuple t, which rules fire for t?" — the serving
+/// hot path. `tuple` is a full-width row (one value per schema attribute
+/// covered by the partitioning) viewed, not owned: the request performs no
+/// allocation, and the viewed storage must outlive the query call. Beware
+/// `request.tuple = relation.Row(r)` — Row() returns an owning vector, so
+/// binding the span straight to it dangles; name the row first.
+struct PointQueryRequest {
+  std::span<const double> tuple;
+  /// Truncates the response's rule list to the first `max_rules` firing
+  /// rules (Phase II orders rules by ascending degree, so the strongest
+  /// implications survive truncation). 0 = no limit.
+  uint32_t max_rules = 0;
+};
+
+/// Every field is derived from ONE snapshot generation — a response never
+/// mixes generations, even while the backing stream hot-swaps snapshots
+/// mid-flight. Response objects are designed for reuse: the vectors are
+/// cleared, not reallocated, so a serving loop reusing one response per
+/// thread allocates nothing in steady state.
+struct PointQueryResponse {
+  uint64_t generation = 0;
+  /// Rows the stream had absorbed when the answering snapshot was derived.
+  int64_t rows_ingested = 0;
+  /// Ids (into the answering snapshot's ClusterSet) of clusters whose
+  /// bounding box contains the tuple, ascending.
+  std::vector<uint32_t> clusters;
+  /// Indices (into the answering snapshot's rule vector) of rules all of
+  /// whose clusters contain the tuple, ascending; truncated to
+  /// `max_rules` when requested.
+  std::vector<uint32_t> rules;
+  /// Firing-rule count before `max_rules` truncation.
+  uint32_t total_rule_matches = 0;
+};
+
+/// Pagination over the answering snapshot's rule vector.
+struct RuleListRequest {
+  uint32_t offset = 0;
+  /// Page size; capped server-side at kMaxRuleListLimit. 0 = default 100.
+  uint32_t limit = 0;
+  /// When true each entry carries the pretty-printed rule text (costs a
+  /// string per entry; leave off on hot paths).
+  bool include_text = false;
+};
+
+inline constexpr uint32_t kDefaultRuleListLimit = 100;
+inline constexpr uint32_t kMaxRuleListLimit = 4096;
+
+struct RuleListEntry {
+  uint32_t id = 0;
+  /// Degree of association (Dfn 5.3; smaller = stronger implication).
+  double degree = 0;
+  /// §6.2 support count; -1 when the stream never rescanned tuples.
+  int64_t support_count = -1;
+  uint32_t antecedent_size = 0;
+  uint32_t consequent_size = 0;
+  /// Pretty form; empty unless RuleListRequest::include_text.
+  std::string text;
+};
+
+struct RuleListResponse {
+  uint64_t generation = 0;
+  int64_t rows_ingested = 0;
+  /// Total rules in the answering snapshot (pagination denominator).
+  uint32_t total_rules = 0;
+  /// Echo of the request offset.
+  uint32_t offset = 0;
+  std::vector<RuleListEntry> rules;
+};
+
+/// Snapshot metadata: what generation is live, how fresh it is, how big.
+struct SnapshotInfoResponse {
+  uint32_t api_version = kQueryApiVersion;
+  uint64_t generation = 0;
+  int64_t rows_ingested = 0;
+  uint64_t num_clusters = 0;
+  uint64_t num_rules = 0;
+  /// False when the stream was opened with build_rule_index = false;
+  /// point queries then fail with kInvalidRequest.
+  bool has_index = false;
+};
+
+}  // namespace dar
+
+#endif  // DAR_SERVE_QUERY_API_H_

@@ -1,0 +1,209 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/model.h"
+#include "stream/rule_index.h"
+#include "stream/rule_snapshot.h"
+#include "stream/streaming_miner.h"
+
+namespace dar {
+namespace {
+
+// Per-thread index scratch: the serving hot path reuses it across queries,
+// so after warm-up a PointQuery performs no allocation at all.
+RuleIndex::QueryScratch& TlsScratch() {
+  thread_local RuleIndex::QueryScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+QueryService::QueryService(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  point_queries_ = registry->GetCounter("serve.point_queries");
+  rule_lists_ = registry->GetCounter("serve.rule_lists");
+  snapshot_infos_ = registry->GetCounter("serve.snapshot_infos");
+  unavailable_ = registry->GetCounter("serve.unavailable");
+  point_query_seconds_ = registry->GetHistogram(
+      "serve.point_query_seconds", telemetry::Histogram::LatencyBounds());
+  rule_list_seconds_ = registry->GetHistogram(
+      "serve.rule_list_seconds", telemetry::Histogram::LatencyBounds());
+}
+
+void QueryService::AttachStream(const StreamingMiner& stream) {
+  auto binding = std::make_shared<Binding>();
+  binding->stream = &stream;
+  binding->schema = stream.schema();
+  binding->partition = stream.partition();
+  binding_.store(std::move(binding));
+}
+
+void QueryService::AttachStream(
+    std::shared_ptr<const StreamingMiner> stream) {
+  if (stream == nullptr) {
+    binding_.store(nullptr);
+    return;
+  }
+  auto binding = std::make_shared<Binding>();
+  binding->stream = stream.get();
+  binding->schema = stream->schema();
+  binding->partition = stream->partition();
+  binding->owned_stream = std::move(stream);
+  binding_.store(std::move(binding));
+}
+
+void QueryService::AttachSnapshot(
+    std::shared_ptr<const RuleSnapshot> snapshot, Schema schema,
+    AttributePartition partition) {
+  auto binding = std::make_shared<Binding>();
+  binding->pinned = std::move(snapshot);
+  binding->schema = std::move(schema);
+  binding->partition = std::move(partition);
+  binding_.store(std::move(binding));
+}
+
+std::shared_ptr<const RuleSnapshot> QueryService::MakeSnapshot(
+    DarMiningResult result, const AttributePartition& partition) {
+  int64_t rows = 0;
+  for (const AcfTreeStats& stats : result.phase1.tree_stats) {
+    rows = std::max(rows, stats.points_inserted);
+  }
+  return std::make_shared<const RuleSnapshot>(
+      /*generation=*/1, rows, std::move(result.phase1),
+      std::move(result.phase2), partition, /*build_index=*/true);
+}
+
+Status QueryService::Acquire(const Binding* binding,
+                             std::shared_ptr<const RuleSnapshot>& snapshot) {
+  if (binding == nullptr) {
+    return Status::Unavailable("QueryService has no attached rule source");
+  }
+  snapshot = binding->stream ? binding->stream->snapshot() : binding->pinned;
+  if (snapshot == nullptr) {
+    return Status::Unavailable(
+        "no published rule snapshot yet (stream has not re-mined)");
+  }
+  return Status::OK();
+}
+
+Status QueryService::PointQuery(const PointQueryRequest& request,
+                                PointQueryResponse& response) const {
+  Stopwatch watch;
+  if (point_queries_) point_queries_->Increment();
+  const std::shared_ptr<const Binding> binding = binding_.load();
+  std::shared_ptr<const RuleSnapshot> snapshot;
+  Status acquired = Acquire(binding.get(), snapshot);
+  if (!acquired.ok()) {
+    if (unavailable_) unavailable_->Increment();
+    return acquired;
+  }
+
+  const RuleIndex* index = snapshot->index();
+  if (index == nullptr) {
+    return Status::InvalidArgument(
+        "snapshot has no rule index (stream opened with "
+        "build_rule_index = false); point queries are not servable");
+  }
+  DAR_ASSIGN_OR_RETURN(const RuleIndex::Hits hits,
+                       index->Query(request.tuple, TlsScratch()));
+
+  // Every field below comes from `snapshot` — one generation, even while
+  // the backing stream publishes a newer one mid-call.
+  response.generation = snapshot->generation();
+  response.rows_ingested = snapshot->rows_ingested();
+  response.clusters.clear();
+  for (size_t id : hits.clusters) {
+    response.clusters.push_back(static_cast<uint32_t>(id));
+  }
+  response.total_rule_matches = static_cast<uint32_t>(hits.rules.size());
+  size_t keep = hits.rules.size();
+  if (request.max_rules != 0 && keep > request.max_rules) {
+    // Rule indices ascend by degree (Phase II sorts strongest first), so
+    // truncation keeps the strongest implications.
+    keep = request.max_rules;
+  }
+  response.rules.clear();
+  for (size_t i = 0; i < keep; ++i) {
+    response.rules.push_back(static_cast<uint32_t>(hits.rules[i]));
+  }
+  if (point_query_seconds_) {
+    point_query_seconds_->Record(watch.ElapsedSeconds());
+  }
+  return Status::OK();
+}
+
+Status QueryService::ListRules(const RuleListRequest& request,
+                               RuleListResponse& response) const {
+  Stopwatch watch;
+  if (rule_lists_) rule_lists_->Increment();
+  const std::shared_ptr<const Binding> binding = binding_.load();
+  std::shared_ptr<const RuleSnapshot> snapshot;
+  Status acquired = Acquire(binding.get(), snapshot);
+  if (!acquired.ok()) {
+    if (unavailable_) unavailable_->Increment();
+    return acquired;
+  }
+
+  uint32_t limit = request.limit == 0 ? kDefaultRuleListLimit
+                                      : std::min(request.limit,
+                                                 kMaxRuleListLimit);
+  const std::vector<DistanceRule>& rules = snapshot->rules();
+  response.generation = snapshot->generation();
+  response.rows_ingested = snapshot->rows_ingested();
+  response.total_rules = static_cast<uint32_t>(rules.size());
+  response.offset = request.offset;
+  response.rules.clear();
+  // An offset at or past the end is the natural pagination stop: an empty
+  // page, not an error — the total tells the client it is done.
+  for (size_t i = request.offset;
+       i < rules.size() && response.rules.size() < limit; ++i) {
+    const DistanceRule& rule = rules[i];
+    RuleListEntry& entry = response.rules.emplace_back();
+    entry.id = static_cast<uint32_t>(i);
+    entry.degree = rule.degree;
+    entry.support_count = rule.support_count;
+    entry.antecedent_size = static_cast<uint32_t>(rule.antecedent.size());
+    entry.consequent_size = static_cast<uint32_t>(rule.consequent.size());
+    if (request.include_text) {
+      entry.text = rule.ToString(snapshot->clusters(), binding->schema,
+                                 binding->partition);
+    }
+  }
+  if (rule_list_seconds_) rule_list_seconds_->Record(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status QueryService::SnapshotInfo(SnapshotInfoResponse& response) const {
+  if (snapshot_infos_) snapshot_infos_->Increment();
+  const std::shared_ptr<const Binding> binding = binding_.load();
+  if (binding == nullptr) {
+    if (unavailable_) unavailable_->Increment();
+    return Status::Unavailable("QueryService has no attached rule source");
+  }
+  std::shared_ptr<const RuleSnapshot> snapshot;
+  Status acquired = Acquire(binding.get(), snapshot);
+  response.api_version = kQueryApiVersion;
+  if (!acquired.ok()) {
+    // Bound but nothing published yet: answer generation 0 so clients can
+    // readiness-probe without special-casing an error.
+    response.generation = 0;
+    response.rows_ingested =
+        binding->stream ? binding->stream->rows_ingested() : 0;
+    response.num_clusters = 0;
+    response.num_rules = 0;
+    response.has_index = false;
+    return Status::OK();
+  }
+  response.generation = snapshot->generation();
+  response.rows_ingested = snapshot->rows_ingested();
+  response.num_clusters = snapshot->clusters().size();
+  response.num_rules = snapshot->rules().size();
+  response.has_index = snapshot->index() != nullptr;
+  return Status::OK();
+}
+
+}  // namespace dar

@@ -1,0 +1,367 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/wire.h"
+#include "serve/http_adapter.h"
+#include "serve/protocol.h"
+
+namespace dar::serve {
+namespace {
+
+// Largest HTTP head (request line + headers) we accept; bigger is hostile.
+constexpr size_t kMaxHttpHeadBytes = 64 * 1024;
+constexpr size_t kMaxHttpBodyBytes = 1 << 20;
+
+bool ReadFull(int fd, char* buf, size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, buf, n, 0);
+    if (r == 0) return false;  // orderly EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t r = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<size_t>(r));
+  }
+  return true;
+}
+
+// Waits until the connection's first 4 bytes are peekable (left in the
+// socket) and reports whether they spell an HTTP method. Both dialects
+// open with >= 4 bytes: a binary frame starts with its u32 length, an
+// HTTP request line with "GET "/"POST"/...
+bool SniffHttp(int fd, bool& is_http) {
+  char head[4];
+  for (;;) {
+    const ssize_t r = ::recv(fd, head, sizeof(head), MSG_PEEK);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r >= 4) break;
+    // Partial first packet: block until more arrives.
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) < 0 && errno != EINTR) return false;
+  }
+  const std::string_view first(head, 4);
+  is_http = first == "GET " || first == "POST" || first == "PUT " ||
+            first == "HEAD" || first == "DELE" || first == "OPTI" ||
+            first == "PATC";
+  return true;
+}
+
+}  // namespace
+
+RuleServer::RuleServer(const QueryService& service, ServerConfig config,
+                       telemetry::MetricsRegistry* registry)
+    : service_(service),
+      config_(std::move(config)),
+      admission_(config_.admission, registry) {
+  if (registry == nullptr) return;
+  connections_metric_ = registry->GetCounter("serve.connections");
+  connections_shed_metric_ = registry->GetCounter("serve.connections_shed");
+  binary_requests_ = registry->GetCounter("serve.binary_requests");
+  http_requests_ = registry->GetCounter("serve.http_requests");
+  protocol_errors_ = registry->GetCounter("serve.protocol_errors");
+}
+
+RuleServer::~RuleServer() { Stop(); }
+
+Status RuleServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("server is already running on port " +
+                                 std::to_string(port_));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("cannot parse IPv4 host \"" +
+                                   config_.host + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Status::IOError(
+        "bind " + config_.host + ":" + std::to_string(config_.port) + ": " +
+        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = config_.port;
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&RuleServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void RuleServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  conn_cv_.wait(lock, [&] { return live_fds_.empty(); });
+}
+
+void RuleServer::AcceptLoop() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener is gone; nothing to accept on
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (connections_metric_) connections_metric_->Increment();
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (!stopping_.load(std::memory_order_acquire) &&
+          live_fds_.size() < config_.max_sessions) {
+        live_fds_.insert(fd);
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      // Session-level shed: close before speaking any protocol, so the
+      // client sees a clean connection reset instead of a hang.
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      if (connections_shed_metric_) connections_shed_metric_->Increment();
+      ::close(fd);
+      continue;
+    }
+    std::thread(&RuleServer::ServeConnection, this, fd).detach();
+  }
+}
+
+void RuleServer::FinishConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  live_fds_.erase(fd);
+  ::close(fd);
+  // Notify under the lock: Stop may destroy the cv the moment the set is
+  // observed empty, so the notify must happen-before its wait returns.
+  conn_cv_.notify_all();
+}
+
+void RuleServer::ServeConnection(int fd) {
+  bool is_http = false;
+  if (SniffHttp(fd, is_http)) {
+    if (is_http) {
+      ServeHttp(fd);
+    } else {
+      ServeBinary(fd);
+    }
+  }
+  FinishConnection(fd);
+}
+
+void RuleServer::ServeBinary(int fd) {
+  // Per-session reusable buffers: after the first few requests a session
+  // serves point queries without allocating.
+  std::string tenant;
+  persist::WireWriter payload;
+  persist::WireWriter frame;
+  std::string inbuf;
+  std::vector<double> tuple_scratch;
+  PointQueryResponse point_response;
+  RuleListResponse list_response;
+  SnapshotInfoResponse info_response;
+
+  for (;;) {
+    char lenbuf[4];
+    if (!ReadFull(fd, lenbuf, sizeof(lenbuf))) return;
+    const Result<uint32_t> length =
+        DecodeFrameLength(std::string_view(lenbuf, sizeof(lenbuf)));
+    if (!length.ok()) {
+      // A hostile or corrupt length prefix: no way to resynchronize.
+      if (protocol_errors_) protocol_errors_->Increment();
+      return;
+    }
+    inbuf.resize(*length);
+    if (!ReadFull(fd, inbuf.data(), inbuf.size())) return;
+    if (binary_requests_) binary_requests_->Increment();
+
+    const Result<Request> decoded = DecodeRequest(inbuf, tuple_scratch);
+    if (!decoded.ok()) {
+      // The frame boundary held, but the payload is out of contract:
+      // answer the error, then drop the session (its id echo is gone).
+      if (protocol_errors_) protocol_errors_->Increment();
+      EncodeErrorResponse(RequestHeader{}, ServeCode::kInvalidRequest,
+                          decoded.status().message(), payload);
+      frame.Clear();
+      AppendFrame(payload.bytes(), frame);
+      (void)WriteFull(fd, frame.bytes());
+      return;
+    }
+    const Request& request = *decoded;
+    const RequestHeader& header = request.header;
+
+    if (header.method == Method::kHello) {
+      tenant.assign(request.tenant);
+      EncodeHelloResponse(header, payload);
+    } else {
+      Result<AdmissionController::Ticket> ticket = admission_.Admit(tenant);
+      if (!ticket.ok()) {
+        EncodeErrorResponse(header, ServeCode::kOverloaded,
+                            ticket.status().message(), payload);
+      } else {
+        Status status = Status::OK();
+        switch (header.method) {
+          case Method::kPointQuery:
+            status = service_.PointQuery(request.point, point_response);
+            if (status.ok()) {
+              EncodePointQueryResponse(header, point_response, payload);
+            }
+            break;
+          case Method::kListRules:
+            status = service_.ListRules(request.list, list_response);
+            if (status.ok()) {
+              EncodeRuleListResponse(header, list_response, payload);
+            }
+            break;
+          case Method::kSnapshotInfo:
+            status = service_.SnapshotInfo(info_response);
+            if (status.ok()) {
+              EncodeSnapshotInfoResponse(header, info_response, payload);
+            }
+            break;
+          case Method::kHello:
+            break;  // handled above
+        }
+        if (!status.ok()) {
+          EncodeErrorResponse(header, ServeCodeFromStatus(status),
+                              status.message(), payload);
+        }
+      }
+    }
+    frame.Clear();
+    AppendFrame(payload.bytes(), frame);
+    if (!WriteFull(fd, frame.bytes())) return;
+  }
+}
+
+void RuleServer::ServeHttp(int fd) {
+  if (http_requests_) http_requests_->Increment();
+  std::string buf;
+  buf.reserve(4096);
+  char chunk[4096];
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    if (buf.size() > kMaxHttpHeadBytes) return;
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r == 0) return;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    buf.append(chunk, static_cast<size_t>(r));
+    head_end = buf.find("\r\n\r\n");
+  }
+
+  // Pull the declared body in before parsing (ParseHttpRequest wants the
+  // complete request).
+  size_t content_length = 0;
+  {
+    const Result<HttpRequest> head_only =
+        ParseHttpRequest(buf.substr(0, head_end + 4));
+    if (head_only.ok()) {
+      const std::string_view value = head_only->Header("content-length");
+      if (!value.empty()) {
+        content_length = static_cast<size_t>(
+            std::strtoul(std::string(value).c_str(), nullptr, 10));
+      }
+    }
+  }
+  if (content_length > kMaxHttpBodyBytes) {
+    (void)WriteFull(fd, MakeHttpErrorResponse(ServeCode::kInvalidRequest,
+                                              "request body too large"));
+    return;
+  }
+  const size_t total = head_end + 4 + content_length;
+  while (buf.size() < total) {
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r == 0) return;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    buf.append(chunk, static_cast<size_t>(r));
+  }
+
+  const Result<HttpRequest> parsed = ParseHttpRequest(buf.substr(0, total));
+  if (!parsed.ok()) {
+    if (protocol_errors_) protocol_errors_->Increment();
+    (void)WriteFull(fd, MakeHttpErrorResponse(ServeCode::kInvalidRequest,
+                                              parsed.status().message()));
+    return;
+  }
+
+  const Result<AdmissionController::Ticket> ticket =
+      admission_.Admit(parsed->Header("x-tenant"));
+  if (!ticket.ok()) {
+    (void)WriteFull(fd, MakeHttpErrorResponse(ServeCode::kOverloaded,
+                                              ticket.status().message()));
+    return;
+  }
+  (void)WriteFull(fd, HandleHttpRequest(service_, *parsed));
+}
+
+}  // namespace dar::serve

@@ -72,10 +72,11 @@ RuleIndex RuleIndex::Build(const ClusterSet& clusters,
   return index;
 }
 
-Status RuleIndex::Query(std::span<const double> row,
-                        QueryResult& out) const {
-  out.clusters.clear();
-  out.rules.clear();
+Result<RuleIndex::Hits> RuleIndex::Query(std::span<const double> row,
+                                         QueryScratch& scratch) const {
+  scratch.clusters.clear();
+  scratch.rules.clear();
+  scratch.touched.clear();
   if (row.size() < min_row_width_) {
     return Status::InvalidArgument(
         "query tuple has " + std::to_string(row.size()) +
@@ -100,17 +101,17 @@ Status RuleIndex::Query(std::span<const double> row,
           break;
         }
       }
-      if (contains) out.clusters.push_back(part.ids[i]);
+      if (contains) scratch.clusters.push_back(part.ids[i]);
     }
   }
-  std::sort(out.clusters.begin(), out.clusters.end());
+  std::sort(scratch.clusters.begin(), scratch.clusters.end());
 
   // A rule fires iff every one of its clusters contains the tuple. Gather
   // the rule references of the containing clusters and count runs — cost
   // is proportional to the references actually touched, never to the
   // total rule count.
-  std::vector<size_t> touched;
-  for (size_t id : out.clusters) {
+  std::vector<size_t>& touched = scratch.touched;
+  for (size_t id : scratch.clusters) {
     const std::vector<size_t>& refs = rules_of_cluster_[id];
     touched.insert(touched.end(), refs.begin(), refs.end());
   }
@@ -118,9 +119,21 @@ Status RuleIndex::Query(std::span<const double> row,
   for (size_t i = 0; i < touched.size();) {
     size_t j = i;
     while (j < touched.size() && touched[j] == touched[i]) ++j;
-    if (j - i == rule_arity_[touched[i]]) out.rules.push_back(touched[i]);
+    if (j - i == rule_arity_[touched[i]]) {
+      scratch.rules.push_back(touched[i]);
+    }
     i = j;
   }
+  return Hits{std::span<const size_t>(scratch.clusters),
+              std::span<const size_t>(scratch.rules)};
+}
+
+Status RuleIndex::Query(std::span<const double> row,
+                        QueryResult& out) const {
+  QueryScratch scratch;
+  DAR_ASSIGN_OR_RETURN(const Hits hits, Query(row, scratch));
+  out.clusters.assign(hits.clusters.begin(), hits.clusters.end());
+  out.rules.assign(hits.rules.begin(), hits.rules.end());
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "core/model.h"
 #include "core/rules.h"
@@ -30,10 +31,32 @@ namespace dar {
 /// through a cluster->rules adjacency, touching only rules that reference
 /// at least one containing cluster.
 ///
-/// Immutable after Build; Query is const, allocation-contained, and safe
-/// to call from any number of reader threads concurrently.
+/// Immutable after Build; Query is const and safe to call from any number
+/// of reader threads concurrently, each with its own QueryScratch.
 class RuleIndex {
  public:
+  /// Reusable per-caller buffers for Query. A scratch grows to the high
+  /// water mark of its caller's queries and is never shrunk, so a serving
+  /// thread that reuses one scratch performs no allocation per query in
+  /// steady state. Not thread-safe: one scratch per concurrent caller.
+  struct QueryScratch {
+    std::vector<size_t> clusters;
+    std::vector<size_t> rules;
+    std::vector<size_t> touched;  // internal: gathered rule references
+  };
+
+  /// A query answer as views into the caller's QueryScratch: valid until
+  /// the next Query call with the same scratch (and no longer than the
+  /// snapshot owning this index). The ids index the snapshot's ClusterSet
+  /// and rule vector respectively; both are ascending.
+  struct Hits {
+    std::span<const size_t> clusters;
+    std::span<const size_t> rules;
+  };
+
+  /// Deprecated: owning-copy result of the legacy Query overload. New
+  /// callers should use QueryScratch/Hits (via dar::QueryService), which
+  /// reuse buffers instead of returning fresh vectors per query.
   struct QueryResult {
     /// Ids (into the snapshot's ClusterSet) of clusters whose bounding box
     /// contains the tuple, ascending.
@@ -52,10 +75,18 @@ class RuleIndex {
                          const std::vector<DistanceRule>& rules,
                          const AttributePartition& partition);
 
-  /// Point query for one full-width tuple (one value per schema
-  /// attribute covered by the partitioning; `row.size()` must be at least
-  /// the largest partitioned column index + 1).
-  Status Query(std::span<const double> row, QueryResult& out) const;
+  /// Point query for one full-width tuple (one value per schema attribute
+  /// covered by the partitioning; `row.size()` must be at least the
+  /// largest partitioned column index + 1). Fills `scratch` and returns
+  /// views into it — the allocation-free hot path.
+  [[nodiscard]] Result<Hits> Query(std::span<const double> row,
+                                   QueryScratch& scratch) const;
+
+  /// Deprecated shim: as above but copying the ids into an owning
+  /// QueryResult. Kept for callers that predate QueryScratch; prefer
+  /// Query(row, scratch) or the dar::QueryService facade.
+  [[nodiscard]] Status Query(std::span<const double> row,
+                             QueryResult& out) const;
 
   [[nodiscard]] size_t num_clusters() const { return num_clusters_; }
   [[nodiscard]] size_t num_rules() const { return rule_arity_.size(); }

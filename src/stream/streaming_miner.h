@@ -133,6 +133,14 @@ class StreamingMiner {
       std::shared_ptr<telemetry::MetricsRegistry> registry,
       MiningObserver* observer = nullptr);
 
+  /// DEPRECATED (serving callers): direct snapshot access couples readers
+  /// to the stream/serve-internal RuleSnapshot/SnapshotCell machinery.
+  /// Serve reads through dar::QueryService (serve/query_service.h), which
+  /// answers versioned point-query/listing/info requests from one
+  /// consistent snapshot generation and survives stream hot-swaps. This
+  /// accessor remains as a thin shim for the stream layer itself and for
+  /// code that diffs whole snapshots (e.g. tests pinning bit-equality).
+  ///
   /// The current published snapshot; null until the first publication.
   /// Callable from any thread; never blocks beyond SnapshotCell's
   /// few-instruction pointer copy.
@@ -140,10 +148,25 @@ class StreamingMiner {
     return snapshot_.load();
   }
 
+  /// DEPRECATED (serving callers): forwarding shim kept for source
+  /// compatibility; it allocates a fresh QueryResult per call. Prefer
+  /// dar::QueryService::PointQuery, whose responses reuse their buffers
+  /// and carry the answering snapshot's generation/row-count so callers
+  /// can detect hot-swaps.
+  ///
   /// Queries the current snapshot's RuleIndex for one tuple. Fails when
   /// nothing has been published yet or the stream was opened with
   /// build_rule_index = false. Lock-free, callable from any thread.
-  Result<RuleIndex::QueryResult> Query(std::span<const double> row) const;
+  [[nodiscard]] Result<RuleIndex::QueryResult> Query(
+      std::span<const double> row) const;
+
+  /// The schema this stream ingests under (what OpenStream was given).
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+
+  /// The attribute partitioning this stream mines under.
+  [[nodiscard]] const AttributePartition& partition() const {
+    return partition_;
+  }
 
   /// Total tuples absorbed so far.
   [[nodiscard]] int64_t rows_ingested() const {

@@ -1,0 +1,845 @@
+// dar::serve: the versioned QueryService facade (point queries, listings,
+// snapshot metadata — all single-generation consistent), the framed binary
+// protocol's encode/decode round trips and corruption handling, admission
+// quotas, the TCP server end-to-end in both dialects, and snapshot
+// hot-swap under concurrent load including a RestoreCheckpoint warm-start
+// swap (run under -DDAR_SANITIZE=thread via `ctest -L tsan`).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "datagen/planted.h"
+#include "persist/wire.h"
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/http_adapter.h"
+#include "serve/protocol.h"
+#include "serve/query_api.h"
+#include "serve/query_service.h"
+#include "serve/server.h"
+#include "stream/rule_index.h"
+#include "stream/rule_snapshot.h"
+#include "stream/streaming_miner.h"
+
+namespace dar {
+namespace {
+
+PlantedDataset TestData(size_t rows = 3000) {
+  PlantedDataSpec spec = WbcdLikeSpec(/*num_attrs=*/4, /*clusters_per_attr=*/3,
+                                      /*outlier_fraction=*/0.05, /*seed=*/31);
+  auto data = GeneratePlanted(spec, rows, 32);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return *std::move(data);
+}
+
+DarConfig TestConfig() {
+  DarConfig config;
+  config.frequency_fraction = 0.05;
+  config.initial_diameters.assign(4, 80.0);
+  config.degree_threshold = 150.0;
+  config.count_rule_support = false;
+  return config;
+}
+
+Result<Session> TestSession(int threads = 1) {
+  return Session::Builder()
+      .WithConfig(TestConfig())
+      .WithThreads(threads)
+      .Build();
+}
+
+// A stream fed `rows` tuples with one published snapshot, plus the
+// service bound to it.
+struct ServedStream {
+  Session session;
+  PlantedDataset data;
+  std::unique_ptr<StreamingMiner> stream;
+};
+
+// Explicit-Remine-only cadence: tests publish generations themselves so
+// snapshot contents are fully deterministic.
+StreamConfig ManualCadence() {
+  StreamConfig config;
+  config.remine_every_rows = 0;
+  return config;
+}
+
+ServedStream MakeServedStream(size_t rows = 3000) {
+  auto session = TestSession();
+  EXPECT_TRUE(session.ok()) << session.status();
+  auto data = TestData(rows);
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    ManualCadence());
+  EXPECT_TRUE(stream.ok()) << stream.status();
+  EXPECT_TRUE((*stream)->Ingest(data.relation).ok());
+  auto snap = (*stream)->Remine();
+  EXPECT_TRUE(snap.ok()) << snap.status();
+  return ServedStream{*std::move(session), std::move(data),
+                      std::move(*stream)};
+}
+
+// ---------------------------------------------------------------------
+// ServeCode mapping
+
+TEST(ServeCodeTest, StatusRoundTrip) {
+  EXPECT_EQ(ServeCodeFromStatus(Status::OK()), ServeCode::kOk);
+  EXPECT_EQ(ServeCodeFromStatus(Status::InvalidArgument("x")),
+            ServeCode::kInvalidRequest);
+  EXPECT_EQ(ServeCodeFromStatus(Status::OutOfRange("x")),
+            ServeCode::kInvalidRequest);
+  EXPECT_EQ(ServeCodeFromStatus(Status::NotFound("x")), ServeCode::kNotFound);
+  EXPECT_EQ(ServeCodeFromStatus(Status::Unavailable("x")),
+            ServeCode::kUnavailable);
+  EXPECT_EQ(ServeCodeFromStatus(Status::ResourceExhausted("x")),
+            ServeCode::kOverloaded);
+  EXPECT_EQ(ServeCodeFromStatus(Status::Internal("x")), ServeCode::kInternal);
+  EXPECT_EQ(ServeCodeFromStatus(Status::IOError("x")), ServeCode::kInternal);
+
+  for (ServeCode code :
+       {ServeCode::kInvalidRequest, ServeCode::kNotFound,
+        ServeCode::kUnavailable, ServeCode::kOverloaded,
+        ServeCode::kInternal}) {
+    const Status status = StatusFromServeCode(code, "m");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(ServeCodeFromStatus(status), code);
+    EXPECT_EQ(status.message(), "m");
+  }
+  EXPECT_TRUE(StatusFromServeCode(ServeCode::kOk, "").ok());
+  EXPECT_STREQ(ServeCodeName(ServeCode::kOverloaded), "overloaded");
+}
+
+// ---------------------------------------------------------------------
+// Protocol round trips
+
+TEST(ProtocolTest, PointQueryRequestRoundTrip) {
+  const std::vector<double> tuple = {1.5, -2.0, 3.25};
+  PointQueryRequest request;
+  request.tuple = tuple;
+  request.max_rules = 7;
+  persist::WireWriter payload;
+  serve::EncodePointQueryRequest(42, request, payload);
+
+  std::vector<double> scratch;
+  auto decoded = serve::DecodeRequest(payload.bytes(), scratch);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->header.method, serve::Method::kPointQuery);
+  EXPECT_EQ(decoded->header.request_id, 42u);
+  EXPECT_EQ(decoded->point.max_rules, 7u);
+  ASSERT_EQ(decoded->point.tuple.size(), tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    EXPECT_EQ(decoded->point.tuple[i], tuple[i]);
+  }
+}
+
+TEST(ProtocolTest, HelloAndListAndInfoRoundTrip) {
+  persist::WireWriter payload;
+  std::vector<double> scratch;
+
+  serve::EncodeHelloRequest(1, "tenant-a", payload);
+  auto hello = serve::DecodeRequest(payload.bytes(), scratch);
+  ASSERT_TRUE(hello.ok()) << hello.status();
+  EXPECT_EQ(hello->header.method, serve::Method::kHello);
+  EXPECT_EQ(hello->tenant, "tenant-a");
+
+  RuleListRequest list;
+  list.offset = 10;
+  list.limit = 5;
+  list.include_text = true;
+  serve::EncodeRuleListRequest(2, list, payload);
+  auto decoded_list = serve::DecodeRequest(payload.bytes(), scratch);
+  ASSERT_TRUE(decoded_list.ok()) << decoded_list.status();
+  EXPECT_EQ(decoded_list->list.offset, 10u);
+  EXPECT_EQ(decoded_list->list.limit, 5u);
+  EXPECT_TRUE(decoded_list->list.include_text);
+
+  serve::EncodeSnapshotInfoRequest(3, payload);
+  auto info = serve::DecodeRequest(payload.bytes(), scratch);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->header.method, serve::Method::kSnapshotInfo);
+}
+
+TEST(ProtocolTest, ResponseRoundTrips) {
+  serve::RequestHeader header;
+  header.method = serve::Method::kPointQuery;
+  header.request_id = 99;
+
+  PointQueryResponse point;
+  point.generation = 5;
+  point.rows_ingested = 1234;
+  point.clusters = {1, 4, 9};
+  point.rules = {0, 2};
+  point.total_rule_matches = 6;
+  persist::WireWriter payload;
+  serve::EncodePointQueryResponse(header, point, payload);
+  {
+    persist::WireReader reader{std::string_view(payload.bytes())};
+    auto decoded_header = serve::DecodeResponseHeader(reader);
+    ASSERT_TRUE(decoded_header.ok()) << decoded_header.status();
+    EXPECT_EQ(decoded_header->code, ServeCode::kOk);
+    EXPECT_EQ(decoded_header->header.request_id, 99u);
+    PointQueryResponse out;
+    ASSERT_TRUE(serve::DecodePointQueryBody(reader, out).ok());
+    EXPECT_EQ(out.generation, 5u);
+    EXPECT_EQ(out.rows_ingested, 1234);
+    EXPECT_EQ(out.clusters, point.clusters);
+    EXPECT_EQ(out.rules, point.rules);
+    EXPECT_EQ(out.total_rule_matches, 6u);
+  }
+
+  RuleListResponse list;
+  list.generation = 5;
+  list.rows_ingested = 1234;
+  list.total_rules = 40;
+  list.offset = 2;
+  RuleListEntry entry;
+  entry.id = 2;
+  entry.degree = 0.5;
+  entry.support_count = -1;
+  entry.antecedent_size = 1;
+  entry.consequent_size = 2;
+  entry.text = "[A] => [B C]";
+  list.rules.push_back(entry);
+  header.method = serve::Method::kListRules;
+  serve::EncodeRuleListResponse(header, list, payload);
+  {
+    persist::WireReader reader{std::string_view(payload.bytes())};
+    auto decoded_header = serve::DecodeResponseHeader(reader);
+    ASSERT_TRUE(decoded_header.ok()) << decoded_header.status();
+    RuleListResponse out;
+    ASSERT_TRUE(serve::DecodeRuleListBody(reader, out).ok());
+    EXPECT_EQ(out.total_rules, 40u);
+    ASSERT_EQ(out.rules.size(), 1u);
+    EXPECT_EQ(out.rules[0].text, entry.text);
+    EXPECT_EQ(out.rules[0].degree, entry.degree);
+  }
+
+  SnapshotInfoResponse info;
+  info.generation = 9;
+  info.rows_ingested = 777;
+  info.num_clusters = 12;
+  info.num_rules = 34;
+  info.has_index = true;
+  header.method = serve::Method::kSnapshotInfo;
+  serve::EncodeSnapshotInfoResponse(header, info, payload);
+  {
+    persist::WireReader reader{std::string_view(payload.bytes())};
+    auto decoded_header = serve::DecodeResponseHeader(reader);
+    ASSERT_TRUE(decoded_header.ok()) << decoded_header.status();
+    SnapshotInfoResponse out;
+    ASSERT_TRUE(serve::DecodeSnapshotInfoBody(reader, out).ok());
+    EXPECT_EQ(out.api_version, kQueryApiVersion);
+    EXPECT_EQ(out.generation, 9u);
+    EXPECT_TRUE(out.has_index);
+  }
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrip) {
+  serve::RequestHeader header;
+  header.method = serve::Method::kPointQuery;
+  header.request_id = 7;
+  persist::WireWriter payload;
+  serve::EncodeErrorResponse(header, ServeCode::kOverloaded, "busy", payload);
+  persist::WireReader reader{std::string_view(payload.bytes())};
+  auto decoded = serve::DecodeResponseHeader(reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->code, ServeCode::kOverloaded);
+  EXPECT_EQ(decoded->message, "busy");
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ProtocolTest, CorruptionIsRejectedCleanly) {
+  std::vector<double> scratch;
+  // Truncated payload.
+  {
+    persist::WireWriter payload;
+    PointQueryRequest request;
+    const std::vector<double> tuple = {1, 2, 3};
+    request.tuple = tuple;
+    serve::EncodePointQueryRequest(1, request, payload);
+    const std::string whole = payload.bytes();
+    for (size_t cut : {size_t{0}, size_t{4}, size_t{12}, whole.size() - 1}) {
+      auto decoded =
+          serve::DecodeRequest(std::string_view(whole).substr(0, cut),
+                               scratch);
+      EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+    }
+    // Trailing garbage after a well-formed request.
+    auto decoded = serve::DecodeRequest(whole + "x", scratch);
+    EXPECT_FALSE(decoded.ok());
+  }
+  // Version skew.
+  {
+    persist::WireWriter payload;
+    payload.U32(kQueryApiVersion + 1);
+    payload.U8(2);
+    payload.U64(1);
+    auto decoded = serve::DecodeRequest(payload.bytes(), scratch);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  }
+  // Unknown method.
+  {
+    persist::WireWriter payload;
+    payload.U32(kQueryApiVersion);
+    payload.U8(200);
+    payload.U64(1);
+    auto decoded = serve::DecodeRequest(payload.bytes(), scratch);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  }
+  // Oversized frame length prefix.
+  {
+    persist::WireWriter frame;
+    frame.U32(serve::kMaxFrameBytes + 1);
+    auto length = serve::DecodeFrameLength(frame.bytes());
+    ASSERT_FALSE(length.ok());
+    EXPECT_TRUE(length.status().IsInvalidArgument());
+  }
+  // Tuple count above the cap.
+  {
+    persist::WireWriter payload;
+    payload.U32(kQueryApiVersion);
+    payload.U8(2);
+    payload.U64(1);
+    payload.U32(0);  // max_rules
+    payload.U32(serve::kMaxTupleValues + 1);
+    auto decoded = serve::DecodeRequest(payload.bytes(), scratch);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+
+TEST(AdmissionTest, GlobalConcurrencyLimit) {
+  serve::AdmissionConfig config;
+  config.max_concurrent = 2;
+  config.max_per_tenant = 0;
+  serve::AdmissionController admission(config);
+
+  auto t1 = admission.Admit("a");
+  auto t2 = admission.Admit("b");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(admission.in_flight(), 2u);
+  auto t3 = admission.Admit("c");
+  ASSERT_FALSE(t3.ok());
+  EXPECT_TRUE(t3.status().IsResourceExhausted());
+  EXPECT_EQ(admission.shed_count(), 1u);
+
+  // Releasing a ticket restores capacity.
+  *t1 = serve::AdmissionController::Ticket();
+  auto t4 = admission.Admit("c");
+  EXPECT_TRUE(t4.ok());
+  EXPECT_EQ(admission.in_flight(), 2u);
+}
+
+TEST(AdmissionTest, PerTenantLimitIsIndependent) {
+  serve::AdmissionConfig config;
+  config.max_concurrent = 0;
+  config.max_per_tenant = 1;
+  serve::AdmissionController admission(config);
+
+  auto a1 = admission.Admit("a");
+  ASSERT_TRUE(a1.ok());
+  auto a2 = admission.Admit("a");
+  EXPECT_FALSE(a2.ok());
+  // Another tenant is unaffected.
+  auto b1 = admission.Admit("b");
+  EXPECT_TRUE(b1.ok());
+  // The anonymous tenant "" has its own quota too.
+  auto anon = admission.Admit("");
+  EXPECT_TRUE(anon.ok());
+}
+
+TEST(AdmissionTest, LifetimeQuota) {
+  serve::AdmissionConfig config;
+  config.max_concurrent = 0;
+  config.max_per_tenant = 0;
+  config.max_tenant_requests = 2;
+  serve::AdmissionController admission(config);
+
+  for (int i = 0; i < 2; ++i) {
+    auto ticket = admission.Admit("a");
+    EXPECT_TRUE(ticket.ok()) << i;
+  }
+  // Quota is lifetime: released tickets do not refill it.
+  auto third = admission.Admit("a");
+  EXPECT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsResourceExhausted());
+  // Other tenants unaffected.
+  EXPECT_TRUE(admission.Admit("b").ok());
+}
+
+// ---------------------------------------------------------------------
+// QueryService
+
+TEST(QueryServiceTest, UnboundAndPrePublicationStates) {
+  QueryService service;
+  EXPECT_FALSE(service.bound());
+  PointQueryResponse hits;
+  PointQueryRequest query;
+  const std::vector<double> tuple = {0, 0, 0, 0};
+  query.tuple = tuple;
+  Status status = service.PointQuery(query, hits);
+  EXPECT_TRUE(status.IsUnavailable()) << status;
+  SnapshotInfoResponse info;
+  EXPECT_TRUE(service.SnapshotInfo(info).IsUnavailable());
+
+  // Bound to a stream that has not published: point queries stay
+  // unavailable, but SnapshotInfo becomes the readiness probe.
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto data = TestData(500);
+  auto stream = session->OpenStream(data.relation.schema(), data.partition);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  service.AttachStream(**stream);
+  EXPECT_TRUE(service.bound());
+  status = service.PointQuery(query, hits);
+  EXPECT_TRUE(status.IsUnavailable()) << status;
+  ASSERT_TRUE(service.SnapshotInfo(info).ok());
+  EXPECT_EQ(info.generation, 0u);
+  EXPECT_FALSE(info.has_index);
+}
+
+TEST(QueryServiceTest, PointQueryMatchesDeprecatedStreamQuery) {
+  ServedStream served = MakeServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+
+  PointQueryResponse response;
+  for (size_t r = 0; r < served.data.relation.num_rows(); r += 97) {
+    // Row() returns an owning vector; the request views it (tuple is a
+    // span), so it must outlive the query.
+    const std::vector<double> row = served.data.relation.Row(r);
+    PointQueryRequest query;
+    query.tuple = row;
+    ASSERT_TRUE(service.PointQuery(query, response).ok());
+    // The deprecated shim is the reference implementation.
+    auto reference = served.stream->Query(row);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    ASSERT_EQ(response.clusters.size(), reference->clusters.size());
+    for (size_t i = 0; i < response.clusters.size(); ++i) {
+      EXPECT_EQ(response.clusters[i], reference->clusters[i]);
+    }
+    ASSERT_EQ(response.rules.size(), reference->rules.size());
+    for (size_t i = 0; i < response.rules.size(); ++i) {
+      EXPECT_EQ(response.rules[i], reference->rules[i]);
+    }
+    EXPECT_EQ(response.total_rule_matches, reference->rules.size());
+    EXPECT_EQ(response.generation, served.stream->generation());
+    EXPECT_EQ(response.rows_ingested, served.stream->rows_ingested());
+  }
+}
+
+TEST(QueryServiceTest, MaxRulesTruncatesButCountsAll) {
+  ServedStream served = MakeServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+
+  // Find a tuple firing at least 2 rules.
+  PointQueryResponse all;
+  size_t row = 0;
+  std::vector<double> tuple;
+  for (; row < served.data.relation.num_rows(); ++row) {
+    tuple = served.data.relation.Row(row);
+    PointQueryRequest query;
+    query.tuple = tuple;
+    ASSERT_TRUE(service.PointQuery(query, all).ok());
+    if (all.total_rule_matches >= 2) break;
+  }
+  ASSERT_GE(all.total_rule_matches, 2u) << "no tuple fires 2 rules";
+
+  PointQueryRequest query;
+  query.tuple = tuple;
+  query.max_rules = 1;
+  PointQueryResponse truncated;
+  ASSERT_TRUE(service.PointQuery(query, truncated).ok());
+  EXPECT_EQ(truncated.rules.size(), 1u);
+  EXPECT_EQ(truncated.rules[0], all.rules[0]);
+  EXPECT_EQ(truncated.total_rule_matches, all.total_rule_matches);
+}
+
+TEST(QueryServiceTest, ListRulesPaginates) {
+  ServedStream served = MakeServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+
+  SnapshotInfoResponse info;
+  ASSERT_TRUE(service.SnapshotInfo(info).ok());
+  ASSERT_GT(info.num_rules, 1u) << "test needs a multi-rule snapshot";
+
+  // Page through with limit 1 and reassemble the full listing.
+  RuleListResponse page;
+  std::vector<uint32_t> ids;
+  for (uint32_t offset = 0; offset < info.num_rules; ++offset) {
+    RuleListRequest request;
+    request.offset = offset;
+    request.limit = 1;
+    ASSERT_TRUE(service.ListRules(request, page).ok());
+    EXPECT_EQ(page.total_rules, info.num_rules);
+    EXPECT_EQ(page.offset, offset);
+    ASSERT_EQ(page.rules.size(), 1u);
+    EXPECT_TRUE(page.rules[0].text.empty());  // no text unless asked
+    ids.push_back(page.rules[0].id);
+  }
+  for (uint32_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+
+  // Degrees ascend (Phase II sorts strongest first).
+  RuleListRequest all_request;
+  all_request.limit = kMaxRuleListLimit;
+  all_request.include_text = true;
+  ASSERT_TRUE(service.ListRules(all_request, page).ok());
+  ASSERT_EQ(page.rules.size(), info.num_rules);
+  for (size_t i = 1; i < page.rules.size(); ++i) {
+    EXPECT_LE(page.rules[i - 1].degree, page.rules[i].degree);
+  }
+  EXPECT_FALSE(page.rules[0].text.empty());
+
+  // Past-the-end offset: an empty page, not an error.
+  RuleListRequest past;
+  past.offset = static_cast<uint32_t>(info.num_rules) + 10;
+  ASSERT_TRUE(service.ListRules(past, page).ok());
+  EXPECT_TRUE(page.rules.empty());
+  EXPECT_EQ(page.total_rules, info.num_rules);
+}
+
+TEST(QueryServiceTest, ServesBatchResultsViaMakeSnapshot) {
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto data = TestData();
+  auto report = session->Mine(data.relation, data.partition);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  QueryService service;
+  service.AttachSnapshot(
+      QueryService::MakeSnapshot(std::move(report->result), data.partition),
+      data.relation.schema(), data.partition);
+
+  SnapshotInfoResponse info;
+  ASSERT_TRUE(service.SnapshotInfo(info).ok());
+  EXPECT_EQ(info.generation, 1u);
+  EXPECT_EQ(info.rows_ingested,
+            static_cast<int64_t>(data.relation.num_rows()));
+  EXPECT_TRUE(info.has_index);
+  EXPECT_GT(info.num_rules, 0u);
+
+  const std::vector<double> row = data.relation.Row(0);
+  PointQueryRequest query;
+  query.tuple = row;
+  PointQueryResponse hits;
+  ASSERT_TRUE(service.PointQuery(query, hits).ok());
+  EXPECT_EQ(hits.generation, 1u);
+}
+
+TEST(QueryServiceTest, TooShortTupleIsInvalid) {
+  ServedStream served = MakeServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+  const std::vector<double> short_tuple = {1.0};
+  PointQueryRequest query;
+  query.tuple = short_tuple;
+  PointQueryResponse hits;
+  Status status = service.PointQuery(query, hits);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// RuleIndex scratch API
+
+TEST(RuleIndexViewTest, HitsMatchDeprecatedQueryResult) {
+  ServedStream served = MakeServedStream();
+  auto snapshot = served.stream->snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  const RuleIndex* index = snapshot->index();
+  ASSERT_NE(index, nullptr);
+
+  RuleIndex::QueryScratch scratch;
+  for (size_t r = 0; r < served.data.relation.num_rows(); r += 131) {
+    auto hits = index->Query(served.data.relation.Row(r), scratch);
+    ASSERT_TRUE(hits.ok()) << hits.status();
+    RuleIndex::QueryResult reference;
+    ASSERT_TRUE(index->Query(served.data.relation.Row(r), reference).ok());
+    EXPECT_TRUE(std::equal(hits->clusters.begin(), hits->clusters.end(),
+                           reference.clusters.begin(),
+                           reference.clusters.end()));
+    EXPECT_TRUE(std::equal(hits->rules.begin(), hits->rules.end(),
+                           reference.rules.begin(), reference.rules.end()));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Server end-to-end (binary + HTTP on one port)
+
+TEST(RuleServerTest, BinaryEndToEnd) {
+  ServedStream served = MakeServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+  serve::RuleServer server(service, serve::ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto client =
+      serve::RuleClient::Connect("127.0.0.1", server.port(), "tenant-a");
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  SnapshotInfoResponse info;
+  ASSERT_TRUE(client->SnapshotInfo(info).ok());
+  EXPECT_EQ(info.generation, served.stream->generation());
+  EXPECT_TRUE(info.has_index);
+
+  // Remote point queries agree with in-process service answers.
+  PointQueryResponse remote;
+  PointQueryResponse local;
+  for (size_t r = 0; r < served.data.relation.num_rows(); r += 199) {
+    const std::vector<double> row = served.data.relation.Row(r);
+    PointQueryRequest query;
+    query.tuple = row;
+    ASSERT_TRUE(client->PointQuery(query, remote).ok());
+    ASSERT_TRUE(service.PointQuery(query, local).ok());
+    EXPECT_EQ(remote.generation, local.generation);
+    EXPECT_EQ(remote.clusters, local.clusters);
+    EXPECT_EQ(remote.rules, local.rules);
+  }
+
+  RuleListRequest list;
+  list.limit = 3;
+  list.include_text = true;
+  RuleListResponse rules;
+  ASSERT_TRUE(client->ListRules(list, rules).ok());
+  EXPECT_EQ(rules.generation, info.generation);
+  EXPECT_LE(rules.rules.size(), 3u);
+  if (!rules.rules.empty()) {
+    EXPECT_FALSE(rules.rules[0].text.empty());
+  }
+
+  // A too-short tuple surfaces as InvalidArgument THROUGH the wire.
+  const std::vector<double> short_tuple = {1.0};
+  PointQueryRequest bad;
+  bad.tuple = short_tuple;
+  Status status = client->PointQuery(bad, remote);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(RuleServerTest, LifetimeQuotaShedsOverTheWire) {
+  ServedStream served = MakeServedStream(1000);
+  QueryService service;
+  service.AttachStream(*served.stream);
+  serve::ServerConfig config;
+  config.admission.max_tenant_requests = 2;
+  serve::RuleServer server(service, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client =
+      serve::RuleClient::Connect("127.0.0.1", server.port(), "greedy");
+  ASSERT_TRUE(client.ok()) << client.status();
+  SnapshotInfoResponse info;
+  EXPECT_TRUE(client->SnapshotInfo(info).ok());
+  EXPECT_TRUE(client->SnapshotInfo(info).ok());
+  Status status = client->SnapshotInfo(info);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsResourceExhausted()) << status;
+  EXPECT_GE(server.admission().shed_count(), 1u);
+  // The shed response did not kill the session, and other tenants are
+  // unaffected.
+  auto other = serve::RuleClient::Connect("127.0.0.1", server.port(), "calm");
+  ASSERT_TRUE(other.ok()) << other.status();
+  EXPECT_TRUE(other->SnapshotInfo(info).ok());
+}
+
+TEST(RuleServerTest, HttpEndpoints) {
+  ServedStream served = MakeServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+  serve::RuleServer server(service, serve::ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw HTTP through the adapter, as the server's HTTP path would.
+  auto parsed = serve::ParseHttpRequest(
+      "GET /v1/rules?limit=2&text=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->path, "/v1/rules");
+  EXPECT_EQ(parsed->query, "limit=2&text=1");
+  std::string response = serve::HandleHttpRequest(service, *parsed);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"total_rules\":"), std::string::npos);
+
+  auto info_req =
+      serve::ParseHttpRequest("GET /v1/info HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(info_req.ok());
+  response = serve::HandleHttpRequest(service, *info_req);
+  EXPECT_NE(response.find("\"generation\":"), std::string::npos);
+
+  auto bad = serve::ParseHttpRequest(
+      "GET /v1/query?tuple=abc HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(bad.ok());
+  response = serve::HandleHttpRequest(service, *bad);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+
+  auto missing = serve::ParseHttpRequest("GET /nope HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(missing.ok());
+  response = serve::HandleHttpRequest(service, *missing);
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(RuleServerTest, StartFailsOnBadHost) {
+  QueryService service;
+  serve::ServerConfig config;
+  config.host = "not-an-ip";
+  serve::RuleServer server(service, config);
+  Status status = server.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Hot swap under load (the TSan centerpiece)
+
+// One re-miner thread publishes generations (including a warm-start swap
+// restored from a checkpoint) while reader threads query through the
+// service. Every response must be internally consistent: its
+// (generation, rows_ingested) pair must be one the writer actually
+// published — a torn response mixing two generations would pair them
+// wrongly.
+TEST(RuleServerTest, HotSwapUnderLoadStaysConsistent) {
+  const std::string ckpt = "serve_test_hotswap.darckpt";
+  auto session = TestSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto data = TestData(4000);
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    ManualCadence());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  QueryService service;
+  service.AttachStream(**stream);
+
+  // Publish generation 1 from the first chunk so readers have something
+  // from the start.
+  const size_t kChunk = 1000;
+  for (size_t r = 0; r < kChunk; ++r) {
+    ASSERT_TRUE((*stream)->IngestRow(data.relation.Row(r)).ok());
+  }
+  ASSERT_TRUE((*stream)->Remine().ok());
+
+  // (generation, rows) pairs the writer has published, pre-sized map-free:
+  // generation g is published with pairs[g] rows. Readers validate against
+  // it after the fact (no locking on the hot path).
+  std::vector<std::pair<uint64_t, int64_t>> published;
+  published.push_back({(*stream)->generation(), (*stream)->rows_ingested()});
+
+  std::atomic<bool> done{false};
+  constexpr int kReaders = 4;
+  struct Observed {
+    std::vector<std::pair<uint64_t, int64_t>> pairs;  // deduped locally
+    int64_t queries = 0;
+    int64_t unavailable = 0;
+  };
+  std::vector<Observed> observed(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Observed& mine = observed[t];
+      PointQueryResponse hits;
+      SnapshotInfoResponse info;
+      size_t row = static_cast<size_t>(t) * 37;
+      std::vector<double> tuple;
+      while (!done.load(std::memory_order_acquire)) {
+        tuple = data.relation.Row(row % data.relation.num_rows());
+        PointQueryRequest query;
+        query.tuple = tuple;
+        row += 61;
+        Status status = service.PointQuery(query, hits);
+        if (status.IsUnavailable()) {
+          ++mine.unavailable;
+          continue;
+        }
+        ASSERT_TRUE(status.ok()) << status;
+        ++mine.queries;
+        const auto pair = std::make_pair(hits.generation, hits.rows_ingested);
+        if (std::find(mine.pairs.begin(), mine.pairs.end(), pair) ==
+            mine.pairs.end()) {
+          mine.pairs.push_back(pair);
+        }
+        // SnapshotInfo must be single-generation consistent too.
+        ASSERT_TRUE(service.SnapshotInfo(info).ok());
+        const auto info_pair =
+            std::make_pair(info.generation, info.rows_ingested);
+        if (info.generation != 0 &&
+            std::find(mine.pairs.begin(), mine.pairs.end(), info_pair) ==
+                mine.pairs.end()) {
+          mine.pairs.push_back(info_pair);
+        }
+      }
+    });
+  }
+
+  // Writer: two more live publications, then a checkpoint/restore
+  // warm-start swap, then one publication on the restored stream.
+  size_t next_row = kChunk;
+  for (int swap = 0; swap < 2; ++swap) {
+    const size_t end = next_row + kChunk;
+    for (; next_row < end; ++next_row) {
+      ASSERT_TRUE((*stream)->IngestRow(data.relation.Row(next_row)).ok());
+    }
+    ASSERT_TRUE((*stream)->Remine().ok());
+    published.push_back({(*stream)->generation(), (*stream)->rows_ingested()});
+  }
+
+  ASSERT_TRUE(session->SaveCheckpoint(**stream, ckpt).ok());
+  auto restored = session->RestoreCheckpoint(ckpt);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // The restored stream republishes the checkpointed snapshot, so its
+  // (generation, rows) is already in `published`. Swap the service onto
+  // it while readers run — the warm-start hot swap.
+  service.AttachStream(*restored->stream);
+  for (size_t end = next_row + kChunk; next_row < end; ++next_row) {
+    ASSERT_TRUE(
+        restored->stream->IngestRow(data.relation.Row(next_row)).ok());
+  }
+  ASSERT_TRUE(restored->stream->Remine().ok());
+  published.push_back(
+      {restored->stream->generation(), restored->stream->rows_ingested()});
+
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  // >= 3 swaps happened (gen 1..4); every observed pair must be one the
+  // writer published.
+  ASSERT_GE(published.size(), 4u);
+  int64_t total_queries = 0;
+  for (const Observed& mine : observed) {
+    total_queries += mine.queries;
+    EXPECT_EQ(mine.unavailable, 0);  // generation 1 was live before start
+    for (const auto& pair : mine.pairs) {
+      EXPECT_NE(std::find(published.begin(), published.end(), pair),
+                published.end())
+          << "torn response: generation " << pair.first << " with rows "
+          << pair.second << " was never published";
+    }
+  }
+  EXPECT_GT(total_queries, 0);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace dar

@@ -5,7 +5,7 @@ Expected document shape (schema_version 1):
 
   {
     "schema_version": 1,
-    "suite": "phase1" | "phase2" | "stream" | "persist" | "micro",
+    "suite": "phase1" | "phase2" | "stream" | "persist" | "serve" | "micro",
     "smoke": bool,
     "seed": int,
     "runs": [
@@ -29,6 +29,11 @@ metrics), so two files produced with the same seed and --no-timings must
 be byte-identical regardless of thread count; this script only checks
 shape, the byte comparison is a plain diff/cmp in CI.
 
+The "serve" suite carries extra invariants beyond shape: every run must
+record zero dropped and zero cross-generation-inconsistent responses
+from >= 8 clients across >= 3 snapshot hot-swaps, and (when timings are
+present) QPS plus ordered p50/p99/p999 latency percentiles.
+
 Usage: tools/check_bench_json.py FILE [FILE...]
 Prints one `file: message` per violation and exits 1 when anything is
 found, 0 when every file is schema-valid. Stdlib only.
@@ -38,7 +43,7 @@ import json
 import numbers
 import sys
 
-VALID_SUITES = {"phase1", "phase2", "stream", "persist", "micro"}
+VALID_SUITES = {"phase1", "phase2", "stream", "persist", "serve", "micro"}
 VALID_UNITS = {"count", "seconds", "bytes"}
 
 
@@ -113,6 +118,43 @@ def check_telemetry(errors, path, telemetry):
                           f"sum(counts) {sum(counts)}")
 
 
+def check_serve_run(errors, where, run):
+    """Serve-suite invariants: zero dropped / inconsistent responses from
+    >= 8 clients across >= 3 hot-swaps, and ordered latency percentiles."""
+    params = run.get("params")
+    if not isinstance(params, dict):
+        return  # shape error already reported
+    for key, want in (("dropped_responses", 0), ("inconsistent_responses", 0)):
+        value = params.get(key)
+        if value is None:
+            errors.append(f"{where}.params: missing '{key}'")
+        elif value != want:
+            errors.append(f"{where}.params.{key}: must be {want}, "
+                          f"got {value!r}")
+    for key, floor in (("clients", 8), ("swaps", 3)):
+        value = params.get(key)
+        if value is None:
+            errors.append(f"{where}.params: missing '{key}'")
+        elif not is_number(value) or value < floor:
+            errors.append(f"{where}.params.{key}: must be >= {floor}, "
+                          f"got {value!r}")
+    timings = run.get("timings")
+    if timings is None:  # --no-timings omits the whole object
+        return
+    if not isinstance(timings, dict):
+        return
+    for key in ("qps", "p50_seconds", "p99_seconds", "p999_seconds"):
+        if not is_number(timings.get(key)):
+            errors.append(f"{where}.timings: missing numeric '{key}'")
+    p50 = timings.get("p50_seconds")
+    p99 = timings.get("p99_seconds")
+    p999 = timings.get("p999_seconds")
+    if all(is_number(v) for v in (p50, p99, p999)) and not (
+            p50 <= p99 <= p999):
+        errors.append(f"{where}.timings: percentiles must be ordered "
+                      f"(p50 {p50} <= p99 {p99} <= p999 {p999})")
+
+
 def check_file(path):
     errors = []
     try:
@@ -159,6 +201,8 @@ def check_file(path):
             errors.append(f"{where}: missing 'telemetry'")
         else:
             check_telemetry(errors, f"{where}.telemetry", run["telemetry"])
+        if doc.get("suite") == "serve":
+            check_serve_run(errors, where, run)
     return errors
 
 

@@ -1,0 +1,15 @@
+#ifndef DAR_SERVE_SHOUTY_SERVER_H_
+#define DAR_SERVE_SHOUTY_SERVER_H_
+
+// Fixture proving src/serve/ is inside the linted tree: a header-guard
+// that is correct for its path, plus one iostream violation.
+
+#include <iostream>
+
+namespace dar::serve {
+
+inline void Announce() { std::cout << "listening\n"; }
+
+}  // namespace dar::serve
+
+#endif  // DAR_SERVE_SHOUTY_SERVER_H_
