@@ -35,10 +35,10 @@ ThreadPoolExecutor::ThreadPoolExecutor(int num_threads) {
 
 ThreadPoolExecutor::~ThreadPoolExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -46,8 +46,8 @@ void ThreadPoolExecutor::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -63,17 +63,22 @@ Status ThreadPoolExecutor::ParallelFor(
   if (num_chunks <= 1) return RunChunk(0, n, body);
 
   struct Batch {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t remaining;
-    std::vector<Status> statuses;  // one per chunk, in chunk order
+    Mutex mu;
+    CondVar done_cv;
+    size_t remaining DAR_GUARDED_BY(mu) = 0;
+    std::vector<Status> statuses DAR_GUARDED_BY(mu);  // per chunk, in order
   };
   Batch batch;
-  batch.remaining = num_chunks;
-  batch.statuses.resize(num_chunks);
+  {
+    // No worker exists yet, but initializing under the lock keeps the
+    // guarded-field accounting uniform.
+    const MutexLock lock(batch.mu);
+    batch.remaining = num_chunks;
+    batch.statuses.resize(num_chunks);
+  }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (size_t c = 0; c < num_chunks; ++c) {
       // Even split: the first (n % num_chunks) chunks take one extra index.
       size_t base = n / num_chunks, extra = n % num_chunks;
@@ -81,16 +86,16 @@ Status ThreadPoolExecutor::ParallelFor(
       size_t end = begin + base + (c < extra ? 1 : 0);
       queue_.push_back([&batch, &body, c, begin, end] {
         Status s = RunChunk(begin, end, body);
-        std::lock_guard<std::mutex> batch_lock(batch.mu);
+        const MutexLock batch_lock(batch.mu);
         batch.statuses[c] = std::move(s);
-        if (--batch.remaining == 0) batch.done_cv.notify_one();
+        if (--batch.remaining == 0) batch.done_cv.NotifyOne();
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
-  std::unique_lock<std::mutex> lock(batch.mu);
-  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  const MutexLock lock(batch.mu);
+  while (batch.remaining != 0) batch.done_cv.Wait(batch.mu);
   // Chunks cover ascending index ranges, so the first chunk with an error
   // holds the smallest failing index.
   for (Status& s : batch.statuses) {

@@ -1,15 +1,14 @@
 #ifndef DAR_COMMON_EXECUTOR_H_
 #define DAR_COMMON_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace dar {
@@ -76,10 +75,10 @@ class ThreadPoolExecutor : public Executor {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ DAR_GUARDED_BY(mu_);
+  bool stopping_ DAR_GUARDED_BY(mu_) = false;
 };
 
 /// `num_threads <= 1` yields a SerialExecutor, anything larger a

@@ -1,0 +1,229 @@
+#ifndef DAR_COMMON_MUTEX_H_
+#define DAR_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// The annotated locking layer: every mutex in the dar library is one of
+/// these wrappers, so Clang's thread-safety analysis (-Wthread-safety,
+/// promoted to an error in the clang CI legs) proves at compile time that
+/// each DAR_GUARDED_BY field is only touched with its lock held and each
+/// DAR_REQUIRES helper is only called under the right mutex. Under GCC the
+/// attribute macros expand to nothing and the wrappers cost exactly a
+/// std::mutex — the annotations are documentation there, enforced the next
+/// time clang compiles the tree.
+///
+/// House rules (enforced by tools/dar_lint.py):
+///   no-raw-mutex        library code never names std::mutex /
+///                       std::shared_mutex / std::lock_guard /
+///                       std::unique_lock / std::condition_variable
+///                       outside this header — raw primitives are invisible
+///                       to the analysis.
+///   no-detached-thread  std::thread::detach is banned everywhere in src/;
+///                       a detached thread outlives every shutdown path the
+///                       analysis can reason about.
+///
+/// DAR_NO_THREAD_SAFETY_ANALYSIS is a last-resort escape. It must not
+/// appear outside this header without a comment justifying why the
+/// analysis cannot see the invariant.
+
+// ---------------------------------------------------------------------------
+// Capability attribute macros (clang only; no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define DAR_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DAR_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a class to be a lockable capability named `name` in analysis
+/// diagnostics.
+#define DAR_CAPABILITY(name) DAR_THREAD_ANNOTATION_(capability(name))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define DAR_SCOPED_CAPABILITY DAR_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The field may only be read/written while holding the given capability.
+#define DAR_GUARDED_BY(...) DAR_THREAD_ANNOTATION_(guarded_by(__VA_ARGS__))
+
+/// The pointee of this pointer field is protected by the given capability
+/// (the pointer itself is not).
+#define DAR_PT_GUARDED_BY(...) \
+  DAR_THREAD_ANNOTATION_(pt_guarded_by(__VA_ARGS__))
+
+/// The function may only be called while holding the given capabilities
+/// exclusively (the `*Locked()` helper contract).
+#define DAR_REQUIRES(...) \
+  DAR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// As DAR_REQUIRES, but shared (reader) ownership suffices.
+#define DAR_REQUIRES_SHARED(...) \
+  DAR_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define DAR_ACQUIRE(...) \
+  DAR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DAR_ACQUIRE_SHARED(...) \
+  DAR_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held on entry.
+#define DAR_RELEASE(...) \
+  DAR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DAR_RELEASE_SHARED(...) \
+  DAR_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `value`.
+#define DAR_TRY_ACQUIRE(...) \
+  DAR_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the given capabilities
+/// (deadlock guard for self-locking public entry points).
+#define DAR_EXCLUDES(...) DAR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability is held without acquiring it (for
+/// runtime-checked invariants it cannot see).
+#define DAR_ASSERT_CAPABILITY(...) \
+  DAR_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define DAR_RETURN_CAPABILITY(x) DAR_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Turns the analysis off for one function. Last resort; see header note.
+#define DAR_NO_THREAD_SAFETY_ANALYSIS \
+  DAR_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dar {
+
+class CondVar;
+
+// ---------------------------------------------------------------------------
+// Lockable wrappers.
+// ---------------------------------------------------------------------------
+
+/// std::mutex carrying the `capability` attribute. Prefer MutexLock over
+/// manual Lock/Unlock pairs; the analysis accepts both but RAII survives
+/// early returns and exceptions.
+class DAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DAR_ACQUIRE() { mu_.lock(); }
+  [[nodiscard]] bool TryLock() DAR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Unlock() DAR_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;  // waits on the wrapped std::mutex directly
+  std::mutex mu_;
+};
+
+/// std::shared_mutex carrying the `capability` attribute: one writer
+/// (Lock/Unlock) or many readers (LockShared/UnlockShared). Prefer
+/// WriterLock/ReaderLock over the manual pairs.
+class DAR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() DAR_ACQUIRE() { mu_.lock(); }
+  void Unlock() DAR_RELEASE() { mu_.unlock(); }
+  void LockShared() DAR_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() DAR_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// RAII scopes.
+// ---------------------------------------------------------------------------
+
+/// Exclusive RAII scope over a Mutex (the dar::lock_guard).
+class DAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DAR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DAR_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Exclusive (writer) RAII scope over a SharedMutex.
+class DAR_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) DAR_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() DAR_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Shared (reader) RAII scope over a SharedMutex.
+class DAR_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) DAR_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() DAR_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Condition variable.
+// ---------------------------------------------------------------------------
+
+/// std::condition_variable over dar::Mutex. Wait() is annotated
+/// DAR_REQUIRES(mu), so the analysis rejects waiting on a mutex the caller
+/// does not hold. Wakeups are spurious as ever: always wait in a loop,
+///
+///     MutexLock lock(mu_);
+///     while (!ready_) cv_.Wait(mu_);
+///
+/// (an explicit `while`, not a predicate lambda — the analysis cannot see
+/// through a lambda that touches guarded fields).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; re-acquires `mu` before
+  /// returning. The caller must hold `mu` (compile-checked).
+  void Wait(Mutex& mu) DAR_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait and
+    // release ownership back to the caller's scope afterwards; the
+    // capability bookkeeping is untouched because `mu` is held on entry
+    // and on exit exactly as DAR_REQUIRES promises.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dar
+
+#endif  // DAR_COMMON_MUTEX_H_

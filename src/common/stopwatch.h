@@ -1,6 +1,7 @@
 #ifndef DAR_COMMON_STOPWATCH_H_
 #define DAR_COMMON_STOPWATCH_H_
 
+#include <atomic>
 #include <chrono>
 
 namespace dar {
@@ -8,22 +9,37 @@ namespace dar {
 /// Monotonic wall-clock stopwatch used by the benchmark harnesses and by
 /// telemetry::TraceSpan.
 ///
-/// Thread-safety: `start_` is a plain (non-atomic) time_point. Concurrent
-/// ElapsedSeconds()/ElapsedMillis() calls are safe — they only read
-/// `start_` — but Reset() must not race with any other member call.
-/// Callers that time work on worker threads must either give each scope
-/// its own Stopwatch (what TraceSpan does) or confine Reset() to the
-/// coordinating thread before workers start (what Phase1Builder does).
+/// Thread-safety: every member is safe from any thread. The start point is
+/// a single lock-free atomic word, so a Reset() racing a concurrent
+/// ElapsedSeconds()/ElapsedMillis() hands the reader either the old or the
+/// new epoch, never a torn value. (Before the annotated-locking sweep this
+/// was a documented-but-unchecked contract — "Reset must not race reads" —
+/// that nothing enforced; making the field atomic enforces it by
+/// construction instead of by convention.)
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
+  // Copying (and therefore moving — e.g. a Phase1Builder changing hands
+  // through Result<Phase1Builder>) takes a relaxed snapshot of the epoch.
+  // The copy itself must not race a Reset() of the *source*; the atomic
+  // guards concurrent Reset/read on one instance, not structural copies.
+  Stopwatch(const Stopwatch& other)
+      : start_(other.start_.load(std::memory_order_relaxed)) {}
+  Stopwatch& operator=(const Stopwatch& other) {
+    start_.store(other.start_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_.store(Clock::now(), std::memory_order_relaxed); }
 
   /// Seconds elapsed since construction or the last Reset().
   [[nodiscard]] double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(
+               Clock::now() - start_.load(std::memory_order_relaxed))
+        .count();
   }
 
   /// Milliseconds elapsed since construction or the last Reset().
@@ -31,7 +47,8 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  // One 64-bit time_point: lock-free atomic on every target we build for.
+  std::atomic<Clock::time_point> start_;
 };
 
 }  // namespace dar

@@ -28,6 +28,13 @@ namespace dar::persist {
 /// heard of are tolerated (forward-compatible additions), but a
 /// format_version above the library's is refused outright (the framing
 /// itself may have changed).
+///
+/// Threading: CheckpointWriter and CheckpointReader are deliberately
+/// lock-free by CONFINEMENT — each instance belongs to one thread (the
+/// stream's writer thread, or whoever calls Open). They hold no mutex and
+/// no guarded state, so the thread-safety analysis has nothing to check
+/// here; sharing an instance across threads without external
+/// synchronization is a caller bug, not a supported mode.
 inline constexpr char kCheckpointMagic[8] = {'D', 'A', 'R', 'C',
                                              'K', 'P', 'T', '\0'};
 inline constexpr uint32_t kFormatVersion = 1;

@@ -312,7 +312,7 @@ Result<std::unique_ptr<Node>> PersistPeer::DecodeNode(
 // Tree blob layout (fixed offsets through num_leaf_entries, which
 // tools/dar_ckpt.py reads without a full ACF decoder):
 //   0   u32  own_part
-//   4   i32  branching_factor        \
+//   4   i32  branching_factor        |
 //   8   i32  leaf_capacity            |
 //   12  f64  initial_threshold        |
 //   20  u64  memory_budget_bytes      |  AcfTreeOptions

@@ -15,7 +15,7 @@ AdmissionController::AdmissionController(AdmissionConfig config,
 
 AdmissionController::TenantState* AdmissionController::GetTenant(
     std::string_view tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) {
     it = tenants_.emplace(std::string(tenant),

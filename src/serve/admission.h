@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "telemetry/metrics.h"
@@ -114,8 +114,11 @@ class AdmissionController {
   std::atomic<uint32_t> in_flight_{0};
   std::atomic<uint64_t> shed_{0};
 
-  std::mutex mu_;  // guards tenants_ (lookup/insert only)
-  std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_;
+  // Guards tenants_ (lookup/insert only); the admit/release fast path
+  // never takes it after a tenant's first request.
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_
+      DAR_GUARDED_BY(mu_);
 
   // Null when telemetry is disabled.
   telemetry::Counter* admitted_metric_ = nullptr;

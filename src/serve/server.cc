@@ -151,13 +151,22 @@ void RuleServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
-  conn_cv_.wait(lock, [&] { return live_fds_.empty(); });
+  {
+    const MutexLock lock(conn_mu_);
+    for (const auto& session : sessions_) {
+      ::shutdown(session.first, SHUT_RDWR);
+    }
+    while (!sessions_.empty()) conn_cv_.Wait(conn_mu_);
+  }
+  // Every session has parked its handle by now; join them for real.
+  ReapFinished();
 }
 
 void RuleServer::AcceptLoop() {
   for (;;) {
+    // Join sessions that finished since the last pass, so handle storage
+    // stays bounded by the churn of one accept interval.
+    ReapFinished();
     if (stopping_.load(std::memory_order_acquire)) return;
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
@@ -173,10 +182,13 @@ void RuleServer::AcceptLoop() {
 
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      const MutexLock lock(conn_mu_);
       if (!stopping_.load(std::memory_order_acquire) &&
-          live_fds_.size() < config_.max_sessions) {
-        live_fds_.insert(fd);
+          sessions_.size() < config_.max_sessions) {
+        // Spawn under the lock: the session's own FinishConnection needs
+        // this map entry and blocks on conn_mu_ until it exists.
+        sessions_.emplace(fd,
+                          std::thread(&RuleServer::ServeConnection, this, fd));
         admitted = true;
       }
     }
@@ -188,17 +200,33 @@ void RuleServer::AcceptLoop() {
       ::close(fd);
       continue;
     }
-    std::thread(&RuleServer::ServeConnection, this, fd).detach();
   }
 }
 
 void RuleServer::FinishConnection(int fd) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  live_fds_.erase(fd);
+  const MutexLock lock(conn_mu_);
+  const auto it = sessions_.find(fd);
+  if (it != sessions_.end()) {
+    // The session is removing itself and a thread cannot join itself:
+    // park the handle for ReapFinished (accept loop or Stop) to join.
+    finished_.push_back(std::move(it->second));
+    sessions_.erase(it);
+  }
   ::close(fd);
-  // Notify under the lock: Stop may destroy the cv the moment the set is
+  // Notify under the lock: Stop may destroy the cv the moment the map is
   // observed empty, so the notify must happen-before its wait returns.
-  conn_cv_.notify_all();
+  conn_cv_.NotifyAll();
+}
+
+void RuleServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    const MutexLock lock(conn_mu_);
+    done.swap(finished_);
+  }
+  // Join outside the lock: a parked handle's thread is past its critical
+  // section, but its last instructions may still be in flight.
+  for (std::thread& t : done) t.join();
 }
 
 void RuleServer::ServeConnection(int fd) {

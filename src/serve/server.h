@@ -2,13 +2,13 @@
 #define DAR_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
-#include <set>
+#include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "serve/admission.h"
 #include "serve/query_service.h"
@@ -41,6 +41,11 @@ struct ServerConfig {
 /// frame / X-Tenant header) scopes per-tenant admission quotas; every
 /// request passes AdmissionController before touching the QueryService,
 /// so overload sheds kOverloaded/429 instead of queueing unboundedly.
+///
+/// Every session thread is joined: a finishing session parks its own
+/// thread handle (a thread cannot join itself) and the accept loop or
+/// Stop() reaps it, so no thread ever outlives the server object. The
+/// locking discipline is compile-checked (common/mutex.h).
 ///
 /// The server NEVER blocks rule publication: queries read whatever
 /// snapshot the QueryService's source currently publishes, so a
@@ -97,8 +102,12 @@ class RuleServer {
   void ServeBinary(int fd);
   void ServeHttp(int fd);
 
-  // Removes fd from live_fds_, closes it and wakes Stop.
+  // Removes fd from sessions_ (parking the session's thread handle in
+  // finished_), closes it and wakes Stop.
   void FinishConnection(int fd);
+
+  // Joins the parked handles of sessions that already finished.
+  void ReapFinished() DAR_EXCLUDES(conn_mu_);
 
   const QueryService& service_;
   const ServerConfig config_;
@@ -110,9 +119,13 @@ class RuleServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  std::set<int> live_fds_;  // guarded by conn_mu_
+  Mutex conn_mu_;
+  CondVar conn_cv_;
+  // Live sessions: connection fd -> the thread serving it. A session
+  // removes itself in FinishConnection, moving its handle to finished_.
+  std::map<int, std::thread> sessions_ DAR_GUARDED_BY(conn_mu_);
+  // Handles of finished sessions awaiting join (see ReapFinished).
+  std::vector<std::thread> finished_ DAR_GUARDED_BY(conn_mu_);
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_shed_{0};

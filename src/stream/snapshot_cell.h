@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/mutex.h"
+
 namespace dar {
 
 // Single-slot publication cell for std::shared_ptr<T>: one writer swaps in
@@ -19,6 +21,10 @@ namespace dar {
 // refcount copy (a few instructions, no allocation: the previous value is
 // released outside the lock), so contention is negligible for the stream's
 // one-writer/many-reader publication pattern.
+//
+// The spin bit is a Clang thread-safety capability (common/mutex.h), so
+// the compiler — not just TSan — proves ptr_ is only touched inside an
+// Acquire/Release pair.
 template <typename T>
 class SnapshotCell {
  public:
@@ -27,31 +33,43 @@ class SnapshotCell {
   SnapshotCell& operator=(const SnapshotCell&) = delete;
 
   [[nodiscard]] std::shared_ptr<T> load() const {
-    Lock();
+    lock_.Acquire();
     std::shared_ptr<T> copy = ptr_;
-    Unlock();
+    lock_.Release();
     return copy;
   }
 
   void store(std::shared_ptr<T> next) {
-    Lock();
+    lock_.Acquire();
     ptr_.swap(next);
-    Unlock();
+    lock_.Release();
     // `next` now holds the previous value; it is released here, after the
     // lock, so a possibly expensive destructor never runs under it.
   }
 
  private:
-  void Lock() const {
-    while (locked_.exchange(true, std::memory_order_acquire)) {
-      while (locked_.load(std::memory_order_relaxed)) {
+  // The one-bit spinlock itself. Not a dar::Mutex: the whole point of this
+  // cell is a critical section short enough that a futex-backed mutex
+  // would dominate it, and the bit doubles as the TSan-visible
+  // acquire/release pair documented above.
+  class DAR_CAPABILITY("SnapshotCell::SpinBit") SpinBit {
+   public:
+    void Acquire() const DAR_ACQUIRE() {
+      while (locked_.exchange(true, std::memory_order_acquire)) {
+        while (locked_.load(std::memory_order_relaxed)) {
+        }
       }
     }
-  }
-  void Unlock() const { locked_.store(false, std::memory_order_release); }
+    void Release() const DAR_RELEASE() {
+      locked_.store(false, std::memory_order_release);
+    }
 
-  mutable std::atomic<bool> locked_{false};
-  std::shared_ptr<T> ptr_;  // guarded by locked_
+   private:
+    mutable std::atomic<bool> locked_{false};
+  };
+
+  SpinBit lock_;
+  std::shared_ptr<T> ptr_ DAR_GUARDED_BY(lock_);
 };
 
 }  // namespace dar

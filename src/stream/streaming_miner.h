@@ -61,8 +61,11 @@ struct RestoredStream {
 /// Threading contract: ONE writer thread calls Ingest/IngestRow/Remine;
 /// any number of reader threads call snapshot()/Query()/generation()/
 /// rows_ingested()/rows_since_snapshot() concurrently with it without
-/// blocking (publication is a SnapshotCell pointer swap; counters are
-/// plain atomics).
+/// blocking (publication is a SnapshotCell pointer swap — its spin bit is
+/// a compile-checked capability, see stream/snapshot_cell.h — and the
+/// counters are plain atomics; the miner itself holds no mutex, so there
+/// is nothing here for the thread-safety analysis to guard: writer-only
+/// state like builder_ is protected by confinement, not locking).
 /// A reader's snapshot is complete and internally consistent
 /// (RuleSnapshot::CheckConsistency) and remains valid as long as the
 /// reader holds the shared_ptr, even after newer generations replace it.

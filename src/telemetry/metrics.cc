@@ -75,15 +75,31 @@ double Snapshot::GaugeOr(const std::string& name, double fallback) const {
   return it == gauges.end() ? fallback : it->second.value;
 }
 
+// The Get* lookups are double-checked: a shared lock covers the common
+// case (the metric already exists — every lookup after a phase's first),
+// and only a miss upgrades to the exclusive lock to register the name.
+// Handles are stable unique_ptr targets, so a pointer found under the
+// shared lock stays valid after it is dropped.
+
 Counter* MetricsRegistry::GetCounter(const std::string& name, Unit unit) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  {
+    const ReaderLock lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+  }
+  const WriterLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>(unit);
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name, Unit unit) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  {
+    const ReaderLock lock(mu_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second.get();
+  }
+  const WriterLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>(unit);
   return slot.get();
@@ -92,7 +108,12 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, Unit unit) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds,
                                          Unit unit) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  {
+    const ReaderLock lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  const WriterLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds), unit);
@@ -101,7 +122,9 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 Snapshot MetricsRegistry::TakeSnapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  // Shared suffices: the maps are only read; the metric values themselves
+  // are atomics the owners keep updating concurrently.
+  const ReaderLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = {counter->value(), counter->unit()};
@@ -122,7 +145,7 @@ Snapshot MetricsRegistry::TakeSnapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const WriterLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace dar {
 namespace telemetry {
@@ -131,10 +132,13 @@ struct Snapshot {
 /// until Reset/destruction); the returned handles are the hot-path API, so
 /// phases resolve their metrics once and then record lock-free.
 ///
-/// Threading: Counter/Gauge/Histogram lookups take a mutex (call once per
-/// phase, not per event); the handles themselves are safe to use from any
-/// thread. TakeSnapshot may run concurrently with recording and sees some
+/// Threading: Counter/Gauge/Histogram lookups take a reader/writer lock —
+/// shared when the metric already exists (the common case), exclusive only
+/// on a name's first registration — still, resolve handles once per phase,
+/// not per event; the handles themselves are safe to use from any thread.
+/// TakeSnapshot may run concurrently with recording and sees some
 /// consistent recent value of every metric. Reset must not race recording.
+/// The lock discipline is compile-checked (common/mutex.h).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -157,10 +161,12 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DAR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DAR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DAR_GUARDED_BY(mu_);
 };
 
 }  // namespace telemetry

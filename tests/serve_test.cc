@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -380,6 +381,94 @@ TEST(AdmissionTest, LifetimeQuota) {
   EXPECT_TRUE(third.status().IsResourceExhausted());
   // Other tenants unaffected.
   EXPECT_TRUE(admission.Admit("b").ok());
+}
+
+TEST(AdmissionTest, PerTenantQuotaExactlyAtLimit) {
+  serve::AdmissionConfig config;
+  config.max_concurrent = 0;
+  config.max_per_tenant = 3;
+  serve::AdmissionController admission(config);
+
+  // Fill the tenant's budget to exactly the limit — all must be admitted.
+  std::vector<serve::AdmissionController::Ticket> held;
+  for (int i = 0; i < 3; ++i) {
+    auto ticket = admission.Admit("a");
+    ASSERT_TRUE(ticket.ok()) << "ticket " << i << " at the limit boundary";
+    held.push_back(std::move(*ticket));
+  }
+  EXPECT_EQ(admission.in_flight(), 3u);
+
+  // One past the limit sheds; the shed must not disturb held tickets.
+  auto over = admission.Admit("a");
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsResourceExhausted());
+  EXPECT_EQ(admission.in_flight(), 3u);
+  EXPECT_EQ(admission.shed_count(), 1u);
+
+  // A different tenant still has its full budget.
+  EXPECT_TRUE(admission.Admit("b").ok());
+
+  // Releasing exactly one slot re-opens exactly one admission.
+  held.pop_back();
+  auto reopened = admission.Admit("a");
+  EXPECT_TRUE(reopened.ok());
+  EXPECT_FALSE(admission.Admit("a").ok());
+}
+
+TEST(AdmissionTest, LifetimeQuotaExhaustionMidBurst) {
+  serve::AdmissionConfig config;
+  config.max_concurrent = 0;
+  config.max_per_tenant = 2;
+  config.max_tenant_requests = 3;
+  serve::AdmissionController admission(config);
+
+  // Burst past the per-tenant in-flight cap while the lifetime quota is
+  // still open: the shed is a per-tenant shed and must NOT consume the
+  // lifetime budget.
+  auto t1 = admission.Admit("a");
+  auto t2 = admission.Admit("a");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_FALSE(admission.Admit("a").ok());  // in-flight shed, not lifetime
+
+  // Release the burst; one unit of lifetime quota must remain.
+  *t1 = serve::AdmissionController::Ticket();
+  *t2 = serve::AdmissionController::Ticket();
+  EXPECT_EQ(admission.in_flight(), 0u);
+  EXPECT_TRUE(admission.Admit("a").ok());
+
+  // Lifetime quota is now exhausted and stays exhausted with zero
+  // in-flight requests.
+  EXPECT_EQ(admission.in_flight(), 0u);
+  auto exhausted = admission.Admit("a");
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_TRUE(exhausted.status().IsResourceExhausted());
+
+  // Other tenants have independent lifetime budgets.
+  EXPECT_TRUE(admission.Admit("b").ok());
+}
+
+TEST(AdmissionTest, TicketReleasesOnExceptionPath) {
+  serve::AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_per_tenant = 0;
+  serve::AdmissionController admission(config);
+
+  // A handler that throws after admission must still release its slot:
+  // the Ticket is RAII, so stack unwinding runs its destructor.
+  try {
+    auto ticket = admission.Admit("a");
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(admission.in_flight(), 1u);
+    throw std::runtime_error("handler failure");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(admission.in_flight(), 0u);
+
+  // The freed slot is immediately admittable again.
+  auto after = admission.Admit("a");
+  EXPECT_TRUE(after.ok());
+  EXPECT_EQ(admission.in_flight(), 1u);
 }
 
 // ---------------------------------------------------------------------

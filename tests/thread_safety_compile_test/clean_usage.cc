@@ -1,0 +1,60 @@
+// Control fixture: correct use of every piece of the annotated locking
+// layer. Must compile clean under -Werror=thread-safety — if it does not,
+// the harness would "pass" its rejection tests for the wrong reason.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    const dar::MutexLock lock(mu_);
+    balance_ = BalanceLocked() + amount;
+    cv_.NotifyAll();
+  }
+
+  void WaitUntilFunded() {
+    const dar::MutexLock lock(mu_);
+    while (balance_ == 0) cv_.Wait(mu_);
+  }
+
+  [[nodiscard]] int ReadStat() const {
+    const dar::ReaderLock lock(stat_mu_);
+    return stat_;
+  }
+
+  void WriteStat(int value) {
+    const dar::WriterLock lock(stat_mu_);
+    stat_ = value;
+  }
+
+  void ManualLockPair() {
+    mu_.Lock();
+    balance_ += 1;
+    mu_.Unlock();
+  }
+
+ private:
+  [[nodiscard]] int BalanceLocked() const DAR_REQUIRES(mu_) {
+    return balance_;
+  }
+
+  mutable dar::Mutex mu_;
+  dar::CondVar cv_;
+  int balance_ DAR_GUARDED_BY(mu_) = 0;
+
+  mutable dar::SharedMutex stat_mu_;
+  int stat_ DAR_GUARDED_BY(stat_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.WaitUntilFunded();
+  account.WriteStat(2);
+  account.ManualLockPair();
+  return account.ReadStat() == 2 ? 0 : 1;
+}

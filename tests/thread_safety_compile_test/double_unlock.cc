@@ -1,0 +1,28 @@
+// Violation fixture: unlocks a mutex that is not held (second Unlock).
+// Clang must reject this ("releasing mutex 'mu_' that was not held").
+
+#include "common/mutex.h"
+
+namespace {
+
+class Toggle {
+ public:
+  void Flip() {
+    mu_.Lock();
+    on_ = !on_;
+    mu_.Unlock();
+    mu_.Unlock();  // BAD: mu_ already released.
+  }
+
+ private:
+  dar::Mutex mu_;
+  bool on_ DAR_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Toggle toggle;
+  toggle.Flip();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Violation fixture: calls a DAR_EXCLUDES(mu_) function while holding
+// mu_ — the shape of a self-deadlock (e.g. a reap/maintenance routine
+// that takes the lock internally being invoked from under it). Clang
+// must reject the call site ("cannot call function ... while mutex
+// 'mu_' is held").
+
+#include "common/mutex.h"
+
+namespace {
+
+class Reaper {
+ public:
+  void Reap() DAR_EXCLUDES(mu_) {
+    const dar::MutexLock lock(mu_);
+    pending_ = 0;
+  }
+
+  void FinishAndReap() {
+    const dar::MutexLock lock(mu_);
+    ++pending_;
+    Reap();  // BAD: Reap() re-acquires mu_ -> deadlock.
+  }
+
+ private:
+  dar::Mutex mu_;
+  int pending_ DAR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Reaper reaper;
+  reaper.FinishAndReap();
+  return 0;
+}

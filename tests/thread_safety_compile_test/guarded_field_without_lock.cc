@@ -1,0 +1,30 @@
+// Violation fixture: reads and writes a DAR_GUARDED_BY field without
+// holding its mutex. Clang must reject this with
+// -Werror=thread-safety-analysis ("requires holding mutex 'mu_'").
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BAD: mu_ not held.
+  }
+
+  [[nodiscard]] int Get() const {
+    return value_;  // BAD: mu_ not held.
+  }
+
+ private:
+  mutable dar::Mutex mu_;
+  int value_ DAR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get();
+}

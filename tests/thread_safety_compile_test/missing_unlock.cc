@@ -1,0 +1,29 @@
+// Violation fixture: a path that returns while still holding the mutex.
+// Clang must reject this ("mutex 'mu_' is still held at the end of
+// function").
+
+#include "common/mutex.h"
+
+namespace {
+
+class Gate {
+ public:
+  void OpenAndLeak(bool early) {
+    mu_.Lock();
+    open_ = true;
+    if (early) return;  // BAD: leaves mu_ held.
+    mu_.Unlock();
+  }
+
+ private:
+  dar::Mutex mu_;
+  bool open_ DAR_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Gate gate;
+  gate.OpenAndLeak(true);
+  return 0;
+}

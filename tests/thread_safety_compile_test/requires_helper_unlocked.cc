@@ -1,0 +1,27 @@
+// Violation fixture: calls a DAR_REQUIRES(mu_) helper without holding
+// mu_. Clang must reject the call site ("calling function ... requires
+// holding mutex 'mu_' exclusively").
+
+#include "common/mutex.h"
+
+namespace {
+
+class Ledger {
+ public:
+  [[nodiscard]] int UnsafeTotal() const {
+    return TotalLocked();  // BAD: caller does not hold mu_.
+  }
+
+ private:
+  [[nodiscard]] int TotalLocked() const DAR_REQUIRES(mu_) { return total_; }
+
+  mutable dar::Mutex mu_;
+  int total_ DAR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  const Ledger ledger;
+  return ledger.UnsafeTotal();
+}

@@ -18,6 +18,18 @@ Checked invariants (library code = everything under src/):
                    std::mt19937 outside common/random.h; all randomness
                    flows through dar::Rng with an explicit seed so every
                    run is reproducible.
+  no-raw-mutex     no std::mutex / std::shared_mutex / std::lock_guard /
+                   std::unique_lock / std::scoped_lock / std::shared_lock /
+                   std::condition_variable outside common/mutex.h; library
+                   locking goes through dar::Mutex & friends, whose Clang
+                   thread-safety capability annotations let the compiler
+                   prove the locking discipline (raw std primitives are
+                   invisible to the analysis).
+  no-detached-thread
+                   no std::thread::detach() in library code; a detached
+                   thread outlives Stop()/join and escapes every shutdown
+                   invariant the thread-safety annotations document. Keep
+                   the handle and join it.
   test-registered  every tests/*_test.cc is registered with dar_add_test()
                    in tests/CMakeLists.txt (an unregistered test silently
                    never runs).
@@ -36,12 +48,18 @@ import sys
 # Files whose job is exactly the thing the rule bans elsewhere.
 LOGGING_ALLOWLIST = {"src/common/logging.h"}
 RNG_ALLOWLIST = {"src/common/random.h"}
+MUTEX_ALLOWLIST = {"src/common/mutex.h"}
 
 IOSTREAM_RE = re.compile(r"std::cout|std::cerr|(?<![\w:.])(?:std::)?abort\s*\(")
 NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
 DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[A-Za-z_*(]|(?<![\w.])delete\[\]")
 RNG_RE = re.compile(
     r"(?<![\w:.])(?:std::)?(?:rand|srand)\s*\(|std::random_device|std::mt19937")
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable(?:_any)?\b")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 GUARD_IF_RE = re.compile(r"^#ifndef\s+(\S+)\s*$")
 GUARD_DEF_RE = re.compile(r"^#define\s+(\S+)\s*$")
 GUARD_END_RE = re.compile(r"^#endif\s*//\s*(\S+)\s*$")
@@ -161,6 +179,17 @@ def check_code_rules(rel, text, findings):
             findings.append((rel, lineno, "no-unseeded-rng",
                              "use dar::Rng (common/random.h) with an "
                              "explicit seed"))
+        if rel_str not in MUTEX_ALLOWLIST and RAW_MUTEX_RE.search(line):
+            findings.append((rel, lineno, "no-raw-mutex",
+                             "use dar::Mutex/dar::SharedMutex with "
+                             "dar::MutexLock/ReaderLock/CondVar "
+                             "(common/mutex.h) so the Clang thread-safety "
+                             "analysis can check the locking"))
+        if DETACH_RE.search(line):
+            findings.append((rel, lineno, "no-detached-thread",
+                             "detached threads escape every shutdown/join "
+                             "path; keep the std::thread handle and join "
+                             "it (see RuleServer::ReapFinished)"))
 
 
 def check_tests_registered(root, findings):

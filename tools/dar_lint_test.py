@@ -2,18 +2,33 @@
 """Golden-output test for tools/dar_lint.py.
 
 Runs the linter over the fixture tree in tools/testdata/lint_fixture (which
-plants exactly one violation of each rule, plus allowlisted files that must
+plants at least one violation of each rule, plus allowlisted files that must
 stay silent) and diffs stdout against tools/testdata/expected_lint_output.txt.
-Also asserts the exit codes: 1 on the fixture, 0 on the real tree.
+Also asserts the exit codes: 1 on the fixture, 0 on the real tree, and that
+every registered rule fires somewhere in the golden output — a rule nobody
+violates in the fixture is a rule whose regression coverage silently rotted.
 """
 
 import difflib
 import pathlib
+import re
 import subprocess
 import sys
 
 TOOLS = pathlib.Path(__file__).resolve().parent
 REPO = TOOLS.parent
+
+# Every rule dar_lint.py implements. Adding a rule without a fixture case
+# (and a golden line) fails the coverage check below.
+ALL_RULES = {
+    "header-guard",
+    "no-iostream",
+    "no-naked-new",
+    "no-unseeded-rng",
+    "no-raw-mutex",
+    "no-detached-thread",
+    "test-registered",
+}
 
 
 def main():
@@ -29,6 +44,14 @@ def main():
         return 1
 
     expected = expected_path.read_text()
+    covered = set(re.findall(r"\[([a-z-]+)\]", expected))
+    if covered != ALL_RULES:
+        missing = sorted(ALL_RULES - covered)
+        extra = sorted(covered - ALL_RULES)
+        print(f"FAIL: golden output rule coverage mismatch: "
+              f"missing={missing} unknown={extra}")
+        return 1
+
     if proc.stdout != expected:
         print("FAIL: lint output differs from golden file:")
         sys.stdout.writelines(difflib.unified_diff(

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the Clang Static Analyzer (the clang-analyzer-* checks, via
+# clang-tidy so it shares the compile database) over every library source
+# file, treating every finding as an error. This is the deep
+# path-sensitive pass — null derefs, use-after-move, leaked resources —
+# that complements the style/bug-prone checks in .clang-tidy.
+#
+# Usage: tools/run_clang_analyzer.sh [build-dir]
+#
+# The build directory must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. Exits 0 with a notice when
+# clang-tidy is not installed, so local runs degrade gracefully; the CI
+# static-analysis job installs the tooling and enforces.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_analyzer: clang-tidy not found on PATH; skipping." \
+       "Install clang-tidy (or set CLANG_TIDY) to run the analyzer." >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_analyzer: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+  exit 1
+fi
+
+cd "${repo_root}"
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "run_clang_analyzer: analyzing ${#sources[@]} files with ${tidy_bin}" >&2
+# --checks overrides .clang-tidy: only the analyzer runs here, and every
+# analyzer diagnostic is promoted to an error.
+"${tidy_bin}" -p "${build_dir}" --quiet \
+  --checks='-*,clang-analyzer-*' \
+  --warnings-as-errors='clang-analyzer-*' \
+  "${sources[@]}"
+echo "run_clang_analyzer: clean" >&2

@@ -14,6 +14,33 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
+# Header-coverage gate (no LLVM needed, so it always runs): clang-tidy and
+# the static analyzer only visit translation units, so a header that
+# nothing includes is invisible to every compile-time check — including
+# the thread-safety annotations. Every header under src/ must be included
+# from at least one .cc/.h in the tree.
+cd "${repo_root}"
+uncovered=()
+while IFS= read -r header; do
+  rel="${header#src/}"
+  # src/dar.h is the published umbrella header: consumed by downstream
+  # users, intentionally not by this repo's own sources.
+  if [[ "${rel}" == "dar.h" ]]; then
+    continue
+  fi
+  if ! grep -rqF "#include \"${rel}\"" src tests bench examples tools \
+       --include='*.cc' --include='*.h'; then
+    uncovered+=("${header}")
+  fi
+done < <(find src -name '*.h' | sort)
+if [[ ${#uncovered[@]} -gt 0 ]]; then
+  echo "run_clang_tidy: headers not included by any translation unit" \
+       "(static analysis never sees them):" >&2
+  printf '  %s\n' "${uncovered[@]}" >&2
+  exit 1
+fi
+echo "run_clang_tidy: header coverage ok" >&2
+
 tidy_bin="${CLANG_TIDY:-}"
 if [[ -z "${tidy_bin}" ]]; then
   for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \

@@ -1,0 +1,21 @@
+#ifndef DAR_BAD_RAW_MUTEX_H_
+#define DAR_BAD_RAW_MUTEX_H_
+
+#include <mutex>
+#include <thread>
+
+namespace dar {
+
+// Raw standard-library locking: invisible to the thread-safety analysis.
+inline int CountWithRawLock() {
+  static std::mutex mu;
+  const std::lock_guard lock(mu);
+  return 1;
+}
+
+// A detached thread outlives every shutdown path.
+inline void FireAndForget() { std::thread([] {}).detach(); }
+
+}  // namespace dar
+
+#endif  // DAR_BAD_RAW_MUTEX_H_
