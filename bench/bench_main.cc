@@ -34,6 +34,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/clustering_graph.h"
+#include "core/coordinator.h"
 #include "core/session.h"
 #include "datagen/planted.h"
 #include "serve/client.h"
@@ -801,6 +802,145 @@ int MicroCliqueEnum(const BenchOptions& options,
   return 0;
 }
 
+// --- Suite: merge — distributed shard-merge scaling (ACF additivity,
+// Thm 6.1). For each shard count in {1,2,4,8}: (a) in-process
+// Coordinator::MineSharded over the session executor, and (b) the
+// multi-process path — N shard checkpoints written by independent
+// streams, then MergeCheckpoints + one Phase II via MineFromCheckpoints.
+// Both are checked against a single-node Mine baseline: the rule count
+// must match exactly (the planted data is float-valued, so degrees may
+// differ in ulps across *shard* counts, but the rule set must not). The
+// telemetry view is deterministic for a fixed shard count at every
+// thread count — MineSharded is thread-count invariant by construction —
+// so CI byte-diffs the --no-timings output across 1 and 8 threads. ---
+
+int RunMergeSuite(const BenchOptions& options, std::vector<RunRecord>& runs) {
+  const size_t attrs = options.smoke ? 4 : 10;
+  const size_t clusters = options.smoke ? 3 : 8;
+  const size_t n = options.smoke ? 20000 : 200000;
+  const PlantedDataSpec spec =
+      WbcdLikeSpec(attrs, clusters, 0.05, options.seed + 41);
+  auto data = GeneratePlanted(spec, n, options.seed + 42);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  DarConfig config;
+  config.memory_budget_bytes = 32u << 20;
+  config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+  config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+  config.degree_threshold = 150.0;
+  config.count_rule_support = false;  // no data access on the merge path
+
+  // Single-node baseline: the target every shard count must reproduce.
+  auto baseline_session = MakeSession(options, config);
+  if (!baseline_session.ok()) {
+    std::cerr << baseline_session.status() << "\n";
+    return 1;
+  }
+  Stopwatch baseline_watch;
+  auto baseline = baseline_session->Mine(data->relation, data->partition);
+  const double baseline_seconds = baseline_watch.ElapsedSeconds();
+  if (!baseline.ok()) {
+    std::cerr << baseline.status() << "\n";
+    return 1;
+  }
+  const size_t baseline_rules = baseline->result.phase2.rules.size();
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    auto session = MakeSession(options, config);
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+
+    // (a) In-process: shard Phase I across the executor, merge, Phase II.
+    Stopwatch sharded_watch;
+    auto sharded = session->NewCoordinator().MineSharded(
+        data->relation, data->partition, shards);
+    const double sharded_seconds = sharded_watch.ElapsedSeconds();
+    if (!sharded.ok()) {
+      std::cerr << sharded.status() << "\n";
+      return 1;
+    }
+    if (sharded->result.phase2.rules.size() != baseline_rules) {
+      std::cerr << "merge bench: " << shards << "-shard MineSharded mined "
+                << sharded->result.phase2.rules.size() << " rules, single-node "
+                << baseline_rules << "\n";
+      return 1;
+    }
+
+    // (b) Multi-process stand-in: each shard's slice ingested by its own
+    // stream and checkpointed, then merged from the files alone.
+    std::vector<std::string> paths;
+    Stopwatch save_watch;
+    for (size_t s = 0; s < shards; ++s) {
+      StreamConfig stream_config;
+      stream_config.remine_every_rows = 0;
+      stream_config.shard_id = static_cast<int64_t>(s);
+      auto stream = session->OpenStream(data->relation.schema(),
+                                        data->partition, stream_config);
+      if (!stream.ok()) {
+        std::cerr << stream.status() << "\n";
+        return 1;
+      }
+      const size_t begin = s * n / shards;
+      const size_t end = (s + 1) * n / shards;
+      for (size_t r = begin; r < end; ++r) {
+        if (auto st = (*stream)->IngestRow(data->relation.Row(r)); !st.ok()) {
+          std::cerr << st << "\n";
+          return 1;
+        }
+      }
+      std::string path = options.outdir + "/bench_merge." +
+                         std::to_string(s) + ".darckpt";
+      if (auto st = (*stream)->SaveCheckpoint(path); !st.ok()) {
+        std::cerr << st << "\n";
+        return 1;
+      }
+      paths.push_back(std::move(path));
+    }
+    const double save_seconds = save_watch.ElapsedSeconds();
+
+    Stopwatch merge_watch;
+    auto merged = session->NewCoordinator().MineFromCheckpoints(paths);
+    const double merge_seconds = merge_watch.ElapsedSeconds();
+    if (!merged.ok()) {
+      std::cerr << merged.status() << "\n";
+      return 1;
+    }
+    if (merged->result.phase2.rules.size() != baseline_rules) {
+      std::cerr << "merge bench: " << shards
+                << "-checkpoint merge mined "
+                << merged->result.phase2.rules.size() << " rules, single-node "
+                << baseline_rules << "\n";
+      return 1;
+    }
+    for (const std::string& path : paths) std::remove(path.c_str());
+
+    RunRecord run;
+    run.name = "merge/shards=" + std::to_string(shards);
+    run.params = {{"n", static_cast<double>(n)},
+                  {"attrs", static_cast<double>(attrs)},
+                  {"clusters_per_attr", static_cast<double>(clusters)},
+                  {"num_shards", static_cast<double>(shards)},
+                  {"rules", static_cast<double>(baseline_rules)}};
+    run.timings = {
+        {"single_node_seconds", baseline_seconds},
+        {"mine_sharded_seconds", sharded_seconds},
+        {"mine_sharded_speedup",
+         sharded_seconds > 0 ? baseline_seconds / sharded_seconds : 0.0},
+        {"checkpoint_save_seconds", save_seconds},
+        {"checkpoint_merge_mine_seconds", merge_seconds}};
+    // The checkpoint-merge run's own snapshot: merge.checkpoints /
+    // merge.shards plus the usual phase1/phase2 counters, all
+    // shard-deterministic.
+    run.telemetry_json = DeterministicTelemetry(merged->telemetry);
+    runs.push_back(std::move(run));
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: bench_main [--smoke] [--outdir DIR] [--seed N] "
                "[--threads N] [--no-timings]\n";
@@ -845,6 +985,10 @@ int Main(int argc, char** argv) {
   std::vector<RunRecord> serve_runs;
   if (RunServeSuite(options, serve_runs) != 0) return 1;
   if (WriteSuite(options, "serve", serve_runs) != 0) return 1;
+
+  std::vector<RunRecord> merge_runs;
+  if (RunMergeSuite(options, merge_runs) != 0) return 1;
+  if (WriteSuite(options, "merge", merge_runs) != 0) return 1;
 
   std::vector<RunRecord> micro_runs;
   MicroAcfInsert(options, micro_runs);

@@ -19,6 +19,17 @@ size_t AcfLayout::ApproxAcfBytes() const {
   return bytes;
 }
 
+bool LayoutsEquivalent(const AcfLayout& a, const AcfLayout& b) {
+  if (a.parts.size() != b.parts.size()) return false;
+  for (size_t i = 0; i < a.parts.size(); ++i) {
+    if (a.parts[i].dim != b.parts[i].dim ||
+        a.parts[i].metric != b.parts[i].metric) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Acf::Acf(std::shared_ptr<const AcfLayout> layout, size_t own_part)
     : layout_(std::move(layout)), own_part_(own_part) {
   DAR_CHECK(layout_ != nullptr);
@@ -42,6 +53,15 @@ void Acf::Merge(const Acf& other) {
   for (size_t i = 0; i < images_.size(); ++i) {
     images_[i].Merge(other.images_[i]);
   }
+}
+
+Acf Acf::WithLayout(std::shared_ptr<const AcfLayout> layout) const {
+  DAR_CHECK(layout != nullptr);
+  DAR_CHECK(layout_ != nullptr);
+  DAR_CHECK(LayoutsEquivalent(*layout_, *layout));
+  Acf out = *this;
+  out.layout_ = std::move(layout);
+  return out;
 }
 
 std::vector<std::pair<double, double>> Acf::BoundingBox(size_t p) const {

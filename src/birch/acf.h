@@ -31,6 +31,12 @@ struct AcfLayout {
   [[nodiscard]] size_t ApproxAcfBytes() const;
 };
 
+/// True when two layouts describe the same shape: equal part counts and,
+/// per part, equal dimension and metric (labels are cosmetic and ignored).
+/// Summaries built under structurally equivalent layouts are additive even
+/// when the layout objects live in different processes.
+[[nodiscard]] bool LayoutsEquivalent(const AcfLayout& a, const AcfLayout& b);
+
 /// A tuple projected per attribute set: values[i] are the tuple's
 /// coordinates on part i.
 using PartedRow = std::vector<std::vector<double>>;
@@ -65,6 +71,12 @@ class Acf {
 
   /// Additivity: absorbs another ACF with the same layout and own part.
   void Merge(const Acf& other);
+
+  /// Copy of this ACF whose layout pointer is `layout`, which must be
+  /// structurally equivalent (LayoutsEquivalent) to the current one. Used
+  /// when merging summaries decoded in another process, where equal layouts
+  /// are distinct heap objects but the tree requires pointer identity.
+  [[nodiscard]] Acf WithLayout(std::shared_ptr<const AcfLayout> layout) const;
 
   /// Centroid on the own part.
   [[nodiscard]] std::vector<double> Centroid() const { return cf().Centroid(); }

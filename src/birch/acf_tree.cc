@@ -524,6 +524,46 @@ Status AcfTree::FinishScan() {
   return Status::OK();
 }
 
+Status AcfTree::MergeFrom(const AcfTree& other) {
+  if (own_part_ != other.own_part_) {
+    return Status::InvalidArgument(
+        "cannot merge ACF-trees over different attribute sets (part " +
+        std::to_string(own_part_) + " vs " +
+        std::to_string(other.own_part_) + ")");
+  }
+  if (!LayoutsEquivalent(*layout_, *other.layout_)) {
+    return Status::InvalidArgument(
+        "cannot merge ACF-trees with structurally different layouts");
+  }
+  const bool rehome = other.layout_.get() != layout_.get();
+
+  // Merge under the looser of the two thresholds so clusters that either
+  // shard considered coherent stay absorbable; re-insertion below may raise
+  // it further through the usual rebuild loop.
+  threshold_ = std::max(threshold_, other.threshold_);
+
+  std::vector<Acf> entries;
+  other.CollectLeafEntriesConst(other.root_.get(), entries);
+  for (auto& e : entries) {
+    DAR_RETURN_IF_ERROR(
+        InsertSummary(rehome ? e.WithLayout(layout_) : std::move(e)));
+  }
+  // Outliers (paged-out and confirmed alike) get a fresh FinishScan chance
+  // under the merged threshold. InsertSummary accounts inserted mass into
+  // points_inserted_; the buffered outliers bypass it, so account manually
+  // to keep TotalMass() == points inserted.
+  for (const std::vector<Acf>* src : {&other.outlier_buffer_, &other.outliers_}) {
+    for (const Acf& acf : *src) {
+      points_inserted_ += acf.n();
+      outlier_buffer_.push_back(rehome ? acf.WithLayout(layout_) : acf);
+    }
+  }
+  rebuild_count_ += other.rebuild_count_;
+  split_count_ += other.split_count_;
+  DAR_VALIDATE_TREE();
+  return Status::OK();
+}
+
 std::vector<Acf> AcfTree::ExtractClusters() const {
   std::vector<Acf> out;
   CollectLeafEntriesConst(root_.get(), out);

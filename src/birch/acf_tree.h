@@ -104,6 +104,17 @@ class AcfTree {
   /// as an outlier. Call once after the data scan (§4.3.1).
   Status FinishScan();
 
+  /// Absorbs another tree built over a *disjoint* tuple set: by CF/ACF
+  /// additivity (Eq. 3/7) the union's summary is exactly the re-insertion
+  /// of the other tree's leaf clusters. The threshold is raised to the max
+  /// of the two trees before re-absorption; the other tree's paged-out and
+  /// confirmed outliers land in this tree's outlier buffer for a fresh
+  /// FinishScan decision under the merged threshold. Memory-budget
+  /// overruns trigger the normal rebuild loop. `other` may come from a
+  /// different process: a structurally equivalent layout (LayoutsEquivalent)
+  /// suffices, pointer identity is not required. `other` is unchanged.
+  Status MergeFrom(const AcfTree& other);
+
   /// All leaf clusters, in leaf order. Confirmed outliers are not included;
   /// see outliers().
   [[nodiscard]] std::vector<Acf> ExtractClusters() const;

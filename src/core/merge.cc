@@ -1,0 +1,43 @@
+#include "core/merge.h"
+
+#include "common/stopwatch.h"
+
+namespace dar {
+
+Status MergeTrees(AcfTree& dst, const AcfTree& src,
+                  telemetry::TelemetryContext telemetry) {
+  Stopwatch watch;
+  const AcfTreeStats before = src.Stats();
+  DAR_RETURN_IF_ERROR(dst.MergeFrom(src));
+  if (telemetry.enabled()) {
+    telemetry.GetCounter("merge.tree_merges")->Increment(1);
+    telemetry.GetCounter("merge.summaries")
+        ->Increment(static_cast<int64_t>(before.num_leaf_entries));
+    telemetry.GetCounter("merge.outliers")
+        ->Increment(static_cast<int64_t>(before.num_outliers));
+    telemetry.GetCounter("merge.mass")->Increment(before.points_inserted);
+    telemetry
+        .GetHistogram("merge.tree_seconds",
+                      telemetry::Histogram::LatencyBounds())
+        ->Record(watch.ElapsedSeconds());
+  }
+  return Status::OK();
+}
+
+Status MergeBuilders(Phase1Builder& dst, const Phase1Builder& src,
+                     telemetry::TelemetryContext telemetry) {
+  Stopwatch watch;
+  const int64_t src_rows = src.rows_added();
+  DAR_RETURN_IF_ERROR(dst.MergeFrom(src));
+  if (telemetry.enabled()) {
+    telemetry.GetCounter("merge.builder_merges")->Increment(1);
+    telemetry.GetCounter("merge.rows")->Increment(src_rows);
+    telemetry
+        .GetHistogram("merge.builder_seconds",
+                      telemetry::Histogram::LatencyBounds())
+        ->Record(watch.ElapsedSeconds());
+  }
+  return Status::OK();
+}
+
+}  // namespace dar

@@ -1,0 +1,36 @@
+#ifndef DAR_CORE_MERGE_H_
+#define DAR_CORE_MERGE_H_
+
+#include "birch/acf_tree.h"
+#include "common/status.h"
+#include "core/phase1_builder.h"
+#include "telemetry/context.h"
+
+namespace dar {
+
+/// Summary-level merge primitives for distributed mining (ROADMAP item 3).
+///
+/// CF/ACF additivity (Eq. 3/7, Thm 6.1) makes Phase-I state over disjoint
+/// tuple sets mergeable without rescanning data: the union's summary is the
+/// re-insertion of one side's leaf clusters into the other, with outliers
+/// re-queued for a fresh FinishScan decision and memory pressure handled by
+/// the usual rebuild-threshold loop. These wrappers add `merge.*` telemetry
+/// on top of AcfTree::MergeFrom / Phase1Builder::MergeFrom; both validate
+/// structural compatibility and return a descriptive Status on mismatch,
+/// and both re-validate the merged tree under -DDAR_VALIDATE_INVARIANTS.
+
+/// Merges `src` (built over a disjoint tuple set) into `dst`. Records
+/// merge.tree_merges / merge.summaries / merge.outliers / merge.mass
+/// counters and a merge.tree_seconds histogram when `telemetry` is enabled.
+Status MergeTrees(AcfTree& dst, const AcfTree& src,
+                  telemetry::TelemetryContext telemetry = {});
+
+/// Merges `src`'s Phase-I state (all per-part trees + row count) into
+/// `dst`. Records merge.builder_merges / merge.rows and a
+/// merge.builder_seconds histogram when `telemetry` is enabled.
+Status MergeBuilders(Phase1Builder& dst, const Phase1Builder& src,
+                     telemetry::TelemetryContext telemetry = {});
+
+}  // namespace dar
+
+#endif  // DAR_CORE_MERGE_H_

@@ -34,22 +34,10 @@ class MiningObserver {
   /// Part `part`'s tree has absorbed every tuple of the batch. `timings`
   /// carries the part's wall-clock feed time (finish_seconds is filled by
   /// the Finish-stage callbacks of a later release and is currently 0
-  /// here). The default forwards to the deprecated two-argument overload
-  /// so existing observers keep working for one release.
-  virtual void OnPhase1PartDone(size_t part, const AcfTreeStats& stats,
-                                const telemetry::PartTimings& /*timings*/) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    OnPhase1PartDone(part, stats);
-#pragma GCC diagnostic pop
-  }
-
-  /// Deprecated: override the three-argument overload taking
-  /// telemetry::PartTimings instead. Only called via the default
-  /// implementation above; will be removed next release.
-  [[deprecated(
-      "override OnPhase1PartDone(part, stats, timings) instead")]] virtual void
-  OnPhase1PartDone(size_t /*part*/, const AcfTreeStats& /*stats*/) {}
+  /// here).
+  virtual void OnPhase1PartDone(size_t /*part*/,
+                                const AcfTreeStats& /*stats*/,
+                                const telemetry::PartTimings& /*timings*/) {}
 
   /// The run's metrics snapshot, fired by Session::Mine exactly once per
   /// run, after both phases (and optional support counting) finish. Always

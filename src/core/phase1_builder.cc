@@ -190,6 +190,29 @@ Status Phase1Builder::AddRelation(const Relation& rel) {
   return Status::OK();
 }
 
+Status Phase1Builder::MergeFrom(const Phase1Builder& other) {
+  if (schema_width_ != other.schema_width_) {
+    return Status::InvalidArgument(
+        "cannot merge Phase-I builders over different schema widths (" +
+        std::to_string(schema_width_) + " vs " +
+        std::to_string(other.schema_width_) + ")");
+  }
+  if (!LayoutsEquivalent(*layout_, *other.layout_)) {
+    return Status::InvalidArgument(
+        "cannot merge Phase-I builders with different attribute "
+        "partitionings");
+  }
+  if (other.rows_added_ == 0) {
+    return Status::InvalidArgument(
+        "cannot merge an empty Phase-I builder (no rows added)");
+  }
+  DAR_RETURN_IF_ERROR(ForEachPart(
+      [&](size_t p) { return trees_[p]->MergeFrom(*other.trees_[p]); }));
+  rows_added_ += other.rows_added_;
+  UpdateOutlierThresholds();
+  return Status::OK();
+}
+
 Result<Phase1Result> Phase1Builder::Finish() && {
   return FinishTrees(trees_);
 }

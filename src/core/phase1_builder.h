@@ -65,6 +65,15 @@ class Phase1Builder {
   /// Number of tuples added so far.
   [[nodiscard]] int64_t rows_added() const { return rows_added_; }
 
+  /// Absorbs another builder's Phase-I state, built over a *disjoint* tuple
+  /// set under a structurally identical schema/partition (ACF additivity,
+  /// Eq. 3/7): each part's tree is merged summary-by-summary
+  /// (AcfTree::MergeFrom) and the row count accumulated, so a subsequent
+  /// Finish()/Snapshot() summarizes the union of both inputs without any
+  /// rescan. Part-parallel when an executor was given; `other` (which may
+  /// come from a decoded checkpoint of another process) is unchanged.
+  Status MergeFrom(const Phase1Builder& other);
+
   /// Re-absorbs outliers, optionally refines clusters, applies the
   /// frequency threshold and assembles the Phase1Result (part-parallel
   /// when an executor was given; output is merged in part order and does

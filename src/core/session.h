@@ -22,6 +22,7 @@
 
 namespace dar {
 
+class Coordinator;      // core/coordinator.h
 class StreamingMiner;   // stream/streaming_miner.h
 struct RestoredStream;  // stream/streaming_miner.h
 
@@ -143,6 +144,12 @@ class Session {
   [[nodiscard]] Result<RestoredStream> RestoreCheckpoint(
       const std::string& path) const;
 
+  /// Distributed mining front-end (experimental tier): shard Phase I
+  /// across the executor or across processes via checkpoint files, merge
+  /// the summaries (ACF additivity), run Phase II once. The session must
+  /// outlive the returned coordinator. See core/coordinator.h.
+  [[nodiscard]] Coordinator NewCoordinator() const;
+
   /// Optional §6.2 post-processing: rescans `rel` once and fills
   /// `support_count` of every rule with the number of tuples assigned to
   /// all of the rule's clusters. Row ranges are sharded on the executor;
@@ -163,6 +170,10 @@ class Session {
   }
 
  private:
+  // The coordinator drives the session's private pipeline pieces
+  // (observer_or_null, registry) when orchestrating sharded runs.
+  friend class Coordinator;
+
   Session(DarConfig config, std::shared_ptr<Executor> executor,
           std::shared_ptr<ObserverList> observers,
           std::shared_ptr<telemetry::MetricsRegistry> registry)

@@ -5,6 +5,25 @@
 /// association-rule library. Include this (and link the `dar` CMake
 /// target) to get everything; individual headers remain available for
 /// finer-grained dependencies.
+///
+/// API stability tiers (mirrored in README.md):
+///
+///   Stable — semantics and signatures only change with a deprecation
+///   cycle: Session/DarConfig/MiningReport, the relation layer (Schema,
+///   Relation, AttributePartition, CSV), the rule model (ClusterSet,
+///   DistanceRule), Status/Result, Executor, telemetry registries, the
+///   streaming miner's ingest/remine/checkpoint surface, QueryService
+///   and the serve protocol, and the checkpoint container format
+///   (persist/checkpoint_io.h — versioned independently of the library).
+///
+///   Experimental — may change signature or semantics without notice:
+///   the distributed mining layer (Coordinator, MergeTrees/MergeBuilders
+///   in core/merge.h, MergeCheckpoints in persist/merge.h), the advisor,
+///   and the generalized-QAR bridge.
+///
+/// Deprecated symbols are removed at the next minor release; the tree
+/// carries none outside the deprecation machinery itself (enforced by
+/// tools/dar_lint.py rule `no-lingering-deprecated`).
 
 #include "apriori/apriori.h"     // IWYU pragma: export
 #include "apriori/itemset.h"     // IWYU pragma: export
@@ -21,7 +40,9 @@
 #include "core/advisor.h"        // IWYU pragma: export
 #include "core/clustering_graph.h"  // IWYU pragma: export
 #include "core/config.h"         // IWYU pragma: export
+#include "core/coordinator.h"    // IWYU pragma: export
 #include "core/generalized_qar.h"   // IWYU pragma: export
+#include "core/merge.h"          // IWYU pragma: export
 #include "core/miner_result.h"   // IWYU pragma: export
 #include "core/mining_report.h"  // IWYU pragma: export
 #include "core/model.h"          // IWYU pragma: export
@@ -33,6 +54,9 @@
 #include "core/rules.h"          // IWYU pragma: export
 #include "datagen/fixtures.h"    // IWYU pragma: export
 #include "datagen/planted.h"     // IWYU pragma: export
+#include "persist/checkpoint_io.h"  // IWYU pragma: export
+#include "persist/codec.h"       // IWYU pragma: export
+#include "persist/merge.h"       // IWYU pragma: export
 #include "qar/equidepth.h"       // IWYU pragma: export
 #include "qar/qar_miner.h"       // IWYU pragma: export
 #include "relation/csv.h"        // IWYU pragma: export
@@ -47,6 +71,10 @@
 #include "serve/query_api.h"     // IWYU pragma: export
 #include "serve/query_service.h"    // IWYU pragma: export
 #include "serve/server.h"        // IWYU pragma: export
+#include "stream/rule_index.h"   // IWYU pragma: export
+#include "stream/rule_snapshot.h"   // IWYU pragma: export
+#include "stream/stream_config.h"   // IWYU pragma: export
+#include "stream/streaming_miner.h" // IWYU pragma: export
 #include "telemetry/context.h"   // IWYU pragma: export
 #include "telemetry/json.h"      // IWYU pragma: export
 #include "telemetry/metrics.h"   // IWYU pragma: export

@@ -25,6 +25,8 @@ std::string_view SectionName(uint32_t id) {
       return "builder";
     case SectionId::kSnapshot:
       return "snapshot";
+    case SectionId::kShards:
+      return "shards";
   }
   return "unknown";
 }

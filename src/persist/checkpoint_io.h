@@ -50,6 +50,7 @@ enum class SectionId : uint32_t {
   kStreamState = 5,   // StreamingMiner counters + StreamConfig
   kBuilder = 6,       // Phase1Builder state: per-part ACF-trees
   kSnapshot = 7,      // last published RuleSnapshot (optional)
+  kShards = 8,        // shard provenance: (shard_id, rows) per input shard
 };
 
 [[nodiscard]] std::string_view SectionName(uint32_t id);

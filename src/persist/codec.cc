@@ -603,6 +603,33 @@ Result<std::vector<Dictionary>> DecodeDictionariesSection(
   return dictionaries;
 }
 
+std::string EncodeShardsSection(std::span<const ShardInfo> shards) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(shards.size()));
+  for (const ShardInfo& s : shards) {
+    w.I64(s.shard_id);
+    w.I64(s.rows);
+  }
+  return std::move(w).Take();
+}
+
+Result<std::vector<ShardInfo>> DecodeShardsSection(std::string_view bytes) {
+  WireReader r(bytes);
+  DAR_ASSIGN_OR_RETURN(size_t count, ReadCount(r, 16, "shard"));
+  std::vector<ShardInfo> shards(count);
+  for (size_t i = 0; i < count; ++i) {
+    DAR_ASSIGN_OR_RETURN(shards[i].shard_id, r.I64());
+    DAR_ASSIGN_OR_RETURN(shards[i].rows, r.I64());
+    if (shards[i].rows < 0) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(i) + " claims negative row count " +
+          std::to_string(shards[i].rows));
+    }
+  }
+  DAR_RETURN_IF_ERROR(r.ExpectEnd("shards section"));
+  return shards;
+}
+
 std::string EncodePartitionSection(const AttributePartition& partition) {
   WireWriter w;
   w.U32(static_cast<uint32_t>(partition.num_parts()));

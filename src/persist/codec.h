@@ -58,6 +58,23 @@ Result<AttributePartition> DecodePartitionSection(std::string_view bytes,
 [[nodiscard]] std::string EncodeConfigSection(const DarConfig& config);
 Result<DarConfig> DecodeConfigSection(std::string_view bytes);
 
+// --- shard provenance ---
+
+/// Provenance of one input shard, recorded in the kShards section of
+/// merged checkpoints (persist/merge.h) and of stream checkpoints whose
+/// StreamConfig::shard_id was set.
+struct ShardInfo {
+  /// Caller-assigned shard identity; -1 = anonymous. MergeCheckpoints
+  /// requires non-negative ids to be unique across its inputs.
+  int64_t shard_id = -1;
+  /// Tuples this shard contributed.
+  int64_t rows = 0;
+};
+
+[[nodiscard]] std::string EncodeShardsSection(
+    std::span<const ShardInfo> shards);
+Result<std::vector<ShardInfo>> DecodeShardsSection(std::string_view bytes);
+
 // --- ACF-trees and Phase1Builder ---
 
 /// Exact structural serialization of one tree: options, threshold,

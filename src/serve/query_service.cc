@@ -82,7 +82,8 @@ Status QueryService::Acquire(const Binding* binding,
   if (binding == nullptr) {
     return Status::Unavailable("QueryService has no attached rule source");
   }
-  snapshot = binding->stream ? binding->stream->snapshot() : binding->pinned;
+  snapshot =
+      binding->stream ? binding->stream->current_snapshot() : binding->pinned;
   if (snapshot == nullptr) {
     return Status::Unavailable(
         "no published rule snapshot yet (stream has not re-mined)");

@@ -128,13 +128,4 @@ Result<RuleIndex::Hits> RuleIndex::Query(std::span<const double> row,
               std::span<const size_t>(scratch.rules)};
 }
 
-Status RuleIndex::Query(std::span<const double> row,
-                        QueryResult& out) const {
-  QueryScratch scratch;
-  DAR_ASSIGN_OR_RETURN(const Hits hits, Query(row, scratch));
-  out.clusters.assign(hits.clusters.begin(), hits.clusters.end());
-  out.rules.assign(hits.rules.begin(), hits.rules.end());
-  return Status::OK();
-}
-
 }  // namespace dar

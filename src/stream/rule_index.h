@@ -54,18 +54,6 @@ class RuleIndex {
     std::span<const size_t> rules;
   };
 
-  /// Deprecated: owning-copy result of the legacy Query overload. New
-  /// callers should use QueryScratch/Hits (via dar::QueryService), which
-  /// reuse buffers instead of returning fresh vectors per query.
-  struct QueryResult {
-    /// Ids (into the snapshot's ClusterSet) of clusters whose bounding box
-    /// contains the tuple, ascending.
-    std::vector<size_t> clusters;
-    /// Indices (into the snapshot's rule vector) of rules all of whose
-    /// clusters contain the tuple, ascending.
-    std::vector<size_t> rules;
-  };
-
   RuleIndex() = default;
 
   /// Builds the index over a Phase-I cluster set and the Phase-II rules
@@ -81,12 +69,6 @@ class RuleIndex {
   /// views into it — the allocation-free hot path.
   [[nodiscard]] Result<Hits> Query(std::span<const double> row,
                                    QueryScratch& scratch) const;
-
-  /// Deprecated shim: as above but copying the ids into an owning
-  /// QueryResult. Kept for callers that predate QueryScratch; prefer
-  /// Query(row, scratch) or the dar::QueryService facade.
-  [[nodiscard]] Status Query(std::span<const double> row,
-                             QueryResult& out) const;
 
   [[nodiscard]] size_t num_clusters() const { return num_clusters_; }
   [[nodiscard]] size_t num_rules() const { return rule_arity_.size(); }

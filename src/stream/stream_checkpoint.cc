@@ -129,6 +129,14 @@ Status StreamingMiner::SaveCheckpoint(
   writer.AddSection(SectionId::kBuilder,
                     persist::EncodeBuilderSection(builder_));
 
+  // Shard provenance: one entry for this stream, so merge tooling
+  // (persist::MergeCheckpoints, tools/dar_ckpt.py) can attribute the
+  // checkpoint's tuples to a distributed-mining shard.
+  const persist::ShardInfo shard{stream_config_.shard_id,
+                                 state.rows_ingested};
+  writer.AddSection(SectionId::kShards,
+                    persist::EncodeShardsSection({&shard, 1}));
+
   std::shared_ptr<const RuleSnapshot> snap = snapshot_.load();
   if (snap != nullptr) {
     writer.AddSection(
@@ -190,6 +198,27 @@ Result<RestoredStream> StreamingMiner::RestoreFromFile(
                        reader.Section(SectionId::kStreamState));
   DAR_ASSIGN_OR_RETURN(StreamState state,
                        DecodeStreamStateSection(state_bytes));
+  // Shard identity travels in the provenance section (absent in
+  // checkpoints predating it, which restore as anonymous).
+  if (reader.HasSection(SectionId::kShards)) {
+    DAR_ASSIGN_OR_RETURN(std::string_view shard_bytes,
+                         reader.Section(SectionId::kShards));
+    DAR_ASSIGN_OR_RETURN(std::vector<persist::ShardInfo> shards,
+                         persist::DecodeShardsSection(shard_bytes));
+    if (shards.size() != 1) {
+      return Status::InvalidArgument(
+          "'" + path + "': a stream checkpoint must describe exactly one "
+          "shard, found " + std::to_string(shards.size()) +
+          " (merged checkpoints cannot be restored as streams)");
+    }
+    state.stream_config.shard_id = shards[0].shard_id;
+    if (shards[0].rows != state.rows_ingested) {
+      return Status::InvalidArgument(
+          "'" + path + "': shard provenance records " +
+          std::to_string(shards[0].rows) + " rows but stream state records " +
+          std::to_string(state.rows_ingested));
+    }
+  }
 
   // The builder is rebuilt under the *restoring* config: the serialized
   // trees are pre-frequency-filter summaries, and the finishing pipeline

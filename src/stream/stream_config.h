@@ -39,6 +39,15 @@ struct StreamConfig {
   /// previous one via write-to-temp + rename.
   std::string checkpoint_path;
 
+  /// Shard identity recorded in this stream's checkpoints (the kShards
+  /// provenance section) for distributed mining: workers mining disjoint
+  /// data shards set distinct non-negative ids, and
+  /// persist::MergeCheckpoints refuses to merge two checkpoints claiming
+  /// the same non-negative id (the same shard merged twice would
+  /// double-count its tuples). -1 (default) = anonymous; anonymous shards
+  /// are never treated as duplicates.
+  int64_t shard_id = -1;
+
   /// Rejects a negative cadence, and a checkpoint cadence without a
   /// destination path. Session::OpenStream refuses to open a stream on any
   /// violation.
@@ -57,6 +66,11 @@ struct StreamConfig {
       return Status::InvalidArgument(
           "StreamConfig::checkpoint_every_rows is set but checkpoint_path "
           "is empty");
+    }
+    if (shard_id < -1) {
+      return Status::InvalidArgument(
+          "StreamConfig::shard_id must be >= -1 (-1 = anonymous), got " +
+          std::to_string(shard_id));
     }
     return Status::OK();
   }

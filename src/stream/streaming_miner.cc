@@ -38,8 +38,6 @@ StreamingMiner::StreamingMiner(
         "stream.ingest_seconds", telemetry::Histogram::LatencyBounds());
     remine_seconds_ = reg.GetHistogram(
         "stream.remine_seconds", telemetry::Histogram::LatencyBounds());
-    query_seconds_ = reg.GetHistogram(
-        "stream.query_seconds", telemetry::Histogram::LatencyBounds());
   }
 }
 
@@ -138,28 +136,6 @@ Result<std::shared_ptr<const RuleSnapshot>> StreamingMiner::Remine() {
     snapshot_clusters_->Set(static_cast<double>(snapshot->clusters().size()));
   }
   return snapshot;
-}
-
-Result<RuleIndex::QueryResult> StreamingMiner::Query(
-    std::span<const double> row) const {
-  std::shared_ptr<const RuleSnapshot> snapshot = snapshot_.load();
-  if (snapshot == nullptr) {
-    return Status::NotFound(
-        "no RuleSnapshot published yet — ingest past the re-mine cadence "
-        "or call Remine()");
-  }
-  const RuleIndex* index = snapshot->index();
-  if (index == nullptr) {
-    return Status::InvalidArgument(
-        "stream was opened with StreamConfig::build_rule_index = false");
-  }
-  Stopwatch watch;
-  RuleIndex::QueryResult out;
-  DAR_RETURN_IF_ERROR(index->Query(row, out));
-  if (query_seconds_ != nullptr) {
-    query_seconds_->Record(watch.ElapsedSeconds());
-  }
-  return out;
 }
 
 // Defined here rather than in session.cc so dar_core does not depend on

@@ -24,7 +24,9 @@
 
 namespace dar {
 
+class QueryService;  // serve/query_service.h
 class StreamingMiner;
+struct StreamTestPeer;  // test-only backdoor; defined by tests
 
 /// Everything StreamingMiner::RestoreFromFile recovers from a checkpoint:
 /// the resumed stream plus the context a caller needs to keep feeding it —
@@ -73,8 +75,10 @@ struct RestoredStream {
 ///     DAR_ASSIGN_OR_RETURN(auto stream,
 ///                          session.OpenStream(schema, partition));
 ///     DAR_RETURN_IF_ERROR(stream->Ingest(batch));  // may auto-publish
-///     auto snap = stream->snapshot();              // lock-free
-///     DAR_ASSIGN_OR_RETURN(auto hits, stream->Query(tuple));
+///     // Reads go through dar::QueryService (serve/query_service.h):
+///     QueryService service;
+///     service.AttachStream(*stream);
+///     DAR_RETURN_IF_ERROR(service.PointQuery(request, response));
 class StreamingMiner {
  public:
   /// Validates both configs and assembles the stream. `executor` may be
@@ -136,33 +140,6 @@ class StreamingMiner {
       std::shared_ptr<telemetry::MetricsRegistry> registry,
       MiningObserver* observer = nullptr);
 
-  /// DEPRECATED (serving callers): direct snapshot access couples readers
-  /// to the stream/serve-internal RuleSnapshot/SnapshotCell machinery.
-  /// Serve reads through dar::QueryService (serve/query_service.h), which
-  /// answers versioned point-query/listing/info requests from one
-  /// consistent snapshot generation and survives stream hot-swaps. This
-  /// accessor remains as a thin shim for the stream layer itself and for
-  /// code that diffs whole snapshots (e.g. tests pinning bit-equality).
-  ///
-  /// The current published snapshot; null until the first publication.
-  /// Callable from any thread; never blocks beyond SnapshotCell's
-  /// few-instruction pointer copy.
-  [[nodiscard]] std::shared_ptr<const RuleSnapshot> snapshot() const {
-    return snapshot_.load();
-  }
-
-  /// DEPRECATED (serving callers): forwarding shim kept for source
-  /// compatibility; it allocates a fresh QueryResult per call. Prefer
-  /// dar::QueryService::PointQuery, whose responses reuse their buffers
-  /// and carry the answering snapshot's generation/row-count so callers
-  /// can detect hot-swaps.
-  ///
-  /// Queries the current snapshot's RuleIndex for one tuple. Fails when
-  /// nothing has been published yet or the stream was opened with
-  /// build_rule_index = false. Lock-free, callable from any thread.
-  [[nodiscard]] Result<RuleIndex::QueryResult> Query(
-      std::span<const double> row) const;
-
   /// The schema this stream ingests under (what OpenStream was given).
   [[nodiscard]] const Schema& schema() const { return schema_; }
 
@@ -206,6 +183,20 @@ class StreamingMiner {
                  MiningObserver* observer, Phase1Builder builder);
 
  private:
+  // Snapshot readers go through dar::QueryService (serve/query_service.h),
+  // which answers versioned point-query/listing/info requests from one
+  // consistent snapshot generation and survives stream hot-swaps. The
+  // service (and the test-only peer, defined by tests that diff whole
+  // snapshots for bit-equality) reach the published snapshot through this
+  // private accessor: callable from any thread, never blocks beyond
+  // SnapshotCell's few-instruction pointer copy; null until the first
+  // publication.
+  friend class QueryService;
+  friend struct StreamTestPeer;
+
+  [[nodiscard]] std::shared_ptr<const RuleSnapshot> current_snapshot() const {
+    return snapshot_.load();
+  }
 
   // Publishes a fresh snapshot when the auto-remine cadence has been
   // crossed; no-op otherwise.
@@ -245,7 +236,6 @@ class StreamingMiner {
   telemetry::Gauge* snapshot_clusters_ = nullptr;
   telemetry::Histogram* ingest_seconds_ = nullptr;
   telemetry::Histogram* remine_seconds_ = nullptr;
-  telemetry::Histogram* query_seconds_ = nullptr;
 };
 
 }  // namespace dar

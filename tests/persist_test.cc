@@ -21,6 +21,7 @@
 #include "persist/codec.h"
 #include "persist/wire.h"
 #include "stream/streaming_miner.h"
+#include "stream_test_peer.h"
 
 namespace dar {
 namespace {
@@ -348,7 +349,7 @@ TEST(StreamCheckpointTest, SaveRestoreSaveIsByteIdentical) {
   EXPECT_EQ(restored->stream->rows_ingested(),
             static_cast<int64_t>(data.relation.num_rows()));
   EXPECT_EQ(restored->stream->generation(), 1u);
-  ASSERT_NE(restored->stream->snapshot(), nullptr);
+  ASSERT_NE(StreamTestPeer::Snapshot(*restored->stream), nullptr);
   EXPECT_TRUE(restored->schema == data.relation.schema());
 
   // The restored stream's state re-serializes to the exact same bytes: the
@@ -369,7 +370,8 @@ TEST(StreamCheckpointTest, RestoredStreamQueriesWithoutReingesting) {
   auto restored = session->RestoreCheckpoint(path);
   ASSERT_TRUE(restored.ok()) << restored.status();
   // The republished snapshot serves point queries immediately.
-  auto hits = restored->stream->Query(data.relation.Row(0));
+  auto hits =
+      StreamTestPeer::Query(*restored->stream, data.relation.Row(0));
   ASSERT_TRUE(hits.ok()) << hits.status();
   std::remove(path.c_str());
 }
@@ -443,7 +445,7 @@ TEST(StreamCheckpointTest, CheckpointWithoutSnapshotRestores) {
   auto restored = session->RestoreCheckpoint(path);
   ASSERT_TRUE(restored.ok()) << restored.status();
   EXPECT_EQ(restored->stream->generation(), 0u);
-  EXPECT_EQ(restored->stream->snapshot(), nullptr);
+  EXPECT_EQ(StreamTestPeer::Snapshot(*restored->stream), nullptr);
   // But the trees are live: an immediate Remine works.
   EXPECT_TRUE(restored->stream->Remine().ok());
   std::remove(path.c_str());

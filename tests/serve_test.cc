@@ -31,6 +31,7 @@
 #include "stream/rule_index.h"
 #include "stream/rule_snapshot.h"
 #include "stream/streaming_miner.h"
+#include "stream_test_peer.h"
 
 namespace dar {
 namespace {
@@ -502,7 +503,7 @@ TEST(QueryServiceTest, UnboundAndPrePublicationStates) {
   EXPECT_FALSE(info.has_index);
 }
 
-TEST(QueryServiceTest, PointQueryMatchesDeprecatedStreamQuery) {
+TEST(QueryServiceTest, PointQueryMatchesDirectIndexQuery) {
   ServedStream served = MakeServedStream();
   QueryService service;
   service.AttachStream(*served.stream);
@@ -515,8 +516,8 @@ TEST(QueryServiceTest, PointQueryMatchesDeprecatedStreamQuery) {
     PointQueryRequest query;
     query.tuple = row;
     ASSERT_TRUE(service.PointQuery(query, response).ok());
-    // The deprecated shim is the reference implementation.
-    auto reference = served.stream->Query(row);
+    // Querying the published snapshot's index directly is the reference.
+    auto reference = StreamTestPeer::Query(*served.stream, row);
     ASSERT_TRUE(reference.ok()) << reference.status();
     ASSERT_EQ(response.clusters.size(), reference->clusters.size());
     for (size_t i = 0; i < response.clusters.size(); ++i) {
@@ -648,24 +649,28 @@ TEST(QueryServiceTest, TooShortTupleIsInvalid) {
 // ---------------------------------------------------------------------
 // RuleIndex scratch API
 
-TEST(RuleIndexViewTest, HitsMatchDeprecatedQueryResult) {
+TEST(RuleIndexViewTest, ScratchReuseYieldsIdenticalHits) {
   ServedStream served = MakeServedStream();
-  auto snapshot = served.stream->snapshot();
+  auto snapshot = StreamTestPeer::Snapshot(*served.stream);
   ASSERT_NE(snapshot, nullptr);
   const RuleIndex* index = snapshot->index();
   ASSERT_NE(index, nullptr);
 
-  RuleIndex::QueryScratch scratch;
+  // One scratch reused across every query (the serving hot path) must
+  // answer exactly like a cold scratch per query: reuse never leaks state
+  // from the previous tuple into the next answer.
+  RuleIndex::QueryScratch reused;
   for (size_t r = 0; r < served.data.relation.num_rows(); r += 131) {
-    auto hits = index->Query(served.data.relation.Row(r), scratch);
+    auto hits = index->Query(served.data.relation.Row(r), reused);
     ASSERT_TRUE(hits.ok()) << hits.status();
-    RuleIndex::QueryResult reference;
-    ASSERT_TRUE(index->Query(served.data.relation.Row(r), reference).ok());
+    RuleIndex::QueryScratch cold;
+    auto reference = index->Query(served.data.relation.Row(r), cold);
+    ASSERT_TRUE(reference.ok()) << reference.status();
     EXPECT_TRUE(std::equal(hits->clusters.begin(), hits->clusters.end(),
-                           reference.clusters.begin(),
-                           reference.clusters.end()));
+                           reference->clusters.begin(),
+                           reference->clusters.end()));
     EXPECT_TRUE(std::equal(hits->rules.begin(), hits->rules.end(),
-                           reference.rules.begin(), reference.rules.end()));
+                           reference->rules.begin(), reference->rules.end()));
   }
 }
 

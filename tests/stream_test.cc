@@ -19,6 +19,7 @@
 #include "stream/rule_index.h"
 #include "stream/rule_snapshot.h"
 #include "stream/streaming_miner.h"
+#include "stream_test_peer.h"
 
 namespace dar {
 namespace {
@@ -159,8 +160,10 @@ TEST(StreamTest, CadenceAndGenerationAccounting) {
   ASSERT_TRUE(stream.ok());
 
   EXPECT_EQ((*stream)->generation(), 0u);
-  EXPECT_EQ((*stream)->snapshot(), nullptr);
-  EXPECT_TRUE((*stream)->Query(data.relation.Row(0)).status().IsNotFound());
+  EXPECT_EQ(StreamTestPeer::Snapshot(**stream), nullptr);
+  EXPECT_TRUE(StreamTestPeer::Query(**stream, data.relation.Row(0))
+                  .status()
+                  .IsNotFound());
 
   ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, 0, 499)).ok());
   EXPECT_EQ((*stream)->generation(), 0u) << "cadence not crossed yet";
@@ -169,7 +172,7 @@ TEST(StreamTest, CadenceAndGenerationAccounting) {
   ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, 499, 500)).ok());
   EXPECT_EQ((*stream)->generation(), 1u) << "row 500 crosses the cadence";
   EXPECT_EQ((*stream)->rows_since_snapshot(), 0);
-  auto first = (*stream)->snapshot();
+  auto first = StreamTestPeer::Snapshot(**stream);
   ASSERT_NE(first, nullptr);
   EXPECT_EQ(first->generation(), 1u);
   EXPECT_EQ(first->rows_ingested(), 500);
@@ -179,7 +182,7 @@ TEST(StreamTest, CadenceAndGenerationAccounting) {
   // batch boundary.
   ASSERT_TRUE((*stream)->Ingest(Slice(data.relation, 500, 1600)).ok());
   EXPECT_EQ((*stream)->generation(), 2u);
-  auto second = (*stream)->snapshot();
+  auto second = StreamTestPeer::Snapshot(**stream);
   ASSERT_NE(second, nullptr);
   EXPECT_EQ(second->rows_ingested(), 1600);
 
@@ -203,7 +206,7 @@ TEST(StreamTest, ManualRemineOnlyWhenCadenceDisabled) {
                                     Cadence(0));
   ASSERT_TRUE(stream.ok());
   ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
-  EXPECT_EQ((*stream)->snapshot(), nullptr);
+  EXPECT_EQ(StreamTestPeer::Snapshot(**stream), nullptr);
   auto snapshot = (*stream)->Remine();
   ASSERT_TRUE(snapshot.ok());
   EXPECT_EQ((*stream)->generation(), 1u);
@@ -217,7 +220,8 @@ TEST(StreamTest, RemineWithNoRowsFails) {
       session->OpenStream(data.relation.schema(), data.partition);
   ASSERT_TRUE(stream.ok());
   EXPECT_TRUE((*stream)->Remine().status().IsInvalidArgument());
-  EXPECT_EQ((*stream)->snapshot(), nullptr) << "nothing may be published";
+  EXPECT_EQ(StreamTestPeer::Snapshot(**stream), nullptr)
+      << "nothing may be published";
 }
 
 TEST(StreamTest, RejectsNegativeCadence) {
@@ -288,7 +292,7 @@ TEST(StreamTest, RuleIndexMatchesBruteForce) {
   size_t tuples_with_rules = 0;
   for (size_t r = 0; r < data.relation.num_rows(); r += 17) {
     const std::vector<double> row = data.relation.Row(r);
-    auto hits = (*stream)->Query(row);
+    auto hits = StreamTestPeer::Query(**stream, row);
     ASSERT_TRUE(hits.ok()) << hits.status();
     EXPECT_EQ(hits->clusters, BruteForceClusters((*snapshot)->clusters(),
                                                  data.partition, row));
@@ -301,14 +305,15 @@ TEST(StreamTest, RuleIndexMatchesBruteForce) {
 
   // A tuple far outside every planted range matches nothing.
   const std::vector<double> far(data.relation.num_columns(), 1e13);
-  auto miss = (*stream)->Query(far);
+  auto miss = StreamTestPeer::Query(**stream, far);
   ASSERT_TRUE(miss.ok());
   EXPECT_TRUE(miss->clusters.empty());
   EXPECT_TRUE(miss->rules.empty());
 
   // A too-short tuple is a clear error, not UB.
   const std::vector<double> narrow(1, 0.0);
-  EXPECT_TRUE((*stream)->Query(narrow).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      StreamTestPeer::Query(**stream, narrow).status().IsInvalidArgument());
 }
 
 TEST(StreamTest, IndexDisabledByConfig) {
@@ -323,8 +328,9 @@ TEST(StreamTest, IndexDisabledByConfig) {
   auto snapshot = (*stream)->Remine();
   ASSERT_TRUE(snapshot.ok());
   EXPECT_EQ((*snapshot)->index(), nullptr);
-  EXPECT_TRUE(
-      (*stream)->Query(data.relation.Row(0)).status().IsInvalidArgument());
+  EXPECT_TRUE(StreamTestPeer::Query(**stream, data.relation.Row(0))
+                  .status()
+                  .IsInvalidArgument());
 }
 
 // The tsan-labeled publication test: one ingest thread re-mining on a
@@ -350,8 +356,10 @@ TEST(StreamTest, ConcurrentReadersSeeConsistentSnapshots) {
   for (int t = 0; t < kReaders; ++t) {
     readers.emplace_back([&] {
       uint64_t last_generation = 0;
+      RuleIndex::QueryScratch scratch;  // one per reader thread
       while (!done.load(std::memory_order_acquire)) {
-        std::shared_ptr<const RuleSnapshot> snapshot = miner.snapshot();
+        std::shared_ptr<const RuleSnapshot> snapshot =
+            StreamTestPeer::Snapshot(miner);
         if (snapshot == nullptr) continue;
         if (!snapshot->CheckConsistency().ok() ||
             snapshot->generation() < last_generation) {
@@ -359,10 +367,10 @@ TEST(StreamTest, ConcurrentReadersSeeConsistentSnapshots) {
           return;
         }
         last_generation = snapshot->generation();
-        RuleIndex::QueryResult hits;
-        if (snapshot->index()->Query(probe, hits).ok()) {
+        auto hits = snapshot->index()->Query(probe, scratch);
+        if (hits.ok()) {
           // Rule hits must reference rules that exist in *this* snapshot.
-          for (size_t k : hits.rules) {
+          for (size_t k : hits->rules) {
             if (k >= snapshot->rules().size()) {
               failures.fetch_add(1);
               return;
@@ -408,7 +416,7 @@ TEST(StreamTest, KillRestoreContinueEqualsUninterruptedStream) {
     ASSERT_TRUE(
         (*ref_stream)->Ingest(Slice(data.relation, begin, begin + 250)).ok());
   }
-  auto reference = (*ref_stream)->snapshot();
+  auto reference = StreamTestPeer::Snapshot(**ref_stream);
   ASSERT_NE(reference, nullptr);
   ASSERT_GT(reference->rules().size(), 0u);
 
@@ -438,8 +446,9 @@ TEST(StreamTest, KillRestoreContinueEqualsUninterruptedStream) {
   StreamingMiner& resumed = *restored->stream;
   EXPECT_EQ(resumed.rows_ingested(), 1000);
   EXPECT_EQ(resumed.generation(), 2u);  // re-mines fired at 500 and 1000
-  ASSERT_NE(resumed.snapshot(), nullptr);
-  EXPECT_EQ(resumed.snapshot()->rows_ingested(), 1000);
+  auto republished = StreamTestPeer::Snapshot(resumed);
+  ASSERT_NE(republished, nullptr);
+  EXPECT_EQ(republished->rows_ingested(), 1000);
   EXPECT_TRUE(restored->schema == data.relation.schema());
 
   // Rows [1000, 1250) were ingested after the checkpoint and lost in the
@@ -450,7 +459,7 @@ TEST(StreamTest, KillRestoreContinueEqualsUninterruptedStream) {
   }
   EXPECT_EQ(resumed.rows_ingested(), static_cast<int64_t>(total));
 
-  auto final_snapshot = resumed.snapshot();
+  auto final_snapshot = StreamTestPeer::Snapshot(resumed);
   ASSERT_NE(final_snapshot, nullptr);
   EXPECT_EQ(final_snapshot->rows_ingested(), reference->rows_ingested());
   EXPECT_EQ(final_snapshot->generation(), reference->generation());

@@ -1,0 +1,61 @@
+#ifndef DAR_TESTS_STREAM_TEST_PEER_H_
+#define DAR_TESTS_STREAM_TEST_PEER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "stream/rule_index.h"
+#include "stream/rule_snapshot.h"
+#include "stream/streaming_miner.h"
+
+namespace dar {
+
+/// Test-only backdoor, befriended by StreamingMiner. Production readers go
+/// through dar::QueryService, which answers from one consistent snapshot
+/// generation; tests that pin bit-equality need the published RuleSnapshot
+/// itself, so they reach it through this peer instead.
+struct StreamTestPeer {
+  /// The stream's current published snapshot; null until the first
+  /// publication. Same lock-free semantics as the production accessor.
+  static std::shared_ptr<const RuleSnapshot> Snapshot(
+      const StreamingMiner& stream) {
+    return stream.current_snapshot();
+  }
+
+  /// Owning-copy query answer (tests trade the scratch-reuse hot path for
+  /// value semantics they can EXPECT_EQ against brute force).
+  struct Hits {
+    std::vector<size_t> clusters;
+    std::vector<size_t> rules;
+  };
+
+  /// Queries the current snapshot's RuleIndex for one tuple. NotFound when
+  /// nothing has been published yet; InvalidArgument when the stream was
+  /// opened with StreamConfig::build_rule_index = false.
+  static Result<Hits> Query(const StreamingMiner& stream,
+                            std::span<const double> row) {
+    std::shared_ptr<const RuleSnapshot> snapshot = Snapshot(stream);
+    if (snapshot == nullptr) {
+      return Status::NotFound(
+          "no RuleSnapshot published yet — ingest past the re-mine cadence "
+          "or call Remine()");
+    }
+    const RuleIndex* index = snapshot->index();
+    if (index == nullptr) {
+      return Status::InvalidArgument(
+          "stream was opened with StreamConfig::build_rule_index = false");
+    }
+    RuleIndex::QueryScratch scratch;
+    DAR_ASSIGN_OR_RETURN(const RuleIndex::Hits views,
+                         index->Query(row, scratch));
+    return Hits{{views.clusters.begin(), views.clusters.end()},
+                {views.rules.begin(), views.rules.end()}};
+  }
+};
+
+}  // namespace dar
+
+#endif  // DAR_TESTS_STREAM_TEST_PEER_H_

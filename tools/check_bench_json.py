@@ -5,7 +5,8 @@ Expected document shape (schema_version 1):
 
   {
     "schema_version": 1,
-    "suite": "phase1" | "phase2" | "stream" | "persist" | "serve" | "micro",
+    "suite": "phase1" | "phase2" | "stream" | "persist" | "serve"
+             | "merge" | "micro",
     "smoke": bool,
     "seed": int,
     "runs": [
@@ -34,6 +35,11 @@ record zero dropped and zero cross-generation-inconsistent responses
 from >= 8 clients across >= 3 snapshot hot-swaps, and (when timings are
 present) QPS plus ordered p50/p99/p999 latency percentiles.
 
+The "merge" suite likewise: every run must name its shard count
+(params.num_shards >= 1) and its telemetry must record exactly that many
+merged checkpoints (counters["merge.checkpoints"]) — a run that silently
+merged fewer shards than it claims is a broken benchmark, not a slow one.
+
 Usage: tools/check_bench_json.py FILE [FILE...]
 Prints one `file: message` per violation and exits 1 when anything is
 found, 0 when every file is schema-valid. Stdlib only.
@@ -43,7 +49,8 @@ import json
 import numbers
 import sys
 
-VALID_SUITES = {"phase1", "phase2", "stream", "persist", "serve", "micro"}
+VALID_SUITES = {"phase1", "phase2", "stream", "persist", "serve", "merge",
+                "micro"}
 VALID_UNITS = {"count", "seconds", "bytes"}
 
 
@@ -155,6 +162,31 @@ def check_serve_run(errors, where, run):
                       f"(p50 {p50} <= p99 {p99} <= p999 {p999})")
 
 
+def check_merge_run(errors, where, run):
+    """Merge-suite invariants: the shard count is named and the telemetry
+    actually merged that many shard checkpoints."""
+    params = run.get("params")
+    if not isinstance(params, dict):
+        return  # shape error already reported
+    num_shards = params.get("num_shards")
+    if num_shards is None:
+        errors.append(f"{where}.params: missing 'num_shards'")
+        return
+    if not is_number(num_shards) or num_shards < 1:
+        errors.append(f"{where}.params.num_shards: must be >= 1, "
+                      f"got {num_shards!r}")
+        return
+    telemetry = run.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return  # shape error already reported
+    counters = telemetry.get("counters", {})
+    merged = counters.get("merge.checkpoints", {})
+    if not isinstance(merged, dict) or merged.get("value") != num_shards:
+        errors.append(f"{where}.telemetry: counters['merge.checkpoints'] "
+                      f"must equal params.num_shards ({num_shards:g}), "
+                      f"got {merged.get('value') if isinstance(merged, dict) else merged!r}")
+
+
 def check_file(path):
     errors = []
     try:
@@ -203,6 +235,8 @@ def check_file(path):
             check_telemetry(errors, f"{where}.telemetry", run["telemetry"])
         if doc.get("suite") == "serve":
             check_serve_run(errors, where, run)
+        if doc.get("suite") == "merge":
+            check_merge_run(errors, where, run)
     return errors
 
 

@@ -34,7 +34,7 @@ HEADER_BYTES = 20
 
 SECTION_NAMES = {1: "config", 2: "schema", 3: "partition",
                  4: "dictionaries", 5: "stream_state", 6: "builder",
-                 7: "snapshot"}
+                 7: "snapshot", 8: "shards"}
 METRIC_NAMES = {0: "euclidean", 1: "manhattan", 2: "discrete"}
 ATTRIBUTE_KINDS = {0: "interval", 1: "nominal"}
 CLUSTER_METRICS = {0: "D0", 1: "D1", 2: "D2", 3: "D3", 4: "D4"}
@@ -379,11 +379,27 @@ def show_snapshot(r, pr):
     r.f64("phase2 seconds")
 
 
+def show_shards(r, pr):
+    """Shard provenance: which shards a checkpoint's summaries came from.
+    One entry for a stream's own cadence checkpoint; one per merged input
+    for a MergeCheckpoints output. shard_id -1 means anonymous."""
+    count = r.count(16, "shard")
+    pr.line(1, f"shards: {count}")
+    for i in range(count):
+        shard_id = r.i64("shard id")
+        rows = r.i64("shard rows")
+        if rows < 0:
+            raise CorruptError(f"shard {i} has negative row count {rows}")
+        label = "anonymous" if shard_id == -1 else f"id={shard_id}"
+        pr.line(2, f"[{i}] {label} rows={rows}")
+
+
 SECTION_PARSERS = {"config": show_config, "schema": show_schema,
                    "partition": show_partition,
                    "dictionaries": show_dictionaries,
                    "stream_state": show_stream_state,
-                   "builder": show_builder, "snapshot": show_snapshot}
+                   "builder": show_builder, "snapshot": show_snapshot,
+                   "shards": show_shards}
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,13 @@ Checked invariants (library code = everything under src/):
                    thread outlives Stop()/join and escapes every shutdown
                    invariant the thread-safety annotations document. Keep
                    the handle and join it.
+  no-lingering-deprecated
+                   no [[deprecated]] symbols in library code outside
+                   common/: this repo deletes an API in the release after
+                   its replacement ships (migrating all callers in the same
+                   change) instead of letting shims accrete. common/ is
+                   allowlisted so a shared DAR_DEPRECATED macro could live
+                   there during a migration window.
   test-registered  every tests/*_test.cc is registered with dar_add_test()
                    in tests/CMakeLists.txt (an unregistered test silently
                    never runs).
@@ -49,6 +56,7 @@ import sys
 LOGGING_ALLOWLIST = {"src/common/logging.h"}
 RNG_ALLOWLIST = {"src/common/random.h"}
 MUTEX_ALLOWLIST = {"src/common/mutex.h"}
+DEPRECATED_ALLOWLIST_PREFIX = "src/common/"
 
 IOSTREAM_RE = re.compile(r"std::cout|std::cerr|(?<![\w:.])(?:std::)?abort\s*\(")
 NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
@@ -60,6 +68,7 @@ RAW_MUTEX_RE = re.compile(
     r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
     r"|std::condition_variable(?:_any)?\b")
 DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+DEPRECATED_RE = re.compile(r"\[\[\s*(?:\w+\s*::\s*)?deprecated\b")
 GUARD_IF_RE = re.compile(r"^#ifndef\s+(\S+)\s*$")
 GUARD_DEF_RE = re.compile(r"^#define\s+(\S+)\s*$")
 GUARD_END_RE = re.compile(r"^#endif\s*//\s*(\S+)\s*$")
@@ -190,6 +199,13 @@ def check_code_rules(rel, text, findings):
                              "detached threads escape every shutdown/join "
                              "path; keep the std::thread handle and join "
                              "it (see RuleServer::ReapFinished)"))
+        if (not rel_str.startswith(DEPRECATED_ALLOWLIST_PREFIX)
+                and DEPRECATED_RE.search(line)):
+            findings.append((rel, lineno, "no-lingering-deprecated",
+                             "delete the deprecated symbol and migrate its "
+                             "callers instead of shipping a shim; this repo "
+                             "removes an API in the release after its "
+                             "replacement lands"))
 
 
 def check_tests_registered(root, findings):

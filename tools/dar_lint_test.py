@@ -27,6 +27,7 @@ ALL_RULES = {
     "no-unseeded-rng",
     "no-raw-mutex",
     "no-detached-thread",
+    "no-lingering-deprecated",
     "test-registered",
 }
 

@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
       dar::Session::Builder().WithConfig(config).Build(), "session");
   dar::StreamConfig stream_config;
   stream_config.remine_every_rows = 0;  // publish manually below
+  stream_config.shard_id = 3;  // pins the shards section in the golden
   auto stream = OrDie(session.OpenStream(schema, partition, stream_config),
                       "open stream");
   CheckOk(stream->Ingest(rel), "ingest");

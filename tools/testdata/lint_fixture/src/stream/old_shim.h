@@ -1,0 +1,16 @@
+#ifndef DAR_STREAM_OLD_SHIM_H_
+#define DAR_STREAM_OLD_SHIM_H_
+
+// Fixture for no-lingering-deprecated: a shim kept alive under
+// [[deprecated]] instead of being deleted with its callers migrated.
+
+namespace dar {
+
+struct OldShim {
+  [[deprecated("use NewApi()")]] int OldApi() const { return 0; }
+  [[ deprecated ]] int OlderApi() const { return 0; }
+};
+
+}  // namespace dar
+
+#endif  // DAR_STREAM_OLD_SHIM_H_
