@@ -1,10 +1,12 @@
 // Unified JSON bench harness. Executes the phase-1-scaling,
 // phase-2-stability, streaming-remine, checkpoint-persistence,
-// rule-serving, and micro-kernel suites over seeded planted generators
-// and writes BENCH_phase1.json / BENCH_phase2.json / BENCH_stream.json /
-// BENCH_persist.json / BENCH_serve.json / BENCH_micro.json (by default
-// into the current directory), seeding the perf trajectory that
-// EXPERIMENTS.md ("Reading BENCH_*.json") documents.
+// rule-serving, shard-merge, rule-quality, and micro-kernel suites over
+// seeded planted generators and writes BENCH_phase1.json /
+// BENCH_phase2.json / BENCH_stream.json / BENCH_persist.json /
+// BENCH_serve.json / BENCH_merge.json / BENCH_quality.json /
+// BENCH_micro.json (by default into the current directory), seeding the
+// perf trajectory that EXPERIMENTS.md ("Reading BENCH_*.json")
+// documents.
 //
 // Usage: bench_main [--smoke] [--outdir DIR] [--seed N] [--threads N]
 //                   [--no-timings]
@@ -37,6 +39,8 @@
 #include "core/coordinator.h"
 #include "core/session.h"
 #include "datagen/planted.h"
+#include "quality/diff.h"
+#include "quality/scored_rules.h"
 #include "serve/client.h"
 #include "serve/query_service.h"
 #include "serve/server.h"
@@ -941,6 +945,142 @@ int RunMergeSuite(const BenchOptions& options, std::vector<RunRecord>& runs) {
   return 0;
 }
 
+// --- Suite: quality — scored snapshots, redundancy pruning, and drift
+// diffing end to end. Two runs over the same planted base spec: "drift"
+// shifts every cluster mean partway through the stream (the generator's
+// drift injection), "stationary" replays the identical pipeline with
+// shift 0 — same row count, same re-mine cadence, fresh samples after the
+// cut, but an unchanged distribution. tools/check_bench_json.py enforces
+// the invariants: pruned <= total, every score finite, the stationary
+// control reports zero born/died/drifted and the drift run at least one
+// change. Scoring reduces executor-sharded integer counts in shard order
+// and pruning/diffing are sequential sweeps over them, so the whole
+// telemetry view stays byte-identical across thread counts. ---
+
+int RunQualityRun(const BenchOptions& options, const std::string& label,
+                  double shift, std::vector<RunRecord>& runs) {
+  const size_t attrs = options.smoke ? 4 : 6;
+  const size_t clusters = options.smoke ? 3 : 4;
+  const size_t n = options.smoke ? 16000 : 100000;
+  const size_t drift_row = n / 2;
+  // No outliers: the stationary control must reproduce the planted rule
+  // set exactly in both generations, and uniform outlier tuples are the
+  // one source of spurious clusters.
+  const PlantedDataSpec spec = WbcdLikeSpec(attrs, clusters, 0.0,
+                                            options.seed + 51);
+  // A shift of a quarter slot is several cluster stddevs (0.04 * slot):
+  // large enough that post-cut tuples visibly move the recovered interval
+  // boxes, small enough that the planted pattern structure survives.
+  const double slot = 1000.0 / static_cast<double>(clusters);
+  auto data = GenerateDrifting(spec, n, drift_row, shift * slot,
+                               options.seed + 52);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  DarConfig config;
+  config.memory_budget_bytes = 32u << 20;
+  config.frequency_fraction = 0.5 / static_cast<double>(clusters);
+  config.initial_diameters.assign(attrs, 0.3 * 1000.0 / clusters);
+  config.degree_threshold = 150.0;
+  config.count_rule_support = true;  // scoring needs the post-scan counts
+  auto session = MakeSession(options, config);
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  StreamConfig stream_config;
+  stream_config.remine_every_rows = 0;  // one publish per generation
+  stream_config.score_measures = {"support", "confidence", "lift",
+                                  "conviction", "chi2"};
+  stream_config.prune_redundant = true;
+  stream_config.prune_min_overlap = 0.5;
+  stream_config.diff_snapshots = true;
+  // Generous tolerances: generation 2 sees twice the rows of generation
+  // 1, so even stationary interval boxes pick up fresh sample extremes.
+  stream_config.drift_interval_tolerance = 0.25;
+  stream_config.drift_degree_tolerance = 0.5;
+  auto stream = session->OpenStream(data->relation.schema(),
+                                    data->partition, stream_config);
+  if (!stream.ok()) {
+    std::cerr << stream.status() << "\n";
+    return 1;
+  }
+
+  Stopwatch watch;
+  for (size_t r = 0; r < drift_row; ++r) {
+    if (auto s = (*stream)->IngestRow(data->relation.Row(r)); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  if (auto snapshot = (*stream)->Remine(); !snapshot.ok()) {
+    std::cerr << snapshot.status() << "\n";
+    return 1;
+  }
+  for (size_t r = drift_row; r < n; ++r) {
+    if (auto s = (*stream)->IngestRow(data->relation.Row(r)); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  auto snapshot = (*stream)->Remine();
+  const double seconds = watch.ElapsedSeconds();
+  if (!snapshot.ok()) {
+    std::cerr << snapshot.status() << "\n";
+    return 1;
+  }
+  const quality::ScoredRuleSet* scored = (*snapshot)->scored();
+  const quality::SnapshotDiffResult* diff = (*snapshot)->diff();
+  if (scored == nullptr || diff == nullptr) {
+    std::cerr << "bench quality: generation 2 published without scored "
+                 "rules or a diff\n";
+    return 1;
+  }
+  double min_score = 0;
+  double max_score = 0;
+  bool any_score = false;
+  for (const auto& column : scored->scores) {
+    for (const double score : column) {
+      if (!any_score) {
+        min_score = max_score = score;
+        any_score = true;
+      } else {
+        min_score = std::min(min_score, score);
+        max_score = std::max(max_score, score);
+      }
+    }
+  }
+
+  RunRecord run;
+  run.name = "quality/" + label;
+  run.params = {
+      {"n", static_cast<double>(n)},
+      {"attrs", static_cast<double>(attrs)},
+      {"clusters_per_attr", static_cast<double>(clusters)},
+      {"drift_row", static_cast<double>(drift_row)},
+      {"drift_injected", shift != 0 ? 1.0 : 0.0},
+      {"rules_total", static_cast<double>(scored->stats.size())},
+      {"rules_pruned", static_cast<double>(scored->num_pruned)},
+      {"born", static_cast<double>(diff->born)},
+      {"died", static_cast<double>(diff->died)},
+      {"drifted", static_cast<double>(diff->drifted)},
+      {"unchanged", static_cast<double>(diff->unchanged)},
+      {"min_score", min_score},
+      {"max_score", max_score}};
+  run.timings = {{"seconds", seconds}};
+  run.telemetry_json =
+      DeterministicTelemetry(session->metrics().TakeSnapshot());
+  runs.push_back(std::move(run));
+  return 0;
+}
+
+int RunQualitySuite(const BenchOptions& options,
+                    std::vector<RunRecord>& runs) {
+  if (RunQualityRun(options, "drift", 0.25, runs) != 0) return 1;
+  return RunQualityRun(options, "stationary", 0.0, runs);
+}
+
 int Usage() {
   std::cerr << "usage: bench_main [--smoke] [--outdir DIR] [--seed N] "
                "[--threads N] [--no-timings]\n";
@@ -989,6 +1129,10 @@ int Main(int argc, char** argv) {
   std::vector<RunRecord> merge_runs;
   if (RunMergeSuite(options, merge_runs) != 0) return 1;
   if (WriteSuite(options, "merge", merge_runs) != 0) return 1;
+
+  std::vector<RunRecord> quality_runs;
+  if (RunQualitySuite(options, quality_runs) != 0) return 1;
+  if (WriteSuite(options, "quality", quality_runs) != 0) return 1;
 
   std::vector<RunRecord> micro_runs;
   MicroAcfInsert(options, micro_runs);

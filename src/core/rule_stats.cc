@@ -1,0 +1,90 @@
+#include "core/rule_stats.h"
+
+#include <algorithm>
+
+namespace dar {
+namespace {
+
+// Per-shard accumulation: three counters per rule, bumped from one shared
+// per-row cluster assignment.
+struct ShardCounts {
+  std::vector<int64_t> antecedent;
+  std::vector<int64_t> consequent;
+  std::vector<int64_t> both;
+};
+
+bool SideMatches(const std::vector<size_t>& side, const ClusterSet& clusters,
+                 std::span<const int64_t> assignment) {
+  for (size_t id : side) {
+    const FoundCluster& c = clusters.cluster(id);
+    if (assignment[c.part] != static_cast<int64_t>(id)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<RuleStats>> ComputeRuleStats(
+    const Relation& rel, const AttributePartition& partition,
+    const ClusterSet& clusters, std::span<const DistanceRule> rules,
+    Executor* executor) {
+  std::vector<RuleStats> stats(rules.size());
+  for (RuleStats& s : stats) s.total = static_cast<int64_t>(rel.num_rows());
+  if (rules.empty() || rel.num_rows() == 0) return stats;
+
+  const size_t parallelism =
+      executor != nullptr ? static_cast<size_t>(executor->parallelism()) : 1;
+  const size_t num_shards =
+      std::max<size_t>(1, std::min(parallelism, rel.num_rows()));
+  const size_t rows_per_shard =
+      (rel.num_rows() + num_shards - 1) / num_shards;
+  std::vector<ShardCounts> shards(num_shards);
+  for (ShardCounts& shard : shards) {
+    shard.antecedent.assign(rules.size(), 0);
+    shard.consequent.assign(rules.size(), 0);
+    shard.both.assign(rules.size(), 0);
+  }
+
+  auto scan_shard = [&](size_t s) -> Status {
+    const size_t begin = s * rows_per_shard;
+    const size_t end = std::min(rel.num_rows(), begin + rows_per_shard);
+    ShardCounts& counts = shards[s];
+    std::vector<double> buf;
+    std::vector<int64_t> assignment(partition.num_parts(), -1);
+    for (size_t r = begin; r < end; ++r) {
+      for (size_t p = 0; p < partition.num_parts(); ++p) {
+        rel.ProjectRow(r, partition.part(p).columns, buf);
+        auto assigned = clusters.AssignToCluster(p, buf);
+        assignment[p] = assigned.ok() ? static_cast<int64_t>(*assigned) : -1;
+      }
+      for (size_t k = 0; k < rules.size(); ++k) {
+        const bool a = SideMatches(rules[k].antecedent, clusters, assignment);
+        const bool c = SideMatches(rules[k].consequent, clusters, assignment);
+        if (a) ++counts.antecedent[k];
+        if (c) ++counts.consequent[k];
+        if (a && c) ++counts.both[k];
+      }
+    }
+    return Status::OK();
+  };
+
+  if (executor != nullptr) {
+    DAR_RETURN_IF_ERROR(executor->ParallelFor(num_shards, scan_shard));
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      DAR_RETURN_IF_ERROR(scan_shard(s));
+    }
+  }
+
+  // Shard-order merge: integer sums, so the totals are executor-independent.
+  for (const ShardCounts& shard : shards) {
+    for (size_t k = 0; k < rules.size(); ++k) {
+      stats[k].antecedent += shard.antecedent[k];
+      stats[k].consequent += shard.consequent[k];
+      stats[k].both += shard.both[k];
+    }
+  }
+  return stats;
+}
+
+}  // namespace dar

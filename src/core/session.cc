@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "core/phase1_builder.h"
 #include "core/phase2_runner.h"
+#include "core/rule_stats.h"
 
 namespace dar {
 
@@ -59,60 +60,16 @@ Status Session::CountRuleSupport(const Relation& rel,
                                  const AttributePartition& partition,
                                  const Phase1Result& phase1,
                                  std::vector<DistanceRule>& rules) const {
-  const ClusterSet& clusters = phase1.clusters;
-  for (auto& rule : rules) rule.support_count = 0;
-  if (rules.empty() || rel.num_rows() == 0) return Status::OK();
-
-  // Shard the rescan over contiguous row ranges; each shard accumulates
-  // per-rule counts locally and the integer sums are merged in shard order
-  // — row assignment is a pure function of the row, so the totals are
+  // The §6.2 support count is the `both` cell of the full contingency
+  // table; the generalized scan (core/rule_stats.h) shards the rescan and
+  // merges integer counts in shard order, so the result stays
   // executor-independent.
-  size_t parallelism = static_cast<size_t>(executor_->parallelism());
-  size_t num_shards =
-      std::max<size_t>(1, std::min(parallelism, rel.num_rows()));
-  size_t rows_per_shard = (rel.num_rows() + num_shards - 1) / num_shards;
-  std::vector<std::vector<int64_t>> shard_counts(
-      num_shards, std::vector<int64_t>(rules.size(), 0));
-
-  DAR_RETURN_IF_ERROR(executor_->ParallelFor(
-      num_shards, [&](size_t s) -> Status {
-        size_t begin = s * rows_per_shard;
-        size_t end = std::min(rel.num_rows(), begin + rows_per_shard);
-        std::vector<int64_t>& counts = shard_counts[s];
-        std::vector<double> buf;
-        // Per row: assign the row to one cluster per part, then bump every
-        // rule whose clusters all match.
-        std::vector<int64_t> assignment(partition.num_parts(), -1);
-        for (size_t r = begin; r < end; ++r) {
-          for (size_t p = 0; p < partition.num_parts(); ++p) {
-            rel.ProjectRow(r, partition.part(p).columns, buf);
-            auto assigned = clusters.AssignToCluster(p, buf);
-            assignment[p] =
-                assigned.ok() ? static_cast<int64_t>(*assigned) : -1;
-          }
-          for (size_t k = 0; k < rules.size(); ++k) {
-            const DistanceRule& rule = rules[k];
-            bool all = true;
-            for (const auto* side : {&rule.antecedent, &rule.consequent}) {
-              for (size_t id : *side) {
-                const FoundCluster& c = clusters.cluster(id);
-                if (assignment[c.part] != static_cast<int64_t>(id)) {
-                  all = false;
-                  break;
-                }
-              }
-              if (!all) break;
-            }
-            if (all) ++counts[k];
-          }
-        }
-        return Status::OK();
-      }));
-
-  for (const auto& counts : shard_counts) {
-    for (size_t k = 0; k < rules.size(); ++k) {
-      rules[k].support_count += counts[k];
-    }
+  DAR_ASSIGN_OR_RETURN(
+      const std::vector<RuleStats> stats,
+      ComputeRuleStats(rel, partition, phase1.clusters, rules,
+                       executor_.get()));
+  for (size_t k = 0; k < rules.size(); ++k) {
+    rules[k].support_count = stats[k].both;
   }
   return Status::OK();
 }

@@ -18,8 +18,9 @@
 ///
 ///   Experimental — may change signature or semantics without notice:
 ///   the distributed mining layer (Coordinator, MergeTrees/MergeBuilders
-///   in core/merge.h, MergeCheckpoints in persist/merge.h), the advisor,
-///   and the generalized-QAR bridge.
+///   in core/merge.h, MergeCheckpoints in persist/merge.h), the quality
+///   layer (src/quality: interestingness measures, redundancy pruning,
+///   snapshot diffing), the advisor, and the generalized-QAR bridge.
 ///
 /// Deprecated symbols are removed at the next minor release; the tree
 /// carries none outside the deprecation machinery itself (enforced by
@@ -59,6 +60,11 @@
 #include "persist/merge.h"       // IWYU pragma: export
 #include "qar/equidepth.h"       // IWYU pragma: export
 #include "qar/qar_miner.h"       // IWYU pragma: export
+#include "quality/diff.h"        // IWYU pragma: export
+#include "quality/interval_match.h" // IWYU pragma: export
+#include "quality/measure.h"     // IWYU pragma: export
+#include "quality/prune.h"       // IWYU pragma: export
+#include "quality/scored_rules.h"   // IWYU pragma: export
 #include "relation/csv.h"        // IWYU pragma: export
 #include "relation/metric.h"     // IWYU pragma: export
 #include "relation/partition.h"  // IWYU pragma: export

@@ -260,4 +260,38 @@ Result<PlantedDataSpec> WbcdPartialPatternSpec(size_t num_attrs,
   return spec;
 }
 
+PlantedDataSpec ShiftClusterMeans(const PlantedDataSpec& spec, double shift) {
+  PlantedDataSpec shifted = spec;
+  for (auto& part : shifted.parts) {
+    for (auto& cluster : part.clusters) {
+      for (double& c : cluster.center) c += shift;
+    }
+  }
+  return shifted;
+}
+
+Result<PlantedDataset> GenerateDrifting(const PlantedDataSpec& spec, size_t n,
+                                        size_t drift_row, double shift,
+                                        uint64_t seed) {
+  if (drift_row == 0 || drift_row > n) {
+    return Status::InvalidArgument("drift_row must be in [1, n]");
+  }
+  DAR_ASSIGN_OR_RETURN(PlantedDataset pre,
+                       GeneratePlanted(spec, drift_row, seed));
+  if (drift_row == n) return pre;
+
+  const PlantedDataSpec shifted = ShiftClusterMeans(spec, shift);
+  DAR_ASSIGN_OR_RETURN(
+      PlantedDataset post,
+      GeneratePlanted(shifted, n - drift_row, seed ^ 0xd6e8feb86659fd93ull));
+  pre.relation.Reserve(n);
+  for (size_t r = 0; r < post.relation.num_rows(); ++r) {
+    DAR_RETURN_IF_ERROR(pre.relation.AppendRow(post.relation.Row(r)));
+  }
+  pre.pattern_of_row.insert(pre.pattern_of_row.end(),
+                            post.pattern_of_row.begin(),
+                            post.pattern_of_row.end());
+  return pre;
+}
+
 }  // namespace dar

@@ -94,6 +94,27 @@ Result<PlantedDataSpec> WbcdPartialPatternSpec(size_t num_attrs,
                                                double outlier_fraction,
                                                uint64_t seed);
 
+/// Returns a copy of `spec` with every planted cluster center translated by
+/// `shift` in every dimension. A shift of 0 returns the spec unchanged —
+/// the stationary control for drift experiments. Shifts large relative to
+/// the cluster stddevs (and to the inter-cluster spacing, if rules should
+/// change identity rather than merely drift) move the recovered rule
+/// intervals; small shifts exercise the "drifted" classification of
+/// SnapshotDiff without killing the rules.
+PlantedDataSpec ShiftClusterMeans(const PlantedDataSpec& spec, double shift);
+
+/// Drift-injection generator: the first `drift_row` tuples are drawn from
+/// `spec`, the remaining `n - drift_row` from ShiftClusterMeans(spec,
+/// shift). The two segments use decorrelated derived seeds, so the
+/// stationary control (shift = 0) still changes the *sample* after the
+/// cut — only the distribution stays fixed. `pattern_of_row` covers both
+/// segments; pattern indices are comparable across the cut because the
+/// shifted spec keeps the pattern structure.
+/// Requires 0 < drift_row <= n.
+Result<PlantedDataset> GenerateDrifting(const PlantedDataSpec& spec, size_t n,
+                                        size_t drift_row, double shift,
+                                        uint64_t seed);
+
 }  // namespace dar
 
 #endif  // DAR_DATAGEN_PLANTED_H_

@@ -27,6 +27,8 @@ std::string_view SectionName(uint32_t id) {
       return "snapshot";
     case SectionId::kShards:
       return "shards";
+    case SectionId::kRetainedRows:
+      return "retained_rows";
   }
   return "unknown";
 }
@@ -42,10 +44,14 @@ std::string CheckpointWriter::Serialize() const {
   w.U32(static_cast<uint32_t>(sections_.size()));
   w.U32(Crc32(std::string_view(w.bytes()).substr(0, 16)));
   for (const Section& s : sections_) {
+    // The section CRC (format v2) covers the serialized id + length header
+    // and the payload, so corruption of the framing itself is detected —
+    // not just payload bit flips.
+    const size_t section_start = w.bytes().size();
     w.U32(s.id);
     w.U64(s.payload.size());
     w.Raw(s.payload);
-    w.U32(Crc32(s.payload));
+    w.U32(Crc32(std::string_view(w.bytes()).substr(section_start)));
   }
   return std::move(w).Take();
 }
@@ -115,6 +121,7 @@ Result<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
   WireReader body(data.substr(kHeaderBytes));
   size_t offset = kHeaderBytes;
   for (uint32_t i = 0; i < section_count; ++i) {
+    const size_t section_start = offset;
     DAR_ASSIGN_OR_RETURN(uint32_t id, body.U32());
     DAR_ASSIGN_OR_RETURN(uint64_t len, body.U64());
     offset += 12;
@@ -129,13 +136,18 @@ Result<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
                          body.Slice(static_cast<size_t>(len)));
     (void)payload;
     DAR_ASSIGN_OR_RETURN(uint32_t crc, body.U32());
-    const std::string_view payload_bytes =
-        data.substr(offset, static_cast<size_t>(len));
-    if (Crc32(payload_bytes) != crc) {
+    // Format v2 guards the section header (id + length) too; v1 covered
+    // the payload only, so a flipped id bit could demote a known section
+    // to an ignorable unknown one without tripping any check.
+    const std::string_view crc_bytes =
+        version >= 2
+            ? data.substr(section_start, 12 + static_cast<size_t>(len))
+            : data.substr(offset, static_cast<size_t>(len));
+    if (Crc32(crc_bytes) != crc) {
       return Status::InvalidArgument(
           "checkpoint section " + std::to_string(id) + " (" +
           std::string(SectionName(id)) + ") failed its CRC check "
-          "(corrupted payload)");
+          "(corrupted section)");
     }
     for (uint32_t seen : reader.section_ids_) {
       if (seen == id) {

@@ -11,7 +11,7 @@
 
 namespace dar::persist {
 
-/// Checkpoint container format, version 1 (all integers little-endian):
+/// Checkpoint container format, version 2 (all integers little-endian):
 ///
 ///     offset 0   8 bytes   magic "DARCKPT\0"
 ///     offset 8   u32       format_version
@@ -21,7 +21,15 @@ namespace dar::persist {
 ///                  u32  section id
 ///                  u64  payload length
 ///                  ...  payload bytes
-///                  u32  CRC-32 of the payload bytes
+///                  u32  CRC-32 of the section — the 12 header bytes
+///                       (id + length, as serialized) followed by the
+///                       payload bytes
+///
+/// Version 1 differed only in the section CRC: it covered the payload
+/// bytes alone, leaving the id and length fields unguarded — a bit flip
+/// in an optional section's id could silently turn it into an unknown
+/// (skipped) section. Version-1 files are still read; new files are
+/// always written as version 2.
 ///
 /// Sections are independently CRC-guarded and length-prefixed, so a reader
 /// can verify and skip sections it does not understand; ids it has never
@@ -37,7 +45,7 @@ namespace dar::persist {
 /// synchronization is a caller bug, not a supported mode.
 inline constexpr char kCheckpointMagic[8] = {'D', 'A', 'R', 'C',
                                              'K', 'P', 'T', '\0'};
-inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kFormatVersion = 2;
 inline constexpr size_t kHeaderBytes = 20;
 
 /// Well-known section ids. Values are part of the on-disk format — never
@@ -51,6 +59,7 @@ enum class SectionId : uint32_t {
   kBuilder = 6,       // Phase1Builder state: per-part ACF-trees
   kSnapshot = 7,      // last published RuleSnapshot (optional)
   kShards = 8,        // shard provenance: (shard_id, rows) per input shard
+  kRetainedRows = 9,  // tuples retained for the support post-scan (optional)
 };
 
 [[nodiscard]] std::string_view SectionName(uint32_t id);

@@ -1,0 +1,89 @@
+#include "quality/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "quality/interval_match.h"
+
+namespace dar::quality {
+
+Result<SnapshotDiffResult> DiffRuleSets(
+    const ClusterSet& old_clusters, std::span<const DistanceRule> old_rules,
+    uint64_t old_generation, const ClusterSet& new_clusters,
+    std::span<const DistanceRule> new_rules, uint64_t new_generation,
+    const DiffOptions& options) {
+  DAR_RETURN_IF_ERROR(options.Validate());
+
+  SnapshotDiffResult out;
+  out.old_generation = old_generation;
+  out.new_generation = new_generation;
+
+  // Old-rule indices per attribute-set signature, ascending.
+  std::map<std::vector<int64_t>, std::vector<size_t>> old_by_signature;
+  for (size_t k = 0; k < old_rules.size(); ++k) {
+    old_by_signature[RuleSignature(old_clusters, old_rules[k])].push_back(k);
+  }
+
+  std::vector<uint8_t> old_matched(old_rules.size(), 0);
+  out.records.reserve(old_rules.size() + new_rules.size());
+
+  for (size_t k = 0; k < new_rules.size(); ++k) {
+    const auto it =
+        old_by_signature.find(RuleSignature(new_clusters, new_rules[k]));
+    int64_t best_old = -1;
+    double best_overlap = 0;
+    if (it != old_by_signature.end()) {
+      for (size_t old_k : it->second) {
+        if (old_matched[old_k]) continue;
+        const double overlap = RuleOverlap(old_clusters, old_rules[old_k],
+                                           new_clusters, new_rules[k],
+                                           /*min_overlap=*/nullptr);
+        // Strictly-greater: ties keep the lowest old index.
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          best_old = static_cast<int64_t>(old_k);
+        }
+      }
+    }
+    RuleDiffRecord rec;
+    rec.new_index = static_cast<int64_t>(k);
+    if (best_old < 0) {
+      rec.kind = DiffKind::kBorn;
+      ++out.born;
+    } else {
+      old_matched[static_cast<size_t>(best_old)] = 1;
+      rec.old_index = best_old;
+      rec.interval_shift =
+          RuleIntervalShift(old_clusters, old_rules[static_cast<size_t>(
+                                              best_old)],
+                            new_clusters, new_rules[k]);
+      constexpr double kDegreeFloor = 1e-12;
+      const double old_degree =
+          old_rules[static_cast<size_t>(best_old)].degree;
+      rec.degree_shift = std::abs(new_rules[k].degree - old_degree) /
+                         std::max(old_degree, kDegreeFloor);
+      if (rec.interval_shift > options.interval_tolerance ||
+          rec.degree_shift > options.degree_tolerance) {
+        rec.kind = DiffKind::kDrifted;
+        ++out.drifted;
+      } else {
+        rec.kind = DiffKind::kUnchanged;
+        ++out.unchanged;
+      }
+    }
+    out.records.push_back(rec);
+  }
+
+  for (size_t old_k = 0; old_k < old_rules.size(); ++old_k) {
+    if (old_matched[old_k]) continue;
+    RuleDiffRecord rec;
+    rec.kind = DiffKind::kDied;
+    rec.old_index = static_cast<int64_t>(old_k);
+    out.records.push_back(rec);
+    ++out.died;
+  }
+  return out;
+}
+
+}  // namespace dar::quality

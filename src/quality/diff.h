@@ -1,0 +1,87 @@
+#ifndef DAR_QUALITY_DIFF_H_
+#define DAR_QUALITY_DIFF_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model.h"
+#include "core/rules.h"
+
+namespace dar::quality {
+
+/// Tolerances separating "the same rule, re-estimated" from real drift.
+struct DiffOptions {
+  /// A matched rule is drifted when any paired interval dimension's
+  /// endpoints moved by more than this fraction of the interval width
+  /// (see RuleIntervalShift).
+  double interval_tolerance = 0.05;
+  /// ... or when its degree moved by more than this relative fraction.
+  double degree_tolerance = 0.05;
+
+  [[nodiscard]] Status Validate() const {
+    if (interval_tolerance < 0.0) {
+      return Status::InvalidArgument(
+          "DiffOptions::interval_tolerance must be >= 0, got " +
+          std::to_string(interval_tolerance));
+    }
+    if (degree_tolerance < 0.0) {
+      return Status::InvalidArgument(
+          "DiffOptions::degree_tolerance must be >= 0, got " +
+          std::to_string(degree_tolerance));
+    }
+    return Status::OK();
+  }
+};
+
+enum class DiffKind : uint8_t {
+  kUnchanged = 0,
+  kDrifted = 1,  ///< Matched across generations, but moved past tolerance.
+  kBorn = 2,     ///< Present in the new generation only.
+  kDied = 3,     ///< Present in the old generation only.
+};
+
+/// One rule's fate across a generation boundary.
+struct RuleDiffRecord {
+  DiffKind kind = DiffKind::kUnchanged;
+  /// Index into the old rule vector, -1 for kBorn.
+  int64_t old_index = -1;
+  /// Index into the new rule vector, -1 for kDied.
+  int64_t new_index = -1;
+  /// RuleIntervalShift between the matched pair; 0 for born/died.
+  double interval_shift = 0;
+  /// |new degree - old degree| / max(old degree, 1e-12); 0 for born/died.
+  double degree_shift = 0;
+};
+
+/// Classification of every rule of two generations. `records` lists new
+/// rules in ascending new_index, then died old rules in ascending
+/// old_index — a deterministic order independent of match iteration.
+struct SnapshotDiffResult {
+  uint64_t old_generation = 0;
+  uint64_t new_generation = 0;
+  size_t born = 0;
+  size_t died = 0;
+  size_t drifted = 0;
+  size_t unchanged = 0;
+  std::vector<RuleDiffRecord> records;
+};
+
+/// Matches the two rule sets by attribute-set signature and greedy
+/// max-mean-interval-overlap (each new rule, in index order, takes the
+/// unmatched same-signature old rule it overlaps most; ties break to the
+/// lowest old index; zero overlap never matches), then classifies every
+/// rule as unchanged / drifted / born / died under `options`. Generations
+/// are reported as passed through. Diffing two identical rule sets yields
+/// all-unchanged; either side may be empty.
+Result<SnapshotDiffResult> DiffRuleSets(
+    const ClusterSet& old_clusters, std::span<const DistanceRule> old_rules,
+    uint64_t old_generation, const ClusterSet& new_clusters,
+    std::span<const DistanceRule> new_rules, uint64_t new_generation,
+    const DiffOptions& options);
+
+}  // namespace dar::quality
+
+#endif  // DAR_QUALITY_DIFF_H_

@@ -1,0 +1,132 @@
+#include "quality/interval_match.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dar::quality {
+namespace {
+
+// Per-side (part, cluster) pairs sorted by part: a rule binds at most one
+// cluster per part per side (Dfn 5.3 requires pairwise disjoint attribute
+// sets), so this is the canonical pairing key.
+std::vector<std::pair<size_t, size_t>> SideByPart(
+    const ClusterSet& clusters, const std::vector<size_t>& side) {
+  std::vector<std::pair<size_t, size_t>> out;
+  out.reserve(side.size());
+  for (size_t id : side) {
+    out.emplace_back(clusters.cluster(id).part, id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<int64_t> RuleSignature(const ClusterSet& clusters,
+                                   const DistanceRule& rule) {
+  std::vector<int64_t> signature;
+  signature.reserve(rule.antecedent.size() + rule.consequent.size() + 1);
+  for (const auto& [part, id] : SideByPart(clusters, rule.antecedent)) {
+    signature.push_back(static_cast<int64_t>(part));
+  }
+  signature.push_back(-1);
+  for (const auto& [part, id] : SideByPart(clusters, rule.consequent)) {
+    signature.push_back(static_cast<int64_t>(part));
+  }
+  return signature;
+}
+
+double IntervalJaccard(const std::pair<double, double>& a,
+                       const std::pair<double, double>& b) {
+  const double inter_lo = std::max(a.first, b.first);
+  const double inter_hi = std::min(a.second, b.second);
+  const double union_lo = std::min(a.first, b.first);
+  const double union_hi = std::max(a.second, b.second);
+  const double union_len = union_hi - union_lo;
+  if (union_len <= 0) {
+    // Both intervals are the same point, or degenerate and disjoint.
+    return a.first == b.first && a.second == b.second ? 1.0 : 0.0;
+  }
+  const double inter_len = std::max(0.0, inter_hi - inter_lo);
+  return inter_len / union_len;
+}
+
+namespace {
+
+// Applies `visit(box_a_dim, box_b_dim)` to every paired dimension of the
+// two rules' bound clusters (paired by part and side). Returns false on a
+// signature mismatch.
+template <typename Visitor>
+bool VisitPairedDims(const ClusterSet& clusters_a, const DistanceRule& a,
+                     const ClusterSet& clusters_b, const DistanceRule& b,
+                     Visitor&& visit) {
+  const std::pair<const std::vector<size_t>*, const std::vector<size_t>*>
+      side_pairs[] = {{&a.antecedent, &b.antecedent},
+                      {&a.consequent, &b.consequent}};
+  for (const auto& [sa, sb] : side_pairs) {
+    const auto side_a = SideByPart(clusters_a, *sa);
+    const auto side_b = SideByPart(clusters_b, *sb);
+    if (side_a.size() != side_b.size()) return false;
+    for (size_t i = 0; i < side_a.size(); ++i) {
+      if (side_a[i].first != side_b[i].first) return false;
+      const size_t part = side_a[i].first;
+      const auto box_a =
+          clusters_a.cluster(side_a[i].second).acf.BoundingBox(part);
+      const auto box_b =
+          clusters_b.cluster(side_b[i].second).acf.BoundingBox(part);
+      if (box_a.size() != box_b.size()) return false;
+      for (size_t d = 0; d < box_a.size(); ++d) {
+        visit(box_a[d], box_b[d]);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double RuleOverlap(const ClusterSet& clusters_a, const DistanceRule& a,
+                   const ClusterSet& clusters_b, const DistanceRule& b,
+                   double* min_overlap) {
+  double sum = 0;
+  double min_seen = 1.0;
+  size_t dims = 0;
+  const bool comparable = VisitPairedDims(
+      clusters_a, a, clusters_b, b,
+      [&](const std::pair<double, double>& box_a,
+          const std::pair<double, double>& box_b) {
+        const double jaccard = IntervalJaccard(box_a, box_b);
+        sum += jaccard;
+        min_seen = std::min(min_seen, jaccard);
+        ++dims;
+      });
+  if (!comparable || dims == 0) {
+    if (min_overlap != nullptr) *min_overlap = 0;
+    return 0;
+  }
+  if (min_overlap != nullptr) *min_overlap = min_seen;
+  return sum / static_cast<double>(dims);
+}
+
+double RuleIntervalShift(const ClusterSet& clusters_a, const DistanceRule& a,
+                         const ClusterSet& clusters_b,
+                         const DistanceRule& b) {
+  constexpr double kWidthFloor = 1e-12;
+  double worst = 0;
+  const bool comparable = VisitPairedDims(
+      clusters_a, a, clusters_b, b,
+      [&](const std::pair<double, double>& box_a,
+          const std::pair<double, double>& box_b) {
+        const double width = std::max(
+            {box_a.second - box_a.first, box_b.second - box_b.first,
+             kWidthFloor});
+        const double shift =
+            std::max(std::abs(box_b.first - box_a.first),
+                     std::abs(box_b.second - box_a.second)) /
+            width;
+        worst = std::max(worst, shift);
+      });
+  return comparable ? worst : 0;
+}
+
+}  // namespace dar::quality

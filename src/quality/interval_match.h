@@ -1,0 +1,50 @@
+#ifndef DAR_QUALITY_INTERVAL_MATCH_H_
+#define DAR_QUALITY_INTERVAL_MATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/model.h"
+#include "core/rules.h"
+
+namespace dar::quality {
+
+/// The attribute-set identity of a rule: the parts its antecedent clusters
+/// live on (sorted), a -1 separator, then the consequent parts (sorted).
+/// Two rules with equal signatures bind the same attribute sets on the
+/// same sides — the precondition for both redundancy pruning and
+/// cross-generation matching; which clusters they bind is then compared by
+/// interval overlap.
+std::vector<int64_t> RuleSignature(const ClusterSet& clusters,
+                                   const DistanceRule& rule);
+
+/// Interval similarity of two bounding boxes' dimension `d`:
+/// |intersection| / |union| (Jaccard), with two zero-width intervals at
+/// the same point scoring 1. Always in [0, 1].
+double IntervalJaccard(const std::pair<double, double>& a,
+                       const std::pair<double, double>& b);
+
+/// Aggregate interval similarity of two same-signature rules: Jaccard per
+/// dimension of every bound cluster's own-part bounding box, paired by
+/// part and side. `min_overlap` receives the worst dimension (the pruning
+/// criterion), the return value is the mean over all dimensions (the
+/// matching criterion). Returns 0 (and min 0) when the signatures differ
+/// after all — callers group by RuleSignature first.
+double RuleOverlap(const ClusterSet& clusters_a, const DistanceRule& a,
+                   const ClusterSet& clusters_b, const DistanceRule& b,
+                   double* min_overlap);
+
+/// Worst-dimension relative endpoint movement between the two rules'
+/// interval sets: max over all paired dimensions of
+/// |endpoint_b - endpoint_a| / width, where width is the larger of the two
+/// interval widths (1e-12 floor). Large-but-finite when only one side is
+/// degenerate. Pairing as in RuleOverlap.
+double RuleIntervalShift(const ClusterSet& clusters_a, const DistanceRule& a,
+                         const ClusterSet& clusters_b,
+                         const DistanceRule& b);
+
+}  // namespace dar::quality
+
+#endif  // DAR_QUALITY_INTERVAL_MATCH_H_

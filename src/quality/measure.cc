@@ -1,0 +1,140 @@
+#include "quality/measure.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dar::quality {
+namespace {
+
+double Support(const RuleStats& s) {
+  if (s.total <= 0) return 0;
+  return static_cast<double>(s.both) / static_cast<double>(s.total);
+}
+
+double Confidence(const RuleStats& s) {
+  if (s.antecedent <= 0) return 0;
+  return static_cast<double>(s.both) / static_cast<double>(s.antecedent);
+}
+
+class SupportMeasure : public InterestingnessMeasure {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "support"; }
+  [[nodiscard]] double Score(const RuleStats& s) const override {
+    return Support(s);
+  }
+};
+
+class ConfidenceMeasure : public InterestingnessMeasure {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "confidence";
+  }
+  [[nodiscard]] double Score(const RuleStats& s) const override {
+    return Confidence(s);
+  }
+};
+
+class LiftMeasure : public InterestingnessMeasure {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "lift"; }
+  [[nodiscard]] double Score(const RuleStats& s) const override {
+    if (s.total <= 0 || s.antecedent <= 0 || s.consequent <= 0) return 0;
+    const double base_rate =
+        static_cast<double>(s.consequent) / static_cast<double>(s.total);
+    return Confidence(s) / base_rate;
+  }
+};
+
+class ConvictionMeasure : public InterestingnessMeasure {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "conviction";
+  }
+  [[nodiscard]] double Score(const RuleStats& s) const override {
+    if (s.total <= 0 || s.antecedent <= 0) return 0;
+    const double confidence = Confidence(s);
+    const double miss_rate =
+        1.0 - static_cast<double>(s.consequent) / static_cast<double>(s.total);
+    if (confidence >= 1.0) return kMaxConviction;
+    return std::min(kMaxConviction, miss_rate / (1.0 - confidence));
+  }
+};
+
+class ChiSquaredMeasure : public InterestingnessMeasure {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "chi2"; }
+  [[nodiscard]] double Score(const RuleStats& s) const override {
+    // 2x2 table: a = both, b = antecedent-only, c = consequent-only,
+    // d = neither. Zero when any margin is empty (the statistic is
+    // undefined there, and such a rule carries no association signal).
+    const double n = static_cast<double>(s.total);
+    const double a = static_cast<double>(s.both);
+    const double b = static_cast<double>(s.antecedent - s.both);
+    const double c = static_cast<double>(s.consequent - s.both);
+    const double d = n - a - b - c;
+    const double margins = (a + b) * (c + d) * (a + c) * (b + d);
+    if (n <= 0 || margins <= 0) return 0;
+    const double det = a * d - b * c;
+    return n * det * det / margins;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InterestingnessMeasure> MakeSupportMeasure() {
+  return std::make_unique<SupportMeasure>();
+}
+std::unique_ptr<InterestingnessMeasure> MakeConfidenceMeasure() {
+  return std::make_unique<ConfidenceMeasure>();
+}
+std::unique_ptr<InterestingnessMeasure> MakeLiftMeasure() {
+  return std::make_unique<LiftMeasure>();
+}
+std::unique_ptr<InterestingnessMeasure> MakeConvictionMeasure() {
+  return std::make_unique<ConvictionMeasure>();
+}
+std::unique_ptr<InterestingnessMeasure> MakeChiSquaredMeasure() {
+  return std::make_unique<ChiSquaredMeasure>();
+}
+
+MeasureRegistry::MeasureRegistry() {
+  measures_.push_back(MakeSupportMeasure());
+  measures_.push_back(MakeConfidenceMeasure());
+  measures_.push_back(MakeLiftMeasure());
+  measures_.push_back(MakeConvictionMeasure());
+  measures_.push_back(MakeChiSquaredMeasure());
+}
+
+Status MeasureRegistry::Register(
+    std::unique_ptr<InterestingnessMeasure> measure) {
+  if (measure == nullptr || measure->name().empty()) {
+    return Status::InvalidArgument(
+        "an interestingness measure needs a non-empty name");
+  }
+  if (Find(measure->name()) != nullptr) {
+    return Status::AlreadyExists("measure \"" + std::string(measure->name()) +
+                                 "\" is already registered");
+  }
+  measures_.push_back(std::move(measure));
+  return Status::OK();
+}
+
+const InterestingnessMeasure* MeasureRegistry::Find(
+    std::string_view name) const {
+  for (const auto& measure : measures_) {
+    if (measure->name() == name) return measure.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> MeasureRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(measures_.size());
+  for (const auto& measure : measures_) {
+    names.emplace_back(measure->name());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace dar::quality

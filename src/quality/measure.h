@@ -1,0 +1,88 @@
+#ifndef DAR_QUALITY_MEASURE_H_
+#define DAR_QUALITY_MEASURE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/rule_stats.h"
+
+namespace dar::quality {
+
+/// A pluggable rule-interestingness measure over the 2x2 contingency table
+/// of core/rule_stats.h — the objective-measure families of Guillaume et
+/// al. (arXiv:1206.6741) applied to interval rules. Implementations must
+/// be pure functions of the stats (no hidden state, no randomness): the
+/// scored snapshots the stream publishes are required to be bit-identical
+/// at any thread count, and a measure is evaluated once per rule per
+/// snapshot from integer counts, which makes that automatic.
+///
+/// Convention: larger scores mean more interesting, and every score is
+/// finite (degenerate tables map to documented fallbacks, never NaN/inf) —
+/// the serving layer sorts descending on the raw doubles.
+class InterestingnessMeasure {
+ public:
+  virtual ~InterestingnessMeasure() = default;
+
+  /// Stable registry key, lowercase (e.g. "lift"). Never changes once
+  /// published: clients filter serve queries by this name.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  [[nodiscard]] virtual double Score(const RuleStats& stats) const = 0;
+};
+
+/// Conviction of a perfectly confident rule is unbounded; it is capped
+/// here so every published score stays finite and comparable.
+inline constexpr double kMaxConviction = 1e6;
+
+// Built-in measures (all finite; `total == 0` scores 0 everywhere):
+//   support     both / total
+//   confidence  both / antecedent                    (0 when antecedent 0)
+//   lift        confidence / (consequent / total)    (0 when a margin is 0)
+//   conviction  (1 - consequent/total) / (1 - confidence), capped at
+//               kMaxConviction                       (0 when antecedent 0)
+//   chi2        N (ad - bc)^2 / ((a+b)(c+d)(a+c)(b+d)) over the 2x2 table
+//               (0 when any margin is 0)
+std::unique_ptr<InterestingnessMeasure> MakeSupportMeasure();
+std::unique_ptr<InterestingnessMeasure> MakeConfidenceMeasure();
+std::unique_ptr<InterestingnessMeasure> MakeLiftMeasure();
+std::unique_ptr<InterestingnessMeasure> MakeConvictionMeasure();
+std::unique_ptr<InterestingnessMeasure> MakeChiSquaredMeasure();
+
+/// Name -> measure lookup. A fresh registry holds the five built-ins;
+/// user-defined measures are added with Register. Instance-based (no
+/// global mutable state): construction and registration happen before the
+/// registry is shared, after which every method is const and the registry
+/// may be read from any number of threads.
+class MeasureRegistry {
+ public:
+  /// Constructs with the built-ins pre-registered.
+  MeasureRegistry();
+
+  MeasureRegistry(const MeasureRegistry&) = delete;
+  MeasureRegistry& operator=(const MeasureRegistry&) = delete;
+  MeasureRegistry(MeasureRegistry&&) = default;
+  MeasureRegistry& operator=(MeasureRegistry&&) = default;
+
+  /// Adds a user-defined measure. Fails AlreadyExists on a duplicate name
+  /// and InvalidArgument on an empty one.
+  Status Register(std::unique_ptr<InterestingnessMeasure> measure);
+
+  /// The measure registered under `name`, or null.
+  [[nodiscard]] const InterestingnessMeasure* Find(
+      std::string_view name) const;
+
+  /// Registered names, sorted (for error messages and discovery).
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  [[nodiscard]] size_t size() const { return measures_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<InterestingnessMeasure>> measures_;
+};
+
+}  // namespace dar::quality
+
+#endif  // DAR_QUALITY_MEASURE_H_

@@ -1,0 +1,63 @@
+#include "quality/prune.h"
+
+#include <cstddef>
+#include <map>
+
+#include "quality/interval_match.h"
+
+namespace dar::quality {
+
+Result<PruneResult> PruneRedundant(const ClusterSet& clusters,
+                                   std::span<const DistanceRule> rules,
+                                   std::span<const std::vector<double>> scores,
+                                   const PruneOptions& options) {
+  DAR_RETURN_IF_ERROR(options.Validate());
+  for (size_t m = 0; m < scores.size(); ++m) {
+    if (scores[m].size() != rules.size()) {
+      return Status::InvalidArgument(
+          "score column " + std::to_string(m) + " has " +
+          std::to_string(scores[m].size()) + " entries for " +
+          std::to_string(rules.size()) + " rules");
+    }
+  }
+
+  PruneResult out;
+  out.representative.assign(rules.size(), 1);
+  out.representative_of.resize(rules.size());
+  for (size_t k = 0; k < rules.size(); ++k) {
+    out.representative_of[k] = static_cast<uint32_t>(k);
+  }
+
+  // Representative indices of each signature's clusters, in creation order.
+  std::map<std::vector<int64_t>, std::vector<size_t>> clusters_by_signature;
+
+  // dominates(rep, k): rep is at least as strong as k on every axis.
+  const auto dominates = [&](size_t rep, size_t k) {
+    if (rules[rep].degree > rules[k].degree) return false;
+    for (const std::vector<double>& column : scores) {
+      if (column[rep] < column[k]) return false;
+    }
+    return true;
+  };
+
+  for (size_t k = 0; k < rules.size(); ++k) {
+    std::vector<size_t>& reps =
+        clusters_by_signature[RuleSignature(clusters, rules[k])];
+    bool absorbed = false;
+    for (size_t rep : reps) {
+      double min_overlap = 0;
+      RuleOverlap(clusters, rules[rep], clusters, rules[k], &min_overlap);
+      if (min_overlap < options.min_overlap) continue;
+      if (options.require_dominance && !dominates(rep, k)) continue;
+      out.representative[k] = 0;
+      out.representative_of[k] = static_cast<uint32_t>(rep);
+      ++out.num_pruned;
+      absorbed = true;
+      break;
+    }
+    if (!absorbed) reps.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace dar::quality

@@ -1,0 +1,65 @@
+#ifndef DAR_QUALITY_PRUNE_H_
+#define DAR_QUALITY_PRUNE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model.h"
+#include "core/rules.h"
+
+namespace dar::quality {
+
+/// Strictness knobs of the redundancy pruner.
+struct PruneOptions {
+  /// Two same-signature rules are near-duplicates when EVERY paired
+  /// interval dimension overlaps by at least this Jaccard fraction.
+  /// 1.0 = only bit-identical intervals merge (strictest), 0.0 = any two
+  /// rules over the same attribute sets merge (loosest).
+  double min_overlap = 0.5;
+  /// When true (default) a rule is only absorbed into a cluster whose
+  /// representative dominates it: representative degree <= rule degree
+  /// (smaller = stronger) and representative score >= rule score on every
+  /// provided measure. A rule that beats its near-duplicates on any axis
+  /// starts its own cluster instead of being hidden.
+  bool require_dominance = true;
+
+  [[nodiscard]] Status Validate() const {
+    if (min_overlap < 0.0 || min_overlap > 1.0) {
+      return Status::InvalidArgument(
+          "PruneOptions::min_overlap must be in [0, 1], got " +
+          std::to_string(min_overlap));
+    }
+    return Status::OK();
+  }
+};
+
+/// Verdict of one pruning pass, index-aligned with the rule vector.
+struct PruneResult {
+  /// 1 = kept (cluster representative), 0 = pruned near-duplicate.
+  std::vector<uint8_t> representative;
+  /// For a pruned rule, the index of the representative that absorbed it;
+  /// the representative's own index for kept rules.
+  std::vector<uint32_t> representative_of;
+  size_t num_pruned = 0;
+};
+
+/// Clusters near-duplicate rules (Kannan & Bhaskaran, arXiv:0912.1822,
+/// adapted to interval rules) and keeps one representative per cluster:
+/// rules are visited in index order (Phase II sorts ascending degree, so
+/// strongest first) and each rule either joins the first existing cluster
+/// whose representative shares its attribute-set signature, overlaps every
+/// interval dimension by >= min_overlap and (optionally) dominates it — or
+/// founds a new cluster. Pure index-ordered sequential sweep over
+/// precomputed summaries: bit-identical at any thread count by
+/// construction. `scores` are the per-measure columns of a ScoredRuleSet
+/// (may be empty; dominance then checks degree only).
+Result<PruneResult> PruneRedundant(
+    const ClusterSet& clusters, std::span<const DistanceRule> rules,
+    std::span<const std::vector<double>> scores, const PruneOptions& options);
+
+}  // namespace dar::quality
+
+#endif  // DAR_QUALITY_PRUNE_H_

@@ -152,4 +152,20 @@ Status RuleClient::SnapshotInfo(SnapshotInfoResponse& response) {
   return DecodeSnapshotInfoBody(reader, response);
 }
 
+Status RuleClient::ListRulesScored(const ScoredRuleListRequest& request,
+                                   ScoredRuleListResponse& response) {
+  const uint64_t id = next_request_id_++;
+  EncodeScoredRuleListRequest(id, request, payload_);
+  DAR_ASSIGN_OR_RETURN(persist::WireReader reader, RoundTrip(id));
+  return DecodeScoredRuleListBody(reader, response);
+}
+
+Status RuleClient::Diff(const RuleDiffRequest& request,
+                        RuleDiffResponse& response) {
+  const uint64_t id = next_request_id_++;
+  EncodeRuleDiffRequest(id, request, payload_);
+  DAR_ASSIGN_OR_RETURN(persist::WireReader reader, RoundTrip(id));
+  return DecodeRuleDiffBody(reader, response);
+}
+
 }  // namespace dar::serve

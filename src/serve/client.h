@@ -43,6 +43,10 @@ class RuleClient {
   [[nodiscard]] Status ListRules(const RuleListRequest& request,
                                  RuleListResponse& response);
   [[nodiscard]] Status SnapshotInfo(SnapshotInfoResponse& response);
+  [[nodiscard]] Status ListRulesScored(const ScoredRuleListRequest& request,
+                                       ScoredRuleListResponse& response);
+  [[nodiscard]] Status Diff(const RuleDiffRequest& request,
+                            RuleDiffResponse& response);
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 

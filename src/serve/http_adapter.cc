@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/json.h"
@@ -82,6 +83,22 @@ Result<uint32_t> ParseU32Param(const std::map<std::string, std::string>& params,
   return static_cast<uint32_t>(v);
 }
 
+// Optional double parameter: (present, value). Errors only on unparsable
+// text, never on absence.
+Result<std::pair<bool, double>> ParseF64Param(
+    const std::map<std::string, std::string>& params,
+    const std::string& name) {
+  auto it = params.find(name);
+  if (it == params.end() || it->second.empty()) return std::pair{false, 0.0};
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end != it->second.c_str() + it->second.size()) {
+    return Status::InvalidArgument("parameter " + name + "=\"" + it->second +
+                                   "\" is not a number");
+  }
+  return std::pair{true, v};
+}
+
 std::string MakeResponse(int http_status, std::string_view reason,
                          const std::string& json_body) {
   std::string out = "HTTP/1.1 " + std::to_string(http_status) + " " +
@@ -150,9 +167,152 @@ std::string HandleInfo(const QueryService& service) {
   return MakeResponse(200, "OK", json.str());
 }
 
+// GET /v1/rules?measure=lift&min=1.5: the measure-ranked variant of the
+// rule listing, served from the snapshot's quality layer.
+std::string HandleRulesScored(const QueryService& service,
+                              const std::map<std::string, std::string>& params,
+                              const std::string& measure) {
+  ScoredRuleListRequest scored;
+  scored.measure = measure;
+  {
+    auto offset = ParseU32Param(params, "offset", 0);
+    if (!offset.ok()) return ErrorResponseForStatus(offset.status());
+    scored.offset = *offset;
+  }
+  {
+    auto limit = ParseU32Param(params, "limit", 0);
+    if (!limit.ok()) return ErrorResponseForStatus(limit.status());
+    scored.limit = *limit;
+  }
+  {
+    auto min = ParseF64Param(params, "min");
+    if (!min.ok()) return ErrorResponseForStatus(min.status());
+    scored.has_min = min->first;
+    scored.min_score = min->second;
+  }
+  {
+    auto max = ParseF64Param(params, "max");
+    if (!max.ok()) return ErrorResponseForStatus(max.status());
+    scored.has_max = max->first;
+    scored.max_score = max->second;
+  }
+  auto text_it = params.find("text");
+  scored.include_text = text_it != params.end() && text_it->second == "1";
+  auto pruned_it = params.find("pruned");
+  scored.include_pruned =
+      pruned_it != params.end() && pruned_it->second == "1";
+
+  ScoredRuleListResponse response;
+  Status status = service.ListRulesScored(scored, response);
+  if (!status.ok()) return ErrorResponseForStatus(status);
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.Key("generation");
+  json.Int(static_cast<int64_t>(response.generation));
+  json.Key("rows_ingested");
+  json.Int(response.rows_ingested);
+  json.Key("measure");
+  json.String(response.measure);
+  json.Key("total_matching");
+  json.Int(response.total_matching);
+  json.Key("offset");
+  json.Int(response.offset);
+  json.Key("rules");
+  json.BeginArray();
+  for (const ScoredRuleListEntry& entry : response.rules) {
+    json.BeginObject();
+    json.Key("id");
+    json.Int(entry.id);
+    json.Key("score");
+    json.Double(entry.score);
+    json.Key("degree");
+    json.Double(entry.degree);
+    json.Key("support_count");
+    json.Int(entry.support_count);
+    json.Key("representative");
+    json.Bool(entry.representative);
+    json.Key("antecedent_size");
+    json.Int(entry.antecedent_size);
+    json.Key("consequent_size");
+    json.Int(entry.consequent_size);
+    if (scored.include_text) {
+      json.Key("text");
+      json.String(entry.text);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return MakeResponse(200, "OK", json.str());
+}
+
+std::string HandleDiff(const QueryService& service,
+                       const HttpRequest& request) {
+  const auto params = ParseQueryParams(request.query);
+  RuleDiffRequest diff;
+  {
+    auto limit = ParseU32Param(params, "limit", 0);
+    if (!limit.ok()) return ErrorResponseForStatus(limit.status());
+    diff.limit = *limit;
+  }
+  auto text_it = params.find("text");
+  diff.include_text = text_it != params.end() && text_it->second == "1";
+
+  RuleDiffResponse response;
+  Status status = service.Diff(diff, response);
+  if (!status.ok()) return ErrorResponseForStatus(status);
+  telemetry::JsonWriter json;
+  json.BeginObject();
+  json.Key("old_generation");
+  json.Int(static_cast<int64_t>(response.old_generation));
+  json.Key("new_generation");
+  json.Int(static_cast<int64_t>(response.new_generation));
+  json.Key("rows_ingested");
+  json.Int(response.rows_ingested);
+  json.Key("born");
+  json.Int(response.born);
+  json.Key("died");
+  json.Int(response.died);
+  json.Key("drifted");
+  json.Int(response.drifted);
+  json.Key("unchanged");
+  json.Int(response.unchanged);
+  json.Key("total_changed");
+  json.Int(response.total_changed);
+  json.Key("entries");
+  json.BeginArray();
+  for (const RuleDiffEntry& entry : response.entries) {
+    json.BeginObject();
+    json.Key("kind");
+    json.String(entry.kind == 1   ? "drifted"
+                : entry.kind == 2 ? "born"
+                                  : "died");
+    json.Key("rule_id");
+    json.Int(entry.rule_id);
+    json.Key("degree");
+    json.Double(entry.degree);
+    json.Key("interval_shift");
+    json.Double(entry.interval_shift);
+    if (diff.include_text) {
+      json.Key("text");
+      json.String(entry.text);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return MakeResponse(200, "OK", json.str());
+}
+
 std::string HandleRules(const QueryService& service,
                         const HttpRequest& request) {
   const auto params = ParseQueryParams(request.query);
+  // A `measure` parameter switches to the scored listing: same path, the
+  // quality layer's ranking and filtering on top.
+  auto measure_it = params.find("measure");
+  if (measure_it != params.end() && !measure_it->second.empty()) {
+    return HandleRulesScored(service, params, measure_it->second);
+  }
   RuleListRequest list;
   {
     auto offset = ParseU32Param(params, "offset", 0);
@@ -343,10 +503,13 @@ std::string HandleHttpRequest(const QueryService& service,
       (request.method == "GET" || request.method == "POST")) {
     return HandleQuery(service, request);
   }
+  if (request.path == "/v1/diff" && request.method == "GET") {
+    return HandleDiff(service, request);
+  }
   return MakeHttpErrorResponse(
-      ServeCode::kNotFound, "no endpoint " + request.method + " " +
-                                request.path +
-                                "; serving /v1/info, /v1/rules, /v1/query");
+      ServeCode::kNotFound,
+      "no endpoint " + request.method + " " + request.path +
+          "; serving /v1/info, /v1/rules, /v1/query, /v1/diff");
 }
 
 }  // namespace dar::serve

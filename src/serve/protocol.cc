@@ -70,6 +70,29 @@ void EncodeSnapshotInfoRequest(uint64_t request_id,
   EncodeRequestHeader(Method::kSnapshotInfo, request_id, out);
 }
 
+void EncodeScoredRuleListRequest(uint64_t request_id,
+                                 const ScoredRuleListRequest& request,
+                                 persist::WireWriter& out) {
+  EncodeRequestHeader(Method::kListRulesScored, request_id, out);
+  out.U32(request.offset);
+  out.U32(request.limit);
+  out.U8(request.include_text ? 1 : 0);
+  out.Str(request.measure);
+  out.U8(request.has_min ? 1 : 0);
+  out.F64(request.min_score);
+  out.U8(request.has_max ? 1 : 0);
+  out.F64(request.max_score);
+  out.U8(request.include_pruned ? 1 : 0);
+}
+
+void EncodeRuleDiffRequest(uint64_t request_id,
+                           const RuleDiffRequest& request,
+                           persist::WireWriter& out) {
+  EncodeRequestHeader(Method::kDiff, request_id, out);
+  out.U32(request.limit);
+  out.U8(request.include_text ? 1 : 0);
+}
+
 Result<Request> DecodeRequest(std::string_view payload,
                               std::vector<double>& tuple_scratch) {
   persist::WireReader reader(payload);
@@ -83,7 +106,7 @@ Result<Request> DecodeRequest(std::string_view payload,
   }
   DAR_ASSIGN_OR_RETURN(const uint8_t method_byte, reader.U8());
   if (method_byte < static_cast<uint8_t>(Method::kHello) ||
-      method_byte > static_cast<uint8_t>(Method::kSnapshotInfo)) {
+      method_byte > static_cast<uint8_t>(Method::kDiff)) {
     return Status::InvalidArgument("unknown request method " +
                                    std::to_string(method_byte));
   }
@@ -127,6 +150,28 @@ Result<Request> DecodeRequest(std::string_view payload,
     }
     case Method::kSnapshotInfo:
       break;
+    case Method::kListRulesScored: {
+      DAR_ASSIGN_OR_RETURN(request.scored.offset, reader.U32());
+      DAR_ASSIGN_OR_RETURN(request.scored.limit, reader.U32());
+      DAR_ASSIGN_OR_RETURN(const uint8_t text, reader.U8());
+      request.scored.include_text = text != 0;
+      DAR_ASSIGN_OR_RETURN(request.scored.measure, reader.Str());
+      DAR_ASSIGN_OR_RETURN(const uint8_t has_min, reader.U8());
+      request.scored.has_min = has_min != 0;
+      DAR_ASSIGN_OR_RETURN(request.scored.min_score, reader.F64());
+      DAR_ASSIGN_OR_RETURN(const uint8_t has_max, reader.U8());
+      request.scored.has_max = has_max != 0;
+      DAR_ASSIGN_OR_RETURN(request.scored.max_score, reader.F64());
+      DAR_ASSIGN_OR_RETURN(const uint8_t pruned, reader.U8());
+      request.scored.include_pruned = pruned != 0;
+      break;
+    }
+    case Method::kDiff: {
+      DAR_ASSIGN_OR_RETURN(request.diff.limit, reader.U32());
+      DAR_ASSIGN_OR_RETURN(const uint8_t text, reader.U8());
+      request.diff.include_text = text != 0;
+      break;
+    }
   }
   DAR_RETURN_IF_ERROR(reader.ExpectEnd("request payload"));
   return request;
@@ -188,6 +233,50 @@ void EncodeSnapshotInfoResponse(const RequestHeader& header,
   out.U8(response.has_index ? 1 : 0);
 }
 
+void EncodeScoredRuleListResponse(const RequestHeader& header,
+                                  const ScoredRuleListResponse& response,
+                                  persist::WireWriter& out) {
+  EncodeResponseHeader(header, ServeCode::kOk, out);
+  out.U64(response.generation);
+  out.I64(response.rows_ingested);
+  out.U32(response.total_matching);
+  out.U32(response.offset);
+  out.Str(response.measure);
+  out.U32(static_cast<uint32_t>(response.rules.size()));
+  for (const ScoredRuleListEntry& entry : response.rules) {
+    out.U32(entry.id);
+    out.F64(entry.degree);
+    out.I64(entry.support_count);
+    out.F64(entry.score);
+    out.U8(entry.representative ? 1 : 0);
+    out.U32(entry.antecedent_size);
+    out.U32(entry.consequent_size);
+    out.Str(entry.text);
+  }
+}
+
+void EncodeRuleDiffResponse(const RequestHeader& header,
+                            const RuleDiffResponse& response,
+                            persist::WireWriter& out) {
+  EncodeResponseHeader(header, ServeCode::kOk, out);
+  out.U64(response.old_generation);
+  out.U64(response.new_generation);
+  out.I64(response.rows_ingested);
+  out.U32(response.born);
+  out.U32(response.died);
+  out.U32(response.drifted);
+  out.U32(response.unchanged);
+  out.U32(response.total_changed);
+  out.U32(static_cast<uint32_t>(response.entries.size()));
+  for (const RuleDiffEntry& entry : response.entries) {
+    out.U8(entry.kind);
+    out.U32(entry.rule_id);
+    out.F64(entry.degree);
+    out.F64(entry.interval_shift);
+    out.Str(entry.text);
+  }
+}
+
 Result<ResponseHeader> DecodeResponseHeader(persist::WireReader& reader) {
   ResponseHeader out;
   DAR_ASSIGN_OR_RETURN(out.header.api_version, reader.U32());
@@ -199,7 +288,7 @@ Result<ResponseHeader> DecodeResponseHeader(persist::WireReader& reader) {
   }
   DAR_ASSIGN_OR_RETURN(const uint8_t method_byte, reader.U8());
   if (method_byte < static_cast<uint8_t>(Method::kHello) ||
-      method_byte > static_cast<uint8_t>(Method::kSnapshotInfo)) {
+      method_byte > static_cast<uint8_t>(Method::kDiff)) {
     return Status::InvalidArgument("unknown response method " +
                                    std::to_string(method_byte));
   }
@@ -277,6 +366,67 @@ Status DecodeSnapshotInfoBody(persist::WireReader& reader,
   DAR_ASSIGN_OR_RETURN(const uint8_t has_index, reader.U8());
   out.has_index = has_index != 0;
   return reader.ExpectEnd("snapshot-info response payload");
+}
+
+Status DecodeScoredRuleListBody(persist::WireReader& reader,
+                                ScoredRuleListResponse& out) {
+  DAR_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  DAR_ASSIGN_OR_RETURN(out.rows_ingested, reader.I64());
+  DAR_ASSIGN_OR_RETURN(out.total_matching, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.offset, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.measure, reader.Str());
+  DAR_ASSIGN_OR_RETURN(const uint32_t num_entries, reader.U32());
+  if (num_entries > kMaxRuleListLimit) {
+    return Status::InvalidArgument(
+        "scored rule-list response carries " + std::to_string(num_entries) +
+        " entries; the protocol caps pages at " +
+        std::to_string(kMaxRuleListLimit));
+  }
+  out.rules.clear();
+  out.rules.reserve(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    ScoredRuleListEntry& entry = out.rules.emplace_back();
+    DAR_ASSIGN_OR_RETURN(entry.id, reader.U32());
+    DAR_ASSIGN_OR_RETURN(entry.degree, reader.F64());
+    DAR_ASSIGN_OR_RETURN(entry.support_count, reader.I64());
+    DAR_ASSIGN_OR_RETURN(entry.score, reader.F64());
+    DAR_ASSIGN_OR_RETURN(const uint8_t representative, reader.U8());
+    entry.representative = representative != 0;
+    DAR_ASSIGN_OR_RETURN(entry.antecedent_size, reader.U32());
+    DAR_ASSIGN_OR_RETURN(entry.consequent_size, reader.U32());
+    DAR_ASSIGN_OR_RETURN(entry.text, reader.Str());
+  }
+  return reader.ExpectEnd("scored rule-list response payload");
+}
+
+Status DecodeRuleDiffBody(persist::WireReader& reader,
+                          RuleDiffResponse& out) {
+  DAR_ASSIGN_OR_RETURN(out.old_generation, reader.U64());
+  DAR_ASSIGN_OR_RETURN(out.new_generation, reader.U64());
+  DAR_ASSIGN_OR_RETURN(out.rows_ingested, reader.I64());
+  DAR_ASSIGN_OR_RETURN(out.born, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.died, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.drifted, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.unchanged, reader.U32());
+  DAR_ASSIGN_OR_RETURN(out.total_changed, reader.U32());
+  DAR_ASSIGN_OR_RETURN(const uint32_t num_entries, reader.U32());
+  if (num_entries > kMaxRuleListLimit) {
+    return Status::InvalidArgument(
+        "diff response carries " + std::to_string(num_entries) +
+        " entries; the protocol caps pages at " +
+        std::to_string(kMaxRuleListLimit));
+  }
+  out.entries.clear();
+  out.entries.reserve(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    RuleDiffEntry& entry = out.entries.emplace_back();
+    DAR_ASSIGN_OR_RETURN(entry.kind, reader.U8());
+    DAR_ASSIGN_OR_RETURN(entry.rule_id, reader.U32());
+    DAR_ASSIGN_OR_RETURN(entry.degree, reader.F64());
+    DAR_ASSIGN_OR_RETURN(entry.interval_shift, reader.F64());
+    DAR_ASSIGN_OR_RETURN(entry.text, reader.Str());
+  }
+  return reader.ExpectEnd("diff response payload");
 }
 
 }  // namespace dar::serve

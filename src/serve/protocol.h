@@ -52,6 +52,21 @@ enum class Method : uint8_t {
   /// Empty body. Response body: u32 api_version | u64 generation |
   ///   i64 rows_ingested | u64 num_clusters | u64 num_rules | u8 has_index.
   kSnapshotInfo = 4,
+  /// Measure-filtered listing. Body: u32 offset | u32 limit |
+  ///   u8 include_text | Str measure | u8 has_min | f64 min_score |
+  ///   u8 has_max | f64 max_score | u8 include_pruned.
+  /// Response body: u64 generation | i64 rows_ingested |
+  ///   u32 total_matching | u32 offset | Str measure | u32 #entries |
+  ///   per entry: u32 id | f64 degree | i64 support_count | f64 score |
+  ///   u8 representative | u32 antecedent_size | u32 consequent_size |
+  ///   Str text.
+  kListRulesScored = 5,
+  /// Drift report. Body: u32 limit | u8 include_text.
+  /// Response body: u64 old_generation | u64 new_generation |
+  ///   i64 rows_ingested | u32 born | u32 died | u32 drifted |
+  ///   u32 unchanged | u32 total_changed | u32 #entries | per entry:
+  ///   u8 kind | u32 rule_id | f64 degree | f64 interval_shift | Str text.
+  kDiff = 6,
 };
 
 /// Hard cap on one frame's payload; a length prefix above it is treated as
@@ -75,9 +90,11 @@ struct RequestHeader {
 /// DecodeRequest call on the same buffers.
 struct Request {
   RequestHeader header;
-  std::string_view tenant;  // kHello
-  PointQueryRequest point;  // kPointQuery
-  RuleListRequest list;     // kListRules
+  std::string_view tenant;      // kHello
+  PointQueryRequest point;      // kPointQuery
+  RuleListRequest list;         // kListRules
+  ScoredRuleListRequest scored; // kListRulesScored
+  RuleDiffRequest diff;         // kDiff
 };
 
 /// Appends `u32 length | payload` to `out`.
@@ -102,6 +119,12 @@ void EncodeRuleListRequest(uint64_t request_id,
                            persist::WireWriter& out);
 void EncodeSnapshotInfoRequest(uint64_t request_id,
                                persist::WireWriter& out);
+void EncodeScoredRuleListRequest(uint64_t request_id,
+                                 const ScoredRuleListRequest& request,
+                                 persist::WireWriter& out);
+void EncodeRuleDiffRequest(uint64_t request_id,
+                           const RuleDiffRequest& request,
+                           persist::WireWriter& out);
 
 // --- Request decoding (server side) -----------------------------------
 
@@ -129,6 +152,12 @@ void EncodeRuleListResponse(const RequestHeader& header,
 void EncodeSnapshotInfoResponse(const RequestHeader& header,
                                 const SnapshotInfoResponse& response,
                                 persist::WireWriter& out);
+void EncodeScoredRuleListResponse(const RequestHeader& header,
+                                  const ScoredRuleListResponse& response,
+                                  persist::WireWriter& out);
+void EncodeRuleDiffResponse(const RequestHeader& header,
+                            const RuleDiffResponse& response,
+                            persist::WireWriter& out);
 
 // --- Response decoding (client side) ----------------------------------
 
@@ -151,6 +180,9 @@ Status DecodePointQueryBody(persist::WireReader& reader,
 Status DecodeRuleListBody(persist::WireReader& reader, RuleListResponse& out);
 Status DecodeSnapshotInfoBody(persist::WireReader& reader,
                               SnapshotInfoResponse& out);
+Status DecodeScoredRuleListBody(persist::WireReader& reader,
+                                ScoredRuleListResponse& out);
+Status DecodeRuleDiffBody(persist::WireReader& reader, RuleDiffResponse& out);
 
 }  // namespace dar::serve
 

@@ -121,6 +121,95 @@ struct RuleListResponse {
   std::vector<RuleListEntry> rules;
 };
 
+/// Measure-filtered rule listing: rules ranked by one interestingness
+/// measure (descending; ties break to ascending rule id), optionally
+/// band-filtered on the score and restricted to redundancy-pruning
+/// representatives. Requires the backing stream to have been opened with
+/// StreamConfig::score_measures naming `measure`; fails kNotFound (unknown
+/// measure) or kInvalidRequest (snapshot carries no scores) otherwise.
+struct ScoredRuleListRequest {
+  uint32_t offset = 0;
+  /// Page size; capped server-side at kMaxRuleListLimit. 0 = default 100.
+  uint32_t limit = 0;
+  bool include_text = false;
+  /// Measure to rank and filter by ("lift", "confidence", ...).
+  std::string measure;
+  /// Score band: entries with score < min_score (when has_min) or
+  /// > max_score (when has_max) are filtered out before pagination.
+  bool has_min = false;
+  double min_score = 0;
+  bool has_max = false;
+  double max_score = 0;
+  /// When false (default) rules pruned as redundant are excluded.
+  bool include_pruned = false;
+};
+
+struct ScoredRuleListEntry {
+  uint32_t id = 0;
+  double degree = 0;
+  int64_t support_count = -1;
+  /// The requested measure's value for this rule.
+  double score = 0;
+  /// False when redundancy pruning marked the rule a near-duplicate
+  /// (only visible with include_pruned).
+  bool representative = true;
+  uint32_t antecedent_size = 0;
+  uint32_t consequent_size = 0;
+  std::string text;
+};
+
+struct ScoredRuleListResponse {
+  uint64_t generation = 0;
+  int64_t rows_ingested = 0;
+  /// Rules passing the score/representative filters (pagination
+  /// denominator), before offset/limit.
+  uint32_t total_matching = 0;
+  uint32_t offset = 0;
+  /// Echo of the request measure.
+  std::string measure;
+  std::vector<ScoredRuleListEntry> rules;
+};
+
+/// Drift report: how the current snapshot's rules compare to the previous
+/// generation's. Requires the backing stream to have been opened with
+/// StreamConfig::diff_snapshots; fails kUnavailable before the second
+/// generation (nothing to diff yet).
+struct RuleDiffRequest {
+  /// Truncates `entries` (the changed-rule detail list); counts are always
+  /// totals. 0 = default 100, capped at kMaxRuleListLimit.
+  uint32_t limit = 0;
+  bool include_text = false;
+};
+
+/// One changed rule. `kind` carries quality::DiffKind on the wire:
+/// 1 = drifted, 2 = born, 3 = died (unchanged rules are not listed).
+struct RuleDiffEntry {
+  uint8_t kind = 0;
+  /// Index into the current snapshot's rule vector for born/drifted
+  /// entries; index into the PREVIOUS generation's vector for died ones.
+  uint32_t rule_id = 0;
+  double degree = 0;
+  /// Interval drift magnitude (worst-dimension relative endpoint shift);
+  /// 0 for born/died.
+  double interval_shift = 0;
+  /// Pretty form of born/drifted rules; always empty for died rules (the
+  /// old generation's naming context is gone).
+  std::string text;
+};
+
+struct RuleDiffResponse {
+  uint64_t old_generation = 0;
+  uint64_t new_generation = 0;
+  int64_t rows_ingested = 0;
+  uint32_t born = 0;
+  uint32_t died = 0;
+  uint32_t drifted = 0;
+  uint32_t unchanged = 0;
+  /// born + died + drifted (how many entries exist before truncation).
+  uint32_t total_changed = 0;
+  std::vector<RuleDiffEntry> entries;
+};
+
 /// Snapshot metadata: what generation is live, how fresh it is, how big.
 struct SnapshotInfoResponse {
   uint32_t api_version = kQueryApiVersion;

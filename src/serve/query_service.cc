@@ -26,6 +26,8 @@ QueryService::QueryService(telemetry::MetricsRegistry* registry) {
   if (registry == nullptr) return;
   point_queries_ = registry->GetCounter("serve.point_queries");
   rule_lists_ = registry->GetCounter("serve.rule_lists");
+  scored_lists_ = registry->GetCounter("serve.scored_lists");
+  diffs_ = registry->GetCounter("serve.diffs");
   snapshot_infos_ = registry->GetCounter("serve.snapshot_infos");
   unavailable_ = registry->GetCounter("serve.unavailable");
   point_query_seconds_ = registry->GetHistogram(
@@ -175,6 +177,148 @@ Status QueryService::ListRules(const RuleListRequest& request,
     }
   }
   if (rule_list_seconds_) rule_list_seconds_->Record(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status QueryService::ListRulesScored(const ScoredRuleListRequest& request,
+                                     ScoredRuleListResponse& response) const {
+  Stopwatch watch;
+  if (scored_lists_) scored_lists_->Increment();
+  const std::shared_ptr<const Binding> binding = binding_.load();
+  std::shared_ptr<const RuleSnapshot> snapshot;
+  Status acquired = Acquire(binding.get(), snapshot);
+  if (!acquired.ok()) {
+    if (unavailable_) unavailable_->Increment();
+    return acquired;
+  }
+
+  const quality::ScoredRuleSet* scored = snapshot->scored();
+  if (scored == nullptr) {
+    return Status::InvalidArgument(
+        "snapshot carries no measure scores; open the stream with "
+        "StreamConfig::score_measures to serve scored listings");
+  }
+  const int measure = scored->FindMeasure(request.measure);
+  if (measure < 0) {
+    std::string known;
+    for (const std::string& name : scored->measure_names) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("measure \"" + request.measure +
+                            "\" is not scored on this snapshot (have: " +
+                            known + ")");
+  }
+  const std::vector<double>& scores =
+      scored->scores[static_cast<size_t>(measure)];
+
+  // Filter, then rank descending by score (ties ascend by rule id so the
+  // order — and therefore the page content — is fully deterministic).
+  std::vector<uint32_t> selected;
+  selected.reserve(scores.size());
+  for (size_t k = 0; k < scores.size(); ++k) {
+    if (!request.include_pruned && scored->representative[k] == 0) continue;
+    if (request.has_min && scores[k] < request.min_score) continue;
+    if (request.has_max && scores[k] > request.max_score) continue;
+    selected.push_back(static_cast<uint32_t>(k));
+  }
+  std::sort(selected.begin(), selected.end(),
+            [&scores](uint32_t a, uint32_t b) {
+              if (scores[a] != scores[b]) return scores[a] > scores[b];
+              return a < b;
+            });
+
+  const uint32_t limit = request.limit == 0
+                             ? kDefaultRuleListLimit
+                             : std::min(request.limit, kMaxRuleListLimit);
+  const std::vector<DistanceRule>& rules = snapshot->rules();
+  response.generation = snapshot->generation();
+  response.rows_ingested = snapshot->rows_ingested();
+  response.total_matching = static_cast<uint32_t>(selected.size());
+  response.offset = request.offset;
+  response.measure = request.measure;
+  response.rules.clear();
+  for (size_t i = request.offset;
+       i < selected.size() && response.rules.size() < limit; ++i) {
+    const uint32_t id = selected[i];
+    const DistanceRule& rule = rules[id];
+    ScoredRuleListEntry& entry = response.rules.emplace_back();
+    entry.id = id;
+    entry.degree = rule.degree;
+    entry.support_count = rule.support_count;
+    entry.score = scores[id];
+    entry.representative = scored->representative[id] != 0;
+    entry.antecedent_size = static_cast<uint32_t>(rule.antecedent.size());
+    entry.consequent_size = static_cast<uint32_t>(rule.consequent.size());
+    if (request.include_text) {
+      entry.text = rule.ToString(snapshot->clusters(), binding->schema,
+                                 binding->partition);
+    } else {
+      entry.text.clear();
+    }
+  }
+  if (rule_list_seconds_) rule_list_seconds_->Record(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status QueryService::Diff(const RuleDiffRequest& request,
+                          RuleDiffResponse& response) const {
+  if (diffs_) diffs_->Increment();
+  const std::shared_ptr<const Binding> binding = binding_.load();
+  std::shared_ptr<const RuleSnapshot> snapshot;
+  Status acquired = Acquire(binding.get(), snapshot);
+  if (!acquired.ok()) {
+    if (unavailable_) unavailable_->Increment();
+    return acquired;
+  }
+
+  const quality::SnapshotDiffResult* diff = snapshot->diff();
+  if (diff == nullptr) {
+    return Status::Unavailable(
+        "snapshot carries no diff: the stream needs "
+        "StreamConfig::diff_snapshots and at least two published "
+        "generations");
+  }
+
+  response.old_generation = diff->old_generation;
+  response.new_generation = diff->new_generation;
+  response.rows_ingested = snapshot->rows_ingested();
+  response.born = static_cast<uint32_t>(diff->born);
+  response.died = static_cast<uint32_t>(diff->died);
+  response.drifted = static_cast<uint32_t>(diff->drifted);
+  response.unchanged = static_cast<uint32_t>(diff->unchanged);
+  response.total_changed =
+      static_cast<uint32_t>(diff->born + diff->died + diff->drifted);
+  const uint32_t limit = request.limit == 0
+                             ? kDefaultRuleListLimit
+                             : std::min(request.limit, kMaxRuleListLimit);
+  const std::vector<DistanceRule>& rules = snapshot->rules();
+  response.entries.clear();
+  for (const quality::RuleDiffRecord& record : diff->records) {
+    if (record.kind == quality::DiffKind::kUnchanged) continue;
+    if (response.entries.size() >= limit) break;
+    RuleDiffEntry& entry = response.entries.emplace_back();
+    entry.kind = static_cast<uint8_t>(record.kind);
+    if (record.kind == quality::DiffKind::kDied) {
+      // The old generation's rules (and naming context) are gone; only
+      // the index survives in the record.
+      entry.rule_id = static_cast<uint32_t>(record.old_index);
+      entry.degree = 0;
+      entry.interval_shift = 0;
+      entry.text.clear();
+      continue;
+    }
+    const uint32_t id = static_cast<uint32_t>(record.new_index);
+    entry.rule_id = id;
+    entry.degree = rules[id].degree;
+    entry.interval_shift = record.interval_shift;
+    if (request.include_text) {
+      entry.text = rules[id].ToString(snapshot->clusters(), binding->schema,
+                                      binding->partition);
+    } else {
+      entry.text.clear();
+    }
+  }
   return Status::OK();
 }
 

@@ -89,6 +89,20 @@ class QueryService {
   [[nodiscard]] Status ListRules(const RuleListRequest& request,
                                  RuleListResponse& response) const;
 
+  /// Measure-ranked, score-filtered rule listing. Errors: kUnavailable
+  /// (no snapshot), kInvalidRequest (snapshot carries no scores — open the
+  /// stream with StreamConfig::score_measures), kNotFound (measure not
+  /// among the scored ones, message lists what is available).
+  [[nodiscard]] Status ListRulesScored(
+      const ScoredRuleListRequest& request,
+      ScoredRuleListResponse& response) const;
+
+  /// Drift report of the current snapshot against its predecessor.
+  /// Errors: kUnavailable (no snapshot, or no diff yet — the stream needs
+  /// StreamConfig::diff_snapshots and at least two generations).
+  [[nodiscard]] Status Diff(const RuleDiffRequest& request,
+                            RuleDiffResponse& response) const;
+
   /// Metadata of the current snapshot. When a source is attached but has
   /// not published yet, succeeds with generation 0 (the readiness-probe
   /// shape); fails kUnavailable only when nothing is attached.
@@ -121,6 +135,8 @@ class QueryService {
   // deterministic exporter view excludes them automatically.
   telemetry::Counter* point_queries_ = nullptr;
   telemetry::Counter* rule_lists_ = nullptr;
+  telemetry::Counter* scored_lists_ = nullptr;
+  telemetry::Counter* diffs_ = nullptr;
   telemetry::Counter* snapshot_infos_ = nullptr;
   telemetry::Counter* unavailable_ = nullptr;
   telemetry::Histogram* point_query_seconds_ = nullptr;

@@ -252,6 +252,8 @@ void RuleServer::ServeBinary(int fd) {
   PointQueryResponse point_response;
   RuleListResponse list_response;
   SnapshotInfoResponse info_response;
+  ScoredRuleListResponse scored_response;
+  RuleDiffResponse diff_response;
 
   for (;;) {
     char lenbuf[4];
@@ -309,6 +311,19 @@ void RuleServer::ServeBinary(int fd) {
             status = service_.SnapshotInfo(info_response);
             if (status.ok()) {
               EncodeSnapshotInfoResponse(header, info_response, payload);
+            }
+            break;
+          case Method::kListRulesScored:
+            status = service_.ListRulesScored(request.scored,
+                                              scored_response);
+            if (status.ok()) {
+              EncodeScoredRuleListResponse(header, scored_response, payload);
+            }
+            break;
+          case Method::kDiff:
+            status = service_.Diff(request.diff, diff_response);
+            if (status.ok()) {
+              EncodeRuleDiffResponse(header, diff_response, payload);
             }
             break;
           case Method::kHello:

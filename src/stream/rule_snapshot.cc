@@ -9,11 +9,12 @@ namespace dar {
 RuleSnapshot::RuleSnapshot(uint64_t generation, int64_t rows_ingested,
                            Phase1Result phase1, Phase2Result phase2,
                            const AttributePartition& partition,
-                           bool build_index)
+                           bool build_index, QualityArtifacts quality)
     : generation_(generation),
       rows_ingested_(rows_ingested),
       phase1_(std::move(phase1)),
-      phase2_(std::move(phase2)) {
+      phase2_(std::move(phase2)),
+      quality_(std::move(quality)) {
   if (build_index) {
     index_ = std::make_unique<const RuleIndex>(
         RuleIndex::Build(phase1_.clusters, phase2_.rules, partition));
@@ -54,6 +55,19 @@ Status RuleSnapshot::CheckConsistency() const {
               std::to_string(id) + " of " + std::to_string(num_clusters));
         }
       }
+    }
+  }
+  if (quality_.scored != nullptr) {
+    if (quality_.scored->stats.size() != phase2_.rules.size()) {
+      return Status::Internal(
+          "scored set covers " +
+          std::to_string(quality_.scored->stats.size()) +
+          " rules, snapshot has " + std::to_string(phase2_.rules.size()));
+    }
+    if (quality_.scored->num_pruned > quality_.scored->stats.size()) {
+      return Status::Internal(
+          "scored set claims " + std::to_string(quality_.scored->num_pruned) +
+          " pruned of " + std::to_string(quality_.scored->stats.size()));
     }
   }
   if (index_ != nullptr) {

@@ -9,10 +9,23 @@
 #include "core/miner_result.h"
 #include "core/model.h"
 #include "core/rules.h"
+#include "quality/diff.h"
+#include "quality/scored_rules.h"
 #include "relation/partition.h"
 #include "stream/rule_index.h"
 
 namespace dar {
+
+/// Optional per-snapshot quality layer: measure scores + pruning verdicts
+/// and the diff against the previous generation. Produced by
+/// StreamingMiner when the stream was opened with score_measures /
+/// diff_snapshots; both pointers null otherwise. Shared (not copied) into
+/// the snapshot so readers hold them for exactly as long as they hold the
+/// generation.
+struct QualityArtifacts {
+  std::shared_ptr<const quality::ScoredRuleSet> scored;
+  std::shared_ptr<const quality::SnapshotDiffResult> diff;
+};
 
 /// One published state of an incremental mining stream: the Phase-I
 /// summaries and Phase-II rules derived from everything ingested up to
@@ -28,7 +41,8 @@ class RuleSnapshot {
  public:
   RuleSnapshot(uint64_t generation, int64_t rows_ingested,
                Phase1Result phase1, Phase2Result phase2,
-               const AttributePartition& partition, bool build_index);
+               const AttributePartition& partition, bool build_index,
+               QualityArtifacts quality = {});
 
   RuleSnapshot(const RuleSnapshot&) = delete;
   RuleSnapshot& operator=(const RuleSnapshot&) = delete;
@@ -52,6 +66,19 @@ class RuleSnapshot {
   /// opened with StreamConfig::build_rule_index = false.
   [[nodiscard]] const RuleIndex* index() const { return index_.get(); }
 
+  /// Measure scores + pruning verdicts for this generation's rules; null
+  /// when the stream was opened without StreamConfig::score_measures.
+  [[nodiscard]] const quality::ScoredRuleSet* scored() const {
+    return quality_.scored.get();
+  }
+
+  /// The diff against the previous published generation; null when the
+  /// stream was opened without StreamConfig::diff_snapshots, and on the
+  /// first generation (nothing to diff against).
+  [[nodiscard]] const quality::SnapshotDiffResult* diff() const {
+    return quality_.diff.get();
+  }
+
   /// Structural self-check used by the concurrency tests: a reader that
   /// obtained this snapshot through StreamingMiner::snapshot() must always
   /// see a complete object — every rule's cluster ids sorted and in range,
@@ -65,6 +92,7 @@ class RuleSnapshot {
   Phase1Result phase1_;
   Phase2Result phase2_;
   std::unique_ptr<const RuleIndex> index_;  // null when disabled
+  QualityArtifacts quality_;                // both null when disabled
 };
 
 }  // namespace dar

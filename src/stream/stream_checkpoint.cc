@@ -43,6 +43,18 @@ std::string EncodeStreamStateSection(const StreamState& s) {
   w.U8(s.stream_config.build_rule_index ? 1 : 0);
   w.I64(s.stream_config.checkpoint_every_rows);
   w.Str(s.stream_config.checkpoint_path);
+  // Quality knobs: an appended tail, so checkpoints written before the
+  // quality layer existed still decode (the reader defaults the knobs when
+  // nothing remains before the end of the section).
+  w.U32(static_cast<uint32_t>(s.stream_config.score_measures.size()));
+  for (const std::string& name : s.stream_config.score_measures) {
+    w.Str(name);
+  }
+  w.U8(s.stream_config.prune_redundant ? 1 : 0);
+  w.F64(s.stream_config.prune_min_overlap);
+  w.U8(s.stream_config.diff_snapshots ? 1 : 0);
+  w.F64(s.stream_config.drift_interval_tolerance);
+  w.F64(s.stream_config.drift_degree_tolerance);
   return std::move(w).Take();
 }
 
@@ -63,6 +75,33 @@ Result<StreamState> DecodeStreamStateSection(std::string_view bytes) {
   s.stream_config.build_rule_index = build_index != 0;
   DAR_ASSIGN_OR_RETURN(s.stream_config.checkpoint_every_rows, r.I64());
   DAR_ASSIGN_OR_RETURN(s.stream_config.checkpoint_path, r.Str());
+  if (r.remaining() > 0) {
+    // Quality-knob tail (absent in checkpoints predating the quality
+    // layer, which restore with the struct defaults).
+    DAR_ASSIGN_OR_RETURN(uint32_t num_measures, r.U32());
+    s.stream_config.score_measures.reserve(num_measures);
+    for (uint32_t m = 0; m < num_measures; ++m) {
+      DAR_ASSIGN_OR_RETURN(std::string name, r.Str());
+      s.stream_config.score_measures.push_back(std::move(name));
+    }
+    DAR_ASSIGN_OR_RETURN(uint8_t prune, r.U8());
+    if (prune > 1) {
+      return Status::InvalidArgument("stream state: prune_redundant byte " +
+                                     std::to_string(prune) +
+                                     " is not 0 or 1");
+    }
+    s.stream_config.prune_redundant = prune != 0;
+    DAR_ASSIGN_OR_RETURN(s.stream_config.prune_min_overlap, r.F64());
+    DAR_ASSIGN_OR_RETURN(uint8_t diff, r.U8());
+    if (diff > 1) {
+      return Status::InvalidArgument("stream state: diff_snapshots byte " +
+                                     std::to_string(diff) +
+                                     " is not 0 or 1");
+    }
+    s.stream_config.diff_snapshots = diff != 0;
+    DAR_ASSIGN_OR_RETURN(s.stream_config.drift_interval_tolerance, r.F64());
+    DAR_ASSIGN_OR_RETURN(s.stream_config.drift_degree_tolerance, r.F64());
+  }
   DAR_RETURN_IF_ERROR(r.ExpectEnd("stream state section"));
   DAR_RETURN_IF_ERROR(s.stream_config.Validate());
   if (s.rows_ingested < 0 || s.rows_at_snapshot < 0 ||
@@ -75,6 +114,43 @@ Result<StreamState> DecodeStreamStateSection(std::string_view bytes) {
         std::to_string(s.rows_at_checkpoint));
   }
   return s;
+}
+
+// kRetainedRows payload: u64 rows, u64 cols, then row-major F64 values.
+// Saved only by streams that retain tuples for the support post-scan.
+std::string EncodeRetainedRowsSection(const Relation& rel) {
+  persist::WireWriter w;
+  w.U64(rel.num_rows());
+  w.U64(rel.num_columns());
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    for (double value : rel.Row(r)) {
+      w.F64(value);
+    }
+  }
+  return std::move(w).Take();
+}
+
+Result<Relation> DecodeRetainedRowsSection(std::string_view bytes,
+                                           const Schema& schema) {
+  persist::WireReader r(bytes);
+  DAR_ASSIGN_OR_RETURN(uint64_t rows, r.U64());
+  DAR_ASSIGN_OR_RETURN(uint64_t cols, r.U64());
+  Relation rel(schema);
+  if (cols != rel.num_columns()) {
+    return Status::InvalidArgument(
+        "retained rows section has " + std::to_string(cols) +
+        " columns, schema has " + std::to_string(rel.num_columns()));
+  }
+  rel.Reserve(static_cast<size_t>(rows));
+  std::vector<double> row(static_cast<size_t>(cols));
+  for (uint64_t i = 0; i < rows; ++i) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      DAR_ASSIGN_OR_RETURN(row[static_cast<size_t>(c)], r.F64());
+    }
+    DAR_RETURN_IF_ERROR(rel.AppendRow(row));
+  }
+  DAR_RETURN_IF_ERROR(r.ExpectEnd("retained rows section"));
+  return rel;
 }
 
 void RecordSave(telemetry::MetricsRegistry* reg, size_t bytes,
@@ -137,6 +213,11 @@ Status StreamingMiner::SaveCheckpoint(
   writer.AddSection(SectionId::kShards,
                     persist::EncodeShardsSection({&shard, 1}));
 
+  if (retains_rows()) {
+    writer.AddSection(SectionId::kRetainedRows,
+                      EncodeRetainedRowsSection(retained_rows_));
+  }
+
   std::shared_ptr<const RuleSnapshot> snap = snapshot_.load();
   if (snap != nullptr) {
     writer.AddSection(
@@ -198,6 +279,15 @@ Result<RestoredStream> StreamingMiner::RestoreFromFile(
                        reader.Section(SectionId::kStreamState));
   DAR_ASSIGN_OR_RETURN(StreamState state,
                        DecodeStreamStateSection(state_bytes));
+  // Same invariant StreamingMiner::Make enforces: scoring needs the
+  // support post-scan, which needs retained tuples.
+  if (!state.stream_config.score_measures.empty() &&
+      !config.count_rule_support) {
+    return Status::InvalidArgument(
+        "'" + path + "': the checkpointed stream scores measures (" +
+        "StreamConfig::score_measures) but the restoring config has "
+        "count_rule_support off");
+  }
   // Shard identity travels in the provenance section (absent in
   // checkpoints predating it, which restore as anonymous).
   if (reader.HasSection(SectionId::kShards)) {
@@ -252,6 +342,30 @@ Result<RestoredStream> StreamingMiner::RestoreFromFile(
                                   std::memory_order_release);
   stream->generation_.store(state.generation, std::memory_order_release);
   stream->rows_at_checkpoint_ = state.rows_at_checkpoint;
+
+  if (reader.HasSection(SectionId::kRetainedRows)) {
+    DAR_ASSIGN_OR_RETURN(std::string_view rows_bytes,
+                         reader.Section(SectionId::kRetainedRows));
+    DAR_ASSIGN_OR_RETURN(Relation retained,
+                         DecodeRetainedRowsSection(rows_bytes, schema));
+    if (static_cast<int64_t>(retained.num_rows()) != state.rows_ingested) {
+      return Status::InvalidArgument(
+          "'" + path + "': retained rows section has " +
+          std::to_string(retained.num_rows()) +
+          " rows but stream state recorded " +
+          std::to_string(state.rows_ingested));
+    }
+    if (stream->retains_rows()) {
+      stream->retained_rows_ = std::move(retained);
+    }
+    // A restoring config without count_rule_support simply drops the
+    // retained tuples: the stream stops rescanning.
+  } else if (stream->retains_rows() && state.rows_ingested > 0) {
+    return Status::InvalidArgument(
+        "'" + path + "': the restoring config sets count_rule_support but "
+        "the checkpoint retained no tuples (it was saved without "
+        "count_rule_support), so the support post-scan cannot resume");
+  }
 
   if (reader.HasSection(SectionId::kSnapshot)) {
     DAR_ASSIGN_OR_RETURN(std::string_view snap_bytes,

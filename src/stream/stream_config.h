@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -48,9 +49,41 @@ struct StreamConfig {
   /// are never treated as duplicates.
   int64_t shard_id = -1;
 
-  /// Rejects a negative cadence, and a checkpoint cadence without a
-  /// destination path. Session::OpenStream refuses to open a stream on any
-  /// violation.
+  /// Interestingness measures evaluated over every published snapshot's
+  /// rules (quality/measure.h names: "support", "confidence", "lift",
+  /// "conviction", "chi_squared", plus any measure registered on the
+  /// stream). Empty (default) disables per-snapshot scoring. Non-empty
+  /// requires DarConfig::count_rule_support: scoring needs contingency
+  /// tables, so the stream retains ingested tuples for the post-scan.
+  std::vector<std::string> score_measures;
+
+  /// When true, each scored snapshot is redundancy-pruned: near-duplicate
+  /// rules (same attribute sets, every interval dimension overlapping by
+  /// >= prune_min_overlap, dominated on degree and all scores) are marked
+  /// non-representative. Requires non-empty score_measures.
+  bool prune_redundant = false;
+
+  /// Pruning strictness in [0, 1]: the per-dimension Jaccard overlap two
+  /// rules must exceed to be considered near-duplicates. Higher = stricter
+  /// = fewer rules pruned.
+  double prune_min_overlap = 0.5;
+
+  /// When true, every published snapshot (after the first) carries a
+  /// SnapshotDiff against its predecessor classifying rules as born /
+  /// died / drifted / unchanged, surfaced via quality.* telemetry and the
+  /// serve diff endpoints.
+  bool diff_snapshots = false;
+
+  /// A matched rule counts as drifted when any interval endpoint moved by
+  /// more than this fraction of the interval width...
+  double drift_interval_tolerance = 0.05;
+
+  /// ...or its degree moved by more than this relative fraction.
+  double drift_degree_tolerance = 0.05;
+
+  /// Rejects a negative cadence, a checkpoint cadence without a
+  /// destination path, and inconsistent quality knobs. Session::OpenStream
+  /// refuses to open a stream on any violation.
   [[nodiscard]] Status Validate() const {
     if (remine_every_rows < 0) {
       return Status::InvalidArgument(
@@ -71,6 +104,32 @@ struct StreamConfig {
       return Status::InvalidArgument(
           "StreamConfig::shard_id must be >= -1 (-1 = anonymous), got " +
           std::to_string(shard_id));
+    }
+    for (const std::string& name : score_measures) {
+      if (name.empty()) {
+        return Status::InvalidArgument(
+            "StreamConfig::score_measures contains an empty name");
+      }
+    }
+    if (prune_redundant && score_measures.empty()) {
+      return Status::InvalidArgument(
+          "StreamConfig::prune_redundant requires score_measures: pruning "
+          "compares rule scores to pick representatives");
+    }
+    if (prune_min_overlap < 0.0 || prune_min_overlap > 1.0) {
+      return Status::InvalidArgument(
+          "StreamConfig::prune_min_overlap must be in [0, 1], got " +
+          std::to_string(prune_min_overlap));
+    }
+    if (drift_interval_tolerance < 0.0) {
+      return Status::InvalidArgument(
+          "StreamConfig::drift_interval_tolerance must be >= 0, got " +
+          std::to_string(drift_interval_tolerance));
+    }
+    if (drift_degree_tolerance < 0.0) {
+      return Status::InvalidArgument(
+          "StreamConfig::drift_degree_tolerance must be >= 0, got " +
+          std::to_string(drift_degree_tolerance));
     }
     return Status::OK();
   }

@@ -13,6 +13,7 @@
 #include "core/config.h"
 #include "core/observer.h"
 #include "core/phase1_builder.h"
+#include "quality/measure.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
 #include "relation/schema.h"
@@ -57,8 +58,18 @@ struct RestoredStream {
 /// the number of clusters, not to the stream length. Because the per-tree
 /// insert sequence is identical to the batch path, a stream fed K
 /// micro-batches on one thread publishes exactly the rule set a one-shot
-/// Session::Mine over the concatenated batches derives (DistanceRule::
-/// support_count stays -1: the stream retains no tuples to rescan).
+/// Session::Mine over the concatenated batches derives.
+///
+/// Support counts and the quality layer: when the session's DarConfig has
+/// count_rule_support set, the stream retains every ingested tuple and
+/// each re-mine runs the §6.2 post-scan over the retained rows, so the
+/// published rules carry exact support_count values just like the batch
+/// path (without it, support_count stays -1: nothing is retained to
+/// rescan). On top of that scan, StreamConfig::score_measures evaluates
+/// interestingness measures per rule, prune_redundant marks near-duplicate
+/// rules, and diff_snapshots classifies rules as born/died/drifted against
+/// the previous generation — all carried by the published RuleSnapshot
+/// (scored()/diff()) and surfaced as quality.* telemetry.
 ///
 /// Threading contract: ONE writer thread calls Ingest/IngestRow/Remine;
 /// any number of reader threads call snapshot()/Query()/generation()/
@@ -110,6 +121,16 @@ class StreamingMiner {
   /// current snapshot, regardless of cadence. Returns the published
   /// snapshot. Fails (and publishes nothing) when no rows were ingested.
   Result<std::shared_ptr<const RuleSnapshot>> Remine();
+
+  /// Adds a user-defined interestingness measure to this stream's registry
+  /// so StreamConfig::score_measures may name it. The built-ins (support,
+  /// confidence, lift, conviction, chi_squared) are pre-registered. Fails
+  /// AlreadyExists on a name collision. Writer-thread only; register
+  /// before the first re-mine that scores.
+  Status RegisterMeasure(
+      std::unique_ptr<quality::InterestingnessMeasure> measure) {
+    return measures_.Register(std::move(measure));
+  }
 
   /// Writes the stream's complete resumable state to `path` atomically
   /// (write-to-temp + rename; see persist/checkpoint_io.h for the format):
@@ -207,6 +228,22 @@ class StreamingMiner {
   // stream_checkpoint.cc with the rest of the persistence glue.
   Status MaybeCheckpoint();
 
+  // True when ingested tuples are kept for the per-remine support
+  // post-scan (and everything built on it).
+  [[nodiscard]] bool retains_rows() const {
+    return config_.count_rule_support;
+  }
+
+  // Computes the quality tail of one re-mine over the freshly derived
+  // results: the support post-scan over retained_rows_ (updating each
+  // rule's support_count in place), measure scoring, redundancy pruning,
+  // and — when `previous` is non-null — the diff against it. Returns empty
+  // artifacts when the stream retains nothing.
+  Result<QualityArtifacts> ComputeQuality(const Phase1Result& phase1,
+                                          Phase2Result& phase2,
+                                          const RuleSnapshot* previous,
+                                          uint64_t new_generation);
+
   DarConfig config_;
   StreamConfig stream_config_;
   Schema schema_;
@@ -215,6 +252,11 @@ class StreamingMiner {
   std::shared_ptr<telemetry::MetricsRegistry> registry_;  // may be null
   MiningObserver* observer_ = nullptr;  // not owned; may be null
   Phase1Builder builder_;  // writer-thread only
+  // Every ingested tuple, kept only when retains_rows(): the §6.2 support
+  // post-scan and the quality layer rescan it each re-mine. Memory is then
+  // O(stream length) — the caller opted in via count_rule_support.
+  Relation retained_rows_;  // writer-thread only
+  quality::MeasureRegistry measures_;  // writer-thread only
 
   SnapshotCell<const RuleSnapshot> snapshot_;
   std::atomic<uint64_t> generation_{0};
@@ -236,6 +278,11 @@ class StreamingMiner {
   telemetry::Gauge* snapshot_clusters_ = nullptr;
   telemetry::Histogram* ingest_seconds_ = nullptr;
   telemetry::Histogram* remine_seconds_ = nullptr;
+  telemetry::Counter* rules_scored_ = nullptr;
+  telemetry::Counter* rules_pruned_ = nullptr;
+  telemetry::Counter* rules_born_ = nullptr;
+  telemetry::Counter* rules_died_ = nullptr;
+  telemetry::Counter* rules_drifted_ = nullptr;
 };
 
 }  // namespace dar

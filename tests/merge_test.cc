@@ -585,8 +585,9 @@ TEST(MergeCheckpointsTest, RejectsVersionSkewedCheckpoint) {
   const std::string b = WriteShardCheckpoint(
       *session, data.relation, data.partition, 60, 120, 1, "skew_b.ckpt");
 
-  // Patch b's header to claim format_version 2 (with a valid header CRC,
-  // so the *version*, not corruption, is what gets reported).
+  // Patch b's header to claim a format_version one past the library's
+  // (with a valid header CRC, so the *version*, not corruption, is what
+  // gets reported).
   std::string bytes;
   {
     std::ifstream in(b, std::ios::binary);

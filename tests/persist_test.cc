@@ -132,6 +132,41 @@ TEST(CheckpointIoTest, UnknownSectionIdsAreTolerated) {
   EXPECT_EQ(persist::SectionName(42), "unknown");
 }
 
+TEST(CheckpointIoTest, Version1PayloadOnlyCrcStillReads) {
+  // A version-1 container built by hand: section CRCs cover the payload
+  // bytes only (the pre-v2 layout). The reader must keep accepting it.
+  WireWriter w;
+  w.Raw(std::string_view(persist::kCheckpointMagic,
+                         sizeof(persist::kCheckpointMagic)));
+  w.U32(1);  // format_version 1
+  w.U32(1);  // section_count
+  w.U32(persist::Crc32(std::string_view(w.bytes()).substr(0, 16)));
+  const std::string payload = "v1-payload";
+  w.U32(static_cast<uint32_t>(SectionId::kConfig));
+  w.U64(payload.size());
+  w.Raw(payload);
+  w.U32(persist::Crc32(payload));
+
+  auto reader = CheckpointReader::Parse(std::move(w).Take());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->format_version(), 1u);
+  EXPECT_EQ(reader->Section(SectionId::kConfig).ValueOrDie(), payload);
+}
+
+TEST(CheckpointIoTest, SectionIdCorruptionIsDetected) {
+  // The v2 section CRC covers the id + length header: flipping a bit in
+  // an (optional) section's id must fail the parse, not silently turn
+  // the section into an ignorable unknown one.
+  CheckpointWriter writer;
+  writer.AddSection(SectionId::kShards, "shard-bytes");
+  std::string bytes = writer.Serialize();
+  bytes[persist::kHeaderBytes + 2] ^= 0x01;  // third byte of the u32 id
+  auto reader = CheckpointReader::Parse(std::move(bytes));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("CRC"), std::string::npos)
+      << reader.status();
+}
+
 TEST(CheckpointIoTest, DuplicateSectionsRefused) {
   CheckpointWriter writer;
   writer.AddSection(SectionId::kConfig, "a");

@@ -935,5 +935,468 @@ TEST(RuleServerTest, HotSwapUnderLoadStaysConsistent) {
   std::remove(ckpt.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Quality layer over the wire: scored listings and drift diffs
+
+DarConfig QualityConfig() {
+  DarConfig config = TestConfig();
+  // Measures are ratios over the §6.2 contingency scan, so the stream
+  // must retain tuples and count rule support.
+  config.count_rule_support = true;
+  return config;
+}
+
+StreamConfig QualityCadence() {
+  StreamConfig config = ManualCadence();
+  config.score_measures = {"support", "confidence", "lift", "conviction",
+                           "chi2"};
+  config.prune_redundant = true;
+  config.diff_snapshots = true;
+  return config;
+}
+
+// Two published generations (first half, then all rows) so the current
+// snapshot carries both scores and a generation-over-generation diff.
+ServedStream MakeQualityServedStream(size_t rows = 3000) {
+  auto session = Session::Builder()
+                     .WithConfig(QualityConfig())
+                     .WithThreads(1)
+                     .Build();
+  EXPECT_TRUE(session.ok()) << session.status();
+  auto data = TestData(rows);
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    QualityCadence());
+  EXPECT_TRUE(stream.ok()) << stream.status();
+  for (size_t r = 0; r < rows / 2; ++r) {
+    EXPECT_TRUE((*stream)->IngestRow(data.relation.Row(r)).ok());
+  }
+  EXPECT_TRUE((*stream)->Remine().ok());
+  for (size_t r = rows / 2; r < rows; ++r) {
+    EXPECT_TRUE((*stream)->IngestRow(data.relation.Row(r)).ok());
+  }
+  EXPECT_TRUE((*stream)->Remine().ok());
+  return ServedStream{*std::move(session), std::move(data),
+                      std::move(*stream)};
+}
+
+TEST(ProtocolTest, ScoredAndDiffRequestRoundTrip) {
+  persist::WireWriter payload;
+  std::vector<double> scratch;
+
+  ScoredRuleListRequest scored;
+  scored.offset = 4;
+  scored.limit = 9;
+  scored.include_text = true;
+  scored.measure = "lift";
+  scored.has_min = true;
+  scored.min_score = 1.5;
+  scored.has_max = true;
+  scored.max_score = 3.0;
+  scored.include_pruned = true;
+  serve::EncodeScoredRuleListRequest(11, scored, payload);
+  auto decoded = serve::DecodeRequest(payload.bytes(), scratch);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->header.method, serve::Method::kListRulesScored);
+  EXPECT_EQ(decoded->header.request_id, 11u);
+  EXPECT_EQ(decoded->scored.measure, "lift");
+  EXPECT_EQ(decoded->scored.offset, 4u);
+  EXPECT_EQ(decoded->scored.limit, 9u);
+  EXPECT_TRUE(decoded->scored.include_text);
+  ASSERT_TRUE(decoded->scored.has_min);
+  EXPECT_EQ(decoded->scored.min_score, 1.5);
+  ASSERT_TRUE(decoded->scored.has_max);
+  EXPECT_EQ(decoded->scored.max_score, 3.0);
+  EXPECT_TRUE(decoded->scored.include_pruned);
+
+  RuleDiffRequest diff;
+  diff.limit = 17;
+  diff.include_text = true;
+  serve::EncodeRuleDiffRequest(12, diff, payload);
+  auto decoded_diff = serve::DecodeRequest(payload.bytes(), scratch);
+  ASSERT_TRUE(decoded_diff.ok()) << decoded_diff.status();
+  EXPECT_EQ(decoded_diff->header.method, serve::Method::kDiff);
+  EXPECT_EQ(decoded_diff->diff.limit, 17u);
+  EXPECT_TRUE(decoded_diff->diff.include_text);
+}
+
+TEST(ProtocolTest, ScoredAndDiffResponseRoundTrip) {
+  serve::RequestHeader header;
+  header.method = serve::Method::kListRulesScored;
+  header.request_id = 21;
+  persist::WireWriter payload;
+
+  ScoredRuleListResponse scored;
+  scored.generation = 3;
+  scored.rows_ingested = 64;
+  scored.total_matching = 2;
+  scored.offset = 1;
+  scored.measure = "conviction";
+  ScoredRuleListEntry entry;
+  entry.id = 7;
+  entry.degree = 0.25;
+  entry.support_count = 12;
+  entry.score = 4.5;
+  entry.representative = false;
+  entry.antecedent_size = 2;
+  entry.consequent_size = 1;
+  entry.text = "[A B] => [C]";
+  scored.rules.push_back(entry);
+  serve::EncodeScoredRuleListResponse(header, scored, payload);
+  {
+    persist::WireReader reader{std::string_view(payload.bytes())};
+    auto decoded_header = serve::DecodeResponseHeader(reader);
+    ASSERT_TRUE(decoded_header.ok()) << decoded_header.status();
+    EXPECT_EQ(decoded_header->code, ServeCode::kOk);
+    ScoredRuleListResponse out;
+    ASSERT_TRUE(serve::DecodeScoredRuleListBody(reader, out).ok());
+    EXPECT_EQ(out.generation, 3u);
+    EXPECT_EQ(out.rows_ingested, 64);
+    EXPECT_EQ(out.total_matching, 2u);
+    EXPECT_EQ(out.offset, 1u);
+    EXPECT_EQ(out.measure, "conviction");
+    ASSERT_EQ(out.rules.size(), 1u);
+    EXPECT_EQ(out.rules[0].id, 7u);
+    EXPECT_EQ(out.rules[0].degree, 0.25);
+    EXPECT_EQ(out.rules[0].support_count, 12);
+    EXPECT_EQ(out.rules[0].score, 4.5);
+    EXPECT_FALSE(out.rules[0].representative);
+    EXPECT_EQ(out.rules[0].text, entry.text);
+  }
+
+  RuleDiffResponse diff;
+  diff.old_generation = 2;
+  diff.new_generation = 3;
+  diff.rows_ingested = 64;
+  diff.born = 1;
+  diff.died = 1;
+  diff.drifted = 1;
+  diff.unchanged = 5;
+  diff.total_changed = 3;
+  RuleDiffEntry born;
+  born.kind = 2;
+  born.rule_id = 4;
+  born.degree = 0.5;
+  born.text = "[A] => [B]";
+  diff.entries.push_back(born);
+  RuleDiffEntry drifted;
+  drifted.kind = 1;
+  drifted.rule_id = 2;
+  drifted.interval_shift = 0.75;
+  diff.entries.push_back(drifted);
+  RuleDiffEntry died;
+  died.kind = 3;
+  died.rule_id = 9;
+  diff.entries.push_back(died);
+  header.method = serve::Method::kDiff;
+  serve::EncodeRuleDiffResponse(header, diff, payload);
+  {
+    persist::WireReader reader{std::string_view(payload.bytes())};
+    auto decoded_header = serve::DecodeResponseHeader(reader);
+    ASSERT_TRUE(decoded_header.ok()) << decoded_header.status();
+    RuleDiffResponse out;
+    ASSERT_TRUE(serve::DecodeRuleDiffBody(reader, out).ok());
+    EXPECT_EQ(out.old_generation, 2u);
+    EXPECT_EQ(out.new_generation, 3u);
+    EXPECT_EQ(out.born, 1u);
+    EXPECT_EQ(out.died, 1u);
+    EXPECT_EQ(out.drifted, 1u);
+    EXPECT_EQ(out.unchanged, 5u);
+    EXPECT_EQ(out.total_changed, 3u);
+    ASSERT_EQ(out.entries.size(), 3u);
+    EXPECT_EQ(out.entries[0].kind, 2);
+    EXPECT_EQ(out.entries[0].rule_id, 4u);
+    EXPECT_EQ(out.entries[0].text, born.text);
+    EXPECT_EQ(out.entries[1].kind, 1);
+    EXPECT_EQ(out.entries[1].interval_shift, 0.75);
+    EXPECT_EQ(out.entries[2].kind, 3);
+    EXPECT_EQ(out.entries[2].rule_id, 9u);
+    EXPECT_TRUE(out.entries[2].text.empty());
+  }
+}
+
+TEST(QueryServiceTest, ScoredListingRanksFiltersAndPaginates) {
+  ServedStream served = MakeQualityServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+
+  ScoredRuleListRequest request;
+  request.measure = "lift";
+  request.include_text = true;
+  request.limit = kMaxRuleListLimit;
+  ScoredRuleListResponse all;
+  ASSERT_TRUE(service.ListRulesScored(request, all).ok());
+  EXPECT_EQ(all.measure, "lift");
+  EXPECT_EQ(all.generation, served.stream->generation());
+  ASSERT_GT(all.rules.size(), 1u) << "test needs a multi-rule snapshot";
+  EXPECT_EQ(all.rules.size(), all.total_matching);
+  for (size_t i = 0; i < all.rules.size(); ++i) {
+    EXPECT_TRUE(all.rules[i].representative);  // pruned excluded by default
+    EXPECT_GE(all.rules[i].support_count, 0);  // quality streams rescan
+    EXPECT_FALSE(all.rules[i].text.empty());
+    if (i == 0) continue;
+    // Descending score; ties break to ascending rule id, so the ranking
+    // (and every page cut from it) is deterministic.
+    const ScoredRuleListEntry& prev = all.rules[i - 1];
+    EXPECT_TRUE(prev.score > all.rules[i].score ||
+                (prev.score == all.rules[i].score &&
+                 prev.id < all.rules[i].id))
+        << "rank " << i << ": " << prev.score << " then "
+        << all.rules[i].score;
+  }
+
+  // Score band: [min, max] keeps exactly the in-band entries.
+  const double cut = all.rules[all.rules.size() / 2].score;
+  request.has_min = true;
+  request.min_score = cut;
+  request.has_max = true;
+  request.max_score = all.rules[0].score;
+  request.include_text = false;
+  ScoredRuleListResponse banded;
+  ASSERT_TRUE(service.ListRulesScored(request, banded).ok());
+  EXPECT_GT(banded.total_matching, 0u);
+  EXPECT_LE(banded.total_matching, all.total_matching);
+  for (const ScoredRuleListEntry& in_band : banded.rules) {
+    EXPECT_GE(in_band.score, cut);
+    EXPECT_LE(in_band.score, all.rules[0].score);
+    EXPECT_TRUE(in_band.text.empty());
+  }
+
+  // Pagination walks the same ranking.
+  request.has_min = false;
+  request.has_max = false;
+  request.limit = 1;
+  request.offset = 1;
+  ScoredRuleListResponse page;
+  ASSERT_TRUE(service.ListRulesScored(request, page).ok());
+  ASSERT_EQ(page.rules.size(), 1u);
+  EXPECT_EQ(page.rules[0].id, all.rules[1].id);
+  EXPECT_EQ(page.total_matching, all.total_matching);
+  EXPECT_EQ(page.offset, 1u);
+
+  // include_pruned can only widen the listing, never reorder the
+  // representatives' relative ranks.
+  request.offset = 0;
+  request.limit = kMaxRuleListLimit;
+  request.include_pruned = true;
+  ScoredRuleListResponse widened;
+  ASSERT_TRUE(service.ListRulesScored(request, widened).ok());
+  EXPECT_GE(widened.total_matching, all.total_matching);
+}
+
+TEST(QueryServiceTest, ScoredListingAndDiffErrorContracts) {
+  // A plain stream (no quality config): the scored listing is an invalid
+  // request and the diff is unavailable — both say what to enable.
+  ServedStream plain = MakeServedStream(1000);
+  QueryService plain_service;
+  plain_service.AttachStream(*plain.stream);
+  ScoredRuleListRequest scored;
+  scored.measure = "lift";
+  ScoredRuleListResponse scored_out;
+  Status no_scores = plain_service.ListRulesScored(scored, scored_out);
+  ASSERT_FALSE(no_scores.ok());
+  EXPECT_TRUE(no_scores.IsInvalidArgument()) << no_scores;
+  EXPECT_NE(no_scores.message().find("score_measures"), std::string::npos);
+  RuleDiffRequest diff;
+  RuleDiffResponse diff_out;
+  Status no_diff = plain_service.Diff(diff, diff_out);
+  ASSERT_FALSE(no_diff.ok());
+  EXPECT_TRUE(no_diff.IsUnavailable()) << no_diff;
+  EXPECT_NE(no_diff.message().find("diff_snapshots"), std::string::npos);
+
+  // A quality stream rejects unknown measures by name and lists the
+  // measures it does have.
+  ServedStream served = MakeQualityServedStream(1000);
+  QueryService service;
+  service.AttachStream(*served.stream);
+  scored.measure = "novelty";
+  Status unknown = service.ListRulesScored(scored, scored_out);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.IsNotFound()) << unknown;
+  EXPECT_NE(unknown.message().find("novelty"), std::string::npos);
+  EXPECT_NE(unknown.message().find("lift"), std::string::npos);
+}
+
+TEST(QueryServiceTest, DiffCountsMatchSnapshotAndDiedEntriesHaveNoText) {
+  ServedStream served = MakeQualityServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+
+  SnapshotInfoResponse info;
+  ASSERT_TRUE(service.SnapshotInfo(info).ok());
+
+  RuleDiffRequest request;
+  request.include_text = true;
+  request.limit = kMaxRuleListLimit;
+  RuleDiffResponse response;
+  ASSERT_TRUE(service.Diff(request, response).ok());
+  EXPECT_EQ(response.old_generation, 1u);
+  EXPECT_EQ(response.new_generation, 2u);
+  EXPECT_EQ(response.rows_ingested, info.rows_ingested);
+  EXPECT_EQ(response.total_changed,
+            response.born + response.died + response.drifted);
+  // Every current rule is accounted for exactly once on the new side.
+  EXPECT_EQ(response.unchanged + response.drifted + response.born,
+            info.num_rules);
+  ASSERT_EQ(response.entries.size(), response.total_changed);
+
+  uint32_t born = 0;
+  uint32_t died = 0;
+  uint32_t drifted = 0;
+  for (const RuleDiffEntry& entry : response.entries) {
+    switch (entry.kind) {
+      case 1:
+        ++drifted;
+        EXPECT_LT(entry.rule_id, info.num_rules);
+        EXPECT_FALSE(entry.text.empty());
+        break;
+      case 2:
+        ++born;
+        EXPECT_LT(entry.rule_id, info.num_rules);
+        EXPECT_FALSE(entry.text.empty());
+        break;
+      case 3:
+        ++died;
+        // Died rules index the PREVIOUS generation; its naming context is
+        // gone, so no text even when asked.
+        EXPECT_TRUE(entry.text.empty());
+        EXPECT_EQ(entry.degree, 0.0);
+        EXPECT_EQ(entry.interval_shift, 0.0);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected diff kind "
+                      << static_cast<int>(entry.kind);
+    }
+  }
+  EXPECT_EQ(born, response.born);
+  EXPECT_EQ(died, response.died);
+  EXPECT_EQ(drifted, response.drifted);
+
+  // Truncation keeps the counts: limit 1 still reports the same totals.
+  request.limit = 1;
+  RuleDiffResponse truncated;
+  ASSERT_TRUE(service.Diff(request, truncated).ok());
+  EXPECT_EQ(truncated.total_changed, response.total_changed);
+  EXPECT_EQ(truncated.unchanged, response.unchanged);
+  if (truncated.total_changed > 0) {
+    ASSERT_EQ(truncated.entries.size(), 1u);
+    EXPECT_EQ(truncated.entries[0].kind, response.entries[0].kind);
+    EXPECT_EQ(truncated.entries[0].rule_id, response.entries[0].rule_id);
+  }
+}
+
+TEST(RuleServerTest, ScoredAndDiffBinaryEndToEnd) {
+  ServedStream served = MakeQualityServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+  serve::RuleServer server(service, serve::ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client =
+      serve::RuleClient::Connect("127.0.0.1", server.port(), "tenant-q");
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Remote scored listings agree byte-for-byte with in-process answers.
+  ScoredRuleListRequest scored;
+  scored.measure = "confidence";
+  scored.include_text = true;
+  scored.limit = 5;
+  ScoredRuleListResponse local;
+  ScoredRuleListResponse remote;
+  ASSERT_TRUE(service.ListRulesScored(scored, local).ok());
+  ASSERT_TRUE(client->ListRulesScored(scored, remote).ok());
+  EXPECT_EQ(remote.generation, local.generation);
+  EXPECT_EQ(remote.total_matching, local.total_matching);
+  EXPECT_EQ(remote.measure, local.measure);
+  ASSERT_EQ(remote.rules.size(), local.rules.size());
+  for (size_t i = 0; i < local.rules.size(); ++i) {
+    EXPECT_EQ(remote.rules[i].id, local.rules[i].id);
+    EXPECT_EQ(remote.rules[i].score, local.rules[i].score);
+    EXPECT_EQ(remote.rules[i].degree, local.rules[i].degree);
+    EXPECT_EQ(remote.rules[i].support_count, local.rules[i].support_count);
+    EXPECT_EQ(remote.rules[i].representative, local.rules[i].representative);
+    EXPECT_EQ(remote.rules[i].text, local.rules[i].text);
+  }
+
+  RuleDiffRequest diff;
+  diff.include_text = true;
+  RuleDiffResponse local_diff;
+  RuleDiffResponse remote_diff;
+  ASSERT_TRUE(service.Diff(diff, local_diff).ok());
+  ASSERT_TRUE(client->Diff(diff, remote_diff).ok());
+  EXPECT_EQ(remote_diff.old_generation, local_diff.old_generation);
+  EXPECT_EQ(remote_diff.new_generation, local_diff.new_generation);
+  EXPECT_EQ(remote_diff.born, local_diff.born);
+  EXPECT_EQ(remote_diff.died, local_diff.died);
+  EXPECT_EQ(remote_diff.drifted, local_diff.drifted);
+  EXPECT_EQ(remote_diff.unchanged, local_diff.unchanged);
+  ASSERT_EQ(remote_diff.entries.size(), local_diff.entries.size());
+  for (size_t i = 0; i < local_diff.entries.size(); ++i) {
+    EXPECT_EQ(remote_diff.entries[i].kind, local_diff.entries[i].kind);
+    EXPECT_EQ(remote_diff.entries[i].rule_id, local_diff.entries[i].rule_id);
+    EXPECT_EQ(remote_diff.entries[i].interval_shift,
+              local_diff.entries[i].interval_shift);
+    EXPECT_EQ(remote_diff.entries[i].text, local_diff.entries[i].text);
+  }
+
+  // An unknown measure crosses the wire as NotFound, message intact.
+  scored.measure = "novelty";
+  Status unknown = client->ListRulesScored(scored, remote);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.IsNotFound()) << unknown;
+  EXPECT_NE(unknown.message().find("novelty"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(RuleServerTest, HttpScoredAndDiffEndpoints) {
+  ServedStream served = MakeQualityServedStream();
+  QueryService service;
+  service.AttachStream(*served.stream);
+
+  // The measure-filtered listing rides the same /v1/rules path, selected
+  // by the presence of ?measure=.
+  auto scored = serve::ParseHttpRequest(
+      "GET /v1/rules?measure=lift&min=0&text=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(scored.ok()) << scored.status();
+  std::string response = serve::HandleHttpRequest(service, *scored);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"measure\":\"lift\""), std::string::npos);
+  EXPECT_NE(response.find("\"total_matching\":"), std::string::npos);
+  EXPECT_NE(response.find("\"score\":"), std::string::npos);
+  EXPECT_NE(response.find("\"representative\":"), std::string::npos);
+  EXPECT_NE(response.find("\"text\":"), std::string::npos);
+
+  auto diff =
+      serve::ParseHttpRequest("GET /v1/diff?text=1 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  response = serve::HandleHttpRequest(service, *diff);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"old_generation\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"new_generation\":2"), std::string::npos);
+  EXPECT_NE(response.find("\"born\":"), std::string::npos);
+  EXPECT_NE(response.find("\"unchanged\":"), std::string::npos);
+
+  // Unknown measure maps to HTTP 404 like any NotFound.
+  auto unknown = serve::ParseHttpRequest(
+      "GET /v1/rules?measure=novelty HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(unknown.ok());
+  response = serve::HandleHttpRequest(service, *unknown);
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(response.find("novelty"), std::string::npos);
+
+  // A bad score bound is the caller's error, not a server fault.
+  auto bad = serve::ParseHttpRequest(
+      "GET /v1/rules?measure=lift&min=abc HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(bad.ok());
+  response = serve::HandleHttpRequest(service, *bad);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+
+  // The catch-all 404 advertises the diff endpoint.
+  auto missing = serve::ParseHttpRequest("GET /v1/nope HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(serve::HandleHttpRequest(service, *missing).find("/v1/diff"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace dar

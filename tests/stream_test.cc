@@ -470,5 +470,247 @@ TEST(StreamTest, KillRestoreContinueEqualsUninterruptedStream) {
   std::remove(ckpt.c_str());
 }
 
+// --- dar::quality integration: support post-scan on the streaming path,
+// scored/pruned/diffed snapshots, and retained-row checkpoints. ---
+
+DarConfig QualityConfig() {
+  DarConfig config = TestConfig();
+  config.count_rule_support = true;  // the stream retains rows and rescans
+  return config;
+}
+
+Result<Session> QualitySession(int threads = 1) {
+  return Session::Builder()
+      .WithConfig(QualityConfig())
+      .WithThreads(threads)
+      .Build();
+}
+
+StreamConfig QualityStreamConfig() {
+  StreamConfig sc;
+  sc.remine_every_rows = 0;
+  sc.score_measures = {"support", "confidence", "lift", "conviction",
+                       "chi2"};
+  sc.prune_redundant = true;
+  sc.diff_snapshots = true;
+  return sc;
+}
+
+// The satellite fix: DistanceRule::support_count must be filled on the
+// streaming path when the config asks for the §6.2 post-scan, and must
+// match the batch Mine over the same accumulated rows exactly.
+TEST(StreamQualityTest, StreamingSupportCountsMatchBatchMine) {
+  PlantedDataset data = TestData();
+  auto batch_session = QualitySession();
+  ASSERT_TRUE(batch_session.ok());
+  auto report = batch_session->Mine(data.relation, data.partition);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_GT(report->rules().size(), 0u);
+  for (const DistanceRule& rule : report->rules()) {
+    ASSERT_GE(rule.support_count, 0) << "batch post-scan must have run";
+  }
+
+  auto stream_session = QualitySession();
+  ASSERT_TRUE(stream_session.ok());
+  auto stream = stream_session->OpenStream(data.relation.schema(),
+                                           data.partition, Cadence(0));
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  for (size_t begin = 0; begin < data.relation.num_rows(); begin += 500) {
+    ASSERT_TRUE(
+        (*stream)->Ingest(Slice(data.relation, begin, begin + 500)).ok());
+  }
+  auto snapshot = (*stream)->Remine();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  ExpectSameRules((*snapshot)->rules(), report->rules());
+}
+
+TEST(StreamQualityTest, ScoreMeasuresRequireSupportCounting) {
+  PlantedDataset data = TestData();
+  auto session = TestSession();  // count_rule_support = false
+  ASSERT_TRUE(session.ok());
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    QualityStreamConfig());
+  ASSERT_FALSE(stream.ok());
+  EXPECT_TRUE(stream.status().IsInvalidArgument()) << stream.status();
+}
+
+TEST(StreamQualityTest, ScoredSnapshotsAreThreadCountInvariant) {
+  PlantedDataset data = TestData();
+  std::shared_ptr<const RuleSnapshot> snapshots[2];
+  const int thread_counts[] = {1, 8};
+  for (size_t i = 0; i < 2; ++i) {
+    auto session = QualitySession(thread_counts[i]);
+    ASSERT_TRUE(session.ok());
+    auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                      QualityStreamConfig());
+    ASSERT_TRUE(stream.ok()) << stream.status();
+    ASSERT_TRUE(
+        (*stream)->Ingest(Slice(data.relation, 0, 1500)).ok());
+    ASSERT_TRUE((*stream)->Remine().ok());
+    ASSERT_TRUE((*stream)
+                    ->Ingest(Slice(data.relation, 1500,
+                                   data.relation.num_rows()))
+                    .ok());
+    auto snapshot = (*stream)->Remine();
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    snapshots[i] = *snapshot;
+  }
+  const quality::ScoredRuleSet* a = snapshots[0]->scored();
+  const quality::ScoredRuleSet* b = snapshots[1]->scored();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->stats.size(), b->stats.size());
+  ASSERT_EQ(a->stats.size(), snapshots[0]->rules().size());
+  EXPECT_EQ(a->measure_names, b->measure_names);
+  for (size_t k = 0; k < a->stats.size(); ++k) {
+    EXPECT_EQ(a->stats[k].both, b->stats[k].both);
+    EXPECT_EQ(a->stats[k].antecedent, b->stats[k].antecedent);
+    EXPECT_EQ(a->stats[k].consequent, b->stats[k].consequent);
+    EXPECT_EQ(a->stats[k].total, b->stats[k].total);
+  }
+  for (size_t m = 0; m < a->scores.size(); ++m) {
+    for (size_t k = 0; k < a->scores[m].size(); ++k) {
+      EXPECT_EQ(a->scores[m][k], b->scores[m][k]);  // bitwise
+    }
+  }
+  EXPECT_EQ(a->representative, b->representative);
+  EXPECT_EQ(a->num_pruned, b->num_pruned);
+
+  const quality::SnapshotDiffResult* da = snapshots[0]->diff();
+  const quality::SnapshotDiffResult* db = snapshots[1]->diff();
+  ASSERT_NE(da, nullptr);
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(da->born, db->born);
+  EXPECT_EQ(da->died, db->died);
+  EXPECT_EQ(da->drifted, db->drifted);
+  EXPECT_EQ(da->unchanged, db->unchanged);
+  EXPECT_EQ(da->old_generation, 1u);
+  EXPECT_EQ(da->new_generation, 2u);
+}
+
+TEST(StreamQualityTest, UserRegisteredMeasureScoresSnapshots) {
+  class RowCountMeasure : public quality::InterestingnessMeasure {
+   public:
+    [[nodiscard]] std::string_view name() const override {
+      return "row_count";
+    }
+    [[nodiscard]] double Score(const RuleStats& stats) const override {
+      return static_cast<double>(stats.total);
+    }
+  };
+  PlantedDataset data = TestData();
+  auto session = QualitySession();
+  ASSERT_TRUE(session.ok());
+  StreamConfig sc;
+  sc.remine_every_rows = 0;
+  sc.score_measures = {"lift", "row_count"};
+  auto stream =
+      session->OpenStream(data.relation.schema(), data.partition, sc);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  ASSERT_TRUE(
+      (*stream)->RegisterMeasure(std::make_unique<RowCountMeasure>()).ok());
+  ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
+  auto snapshot = (*stream)->Remine();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  const quality::ScoredRuleSet* scored = (*snapshot)->scored();
+  ASSERT_NE(scored, nullptr);
+  const int m = scored->FindMeasure("row_count");
+  ASSERT_GE(m, 0);
+  for (const double score : scored->scores[static_cast<size_t>(m)]) {
+    EXPECT_EQ(score, static_cast<double>(data.relation.num_rows()));
+  }
+}
+
+// Drift end to end: a planted cluster-mean shift after row N must be
+// flagged by the second generation's diff, and the stationary control
+// (identical pipeline, shift 0) must stay quiet.
+TEST(StreamQualityTest, InjectedDriftFlaggedAndStationaryControlQuiet) {
+  const PlantedDataSpec spec = WbcdLikeSpec(4, 3, 0.0, 61);
+  const size_t n = 4000;
+  for (const double shift : {1000.0 / 3.0 * 0.25, 0.0}) {
+    auto data = GenerateDrifting(spec, n, n / 2, shift, 62);
+    ASSERT_TRUE(data.ok()) << data.status();
+    auto session = QualitySession();
+    ASSERT_TRUE(session.ok());
+    StreamConfig sc = QualityStreamConfig();
+    sc.drift_interval_tolerance = 0.25;
+    sc.drift_degree_tolerance = 0.5;
+    auto stream =
+        session->OpenStream(data->relation.schema(), data->partition, sc);
+    ASSERT_TRUE(stream.ok()) << stream.status();
+    ASSERT_TRUE((*stream)->Ingest(Slice(data->relation, 0, n / 2)).ok());
+    ASSERT_TRUE((*stream)->Remine().ok());
+    ASSERT_TRUE((*stream)->Ingest(Slice(data->relation, n / 2, n)).ok());
+    auto snapshot = (*stream)->Remine();
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    const quality::SnapshotDiffResult* diff = (*snapshot)->diff();
+    ASSERT_NE(diff, nullptr);
+    if (shift != 0.0) {
+      EXPECT_GE(diff->born + diff->died + diff->drifted, 1u)
+          << "injected mean shift must be flagged";
+    } else {
+      EXPECT_EQ(diff->born, 0u);
+      EXPECT_EQ(diff->died, 0u);
+      EXPECT_EQ(diff->drifted, 0u);
+    }
+  }
+}
+
+// Retained tuples travel with the checkpoint, so a restored stream's
+// post-scan counts and scores equal the uninterrupted stream's.
+TEST(StreamQualityTest, RetainedRowsCheckpointRoundTrip) {
+  PlantedDataset data = TestData();
+  const std::string ckpt = testing::TempDir() + "/stream_quality.ckpt";
+
+  auto session = QualitySession();
+  ASSERT_TRUE(session.ok());
+  auto stream = session->OpenStream(data.relation.schema(), data.partition,
+                                    QualityStreamConfig());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
+  auto reference = (*stream)->Remine();
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE((*stream)->SaveCheckpoint(ckpt).ok());
+
+  auto resumed_session = QualitySession(/*threads=*/4);
+  ASSERT_TRUE(resumed_session.ok());
+  auto restored = resumed_session->RestoreCheckpoint(ckpt);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  auto snapshot = restored->stream->Remine();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  ExpectSameRules((*snapshot)->rules(), (*reference)->rules());
+  const quality::ScoredRuleSet* scored = (*snapshot)->scored();
+  const quality::ScoredRuleSet* ref_scored = (*reference)->scored();
+  ASSERT_NE(scored, nullptr);
+  ASSERT_NE(ref_scored, nullptr);
+  EXPECT_EQ(scored->scores, ref_scored->scores);
+  EXPECT_EQ(scored->representative, ref_scored->representative);
+  std::remove(ckpt.c_str());
+}
+
+// A checkpoint that retained no tuples cannot resume a support-counting
+// stream: restoring it into a config that wants the post-scan must fail
+// loudly instead of publishing support_count = -1 (or wrong scores).
+TEST(StreamQualityTest, CheckpointWithoutRetainedRowsRefusesSupportConfig) {
+  PlantedDataset data = TestData();
+  const std::string ckpt = testing::TempDir() + "/stream_nosupport.ckpt";
+
+  auto plain_session = TestSession();  // count_rule_support = false
+  ASSERT_TRUE(plain_session.ok());
+  auto stream = plain_session->OpenStream(data.relation.schema(),
+                                          data.partition, Cadence(0));
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->Ingest(data.relation).ok());
+  ASSERT_TRUE((*stream)->Remine().ok());
+  ASSERT_TRUE((*stream)->SaveCheckpoint(ckpt).ok());
+
+  auto counting_session = QualitySession();
+  ASSERT_TRUE(counting_session.ok());
+  auto restored = counting_session->RestoreCheckpoint(ckpt);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument()) << restored.status();
+  std::remove(ckpt.c_str());
+}
+
 }  // namespace
 }  // namespace dar

@@ -6,7 +6,7 @@ Expected document shape (schema_version 1):
   {
     "schema_version": 1,
     "suite": "phase1" | "phase2" | "stream" | "persist" | "serve"
-             | "merge" | "micro",
+             | "merge" | "quality" | "micro",
     "smoke": bool,
     "seed": int,
     "runs": [
@@ -40,17 +40,24 @@ The "merge" suite likewise: every run must name its shard count
 merged checkpoints (counters["merge.checkpoints"]) — a run that silently
 merged fewer shards than it claims is a broken benchmark, not a slow one.
 
+The "quality" suite: every run must keep pruned <= total with finite
+score extrema, the stationary control (params.drift_injected == 0) must
+report zero born/died/drifted rules, and the drift-injected run must
+flag at least one change — a drift detector that fires on a stationary
+stream (or misses a planted mean shift) is wrong, not slow.
+
 Usage: tools/check_bench_json.py FILE [FILE...]
 Prints one `file: message` per violation and exits 1 when anything is
 found, 0 when every file is schema-valid. Stdlib only.
 """
 
 import json
+import math
 import numbers
 import sys
 
 VALID_SUITES = {"phase1", "phase2", "stream", "persist", "serve", "merge",
-                "micro"}
+                "quality", "micro"}
 VALID_UNITS = {"count", "seconds", "bytes"}
 
 
@@ -187,6 +194,43 @@ def check_merge_run(errors, where, run):
                       f"got {merged.get('value') if isinstance(merged, dict) else merged!r}")
 
 
+def check_quality_run(errors, where, run):
+    """Quality-suite invariants: pruning never invents rules, scores stay
+    finite, and drift classification matches the planted ground truth —
+    zero changes on the stationary control, at least one when a cluster-
+    mean shift was injected."""
+    params = run.get("params")
+    if not isinstance(params, dict):
+        return  # shape error already reported
+    for key in ("drift_injected", "rules_total", "rules_pruned",
+                "born", "died", "drifted", "min_score", "max_score"):
+        if not is_number(params.get(key)):
+            errors.append(f"{where}.params: missing numeric '{key}'")
+    total = params.get("rules_total")
+    pruned = params.get("rules_pruned")
+    if is_number(total) and is_number(pruned) and not (0 <= pruned <= total):
+        errors.append(f"{where}.params: rules_pruned {pruned!r} must be in "
+                      f"[0, rules_total {total!r}]")
+    for key in ("min_score", "max_score"):
+        value = params.get(key)
+        # json.load maps the JSON literals NaN/Infinity to the float
+        # specials, and a writer bug could also smuggle them in as huge
+        # doubles; math.isfinite catches both.
+        if is_number(value) and not math.isfinite(value):
+            errors.append(f"{where}.params.{key}: must be finite, "
+                          f"got {value!r}")
+    changes = [params.get(k) for k in ("born", "died", "drifted")]
+    if not all(is_number(v) for v in changes):
+        return
+    injected = params.get("drift_injected")
+    if injected == 0 and any(v != 0 for v in changes):
+        errors.append(f"{where}.params: stationary control must report "
+                      f"zero born/died/drifted, got {changes}")
+    if is_number(injected) and injected != 0 and sum(changes) < 1:
+        errors.append(f"{where}.params: drift was injected but no rule "
+                      "was born, died, or drifted")
+
+
 def check_file(path):
     errors = []
     try:
@@ -237,6 +281,8 @@ def check_file(path):
             check_serve_run(errors, where, run)
         if doc.get("suite") == "merge":
             check_merge_run(errors, where, run)
+        if doc.get("suite") == "quality":
+            check_quality_run(errors, where, run)
     return errors
 
 

@@ -29,12 +29,12 @@ import struct
 import sys
 
 MAGIC = b"DARCKPT\x00"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 HEADER_BYTES = 20
 
 SECTION_NAMES = {1: "config", 2: "schema", 3: "partition",
                  4: "dictionaries", 5: "stream_state", 6: "builder",
-                 7: "snapshot", 8: "shards"}
+                 7: "snapshot", 8: "shards", 9: "retained_rows"}
 METRIC_NAMES = {0: "euclidean", 1: "manhattan", 2: "discrete"}
 ATTRIBUTE_KINDS = {0: "interval", 1: "nominal"}
 CLUSTER_METRICS = {0: "D0", 1: "D1", 2: "D2", 3: "D3", 4: "D4"}
@@ -305,6 +305,24 @@ def show_stream_state(r, pr):
     pr.line(1, f"build_rule_index: {bool(index_byte)}")
     pr.line(1, f"checkpoint_every_rows: {r.i64('checkpoint_every_rows')}")
     pr.line(1, f"checkpoint_path: {r.str_('checkpoint_path')!r}")
+    if r.remaining() == 0:
+        return  # pre-quality checkpoint: no quality-knob tail
+    measures = [r.str_("score measure")
+                for _ in range(r.count(4, "score measure"))]
+    pr.line(1, f"score_measures: {measures}")
+    prune = r.u8("prune_redundant")
+    if prune > 1:
+        raise CorruptError(f"prune_redundant byte {prune} is not 0/1")
+    pr.line(1, f"prune_redundant: {bool(prune)}")
+    pr.line(1, f"prune_min_overlap: {pr.flt(r.f64('prune_min_overlap'))}")
+    diff = r.u8("diff_snapshots")
+    if diff > 1:
+        raise CorruptError(f"diff_snapshots byte {diff} is not 0/1")
+    pr.line(1, f"diff_snapshots: {bool(diff)}")
+    pr.line(1, "drift_interval_tolerance: "
+            f"{pr.flt(r.f64('drift_interval_tolerance'))}")
+    pr.line(1, "drift_degree_tolerance: "
+            f"{pr.flt(r.f64('drift_degree_tolerance'))}")
 
 
 def show_builder(r, pr):
@@ -394,12 +412,29 @@ def show_shards(r, pr):
         pr.line(2, f"[{i}] {label} rows={rows}")
 
 
+def show_retained_rows(r, pr):
+    """Tuples retained for the support post-scan: u64 rows, u64 cols,
+    row-major f64 values. Values are consumed (bounds-checked) but only
+    the shape is printed — the data itself can be megabytes."""
+    rows = r.u64("retained rows")
+    cols = r.u64("retained cols")
+    if rows * cols * 8 != r.remaining():
+        raise CorruptError(
+            f"retained rows section claims {rows}x{cols} values but "
+            f"{r.remaining()} payload bytes remain")
+    for _ in range(rows * cols):
+        r.f64("retained value")
+    pr.line(1, f"rows: {rows}")
+    pr.line(1, f"cols: {cols}")
+
+
 SECTION_PARSERS = {"config": show_config, "schema": show_schema,
                    "partition": show_partition,
                    "dictionaries": show_dictionaries,
                    "stream_state": show_stream_state,
                    "builder": show_builder, "snapshot": show_snapshot,
-                   "shards": show_shards}
+                   "shards": show_shards,
+                   "retained_rows": show_retained_rows}
 
 
 # ---------------------------------------------------------------------------
@@ -427,11 +462,16 @@ def parse_container(data):
     r = Reader(data, "container")
     r.pos = HEADER_BYTES
     for _ in range(section_count):
+        section_start = r.pos
         section_id = r.u32("section id")
         length = r.u64("section length")
         payload = r._take(length, f"section {section_id} payload")
         crc = r.u32("section CRC")
-        if binascii.crc32(payload) != crc:
+        # Format v2 guards the section header (id + length) along with the
+        # payload; v1 covered the payload bytes only.
+        covered = (data[section_start:section_start + 12 + length]
+                   if version >= 2 else payload)
+        if binascii.crc32(covered) != crc:
             name = SECTION_NAMES.get(section_id, "unknown")
             raise CorruptError(
                 f"section {section_id} ({name}) failed its CRC check")

@@ -1,0 +1,17 @@
+#ifndef DAR_QUALITY_BIASED_MEASURE_H_
+#define DAR_QUALITY_BIASED_MEASURE_H_
+
+// Fixture proving src/quality/ is inside the linted tree: a header-guard
+// that is correct for its path, plus one unseeded-rng violation (a
+// measure with hidden randomness would break the bit-identical scoring
+// contract, and the linter is the first line of defense).
+
+#include <random>
+
+namespace dar::quality {
+
+inline double NoisyScore() { return std::random_device{}() % 100 / 100.0; }
+
+}  // namespace dar::quality
+
+#endif  // DAR_QUALITY_BIASED_MEASURE_H_
