@@ -1,12 +1,12 @@
 // Unified JSON bench harness. Executes the phase-1-scaling,
 // phase-2-stability, streaming-remine, checkpoint-persistence,
-// rule-serving, shard-merge, rule-quality, and micro-kernel suites over
-// seeded planted generators and writes BENCH_phase1.json /
-// BENCH_phase2.json / BENCH_stream.json / BENCH_persist.json /
-// BENCH_serve.json / BENCH_merge.json / BENCH_quality.json /
-// BENCH_micro.json (by default into the current directory), seeding the
-// perf trajectory that EXPERIMENTS.md ("Reading BENCH_*.json")
-// documents.
+// rule-serving, shard-merge, rule-quality, clique-engine, and
+// micro-kernel suites over seeded planted generators and writes
+// BENCH_phase1.json / BENCH_phase2.json / BENCH_stream.json /
+// BENCH_persist.json / BENCH_serve.json / BENCH_merge.json /
+// BENCH_quality.json / BENCH_graph.json / BENCH_micro.json (by default
+// into the current directory), seeding the perf trajectory that
+// EXPERIMENTS.md ("Reading BENCH_*.json") documents.
 //
 // Usage: bench_main [--smoke] [--outdir DIR] [--seed N] [--threads N]
 //                   [--no-timings]
@@ -33,12 +33,16 @@
 
 #include "birch/acf_tree.h"
 #include "birch/metrics.h"
+#include "common/executor.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/clustering_graph.h"
 #include "core/coordinator.h"
 #include "core/session.h"
+#include "datagen/graphs.h"
 #include "datagen/planted.h"
+#include "graph/clique.h"
+#include "graph/graph.h"
 #include "quality/diff.h"
 #include "quality/scored_rules.h"
 #include "serve/client.h"
@@ -679,6 +683,229 @@ int RunServeSuite(const BenchOptions& options, std::vector<RunRecord>& runs) {
   return 0;
 }
 
+// --- Suite: graph — the dar::graph clique engine on adversarial graphs,
+// fed directly (no mining pipeline). graph/planted enumerates a >= 5k-node
+// overlapping-planted-clique graph with G(n,p) background noise, once
+// serially and once on the session executor; on multi-core hardware the
+// per-component fan-out shows up as timings.speedup ~ min(threads,
+// components). graph/moonmoser_cap and graph/moonmoser_steps drive the
+// Moon-Moser worst case (3^k maximal cliques) into each budget separately,
+// so the two truncation flags are exercised as distinct signals.
+// graph/oracle_* replay verification-sized instances against the
+// exponential brute-force oracle; dropped/spurious counts land in params
+// and must be zero (tools/check_bench_json.py enforces it). The telemetry
+// view and all params are thread-count invariant, so CI byte-diffs the
+// --no-timings output across 1 and 8 threads like every other suite. ---
+
+// Brute-force maximal-clique count oracle over bitmask subsets; only for
+// graphs with <= 20 nodes.
+std::vector<std::vector<uint32_t>> OracleMaximalCliques(
+    const graph::Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<uint64_t> nbr(n, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t w : g.Neighbors(v)) nbr[v] |= uint64_t{1} << w;
+  }
+  std::vector<std::vector<uint32_t>> out;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    bool is_clique = true;
+    for (uint32_t v = 0; v < n && is_clique; ++v) {
+      if (((mask >> v) & 1) != 0 &&
+          ((mask & ~(uint64_t{1} << v)) & ~nbr[v]) != 0) {
+        is_clique = false;
+      }
+    }
+    if (!is_clique) continue;
+    bool is_maximal = true;
+    for (uint32_t v = 0; v < n && is_maximal; ++v) {
+      if (((mask >> v) & 1) == 0 && (mask & nbr[v]) == mask) {
+        is_maximal = false;
+      }
+    }
+    if (!is_maximal) continue;
+    std::vector<uint32_t>& clique = out.emplace_back();
+    for (uint32_t v = 0; v < n; ++v) {
+      if (((mask >> v) & 1) != 0) clique.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Count of cliques in `a` missing from `b` (both sorted canonical).
+size_t MissingFrom(const std::vector<std::vector<uint32_t>>& a,
+                   const std::vector<std::vector<uint32_t>>& b) {
+  size_t missing = 0;
+  for (const auto& clique : a) {
+    if (!std::binary_search(b.begin(), b.end(), clique)) ++missing;
+  }
+  return missing;
+}
+
+void AppendGraphParams(const graph::Graph& g,
+                       const graph::CliqueResult& result, RunRecord* run) {
+  run->params.emplace_back("num_nodes", static_cast<double>(g.num_nodes()));
+  run->params.emplace_back("num_edges", static_cast<double>(g.num_edges()));
+  run->params.emplace_back("components",
+                           static_cast<double>(result.num_components));
+  run->params.emplace_back("degeneracy",
+                           static_cast<double>(result.degeneracy));
+  run->params.emplace_back("cliques",
+                           static_cast<double>(result.cliques.size()));
+  run->params.emplace_back("largest_clique",
+                           static_cast<double>(result.largest_clique));
+  run->params.emplace_back("clique_cap_truncated",
+                           result.clique_cap_truncated ? 1.0 : 0.0);
+  run->params.emplace_back("step_budget_truncated",
+                           result.step_budget_truncated ? 1.0 : 0.0);
+}
+
+int RunGraphSuite(const BenchOptions& options, std::vector<RunRecord>& runs) {
+  auto pool = MakeExecutor(options.threads);
+
+  // (a) Adversarial planted-clique graph, always >= 5k nodes (graph
+  // generation is cheap even in smoke mode; what smoke trims is noise).
+  {
+    PlantedCliqueGraphSpec spec;
+    spec.num_nodes = options.smoke ? 6000 : 20000;
+    spec.num_cliques = options.smoke ? 60 : 300;
+    spec.clique_size = 24;
+    spec.overlap = 6;
+    spec.background_p = options.smoke ? 0.0002 : 0.0001;
+    spec.seed = options.seed + 61;
+    auto generated = GeneratePlantedCliqueGraph(spec);
+    if (!generated.ok()) {
+      std::cerr << generated.status() << "\n";
+      return 1;
+    }
+    const graph::Graph g =
+        graph::Graph::FromEdges(generated->num_nodes, generated->edges);
+
+    graph::CliqueOptions serial_opts;
+    Stopwatch serial_watch;
+    const graph::CliqueResult serial_result =
+        graph::EnumerateMaximalCliques(g, serial_opts);
+    const double serial_seconds = serial_watch.ElapsedSeconds();
+
+    telemetry::MetricsRegistry registry;
+    graph::CliqueOptions par_opts;
+    par_opts.executor = pool.get();
+    par_opts.telemetry = telemetry::TelemetryContext(&registry);
+    Stopwatch watch;
+    const graph::CliqueResult result =
+        graph::EnumerateMaximalCliques(g, par_opts);
+    const double seconds = watch.ElapsedSeconds();
+    if (result.cliques != serial_result.cliques) {
+      std::cerr << "graph/planted: executor run diverged from serial run\n";
+      return 1;
+    }
+
+    RunRecord run;
+    run.name = "graph/planted";
+    run.params = {
+        {"planted_cliques", static_cast<double>(spec.num_cliques)},
+        {"clique_size", static_cast<double>(spec.clique_size)},
+        {"overlap", static_cast<double>(spec.overlap)}};
+    AppendGraphParams(g, result, &run);
+    run.timings = {{"seconds", seconds},
+                   {"single_thread_seconds", serial_seconds},
+                   {"speedup",
+                    seconds > 0 ? serial_seconds / seconds : 0.0}};
+    run.telemetry_json = DeterministicTelemetry(registry.TakeSnapshot());
+    runs.push_back(std::move(run));
+  }
+
+  // (b)/(c) Moon-Moser worst case vs each budget: the cap and the step
+  // budget must truncate loudly — and separately.
+  for (const bool use_cap : {true, false}) {
+    const size_t k = options.smoke ? 8 : 10;
+    const GeneratedGraph mm = MoonMoserGraph(k);
+    const graph::Graph g = graph::Graph::FromEdges(mm.num_nodes, mm.edges);
+    telemetry::MetricsRegistry registry;
+    graph::CliqueOptions copts;
+    copts.executor = pool.get();
+    copts.telemetry = telemetry::TelemetryContext(&registry);
+    if (use_cap) {
+      copts.max_cliques = 1000;  // 3^k is 6561 (smoke) or 59049
+    } else {
+      copts.max_steps = 500;
+    }
+    Stopwatch watch;
+    const graph::CliqueResult result =
+        graph::EnumerateMaximalCliques(g, copts);
+    const double seconds = watch.ElapsedSeconds();
+    const bool expected_flag = use_cap ? result.clique_cap_truncated
+                                       : result.step_budget_truncated;
+    if (!expected_flag) {
+      std::cerr << "graph/moonmoser: budget failed to truncate\n";
+      return 1;
+    }
+
+    RunRecord run;
+    run.name = use_cap ? "graph/moonmoser_cap" : "graph/moonmoser_steps";
+    run.params = {{"k", static_cast<double>(k)}};
+    AppendGraphParams(g, result, &run);
+    run.timings = {{"seconds", seconds}};
+    run.telemetry_json = DeterministicTelemetry(registry.TakeSnapshot());
+    runs.push_back(std::move(run));
+  }
+
+  // (d) Verification-sized instances against the brute-force oracle. Both
+  // counts must be zero; a nonzero count is a bug, not a data point.
+  struct OracleCase {
+    const char* name;
+    GeneratedGraph generated;
+  };
+  PlantedCliqueGraphSpec vspec;
+  vspec.num_nodes = 18;
+  vspec.num_cliques = 3;
+  vspec.clique_size = 6;
+  vspec.overlap = 2;
+  vspec.background_p = 0.08;
+  vspec.seed = options.seed + 62;
+  auto planted_small = GeneratePlantedCliqueGraph(vspec);
+  auto gnp_small = GenerateGnp(16, 0.4, options.seed + 63);
+  if (!planted_small.ok() || !gnp_small.ok()) {
+    std::cerr << "graph/oracle: generator failed\n";
+    return 1;
+  }
+  for (OracleCase& oracle_case :
+       std::vector<OracleCase>{{"graph/oracle_planted", *planted_small},
+                               {"graph/oracle_gnp", *gnp_small}}) {
+    const graph::Graph g = graph::Graph::FromEdges(
+        oracle_case.generated.num_nodes, oracle_case.generated.edges);
+    telemetry::MetricsRegistry registry;
+    graph::CliqueOptions copts;
+    copts.executor = pool.get();
+    copts.telemetry = telemetry::TelemetryContext(&registry);
+    Stopwatch watch;
+    const graph::CliqueResult result =
+        graph::EnumerateMaximalCliques(g, copts);
+    const double seconds = watch.ElapsedSeconds();
+    const auto oracle = OracleMaximalCliques(g);
+    const size_t dropped = MissingFrom(oracle, result.cliques);
+    const size_t spurious = MissingFrom(result.cliques, oracle);
+    if (dropped != 0 || spurious != 0) {
+      std::cerr << oracle_case.name << ": engine disagrees with oracle ("
+                << dropped << " dropped, " << spurious << " spurious)\n";
+      return 1;
+    }
+
+    RunRecord run;
+    run.name = oracle_case.name;
+    AppendGraphParams(g, result, &run);
+    run.params.emplace_back("oracle_cliques",
+                            static_cast<double>(oracle.size()));
+    run.params.emplace_back("dropped_cliques", static_cast<double>(dropped));
+    run.params.emplace_back("spurious_cliques",
+                            static_cast<double>(spurious));
+    run.timings = {{"seconds", seconds}};
+    run.telemetry_json = DeterministicTelemetry(registry.TakeSnapshot());
+    runs.push_back(std::move(run));
+  }
+  return 0;
+}
+
 // --- Suite 3: micro kernels (ACF-tree insertion, D2 distance, clique
 // enumeration), measured standalone with their own registries. ---
 
@@ -1133,6 +1360,10 @@ int Main(int argc, char** argv) {
   std::vector<RunRecord> quality_runs;
   if (RunQualitySuite(options, quality_runs) != 0) return 1;
   if (WriteSuite(options, "quality", quality_runs) != 0) return 1;
+
+  std::vector<RunRecord> graph_runs;
+  if (RunGraphSuite(options, graph_runs) != 0) return 1;
+  if (WriteSuite(options, "graph", graph_runs) != 0) return 1;
 
   std::vector<RunRecord> micro_runs;
   MicroAcfInsert(options, micro_runs);

@@ -1,6 +1,7 @@
 #include "core/clustering_graph.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "telemetry/trace.h"
@@ -46,7 +47,6 @@ ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
                                  const ClusteringGraphOptions& options)
     : observer_(options.observer) {
   size_t n = clusters.size();
-  adjacency_.resize(n);
   DAR_CHECK_EQ(options.d0.size(), clusters.num_parts());
 
   bool can_prune = options.prune_low_density_images &&
@@ -77,7 +77,7 @@ ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
   std::vector<size_t> bounds = PairShardBounds(n, parallelism);
   size_t num_shards = bounds.size() - 1;
   struct Shard {
-    std::vector<std::pair<size_t, size_t>> edges;
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
     int64_t made = 0;
     int64_t skipped = 0;
   };
@@ -110,7 +110,8 @@ ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
         double d_on_b = ClusterDistance(a.acf.image(b.part),
                                         b.acf.image(b.part), options.metric);
         if (d_on_b > options.d0[b.part]) continue;
-        shard.edges.emplace_back(i, j);
+        shard.edges.emplace_back(static_cast<uint32_t>(i),
+                                 static_cast<uint32_t>(j));
       }
     }
     return Status::OK();
@@ -124,136 +125,47 @@ ClusteringGraph::ClusteringGraph(const ClusterSet& clusters,
 
   // Deterministic merge: shard s covers rows before shard s+1, so visiting
   // buffers in shard order replays the serial (i, j) edge order exactly.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
   for (const Shard& shard : shards) {
     comparisons_made_ += shard.made;
     comparisons_skipped_ += shard.skipped;
     for (const auto& [i, j] : shard.edges) {
-      adjacency_[i].push_back(j);
-      adjacency_[j].push_back(i);
-      ++num_edges_;
+      edges.emplace_back(i, j);
       if (observer_ != nullptr) observer_->OnGraphEdge(i, j);
     }
   }
-  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+  graph_ = graph::Graph::FromEdges(n, edges);
 }
 
-bool ClusteringGraph::HasEdge(size_t a, size_t b) const {
-  const auto& nbrs = adjacency_.at(a);
-  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+graph::CliqueResult ClusteringGraph::EnumerateCliques(
+    graph::CliqueOptions options) const {
+  graph::CliqueResult result = graph::EnumerateMaximalCliques(graph_, options);
+  if (observer_ != nullptr) {
+    std::vector<size_t> clique;
+    for (const auto& c : result.cliques) {
+      clique.assign(c.begin(), c.end());
+      observer_->OnCliqueFound(clique);
+    }
+  }
+  return result;
 }
-
-namespace {
-
-// Bron-Kerbosch with pivoting over sorted neighbor lists.
-class CliqueFinder {
- public:
-  CliqueFinder(const std::vector<std::vector<size_t>>& adj,
-               size_t max_cliques, MiningObserver* observer)
-      : adj_(adj), max_cliques_(max_cliques), observer_(observer) {}
-
-  std::vector<std::vector<size_t>> Run() {
-    std::vector<size_t> r, p, x;
-    p.reserve(adj_.size());
-    for (size_t v = 0; v < adj_.size(); ++v) p.push_back(v);
-    Expand(r, std::move(p), std::move(x));
-    return std::move(cliques_);
-  }
-
-  bool truncated() const { return truncated_; }
-
- private:
-  // All vectors sorted ascending; intersections via std::set_intersection.
-  void Expand(std::vector<size_t>& r, std::vector<size_t> p,
-              std::vector<size_t> x) {
-    if (truncated_) return;
-    // Dense graphs can grind for a long time between emitted cliques; the
-    // step bound makes truncation responsive, not just the clique cap.
-    if (max_cliques_ != 0 && ++steps_ > 64 * max_cliques_) {
-      truncated_ = true;
-      return;
-    }
-    if (p.empty() && x.empty()) {
-      if (max_cliques_ != 0 && cliques_.size() >= max_cliques_) {
-        truncated_ = true;
-        return;
-      }
-      cliques_.push_back(r);
-      if (observer_ != nullptr) {
-        std::vector<size_t> sorted = r;
-        std::sort(sorted.begin(), sorted.end());
-        observer_->OnCliqueFound(sorted);
-      }
-      return;
-    }
-    // Pivot: vertex of P u X with the most neighbors inside P.
-    size_t pivot = 0;
-    size_t best = 0;
-    bool have_pivot = false;
-    for (const auto* set : {&p, &x}) {
-      for (size_t v : *set) {
-        size_t deg = IntersectionSize(adj_[v], p);
-        if (!have_pivot || deg > best) {
-          best = deg;
-          pivot = v;
-          have_pivot = true;
-        }
-      }
-    }
-    // Candidates: P minus N(pivot).
-    std::vector<size_t> candidates;
-    std::set_difference(p.begin(), p.end(), adj_[pivot].begin(),
-                        adj_[pivot].end(), std::back_inserter(candidates));
-    for (size_t v : candidates) {
-      if (truncated_) return;
-      std::vector<size_t> p2, x2;
-      std::set_intersection(p.begin(), p.end(), adj_[v].begin(),
-                            adj_[v].end(), std::back_inserter(p2));
-      std::set_intersection(x.begin(), x.end(), adj_[v].begin(),
-                            adj_[v].end(), std::back_inserter(x2));
-      r.push_back(v);
-      Expand(r, std::move(p2), std::move(x2));
-      r.pop_back();
-      // Move v from P to X.
-      p.erase(std::lower_bound(p.begin(), p.end(), v));
-      auto pos = std::lower_bound(x.begin(), x.end(), v);
-      x.insert(pos, v);
-    }
-  }
-
-  static size_t IntersectionSize(const std::vector<size_t>& a,
-                                 const std::vector<size_t>& b) {
-    size_t count = 0, i = 0, j = 0;
-    while (i < a.size() && j < b.size()) {
-      if (a[i] < b[j]) {
-        ++i;
-      } else if (b[j] < a[i]) {
-        ++j;
-      } else {
-        ++count;
-        ++i;
-        ++j;
-      }
-    }
-    return count;
-  }
-
-  const std::vector<std::vector<size_t>>& adj_;
-  size_t max_cliques_;
-  MiningObserver* observer_;
-  size_t steps_ = 0;
-  std::vector<std::vector<size_t>> cliques_;
-  bool truncated_ = false;
-};
-
-}  // namespace
 
 std::vector<std::vector<size_t>> ClusteringGraph::MaximalCliques(
     size_t max_cliques, bool* truncated) const {
-  CliqueFinder finder(adjacency_, max_cliques, observer_);
-  std::vector<std::vector<size_t>> cliques = finder.Run();
-  if (truncated != nullptr) *truncated = finder.truncated();
-  for (auto& c : cliques) std::sort(c.begin(), c.end());
-  std::sort(cliques.begin(), cliques.end());
+  graph::CliqueOptions options;
+  options.max_cliques = max_cliques;
+  // Historical budget mapping: a fired cap and a fired step budget both
+  // collapse into the single legacy `truncated` signal here.
+  options.max_steps = max_cliques != 0 ? 64 * max_cliques : 0;
+  graph::CliqueResult result = EnumerateCliques(options);
+  if (truncated != nullptr) {
+    *truncated = result.clique_cap_truncated || result.step_budget_truncated;
+  }
+  std::vector<std::vector<size_t>> cliques;
+  cliques.reserve(result.cliques.size());
+  for (const auto& c : result.cliques) {
+    cliques.emplace_back(c.begin(), c.end());
+  }
   return cliques;
 }
 

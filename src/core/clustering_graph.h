@@ -2,12 +2,15 @@
 #define DAR_CORE_CLUSTERING_GRAPH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "birch/metrics.h"
 #include "common/executor.h"
 #include "core/model.h"
 #include "core/observer.h"
+#include "graph/clique.h"
+#include "graph/graph.h"
 #include "telemetry/context.h"
 
 namespace dar {
@@ -21,10 +24,12 @@ struct ClusteringGraphOptions {
   std::vector<double> d0;
   /// §6.2 pruning heuristic (see DarConfig::prune_low_density_images).
   bool prune_low_density_images = true;
-  /// Optional executor for the edge-evaluation sweep (not owned, may be
-  /// null = serial). Cluster-pair ranges are sharded statically and the
-  /// per-shard edge buffers merged in cluster-id order, so the graph is
-  /// bit-identical for every executor.
+  /// Optional executor for the edge-evaluation sweep and the clique
+  /// search (not owned, may be null = serial). Cluster-pair ranges are
+  /// sharded statically and the per-shard edge buffers merged in
+  /// cluster-id order; the clique engine fans connected components the
+  /// same way — so both the graph and its cliques are bit-identical for
+  /// every executor.
   Executor* executor = nullptr;
   /// Optional observer (not owned, may be null). OnGraphEdge and
   /// OnCliqueFound fire from the coordinating thread, serially and in
@@ -32,8 +37,9 @@ struct ClusteringGraphOptions {
   MiningObserver* observer = nullptr;
   /// Optional recording context (default: disabled). The pair sweep
   /// records per-shard wall times into the "phase2.shard_seconds"
-  /// histogram; the deterministic counters (evaluations, pruned pairs,
-  /// edges) are recorded by Session::RunPhase2 from the accessors.
+  /// histogram and the clique engine its graph.* metrics; the
+  /// deterministic phase2.* counters (evaluations, pruned pairs, edges)
+  /// are recorded by the Phase-II runner from the accessors.
   telemetry::TelemetryContext telemetry;
 };
 
@@ -42,6 +48,11 @@ struct ClusteringGraphOptions {
 /// iff both `D(C_X[X], C_Y[X]) <= d0^X` and `D(C_X[Y], C_Y[Y]) <= d0^Y` —
 /// i.e. the two clusters' tuple sets co-occur in both projections. Cliques
 /// of this graph are the "large itemsets" of distance-based rules.
+///
+/// Storage is a flat CSR dar::graph::Graph built once from the sharded
+/// edge sweep; maximal-clique enumeration delegates to
+/// graph::EnumerateMaximalCliques (degeneracy-ordered iterative
+/// Bron-Kerbosch, per-component executor parallelism).
 class ClusteringGraph {
  public:
   /// Builds the graph from the Phase-I cluster set. By the ACF
@@ -52,13 +63,18 @@ class ClusteringGraph {
   ClusteringGraph(const ClusterSet& clusters,
                   const ClusteringGraphOptions& options);
 
-  [[nodiscard]] size_t num_nodes() const { return adjacency_.size(); }
-  [[nodiscard]] size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] size_t num_nodes() const { return graph_.num_nodes(); }
+  [[nodiscard]] size_t num_edges() const { return graph_.num_edges(); }
 
-  [[nodiscard]] bool HasEdge(size_t a, size_t b) const;
-  [[nodiscard]] const std::vector<size_t>& Neighbors(size_t node) const {
-    return adjacency_.at(node);
+  [[nodiscard]] bool HasEdge(size_t a, size_t b) const {
+    return graph_.HasEdge(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
   }
+  [[nodiscard]] std::span<const uint32_t> Neighbors(size_t node) const {
+    return graph_.Neighbors(static_cast<uint32_t>(node));
+  }
+
+  /// The underlying CSR graph (valid as long as this object lives).
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
 
   /// Number of candidate pairs whose distances were actually evaluated,
   /// and number skipped by the density-image pruning heuristic. For the
@@ -66,20 +82,24 @@ class ClusteringGraph {
   [[nodiscard]] int64_t comparisons_made() const { return comparisons_made_; }
   [[nodiscard]] int64_t comparisons_skipped() const { return comparisons_skipped_; }
 
-  /// All maximal cliques (each a sorted list of node ids), enumerated with
-  /// Bron-Kerbosch with pivoting. Isolated nodes yield trivial 1-cliques,
-  /// matching the paper's convention.
-  ///
-  /// `max_cliques` bounds the enumeration (0 = unbounded): graphs whose
-  /// thresholds were set too leniently can have exponentially many maximal
-  /// cliques, and a capped, loudly-truncated result beats an OOM. When the
-  /// cap fires, `*truncated` (if non-null) is set.
+  /// Full-control enumeration: budgets, backend tuning, and executor come
+  /// from `options` (the constructor's executor/telemetry are *not*
+  /// implied — pass them again if wanted). Fires OnCliqueFound per kept
+  /// clique, in canonical order, from the calling thread.
+  [[nodiscard]] graph::CliqueResult EnumerateCliques(
+      graph::CliqueOptions options) const;
+
+  /// Legacy-shaped enumeration: all maximal cliques (each a sorted list
+  /// of node ids, list sorted lexicographically), serial, with the
+  /// historical budget mapping (`max_cliques` cap plus a 64x step
+  /// budget; 0 = unbounded). When either budget fires, `*truncated` (if
+  /// non-null) is set — callers that need to distinguish the two signals
+  /// use EnumerateCliques.
   std::vector<std::vector<size_t>> MaximalCliques(
       size_t max_cliques = 0, bool* truncated = nullptr) const;
 
  private:
-  std::vector<std::vector<size_t>> adjacency_;  // sorted neighbor lists
-  size_t num_edges_ = 0;
+  graph::Graph graph_;
   int64_t comparisons_made_ = 0;
   int64_t comparisons_skipped_ = 0;
   MiningObserver* observer_ = nullptr;  // not owned; may be null

@@ -16,6 +16,13 @@ struct Phase2Result {
   /// Maximal cliques of the clustering graph (cluster-id lists).
   std::vector<std::vector<size_t>> cliques;
   size_t num_nontrivial_cliques = 0;  // cliques of size >= 2
+  /// Distinct truncation signals: the clique cap (config.max_cliques)
+  /// fired, vs. the expansion-step budget (64x the cap) cut a search off
+  /// mid-walk. `cliques_truncated` stays their OR — it is what the
+  /// checkpoint format persists, so restored results only carry the
+  /// combined signal.
+  bool clique_cap_truncated = false;
+  bool clique_steps_truncated = false;
   bool cliques_truncated = false;
   size_t graph_edges = 0;
   std::vector<DistanceRule> rules;

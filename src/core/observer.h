@@ -22,7 +22,8 @@ namespace dar {
 /// implementations must be thread-safe for those. The Phase-II callbacks
 /// (OnGraphEdge, OnCliqueFound) and OnRunComplete are always invoked from
 /// the coordinating thread, serially and in deterministic order (edges by
-/// ascending cluster pair, cliques in Bron-Kerbosch discovery order,
+/// ascending cluster pair, cliques in canonical order — lexicographic
+/// over sorted member ids, thread-count invariant —
 /// OnRunComplete once at the very end of Session::Mine).
 class MiningObserver {
  public:

@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "core/clustering_graph.h"
 #include "core/rule_gen.h"
+#include "graph/clique.h"
 
 namespace dar {
 
@@ -29,9 +30,21 @@ Result<Phase2Result> RunPhase2OnSummaries(const Phase1Result& phase1,
   ClusteringGraph graph(phase1.clusters, graph_opts);
   out.graph_edges = graph.num_edges();
 
-  out.cliques = graph.MaximalCliques(config.max_cliques,
-                                     &out.cliques_truncated);
-  for (const auto& q : out.cliques) {
+  graph::CliqueOptions clique_opts;
+  clique_opts.max_cliques = config.max_cliques;
+  // Dense graphs can grind for a long time between emitted cliques; the
+  // step budget makes truncation responsive, not just the clique cap.
+  clique_opts.max_steps = config.max_cliques != 0 ? 64 * config.max_cliques : 0;
+  clique_opts.executor = options.executor;
+  clique_opts.telemetry = telem;
+  graph::CliqueResult cliques = graph.EnumerateCliques(clique_opts);
+  out.clique_cap_truncated = cliques.clique_cap_truncated;
+  out.clique_steps_truncated = cliques.step_budget_truncated;
+  out.cliques_truncated =
+      out.clique_cap_truncated || out.clique_steps_truncated;
+  out.cliques.reserve(cliques.cliques.size());
+  for (const auto& q : cliques.cliques) {
+    out.cliques.emplace_back(q.begin(), q.end());
     if (q.size() >= 2) ++out.num_nontrivial_cliques;
   }
 
@@ -67,6 +80,10 @@ Result<Phase2Result> RunPhase2OnSummaries(const Phase1Result& phase1,
       ->Increment(static_cast<int64_t>(out.cliques.size()));
   telem.GetCounter("phase2.nontrivial_cliques")
       ->Increment(static_cast<int64_t>(out.num_nontrivial_cliques));
+  telem.GetCounter("phase2.clique_cap_truncations")
+      ->Increment(out.clique_cap_truncated ? 1 : 0);
+  telem.GetCounter("phase2.clique_step_truncations")
+      ->Increment(out.clique_steps_truncated ? 1 : 0);
   telem.GetCounter("phase2.degree_evaluations")
       ->Increment(rules.degree_evaluations);
   telem.GetCounter("phase2.rules")

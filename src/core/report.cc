@@ -117,6 +117,11 @@ std::string MiningResultToJson(const DarMiningResult& result,
          (p2.rules_truncated ? std::string("true") : std::string("false")) +
          ", \"cliques_truncated\": " +
          (p2.cliques_truncated ? std::string("true") : std::string("false")) +
+         ", \"clique_cap_truncated\": " +
+         (p2.clique_cap_truncated ? std::string("true") : std::string("false")) +
+         ", \"clique_steps_truncated\": " +
+         (p2.clique_steps_truncated ? std::string("true")
+                                    : std::string("false")) +
          ", \"phase1_seconds\": " + Num(p1.seconds) +
          ", \"phase2_seconds\": " + Num(p2.seconds) + "}\n";
   out += "}\n";
@@ -144,7 +149,13 @@ std::string MiningResultSummary(const DarMiningResult& result,
      << p2.num_nontrivial_cliques << " non-trivial cliques, "
      << p2.rules.size() << " rules (" << p2.seconds << "s)";
   if (p2.rules_truncated) os << " [rules truncated]";
-  if (p2.cliques_truncated) os << " [cliques truncated]";
+  if (p2.clique_cap_truncated) os << " [clique cap hit]";
+  if (p2.clique_steps_truncated) os << " [clique step budget hit]";
+  // Restored checkpoints only carry the combined legacy signal.
+  if (p2.cliques_truncated && !p2.clique_cap_truncated &&
+      !p2.clique_steps_truncated) {
+    os << " [cliques truncated]";
+  }
   os << "\n";
   size_t shown = 0;
   for (const auto& rule : p2.rules) {

@@ -20,7 +20,9 @@
 ///   the distributed mining layer (Coordinator, MergeTrees/MergeBuilders
 ///   in core/merge.h, MergeCheckpoints in persist/merge.h), the quality
 ///   layer (src/quality: interestingness measures, redundancy pruning,
-///   snapshot diffing), the advisor, and the generalized-QAR bridge.
+///   snapshot diffing), the clique engine (src/graph: CSR Graph,
+///   EnumerateMaximalCliques), the advisor, and the generalized-QAR
+///   bridge.
 ///
 /// Deprecated symbols are removed at the next minor release; the tree
 /// carries none outside the deprecation machinery itself (enforced by
@@ -54,7 +56,10 @@
 #include "core/rule_gen.h"       // IWYU pragma: export
 #include "core/rules.h"          // IWYU pragma: export
 #include "datagen/fixtures.h"    // IWYU pragma: export
+#include "datagen/graphs.h"      // IWYU pragma: export
 #include "datagen/planted.h"     // IWYU pragma: export
+#include "graph/clique.h"        // IWYU pragma: export
+#include "graph/graph.h"         // IWYU pragma: export
 #include "persist/checkpoint_io.h"  // IWYU pragma: export
 #include "persist/codec.h"       // IWYU pragma: export
 #include "persist/merge.h"       // IWYU pragma: export

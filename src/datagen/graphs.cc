@@ -1,0 +1,113 @@
+#include "datagen/graphs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace dar {
+
+namespace {
+
+// Appends the edges of Erdos-Renyi G(n, p) to `edges`, sampling by
+// geometric skips over the linearized strictly-upper-triangular pair
+// sequence: with edge probability p, the gap to the next present edge is
+// Geometric(p), so we draw gaps instead of flipping every pair — O(m)
+// draws for a graph with m edges.
+void AppendGnpEdges(size_t n, double p, Rng& rng,
+                    std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  if (n < 2 || p <= 0.0) return;
+  const double log_q = std::log1p(-p);
+  const size_t total = n * (n - 1) / 2;
+  auto next_gap = [&]() -> size_t {
+    double g = std::log1p(-rng.Uniform(0.0, 1.0)) / log_q;
+    // Clamp before the size_t cast: a tail draw can exceed the pair count
+    // and an out-of-range float-to-int conversion is UB.
+    return g >= static_cast<double>(total) ? total
+                                           : static_cast<size_t>(g);
+  };
+  size_t row = 0;       // current outer vertex
+  size_t row_base = 0;  // linear index of pair (row, row + 1)
+  for (size_t t = next_gap(); t < total; t += 1 + next_gap()) {
+    // Advance to the row containing pair t (rows shrink, t only grows).
+    while (t >= row_base + (n - 1 - row)) {
+      row_base += n - 1 - row;
+      ++row;
+    }
+    size_t col = row + 1 + (t - row_base);
+    edges->emplace_back(static_cast<uint32_t>(row),
+                        static_cast<uint32_t>(col));
+  }
+}
+
+void SortAndDedup(std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+}
+
+}  // namespace
+
+Result<GeneratedGraph> GeneratePlantedCliqueGraph(
+    const PlantedCliqueGraphSpec& spec) {
+  if (spec.clique_size < 2) {
+    return Status::InvalidArgument("clique_size must be >= 2");
+  }
+  if (spec.overlap >= spec.clique_size) {
+    return Status::InvalidArgument("overlap must be < clique_size");
+  }
+  if (spec.background_p < 0.0 || spec.background_p >= 1.0) {
+    return Status::InvalidArgument("background_p must be in [0, 1)");
+  }
+  const size_t stride = spec.clique_size - spec.overlap;
+  if (spec.num_cliques > 0) {
+    size_t last_end = (spec.num_cliques - 1) * stride + spec.clique_size;
+    if (last_end > spec.num_nodes) {
+      return Status::InvalidArgument(
+          "planted clique chain does not fit in num_nodes");
+    }
+  }
+
+  GeneratedGraph out;
+  out.num_nodes = spec.num_nodes;
+  for (size_t c = 0; c < spec.num_cliques; ++c) {
+    size_t start = c * stride;
+    for (size_t a = start; a < start + spec.clique_size; ++a) {
+      for (size_t b = a + 1; b < start + spec.clique_size; ++b) {
+        out.edges.emplace_back(static_cast<uint32_t>(a),
+                               static_cast<uint32_t>(b));
+      }
+    }
+  }
+  Rng rng(spec.seed);
+  AppendGnpEdges(spec.num_nodes, spec.background_p, rng, &out.edges);
+  SortAndDedup(&out.edges);
+  return out;
+}
+
+GeneratedGraph MoonMoserGraph(size_t k) {
+  GeneratedGraph out;
+  out.num_nodes = 3 * k;
+  // Complete k-partite with parts {3p, 3p+1, 3p+2}: an edge wherever the
+  // endpoints sit in different parts. 3^k maximal cliques (one vertex
+  // per part) — the Moon-Moser maximum for 3k vertices.
+  for (uint32_t a = 0; a < out.num_nodes; ++a) {
+    for (uint32_t b = a + 1; b < out.num_nodes; ++b) {
+      if (a / 3 != b / 3) out.edges.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+Result<GeneratedGraph> GenerateGnp(size_t num_nodes, double p,
+                                   uint64_t seed) {
+  if (p < 0.0 || p >= 1.0) {
+    return Status::InvalidArgument("p must be in [0, 1)");
+  }
+  GeneratedGraph out;
+  out.num_nodes = num_nodes;
+  Rng rng(seed);
+  AppendGnpEdges(num_nodes, p, rng, &out.edges);
+  return out;
+}
+
+}  // namespace dar

@@ -1,0 +1,59 @@
+#ifndef DAR_DATAGEN_GRAPHS_H_
+#define DAR_DATAGEN_GRAPHS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dar {
+
+/// A generated undirected graph as a plain edge list — the adversarial
+/// inputs for the dar::graph clique engine. Kept free of any graph-type
+/// dependency so benches and tests feed it to whatever representation
+/// they are exercising.
+struct GeneratedGraph {
+  size_t num_nodes = 0;
+  /// Unique edges, first < second, sorted lexicographically.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+};
+
+/// Worst-case Phase-II graph: overlapping planted cliques over a sparse
+/// G(n, p) background. Clique c occupies the `clique_size` consecutive
+/// vertices starting at c * (clique_size - overlap), so consecutive
+/// cliques share `overlap` vertices — the shared boundaries are what
+/// makes naive enumeration revisit work, and what exercises the pivot
+/// choice. Background edges knit the planted chain into (typically) one
+/// giant component plus isolated-vertex components.
+struct PlantedCliqueGraphSpec {
+  size_t num_nodes = 5000;
+  size_t num_cliques = 40;
+  size_t clique_size = 20;
+  /// Vertices shared between consecutive planted cliques (< clique_size).
+  size_t overlap = 5;
+  /// Erdos-Renyi background edge probability over all vertex pairs.
+  double background_p = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Fails (InvalidArgument) when the planted chain does not fit in
+/// num_nodes, overlap >= clique_size, or background_p is out of [0, 1).
+Result<GeneratedGraph> GeneratePlantedCliqueGraph(
+    const PlantedCliqueGraphSpec& spec);
+
+/// The Moon-Moser graph K_{3,3,...,3} (k parts of 3): the 3k-vertex graph
+/// with the maximum possible number of maximal cliques, 3^k — every
+/// choice of one vertex per part. The canonical worst case for
+/// maximal-clique enumeration; a handful of parts is enough to fire any
+/// clique or step budget.
+GeneratedGraph MoonMoserGraph(size_t k);
+
+/// Plain Erdos-Renyi G(n, p), deterministic in `seed`. Edge presence is
+/// sampled by geometric skips over the ordered pair sequence, so large
+/// sparse graphs cost O(edges), not O(n^2).
+Result<GeneratedGraph> GenerateGnp(size_t num_nodes, double p, uint64_t seed);
+
+}  // namespace dar
+
+#endif  // DAR_DATAGEN_GRAPHS_H_

@@ -1,0 +1,78 @@
+#ifndef DAR_GRAPH_CLIQUE_H_
+#define DAR_GRAPH_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/executor.h"
+#include "graph/graph.h"
+#include "telemetry/context.h"
+
+namespace dar {
+namespace graph {
+
+/// Tuning and budgets for EnumerateMaximalCliques.
+struct CliqueOptions {
+  /// Global cap on emitted cliques (0 = unbounded). Applied twice: inside
+  /// each component (no component enumerates past the cap) and again
+  /// during the component-ordered merge, so the kept set is the prefix of
+  /// the deterministic component-order emission — independent of how
+  /// components were scheduled across workers.
+  size_t max_cliques = 0;
+  /// Cap on Bron-Kerbosch expansion steps *per component* (0 = unbounded).
+  /// Dense graphs can grind for a long time between emitted cliques; the
+  /// step bound makes truncation responsive, not just the clique cap.
+  size_t max_steps = 0;
+  /// Components whose edge density (2m / k(k-1)) reaches this cutoff — and
+  /// whose node count fits max_bitset_nodes — are enumerated over a bitset
+  /// adjacency matrix: pivot scoring becomes word-parallel popcounts,
+  /// turning the O(k) per-candidate scan into O(k/64). Sparse components
+  /// stay on sorted-span intersections.
+  double dense_cutoff = 0.25;
+  /// Upper bound on bitset-path component size (k^2/8 bytes of matrix; the
+  /// default caps it at 2 MiB per component).
+  size_t max_bitset_nodes = 4096;
+  /// Optional executor (not owned, may be null = serial). Components are
+  /// fanned over it with per-slot results merged in component order, so
+  /// the output is bit-identical at any thread count.
+  Executor* executor = nullptr;
+  /// Optional recording context (default: disabled). Deterministic
+  /// metrics (graph.components, graph.degeneracy, graph.expansion_steps,
+  /// graph.clique_size histogram) are recorded on the calling thread;
+  /// the graph.component_seconds histogram is recorded from workers.
+  telemetry::TelemetryContext telemetry;
+};
+
+/// Output of one enumeration. Cliques are canonical: each ascending, the
+/// whole list sorted lexicographically. The two truncation flags are
+/// distinct signals — a fired clique cap means the graph has more maximal
+/// cliques than the caller allowed; a fired step budget means some
+/// component's search was cut off mid-walk (its cliques up to that point
+/// are still emitted and still maximal).
+struct CliqueResult {
+  std::vector<std::vector<uint32_t>> cliques;
+  bool clique_cap_truncated = false;
+  bool step_budget_truncated = false;
+  /// Structure facts, for telemetry and bench params.
+  size_t num_components = 0;
+  size_t degeneracy = 0;
+  size_t largest_clique = 0;
+  /// Total expansion steps across all components (deterministic).
+  size_t steps = 0;
+};
+
+/// Enumerates all maximal cliques of `g` (isolated vertices yield trivial
+/// 1-cliques). Bron-Kerbosch with pivoting, driven by a degeneracy-ordered
+/// outer loop and implemented iteratively with an explicit frame stack —
+/// enumeration depth is bounded by heap, not the thread's stack, so
+/// pathological graphs (10^5-node paths, giant cliques) cannot overflow.
+/// Runs per connected component, optionally in parallel on
+/// options.executor; results are merged in component order and are
+/// bit-identical for every executor and thread count.
+[[nodiscard]] CliqueResult EnumerateMaximalCliques(const Graph& g,
+                                                   const CliqueOptions& options);
+
+}  // namespace graph
+}  // namespace dar
+
+#endif  // DAR_GRAPH_CLIQUE_H_

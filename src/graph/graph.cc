@@ -1,0 +1,151 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dar {
+namespace graph {
+
+Graph Graph::FromEdges(
+    size_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  Graph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const auto& [a, b] : edges) {
+    DAR_CHECK(a != b);
+    DAR_CHECK(a < num_nodes && b < num_nodes);
+    ++g.offsets_[a + 1];
+    ++g.offsets_[b + 1];
+  }
+  for (size_t v = 0; v < num_nodes; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adj_.resize(g.offsets_[num_nodes]);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    g.adj_[cursor[a]++] = b;
+    g.adj_[cursor[b]++] = a;
+  }
+  // Sort each row and coalesce duplicate edges; rebuild offsets if any
+  // duplicates were dropped so rows stay contiguous.
+  bool had_duplicates = false;
+  std::vector<size_t> new_offsets(num_nodes + 1, 0);
+  size_t write = 0;
+  for (size_t v = 0; v < num_nodes; ++v) {
+    size_t begin = g.offsets_[v];
+    size_t end = g.offsets_[v + 1];
+    std::sort(g.adj_.begin() + static_cast<ptrdiff_t>(begin),
+              g.adj_.begin() + static_cast<ptrdiff_t>(end));
+    size_t row_start = write;
+    for (size_t i = begin; i < end; ++i) {
+      if (i > begin && g.adj_[i] == g.adj_[i - 1]) {
+        had_duplicates = true;
+        continue;
+      }
+      g.adj_[write++] = g.adj_[i];
+    }
+    new_offsets[v] = row_start;
+  }
+  new_offsets[num_nodes] = write;
+  if (had_duplicates) {
+    g.adj_.resize(write);
+    // new_offsets[v] holds the row start; shift into the n+1 layout.
+    for (size_t v = 0; v < num_nodes; ++v) g.offsets_[v] = new_offsets[v];
+    g.offsets_[num_nodes] = write;
+  }
+  g.num_edges_ = g.adj_.size() / 2;
+  return g;
+}
+
+bool Graph::HasEdge(uint32_t a, uint32_t b) const {
+  // Probe the smaller row; both are sorted.
+  if (Degree(a) > Degree(b)) std::swap(a, b);
+  auto row = Neighbors(a);
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
+Components ConnectedComponents(const Graph& g) {
+  size_t n = g.num_nodes();
+  Components out;
+  constexpr uint32_t kUnassigned = UINT32_MAX;
+  out.component_of.assign(n, kUnassigned);
+  uint32_t next_component = 0;
+  std::vector<uint32_t> frontier;
+  // Scanning roots in ascending id order assigns component indices in
+  // order of each component's smallest vertex.
+  for (uint32_t root = 0; root < n; ++root) {
+    if (out.component_of[root] != kUnassigned) continue;
+    uint32_t c = next_component++;
+    out.component_of[root] = c;
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      uint32_t v = frontier.back();
+      frontier.pop_back();
+      for (uint32_t w : g.Neighbors(v)) {
+        if (out.component_of[w] == kUnassigned) {
+          out.component_of[w] = c;
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+  out.members.resize(next_component);
+  // A second ascending pass leaves every member list sorted.
+  for (uint32_t v = 0; v < n; ++v) {
+    out.members[out.component_of[v]].push_back(v);
+  }
+  return out;
+}
+
+Degeneracy DegeneracyOrder(const Graph& g) {
+  size_t n = g.num_nodes();
+  Degeneracy out;
+  out.order.reserve(n);
+  out.rank.assign(n, 0);
+  if (n == 0) return out;
+
+  // Bucket queue keyed by current degree. Each bucket is a vertex list;
+  // pos[v] locates v inside its bucket for O(1) removal.
+  std::vector<size_t> degree(n);
+  size_t max_degree = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::vector<uint32_t>> buckets(max_degree + 1);
+  std::vector<size_t> pos(n);
+  // Bucket contents evolve purely from the graph structure (no hashing,
+  // no addresses), so the peel order — including tie-breaks — is a pure
+  // function of the graph.
+  for (uint32_t v = static_cast<uint32_t>(n); v-- > 0;) {
+    pos[v] = buckets[degree[v]].size();
+    buckets[degree[v]].push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  size_t cursor = 0;  // lowest possibly non-empty bucket
+  for (size_t step = 0; step < n; ++step) {
+    while (buckets[cursor].empty()) ++cursor;
+    uint32_t v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    removed[v] = true;
+    out.degeneracy = std::max(out.degeneracy, cursor);
+    out.rank[v] = static_cast<uint32_t>(out.order.size());
+    out.order.push_back(v);
+    for (uint32_t w : g.Neighbors(v)) {
+      if (removed[w]) continue;
+      size_t d = degree[w];
+      // Remove w from buckets[d] by swapping with the last element.
+      uint32_t moved = buckets[d].back();
+      buckets[d][pos[w]] = moved;
+      pos[moved] = pos[w];
+      buckets[d].pop_back();
+      degree[w] = d - 1;
+      pos[w] = buckets[d - 1].size();
+      buckets[d - 1].push_back(w);
+      if (d - 1 < cursor) cursor = d - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace dar

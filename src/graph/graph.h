@@ -1,0 +1,85 @@
+#ifndef DAR_GRAPH_GRAPH_H_
+#define DAR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dar {
+namespace graph {
+
+/// An immutable undirected graph in compressed-sparse-row form: one
+/// offsets array of n+1 entries into a flat neighbor array of 2m sorted
+/// vertex ids. Built once (from the Phase-II edge sweep or a generator)
+/// and then only read — all accessors are const and safe to share across
+/// executor workers without locking.
+///
+/// Vertex ids are uint32_t: Phase II tops out at 10^4-10^5 clusters, and
+/// the narrow ids halve the adjacency footprint and double how much of a
+/// neighborhood fits per cache line during the clique search.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list. Self-loops are rejected
+  /// (DAR_CHECK), duplicate edges (in either orientation) are coalesced,
+  /// and endpoints must be < num_nodes. The result is independent of the
+  /// edge order.
+  static Graph FromEdges(size_t num_nodes,
+                         const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  [[nodiscard]] size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] size_t num_edges() const { return num_edges_; }
+
+  /// Neighbors of `v`, ascending. Valid as long as the graph lives.
+  [[nodiscard]] std::span<const uint32_t> Neighbors(uint32_t v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] size_t Degree(uint32_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  [[nodiscard]] bool HasEdge(uint32_t a, uint32_t b) const;
+
+ private:
+  std::vector<size_t> offsets_;  // n + 1 row starts into adj_
+  std::vector<uint32_t> adj_;    // 2m neighbor ids, each row ascending
+  size_t num_edges_ = 0;
+};
+
+/// Connected components of a graph, in deterministic order: component i
+/// is the one whose smallest vertex is the i-th smallest among component
+/// minima (i.e. components appear in order of their lowest vertex id),
+/// and each member list is ascending. This ordering is what lets the
+/// clique engine merge per-component results into a schedule-independent
+/// whole.
+struct Components {
+  /// component_of[v] = index into members.
+  std::vector<uint32_t> component_of;
+  std::vector<std::vector<uint32_t>> members;
+};
+
+[[nodiscard]] Components ConnectedComponents(const Graph& g);
+
+/// Degeneracy ordering via the linear-time bucket peel (Matula-Beck):
+/// repeatedly remove a minimum-degree vertex (ties broken by a fixed,
+/// schedule-independent bucket discipline). `order` lists vertices in
+/// removal order,
+/// `rank[v]` is v's position in it, and `degeneracy` is the largest
+/// degree seen at removal time — the clique search keys its outer loop
+/// off this order so every subproblem starts with at most `degeneracy`
+/// candidates.
+struct Degeneracy {
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> rank;
+  size_t degeneracy = 0;
+};
+
+[[nodiscard]] Degeneracy DegeneracyOrder(const Graph& g);
+
+}  // namespace graph
+}  // namespace dar
+
+#endif  // DAR_GRAPH_GRAPH_H_

@@ -1,0 +1,336 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/executor.h"
+#include "datagen/graphs.h"
+#include "graph/clique.h"
+#include "telemetry/metrics.h"
+
+namespace dar {
+namespace graph {
+namespace {
+
+using Edge = std::pair<uint32_t, uint32_t>;
+
+Graph FromGenerated(const GeneratedGraph& g) {
+  return Graph::FromEdges(g.num_nodes, g.edges);
+}
+
+// Reference oracle: every subset mask of an (n <= 20)-vertex graph that is
+// a clique and has no common outside neighbor. Exponential, for
+// verification-sized instances only.
+std::set<std::vector<uint32_t>> OracleMaximalCliques(const Graph& g) {
+  size_t n = g.num_nodes();
+  std::vector<uint64_t> nbr(n, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t w : g.Neighbors(v)) nbr[v] |= uint64_t{1} << w;
+  }
+  std::set<std::vector<uint32_t>> out;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    bool clique = true;
+    for (uint32_t v = 0; v < n && clique; ++v) {
+      if ((mask >> v) & 1) {
+        if ((mask & ~(uint64_t{1} << v)) & ~nbr[v]) clique = false;
+      }
+    }
+    if (!clique) continue;
+    bool maximal = true;
+    for (uint32_t v = 0; v < n && maximal; ++v) {
+      if (!((mask >> v) & 1)) {
+        if ((mask & nbr[v]) == mask) maximal = false;
+      }
+    }
+    if (!maximal) continue;
+    std::vector<uint32_t> clique_list;
+    for (uint32_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) clique_list.push_back(v);
+    }
+    out.insert(clique_list);
+  }
+  return out;
+}
+
+TEST(GraphTest, FromEdgesBuildsSortedDedupedCsr) {
+  // Duplicates in both orientations collapse to one edge.
+  Graph g = Graph::FromEdges(5, {{1, 0}, {0, 1}, {1, 2}, {2, 1}, {3, 1}});
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(std::vector<uint32_t>(g.Neighbors(1).begin(),
+                                  g.Neighbors(1).end()),
+            (std::vector<uint32_t>{0, 2, 3}));
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(4, 0));
+}
+
+TEST(GraphTest, ComponentsOrderedBySmallestVertex) {
+  // Components {0,4}, {1,2,5}, {3}.
+  Graph g = Graph::FromEdges(6, {{4, 0}, {5, 1}, {2, 5}});
+  Components comps = ConnectedComponents(g);
+  ASSERT_EQ(comps.members.size(), 3u);
+  EXPECT_EQ(comps.members[0], (std::vector<uint32_t>{0, 4}));
+  EXPECT_EQ(comps.members[1], (std::vector<uint32_t>{1, 2, 5}));
+  EXPECT_EQ(comps.members[2], (std::vector<uint32_t>{3}));
+  EXPECT_EQ(comps.component_of[5], 1u);
+  EXPECT_EQ(comps.component_of[3], 2u);
+}
+
+TEST(GraphTest, DegeneracyOfKnownGraphs) {
+  // Path: degeneracy 1. Cycle: 2. K_5: 4. Star: 1.
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(DegeneracyOrder(path).degeneracy, 1u);
+  Graph cycle = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(DegeneracyOrder(cycle).degeneracy, 2u);
+  std::vector<Edge> k5;
+  for (uint32_t a = 0; a < 5; ++a) {
+    for (uint32_t b = a + 1; b < 5; ++b) k5.emplace_back(a, b);
+  }
+  EXPECT_EQ(DegeneracyOrder(Graph::FromEdges(5, k5)).degeneracy, 4u);
+  Graph star = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  Degeneracy d = DegeneracyOrder(star);
+  EXPECT_EQ(d.degeneracy, 1u);
+  // order/rank are a consistent permutation.
+  std::vector<uint32_t> seen(5, 0);
+  for (uint32_t v : d.order) ++seen[v];
+  EXPECT_EQ(seen, (std::vector<uint32_t>(5, 1)));
+  for (uint32_t v = 0; v < 5; ++v) EXPECT_EQ(d.order[d.rank[v]], v);
+}
+
+TEST(CliqueEngineTest, MatchesOracleOnRandomGnp) {
+  // Seeded property test: for a spread of sizes and densities, the engine
+  // agrees exactly with the exponential oracle.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    size_t n = 4 + (seed * 7) % 13;        // 4..16
+    double p = 0.15 + 0.07 * static_cast<double>(seed % 10);
+    auto generated = GenerateGnp(n, p, seed);
+    ASSERT_TRUE(generated.ok());
+    Graph g = FromGenerated(*generated);
+    CliqueResult result = EnumerateMaximalCliques(g, {});
+    EXPECT_FALSE(result.clique_cap_truncated);
+    EXPECT_FALSE(result.step_budget_truncated);
+    std::set<std::vector<uint32_t>> got(result.cliques.begin(),
+                                        result.cliques.end());
+    EXPECT_EQ(got.size(), result.cliques.size()) << "duplicate cliques";
+    EXPECT_EQ(got, OracleMaximalCliques(g)) << "n=" << n << " p=" << p
+                                            << " seed=" << seed;
+  }
+}
+
+TEST(CliqueEngineTest, BitsetAndVectorBackendsAgree) {
+  // Same graphs, backend forced each way via the density cutoff; dense
+  // enough that the default would pick bitset.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto generated = GenerateGnp(40, 0.5, seed);
+    ASSERT_TRUE(generated.ok());
+    Graph g = FromGenerated(*generated);
+    CliqueOptions vector_only;
+    vector_only.dense_cutoff = 1.1;  // density can never reach it
+    CliqueOptions bitset_only;
+    bitset_only.dense_cutoff = 0.0;
+    CliqueResult a = EnumerateMaximalCliques(g, vector_only);
+    CliqueResult b = EnumerateMaximalCliques(g, bitset_only);
+    EXPECT_EQ(a.cliques, b.cliques);
+    EXPECT_EQ(a.steps, b.steps);
+  }
+}
+
+TEST(CliqueEngineTest, IsolatedVerticesAreTrivialCliques) {
+  Graph g = Graph::FromEdges(4, {{1, 2}});
+  CliqueResult result = EnumerateMaximalCliques(g, {});
+  ASSERT_EQ(result.cliques.size(), 3u);
+  EXPECT_EQ(result.cliques[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(result.cliques[1], (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(result.cliques[2], (std::vector<uint32_t>{3}));
+  EXPECT_EQ(result.num_components, 3u);
+}
+
+TEST(CliqueEngineTest, MoonMoserCountsAndCapTruncation) {
+  // K_{3,...,3} with 6 parts: exactly 3^6 = 729 maximal cliques.
+  Graph g = FromGenerated(MoonMoserGraph(6));
+  CliqueResult full = EnumerateMaximalCliques(g, {});
+  EXPECT_EQ(full.cliques.size(), 729u);
+  EXPECT_EQ(full.largest_clique, 6u);
+  EXPECT_EQ(full.degeneracy, 15u);  // peel of K_{3x6}: 3*6 - 3 = 15
+
+  // A clique cap fires the cap flag only; the kept set is the canonical
+  // prefix and exactly cap-sized.
+  CliqueOptions capped;
+  capped.max_cliques = 100;
+  CliqueResult c = EnumerateMaximalCliques(g, capped);
+  EXPECT_EQ(c.cliques.size(), 100u);
+  EXPECT_TRUE(c.clique_cap_truncated);
+  EXPECT_FALSE(c.step_budget_truncated);
+
+  // A step budget fires the step flag only.
+  CliqueOptions stepped;
+  stepped.max_steps = 10;
+  CliqueResult s = EnumerateMaximalCliques(g, stepped);
+  EXPECT_TRUE(s.step_budget_truncated);
+  EXPECT_FALSE(s.clique_cap_truncated);
+  EXPECT_LT(s.cliques.size(), 729u);
+}
+
+TEST(CliqueEngineTest, DeepCliqueEnumeratesIterativelyDense) {
+  // A K_1500 drives the search 1500 frames deep — the old recursive
+  // enumerator's stack would be at the mercy of frame size here; the
+  // explicit-stack engine only grows a heap vector. Dense path (bitset).
+  constexpr uint32_t kN = 1500;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(kN) * (kN - 1) / 2);
+  for (uint32_t a = 0; a < kN; ++a) {
+    for (uint32_t b = a + 1; b < kN; ++b) edges.emplace_back(a, b);
+  }
+  Graph g = Graph::FromEdges(kN, edges);
+  CliqueResult result = EnumerateMaximalCliques(g, {});
+  ASSERT_EQ(result.cliques.size(), 1u);
+  EXPECT_EQ(result.cliques[0].size(), kN);
+  EXPECT_EQ(result.degeneracy, kN - 1);
+}
+
+TEST(CliqueEngineTest, DeepCliqueEnumeratesIterativelySparsePath) {
+  // Same depth pressure with the bitset path disabled, so the sorted-span
+  // backend is the one holding the 400-deep frame stack; plus a 50k-node
+  // induced path in a separate component to keep the component machinery
+  // honest on long skinny structures.
+  constexpr uint32_t kClique = 400;
+  constexpr uint32_t kPath = 50000;
+  std::vector<Edge> edges;
+  for (uint32_t a = 0; a < kClique; ++a) {
+    for (uint32_t b = a + 1; b < kClique; ++b) edges.emplace_back(a, b);
+  }
+  for (uint32_t v = kClique; v + 1 < kClique + kPath; ++v) {
+    edges.emplace_back(v, v + 1);
+  }
+  Graph g = Graph::FromEdges(kClique + kPath, edges);
+  CliqueOptions options;
+  options.dense_cutoff = 1.1;  // force the vector backend everywhere
+  CliqueResult result = EnumerateMaximalCliques(g, options);
+  // 1 giant clique + one 2-clique per path edge.
+  EXPECT_EQ(result.cliques.size(), 1u + (kPath - 1));
+  EXPECT_EQ(result.num_components, 2u);
+  EXPECT_EQ(result.largest_clique, kClique);
+}
+
+TEST(CliqueEngineTest, ThreadCountDoesNotChangeOutput) {
+  // The adversarial generator's output, 1 thread vs 8: byte-identical
+  // cliques, flags, and counts — the determinism contract of the
+  // component fan-out.
+  PlantedCliqueGraphSpec spec;
+  spec.num_nodes = 800;
+  spec.num_cliques = 30;
+  spec.clique_size = 12;
+  spec.overlap = 4;
+  spec.background_p = 0.002;
+  spec.seed = 99;
+  auto generated = GeneratePlantedCliqueGraph(spec);
+  ASSERT_TRUE(generated.ok());
+  Graph g = FromGenerated(*generated);
+
+  auto pool = MakeExecutor(8);
+  CliqueOptions serial;
+  CliqueOptions parallel = serial;
+  parallel.executor = pool.get();
+  CliqueResult a = EnumerateMaximalCliques(g, serial);
+  CliqueResult b = EnumerateMaximalCliques(g, parallel);
+  EXPECT_EQ(a.cliques, b.cliques);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_EQ(a.degeneracy, b.degeneracy);
+
+  // Same with budgets in play: the truncated prefix is just as identical.
+  CliqueOptions capped_serial;
+  capped_serial.max_cliques = 17;
+  capped_serial.max_steps = 64 * 17;
+  CliqueOptions capped_parallel = capped_serial;
+  capped_parallel.executor = pool.get();
+  CliqueResult ca = EnumerateMaximalCliques(g, capped_serial);
+  CliqueResult cb = EnumerateMaximalCliques(g, capped_parallel);
+  EXPECT_EQ(ca.cliques, cb.cliques);
+  EXPECT_EQ(ca.clique_cap_truncated, cb.clique_cap_truncated);
+  EXPECT_EQ(ca.step_budget_truncated, cb.step_budget_truncated);
+}
+
+TEST(CliqueEngineTest, RecordsGraphTelemetry) {
+  telemetry::MetricsRegistry registry;
+  CliqueOptions options;
+  options.telemetry = telemetry::TelemetryContext(&registry);
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {0, 2}});
+  CliqueResult result = EnumerateMaximalCliques(g, options);
+  EXPECT_EQ(result.cliques.size(), 3u);  // {0,1,2}, {3}, {4}
+  EXPECT_EQ(registry.GetCounter("graph.components")->value(), 3);
+  EXPECT_EQ(registry.GetGauge("graph.degeneracy")->value(), 2.0);
+  EXPECT_GT(registry.GetCounter("graph.expansion_steps")->value(), 0);
+}
+
+TEST(GraphGeneratorsTest, PlantedCliqueGraphValidatesSpec) {
+  PlantedCliqueGraphSpec bad;
+  bad.num_nodes = 10;
+  bad.num_cliques = 4;
+  bad.clique_size = 5;
+  bad.overlap = 1;  // chain needs 3*4 + 5 = 17 > 10 nodes
+  EXPECT_TRUE(
+      GeneratePlantedCliqueGraph(bad).status().IsInvalidArgument());
+
+  PlantedCliqueGraphSpec overlap_too_big;
+  overlap_too_big.overlap = overlap_too_big.clique_size;
+  EXPECT_TRUE(GeneratePlantedCliqueGraph(overlap_too_big)
+                  .status()
+                  .IsInvalidArgument());
+
+  PlantedCliqueGraphSpec bad_p;
+  bad_p.background_p = 1.0;
+  EXPECT_TRUE(
+      GeneratePlantedCliqueGraph(bad_p).status().IsInvalidArgument());
+}
+
+TEST(GraphGeneratorsTest, PlantedCliquesAreRecovered) {
+  // Without background noise, the maximal cliques are exactly the planted
+  // chain (plus isolated leftovers).
+  PlantedCliqueGraphSpec spec;
+  spec.num_nodes = 50;
+  spec.num_cliques = 5;
+  spec.clique_size = 8;
+  spec.overlap = 3;
+  spec.background_p = 0.0;
+  auto generated = GeneratePlantedCliqueGraph(spec);
+  ASSERT_TRUE(generated.ok());
+  Graph g = FromGenerated(*generated);
+  CliqueResult result = EnumerateMaximalCliques(g, {});
+  size_t planted = 0;
+  for (const auto& clique : result.cliques) {
+    if (clique.size() == spec.clique_size) ++planted;
+  }
+  EXPECT_EQ(planted, spec.num_cliques);
+}
+
+TEST(GraphGeneratorsTest, GnpIsSeedDeterministicAndValid) {
+  auto a = GenerateGnp(200, 0.05, 7);
+  auto b = GenerateGnp(200, 0.05, 7);
+  auto c = GenerateGnp(200, 0.05, 8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->edges, b->edges);
+  EXPECT_NE(a->edges, c->edges);
+  EXPECT_TRUE(std::is_sorted(a->edges.begin(), a->edges.end()));
+  for (const auto& [u, v] : a->edges) EXPECT_LT(u, v);
+  // ~0.05 * C(200,2) = 995 expected edges; allow generous slack.
+  EXPECT_GT(a->edges.size(), 600u);
+  EXPECT_LT(a->edges.size(), 1500u);
+
+  auto empty = GenerateGnp(100, 0.0, 1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->edges.empty());
+  EXPECT_TRUE(GenerateGnp(10, 1.0, 1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace dar

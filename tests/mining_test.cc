@@ -373,6 +373,10 @@ TEST(MiningTest, CliqueTruncationSurfacesInPhase2) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->phase2().cliques_truncated);
   EXPECT_LE(result->phase2().cliques.size(), 2u);
+  // The legacy bool is the OR of the two distinct signals; here the cap
+  // (not the step budget) is what fired, and the split surfaces that.
+  EXPECT_TRUE(result->phase2().clique_cap_truncated);
+  EXPECT_FALSE(result->phase2().clique_steps_truncated);
 }
 
 TEST(MiningTest, DescribeUsesBoundingBox) {

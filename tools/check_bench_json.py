@@ -6,7 +6,7 @@ Expected document shape (schema_version 1):
   {
     "schema_version": 1,
     "suite": "phase1" | "phase2" | "stream" | "persist" | "serve"
-             | "merge" | "quality" | "micro",
+             | "merge" | "quality" | "graph" | "micro",
     "smoke": bool,
     "seed": int,
     "runs": [
@@ -46,6 +46,16 @@ report zero born/died/drifted rules, and the drift-injected run must
 flag at least one change — a drift detector that fires on a stationary
 stream (or misses a planted mean shift) is wrong, not slow.
 
+The "graph" suite (the dar::graph clique engine on adversarial graphs):
+every run must report its component count (params.components >= 1) and
+both truncation flags (params.clique_cap_truncated /
+params.step_budget_truncated, each 0 or 1); across the suite each flag
+must fire at least once (the Moon-Moser budget runs exist to prove
+truncation stays loud); and the oracle runs must report zero
+dropped_cliques and zero spurious_cliques against the brute-force
+maximal-clique oracle — a single missing or invented clique is a
+correctness bug in the engine, not noise.
+
 Usage: tools/check_bench_json.py FILE [FILE...]
 Prints one `file: message` per violation and exits 1 when anything is
 found, 0 when every file is schema-valid. Stdlib only.
@@ -57,7 +67,7 @@ import numbers
 import sys
 
 VALID_SUITES = {"phase1", "phase2", "stream", "persist", "serve", "merge",
-                "quality", "micro"}
+                "quality", "graph", "micro"}
 VALID_UNITS = {"count", "seconds", "bytes"}
 
 
@@ -231,6 +241,51 @@ def check_quality_run(errors, where, run):
                       "was born, died, or drifted")
 
 
+def check_graph_run(errors, where, run):
+    """Graph-suite invariants: component count and both truncation flags
+    are always reported, and the oracle runs agree exactly with the
+    brute-force maximal-clique oracle."""
+    params = run.get("params")
+    if not isinstance(params, dict):
+        return  # shape error already reported
+    components = params.get("components")
+    if components is None:
+        errors.append(f"{where}.params: missing 'components'")
+    elif not is_number(components) or components < 1:
+        errors.append(f"{where}.params.components: must be >= 1, "
+                      f"got {components!r}")
+    for key in ("clique_cap_truncated", "step_budget_truncated"):
+        flag = params.get(key)
+        if flag is None:
+            errors.append(f"{where}.params: missing '{key}'")
+        elif flag not in (0, 1):
+            errors.append(f"{where}.params.{key}: must be 0 or 1, "
+                          f"got {flag!r}")
+    if isinstance(run.get("name"), str) and "oracle" in run["name"]:
+        for key in ("oracle_cliques", "dropped_cliques", "spurious_cliques"):
+            if not is_number(params.get(key)):
+                errors.append(f"{where}.params: missing numeric '{key}'")
+        for key in ("dropped_cliques", "spurious_cliques"):
+            value = params.get(key)
+            if is_number(value) and value != 0:
+                errors.append(f"{where}.params.{key}: must be 0 "
+                              f"(engine disagrees with the oracle), "
+                              f"got {value!r}")
+
+
+def check_graph_suite(errors, runs):
+    """Across the whole graph suite, each truncation flag must have fired
+    at least once — the adversarial budget runs exist to prove truncation
+    is loud, and a suite where neither flag ever fires no longer tests it."""
+    for key in ("clique_cap_truncated", "step_budget_truncated"):
+        fired = any(
+            isinstance(run, dict) and isinstance(run.get("params"), dict)
+            and run["params"].get(key) == 1 for run in runs)
+        if not fired:
+            errors.append(f"runs: no run fired params.{key} — the "
+                          "adversarial budget runs are missing")
+
+
 def check_file(path):
     errors = []
     try:
@@ -283,6 +338,10 @@ def check_file(path):
             check_merge_run(errors, where, run)
         if doc.get("suite") == "quality":
             check_quality_run(errors, where, run)
+        if doc.get("suite") == "graph":
+            check_graph_run(errors, where, run)
+    if doc.get("suite") == "graph":
+        check_graph_suite(errors, runs)
     return errors
 
 

@@ -1,0 +1,15 @@
+#ifndef DAR_GRAPH_GREEDY_ENGINE_H_
+#define DAR_GRAPH_GREEDY_ENGINE_H_
+
+// Fixture proving src/graph/ is inside the linted tree: a header-guard
+// that is correct for its path, plus one naked-new violation (the clique
+// engine owns its frame stacks through std::vector, so a raw allocation
+// here would be both a leak risk and a style break).
+
+namespace dar::graph {
+
+inline int* LeakFrame() { return new int[64]; }
+
+}  // namespace dar::graph
+
+#endif  // DAR_GRAPH_GREEDY_ENGINE_H_
